@@ -1,0 +1,74 @@
+//! Ablation benchmarks over the solver's design knobs (cost side of the
+//! accuracy/cost trade-offs reported by the `ablation` repro binary):
+//! vacation mode, quantum stage count, and fixed-point tolerance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsched_core::solver::{solve, SolverOptions, VacationMode};
+use gsched_workload::{paper_model, PaperConfig};
+use std::hint::black_box;
+
+fn base() -> PaperConfig {
+    PaperConfig {
+        lambda: 0.5,
+        quantum_mean: 1.0,
+        quantum_stages: 2,
+        overhead_mean: 0.01,
+    }
+}
+
+fn bench_vacation_mode(c: &mut Criterion) {
+    let model = paper_model(&base());
+    let mut g = c.benchmark_group("ablation_vacation_mode");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("heavy_traffic", VacationMode::HeavyTraffic),
+        ("moment2", VacationMode::MomentMatched { moments: 2 }),
+        ("moment3", VacationMode::MomentMatched { moments: 3 }),
+        ("exact", VacationMode::Exact),
+    ] {
+        let opts = SolverOptions {
+            mode: mode.clone(),
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter(|| solve(black_box(&model), opts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantum_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_quantum_stages");
+    g.sample_size(10);
+    for k in [1usize, 2, 4] {
+        let model = paper_model(&PaperConfig {
+            quantum_stages: k,
+            ..base()
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(k), &model, |b, m| {
+            b.iter(|| solve(black_box(m), &SolverOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_fp_tolerance(c: &mut Criterion) {
+    let model = paper_model(&base());
+    let mut g = c.benchmark_group("ablation_fp_tolerance");
+    g.sample_size(10);
+    for tol in [1e-3, 1e-6, 1e-9] {
+        let opts = SolverOptions {
+            fp_tol: tol,
+            ..Default::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{tol:.0e}")),
+            &opts,
+            |b, opts| b.iter(|| solve(black_box(&model), opts).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vacation_mode, bench_quantum_stages, bench_fp_tolerance);
+criterion_main!(benches);

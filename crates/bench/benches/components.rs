@@ -1,0 +1,173 @@
+//! Component benchmarks: the numeric kernels of the analytic solver.
+//!
+//! * `r_matrix/*` — successive substitution vs logarithmic reduction for the
+//!   rate matrix `R` at light and heavy load;
+//! * `gth` — stationary solve of a dense generator;
+//! * `ph_convolve` — vacation construction (Theorem 2.5 convolutions);
+//! * `generator_assembly` — building a class QBD;
+//! * `boundary_solve` — one full class solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsched_core::generator::build_class_chain;
+use gsched_core::vacation::heavy_traffic_vacation;
+use gsched_linalg::Matrix;
+use gsched_markov::ctmc::gth_stationary;
+use gsched_phase::{convolve_all, erlang, exponential};
+use gsched_qbd::solution::SolveOptions;
+use gsched_qbd::{solve_r, RSolverMethod};
+use gsched_workload::{paper_model, PaperConfig};
+use std::hint::black_box;
+
+/// Dense MMPP-style QBD blocks of dimension `d` at utilization `rho`.
+fn blocks(d: usize, rho: f64) -> (Matrix, Matrix, Matrix) {
+    let mu = 1.0;
+    let lam = rho * mu;
+    let mut a0 = Matrix::zeros(d, d);
+    let mut a1 = Matrix::zeros(d, d);
+    let mut a2 = Matrix::zeros(d, d);
+    for i in 0..d {
+        a0[(i, i)] = lam;
+        a2[(i, i)] = mu;
+        let switch = 0.2;
+        let j = (i + 1) % d;
+        if d > 1 {
+            a1[(i, j)] = switch;
+        }
+        a1[(i, i)] = -(lam + mu + if d > 1 { switch } else { 0.0 });
+    }
+    (a0, a1, a2)
+}
+
+fn bench_r_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r_matrix");
+    for &(d, rho) in &[(4usize, 0.5), (16, 0.5), (16, 0.95), (64, 0.8)] {
+        let (a0, a1, a2) = blocks(d, rho);
+        group.bench_with_input(
+            BenchmarkId::new("logarithmic_reduction", format!("d{d}_rho{rho}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    solve_r(
+                        black_box(&a0),
+                        &a1,
+                        &a2,
+                        RSolverMethod::LogarithmicReduction,
+                        1e-12,
+                        500,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        if rho < 0.9 {
+            group.bench_with_input(
+                BenchmarkId::new("successive_substitution", format!("d{d}_rho{rho}")),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        solve_r(
+                            black_box(&a0),
+                            &a1,
+                            &a2,
+                            RSolverMethod::SuccessiveSubstitution,
+                            1e-10,
+                            2_000_000,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_gth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gth_stationary");
+    for &n in &[8usize, 32, 128] {
+        // Dense irreducible generator.
+        let mut q = Matrix::zeros(n, n);
+        for i in 0..n {
+            let mut s = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let r = 0.1 + ((i * 31 + j * 17) % 97) as f64 / 97.0;
+                    q[(i, j)] = r;
+                    s += r;
+                }
+            }
+            q[(i, i)] = -s;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
+            b.iter(|| gth_stationary(black_box(q)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ph_convolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ph_convolve");
+    for &parts in &[4usize, 8, 16] {
+        let dists: Vec<_> = (0..parts)
+            .map(|i| {
+                if i % 2 == 0 {
+                    erlang(2, 1.0)
+                } else {
+                    exponential(100.0)
+                }
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(parts), &dists, |b, d| {
+            b.iter(|| convolve_all(black_box(d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generator_assembly(c: &mut Criterion) {
+    let model = paper_model(&PaperConfig {
+        lambda: 0.4,
+        quantum_mean: 1.0,
+        quantum_stages: 2,
+        overhead_mean: 0.01,
+    });
+    let mut group = c.benchmark_group("generator_assembly");
+    for p in 0..4usize {
+        let vac = heavy_traffic_vacation(&model, p);
+        group.bench_with_input(BenchmarkId::new("class", p), &vac, |b, vac| {
+            b.iter(|| build_class_chain(black_box(&model), p, vac).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_class_solve(c: &mut Criterion) {
+    // lambda low enough that class 0 is stable even under the pessimistic
+    // heavy-traffic vacation (its fair share is only ~25% of the machine).
+    let model = paper_model(&PaperConfig {
+        lambda: 0.25,
+        quantum_mean: 1.0,
+        quantum_stages: 2,
+        overhead_mean: 0.01,
+    });
+    let mut group = c.benchmark_group("class_qbd_solve");
+    group.sample_size(20);
+    for p in [0usize, 3] {
+        let vac = heavy_traffic_vacation(&model, p);
+        let chain = build_class_chain(&model, p, &vac).unwrap();
+        group.bench_with_input(BenchmarkId::new("class", p), &chain, |b, chain| {
+            b.iter(|| chain.qbd.solve(black_box(&SolveOptions::default())).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_r_matrix,
+    bench_gth,
+    bench_ph_convolve,
+    bench_generator_assembly,
+    bench_class_solve
+);
+criterion_main!(benches);

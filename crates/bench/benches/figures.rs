@@ -1,0 +1,80 @@
+//! Per-figure benchmarks: time to regenerate each of the paper's figures
+//! (one representative point per figure plus a full-grid timing at reduced
+//! sample counts).
+//!
+//! `bench_fig2`/`bench_fig3` — one quantum-sweep point at ρ = 0.4 / 0.9;
+//! `bench_fig4` — one service-rate point; `bench_fig5` — one fraction point;
+//! `fig*_full_grid` — the whole grid, as the repro binaries run it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsched_core::solver::{solve, SolverOptions};
+use gsched_workload::figures::{
+    cycle_fraction_sweep, quantum_sweep, service_rate_sweep,
+};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let pts = quantum_sweep(0.4, 2, &[1.0]);
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("point_q1", |b| {
+        b.iter(|| solve(black_box(&pts[0].model), &SolverOptions::default()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let pts = quantum_sweep(0.9, 2, &[1.0]);
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("point_q1_rho09", |b| {
+        b.iter(|| solve(black_box(&pts[0].model), &SolverOptions::default()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let pts = service_rate_sweep(2, &[8.0]);
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("point_mu8", |b| {
+        b.iter(|| solve(black_box(&pts[0].model), &SolverOptions::default()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let pts = cycle_fraction_sweep(0, 4.0, 2, &[0.5]);
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("point_f05_class0", |b| {
+        b.iter(|| solve(black_box(&pts[0].model), &SolverOptions::default()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_full_grids(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_grid");
+    g.sample_size(10);
+    for (name, lambda) in [("fig2_grid5", 0.4), ("fig3_grid5", 0.9)] {
+        let pts = quantum_sweep(lambda, 2, &[0.25, 0.5, 1.0, 2.0, 4.0]);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &pts, |b, pts| {
+            b.iter(|| {
+                pts.iter()
+                    .map(|pt| solve(&pt.model, &SolverOptions::default()).unwrap())
+                    .count()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_full_grids
+);
+criterion_main!(benches);

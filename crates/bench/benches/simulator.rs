@@ -1,0 +1,46 @@
+//! Simulator throughput benchmarks: events processed per simulated horizon
+//! for the gang policies and the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsched_sim::baselines::{SpaceSharingSim, TimeSharingSim};
+use gsched_sim::{GangPolicy, GangSim, SimConfig};
+use gsched_workload::{paper_model, PaperConfig};
+use std::hint::black_box;
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        horizon: 20_000.0,
+        warmup: 2_000.0,
+        seed: 0xBEEF,
+        batches: 10,
+    }
+}
+
+fn bench_gang(c: &mut Criterion) {
+    let model = paper_model(&PaperConfig {
+        lambda: 0.5,
+        quantum_mean: 1.0,
+        quantum_stages: 2,
+        overhead_mean: 0.01,
+    });
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("gang_system_wide", GangPolicy::SystemWide),
+        ("gang_per_partition", GangPolicy::PerPartition),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| GangSim::new(black_box(&model), policy, cfg()).run())
+        });
+    }
+    g.bench_function("baseline_time_sharing", |b| {
+        b.iter(|| TimeSharingSim::new(black_box(&model), cfg()).run())
+    });
+    g.bench_function("baseline_space_sharing", |b| {
+        b.iter(|| SpaceSharingSim::new(black_box(&model), cfg()).run())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gang);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Benchmark support crate. The benches live in `benches/`; this library
+//! only re-exports the pieces they share.
+
+pub use gsched_core::solver::{solve, SolverOptions, VacationMode};
+pub use gsched_workload::{paper_model, PaperConfig};

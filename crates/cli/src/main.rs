@@ -1,0 +1,442 @@
+//! `gsched` — solve, simulate, and tune gang-scheduled parallel machines.
+//!
+//! ```text
+//! gsched solve     <model.json> [--mode ht|m2|m3|exact] [--json]
+//! gsched simulate  <model.json> [--policy gang|lend|rr|fcfs]
+//!                               [--horizon T] [--warmup T] [--seed N] [--json]
+//! gsched tune      <model.json> [--lo Q] [--hi Q] [--objective total|max] [--json]
+//! gsched stability <model.json> [--class P] [--lo Q] [--hi Q]
+//! gsched paper     [--rho R] [--quantum Q] [--json]
+//! gsched example-model
+//! ```
+//!
+//! Model files are JSON (see [`spec`]); `gsched example-model` prints a
+//! template.
+
+mod spec;
+
+use gsched_core::model::GangModel;
+use gsched_core::solver::{solve, GangSolution, SolverOptions, VacationMode};
+use gsched_core::tuning::{optimize_common_quantum, stability_threshold_quantum, Objective};
+use gsched_sim::baselines::{SpaceSharingSim, TimeSharingSim};
+use gsched_sim::{GangPolicy, GangSim, SimConfig, SimResult};
+use gsched_workload::{paper_model, PaperConfig};
+use spec::ModelSpec;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gsched: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Err("missing subcommand".to_string());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "solve" => cmd_solve(rest),
+        "simulate" => cmd_simulate(rest),
+        "tune" => cmd_tune(rest),
+        "stability" => cmd_stability(rest),
+        "paper" => cmd_paper(rest),
+        "example-model" => {
+            println!("{}", example_model_json());
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(())
+        }
+        other => {
+            print_usage();
+            Err(format!("unknown subcommand `{other}`"))
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  gsched solve     <model.json> [--mode ht|m2|m3|exact] [--json]\n  \
+         gsched simulate  <model.json> [--policy gang|lend|rr|fcfs] [--horizon T] [--warmup T] [--seed N] [--json]\n  \
+         gsched tune      <model.json> [--lo Q] [--hi Q] [--objective total|max] [--json]\n  \
+         gsched stability <model.json> [--class P] [--lo Q] [--hi Q]\n  \
+         gsched paper     [--rho R] [--quantum Q] [--json]\n  \
+         gsched example-model"
+    );
+}
+
+/// Split positional arguments from `--flag value` options.
+fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), String> {
+    let mut pos = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "json" || name == "percentiles" {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
+            let val = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.insert(name.to_string(), val.clone());
+        } else {
+            pos.push(a.clone());
+        }
+    }
+    Ok((pos, flags))
+}
+
+fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+    }
+}
+
+fn load_model(path: &str) -> Result<GangModel, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    ModelSpec::from_json(&text)?.build()
+}
+
+fn solver_options(flags: &HashMap<String, String>) -> Result<SolverOptions, String> {
+    let mode = match flags.get("mode").map(|s| s.as_str()) {
+        None | Some("m2") => VacationMode::MomentMatched { moments: 2 },
+        Some("m3") => VacationMode::MomentMatched { moments: 3 },
+        Some("ht") => VacationMode::HeavyTraffic,
+        Some("exact") => VacationMode::Exact,
+        Some(other) => return Err(format!("unknown --mode `{other}`")),
+    };
+    Ok(SolverOptions {
+        mode,
+        response_quantiles: flags.contains_key("percentiles"),
+        ..Default::default()
+    })
+}
+
+fn print_solution_human(model: &GangModel, sol: &GangSolution) {
+    println!(
+        "machine: P = {}, L = {} classes, offered rho = {:.4}",
+        model.processors(),
+        model.num_classes(),
+        model.total_utilization()
+    );
+    println!(
+        "fixed point: {} iterations, converged = {}, all stable = {}",
+        sol.iterations, sol.converged, sol.all_stable
+    );
+    println!(
+        "{:>5} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "class", "stable", "N", "T", "P(empty)", "svc frac", "P(skip)"
+    );
+    for (p, c) in sol.classes.iter().enumerate() {
+        let (pe, sf) = c
+            .measures
+            .as_ref()
+            .map(|m| (m.prob_empty, m.service_fraction))
+            .unwrap_or((f64::NAN, f64::NAN));
+        println!(
+            "{p:>5} {:>8} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            c.stable, c.mean_jobs, c.mean_response, pe, sf, c.skip_probability
+        );
+    }
+    if sol.classes.iter().any(|c| c.response_quantiles.is_some()) {
+        println!("response-time percentiles (tagged-job analysis):");
+        println!(
+            "{:>5} {:>10} {:>10} {:>10} {:>10}",
+            "class", "p50", "p90", "p95", "p99"
+        );
+        for (p, c) in sol.classes.iter().enumerate() {
+            if let Some((p50, p90, p95, p99)) = c.response_quantiles {
+                println!("{p:>5} {p50:>10.4} {p90:>10.4} {p95:>10.4} {p99:>10.4}");
+            }
+        }
+    }
+}
+
+fn solution_json(sol: &GangSolution) -> String {
+    // Hand-rolled JSON (the solution holds non-serde internals).
+    let classes: Vec<String> = sol
+        .classes
+        .iter()
+        .map(|c| {
+            {
+                let q = c
+                    .response_quantiles
+                    .map(|(a, b, d, e)| {
+                        format!(
+                            r#"[{},{},{},{}]"#,
+                            json_f64(a),
+                            json_f64(b),
+                            json_f64(d),
+                            json_f64(e)
+                        )
+                    })
+                    .unwrap_or_else(|| "null".to_string());
+                format!(
+                    r#"{{"stable":{},"mean_jobs":{},"mean_response":{},"skip_probability":{},"effective_quantum_mean":{},"vacation_mean":{},"response_quantiles":{}}}"#,
+                    c.stable,
+                    json_f64(c.mean_jobs),
+                    json_f64(c.mean_response),
+                    json_f64(c.skip_probability),
+                    json_f64(c.effective_quantum_mean),
+                    json_f64(c.vacation_mean),
+                    q,
+                )
+            }
+        })
+        .collect();
+    format!(
+        r#"{{"iterations":{},"converged":{},"all_stable":{},"classes":[{}]}}"#,
+        sol.iterations,
+        sol.converged,
+        sol.all_stable,
+        classes.join(",")
+    )
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("solve: missing <model.json>")?;
+    let model = load_model(path)?;
+    let opts = solver_options(&flags)?;
+    let sol = solve(&model, &opts).map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        println!("{}", solution_json(&sol));
+    } else {
+        print_solution_human(&model, &sol);
+    }
+    Ok(())
+}
+
+fn print_sim_human(r: &SimResult) {
+    println!(
+        "measured {:.0} time units; utilization {:.4}, switch fraction {:.4}",
+        r.measured_time, r.processor_utilization, r.switch_overhead_fraction
+    );
+    println!(
+        "{:>5} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "class", "N", "±95%", "T", "T p50", "T p95", "arrivals", "done"
+    );
+    for (p, c) in r.classes.iter().enumerate() {
+        let (p50, _, p95, _) = c.response_quantiles;
+        println!(
+            "{p:>5} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10} {:>10}",
+            c.mean_jobs, c.mean_jobs_ci95, c.mean_response, p50, p95, c.arrivals, c.completions
+        );
+    }
+}
+
+fn sim_json(r: &SimResult) -> String {
+    let classes: Vec<String> = r
+        .classes
+        .iter()
+        .map(|c| {
+            format!(
+                r#"{{"mean_jobs":{},"mean_jobs_ci95":{},"mean_response":{},"response_p50":{},"response_p90":{},"response_p95":{},"response_p99":{},"arrivals":{},"completions":{}}}"#,
+                json_f64(c.mean_jobs),
+                json_f64(c.mean_jobs_ci95),
+                json_f64(c.mean_response),
+                json_f64(c.response_quantiles.0),
+                json_f64(c.response_quantiles.1),
+                json_f64(c.response_quantiles.2),
+                json_f64(c.response_quantiles.3),
+                c.arrivals,
+                c.completions
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"utilization":{},"switch_fraction":{},"classes":[{}]}}"#,
+        json_f64(r.processor_utilization),
+        json_f64(r.switch_overhead_fraction),
+        classes.join(",")
+    )
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("simulate: missing <model.json>")?;
+    let model = load_model(path)?;
+    let horizon = flag_f64(&flags, "horizon", 200_000.0)?;
+    let warmup = flag_f64(&flags, "warmup", horizon / 10.0)?;
+    let seed = flag_f64(&flags, "seed", 1.0)? as u64;
+    let cfg = SimConfig {
+        horizon,
+        warmup,
+        seed,
+        batches: 20,
+    };
+    let result = match flags.get("policy").map(|s| s.as_str()).unwrap_or("gang") {
+        "gang" => GangSim::new(&model, GangPolicy::SystemWide, cfg).run(),
+        "lend" => GangSim::new(&model, GangPolicy::PerPartition, cfg).run(),
+        "rr" => TimeSharingSim::new(&model, cfg).run(),
+        "fcfs" => SpaceSharingSim::new(&model, cfg).run(),
+        other => return Err(format!("unknown --policy `{other}` (gang|lend|rr|fcfs)")),
+    };
+    if flags.contains_key("json") {
+        println!("{}", sim_json(&result));
+    } else {
+        print_sim_human(&result);
+    }
+    Ok(())
+}
+
+fn cmd_tune(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("tune: missing <model.json>")?;
+    let model = load_model(path)?;
+    let lo = flag_f64(&flags, "lo", 0.02)?;
+    let hi = flag_f64(&flags, "hi", 20.0)?;
+    let objective = match flags.get("objective").map(|s| s.as_str()) {
+        None | Some("total") => Objective::TotalMeanJobs,
+        Some("max") => Objective::MaxResponse,
+        Some(other) => return Err(format!("unknown --objective `{other}` (total|max)")),
+    };
+    let opts = SolverOptions::default();
+    let res = optimize_common_quantum(&model, lo, hi, 11, &objective, &opts)
+        .map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        println!(
+            r#"{{"quantum":{},"objective_value":{},"evaluations":{}}}"#,
+            json_f64(res.quantum),
+            json_f64(res.objective_value),
+            res.evaluations
+        );
+    } else if res.objective_value.is_finite() {
+        println!(
+            "optimal common quantum ≈ {:.4} (objective {:.4}, {} model solves)",
+            res.quantum, res.objective_value, res.evaluations
+        );
+    } else {
+        println!("no stable quantum found in [{lo}, {hi}]");
+    }
+    Ok(())
+}
+
+fn cmd_stability(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("stability: missing <model.json>")?;
+    let model = load_model(path)?;
+    let class = flag_f64(&flags, "class", 0.0)? as usize;
+    if class >= model.num_classes() {
+        return Err(format!(
+            "--class {class} out of range (model has {})",
+            model.num_classes()
+        ));
+    }
+    let lo = flag_f64(&flags, "lo", 0.01)?;
+    let hi = flag_f64(&flags, "hi", 50.0)?;
+    let opts = SolverOptions::default();
+    match stability_threshold_quantum(&model, class, lo, hi, &opts).map_err(|e| e.to_string())? {
+        Some(q) if q == lo => println!("class {class} is stable across [{lo}, {hi}]"),
+        Some(q) => println!("class {class} stabilizes at common quantum ≈ {q:.4}"),
+        None => println!("class {class} is unstable across [{lo}, {hi}]"),
+    }
+    Ok(())
+}
+
+fn cmd_paper(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse_flags(args)?;
+    let rho = flag_f64(&flags, "rho", 0.4)?;
+    let quantum = flag_f64(&flags, "quantum", 1.0)?;
+    let model = paper_model(&PaperConfig {
+        lambda: rho,
+        quantum_mean: quantum,
+        quantum_stages: 2,
+        overhead_mean: 0.01,
+    });
+    let sol = solve(&model, &SolverOptions::default()).map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        println!("{}", solution_json(&sol));
+    } else {
+        println!("paper configuration: rho = {rho}, quantum mean = {quantum}");
+        print_solution_human(&model, &sol);
+    }
+    Ok(())
+}
+
+fn example_model_json() -> &'static str {
+    r#"{
+  "processors": 8,
+  "classes": [
+    {
+      "partition_size": 8,
+      "arrival": { "type": "exponential", "rate": 0.4 },
+      "service": { "type": "exponential", "rate": 1.328125 },
+      "quantum": { "type": "erlang", "stages": 2, "rate": 1.0 },
+      "switch_overhead": { "type": "exponential", "rate": 100.0 }
+    },
+    {
+      "partition_size": 2,
+      "arrival": { "type": "exponential", "rate": 0.4 },
+      "service": { "type": "hyperexponential", "probs": [0.4, 0.6], "rates": [2.0, 8.0] },
+      "quantum": { "type": "erlang", "stages": 2, "rate": 1.0 },
+      "switch_overhead": { "type": "exponential", "rate": 100.0 }
+    }
+  ]
+}"#
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["model.json", "--mode", "exact", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (pos, flags) = parse_flags(&args).unwrap();
+        assert_eq!(pos, vec!["model.json"]);
+        assert_eq!(flags.get("mode").map(|s| s.as_str()), Some("exact"));
+        assert!(flags.contains_key("json"));
+    }
+
+    #[test]
+    fn flag_missing_value_rejected() {
+        let args: Vec<String> = ["--mode"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn example_model_parses_and_solves() {
+        let spec = ModelSpec::from_json(example_model_json()).unwrap();
+        let model = spec.build().unwrap();
+        let sol = solve(&model, &SolverOptions::default()).unwrap();
+        assert!(sol.all_stable);
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        let args: Vec<String> = ["frobnicate"].iter().map(|s| s.to_string()).collect();
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn json_f64_encodes_nonfinite_as_null() {
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

@@ -1,0 +1,281 @@
+//! JSON model specifications for the `gsched` CLI.
+//!
+//! A model file looks like:
+//!
+//! ```json
+//! {
+//!   "processors": 8,
+//!   "classes": [
+//!     {
+//!       "partition_size": 8,
+//!       "arrival":  { "type": "exponential", "rate": 0.4 },
+//!       "service":  { "type": "exponential", "rate": 1.33 },
+//!       "quantum":  { "type": "erlang", "stages": 2, "rate": 1.0 },
+//!       "switch_overhead": { "type": "exponential", "rate": 100.0 }
+//!     }
+//!   ]
+//! }
+//! ```
+
+use gsched_core::model::{ClassParams, GangModel};
+use gsched_phase::{
+    coxian, deterministic_approx, erlang, exponential, fit_two_moment, hyperexponential,
+    hypoexponential, PhaseType,
+};
+use serde::{Deserialize, Serialize};
+
+/// A distribution specification.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum DistSpec {
+    /// Exponential with the given rate (mean `1/rate`).
+    Exponential {
+        /// Rate parameter.
+        rate: f64,
+    },
+    /// Erlang with `stages` stages and overall `rate` (mean `1/rate`).
+    Erlang {
+        /// Stage count.
+        stages: usize,
+        /// Overall rate.
+        rate: f64,
+    },
+    /// Hyperexponential mixture of exponentials.
+    Hyperexponential {
+        /// Branch probabilities.
+        probs: Vec<f64>,
+        /// Branch rates.
+        rates: Vec<f64>,
+    },
+    /// Hypoexponential (stages in series with individual rates).
+    Hypoexponential {
+        /// Stage rates.
+        rates: Vec<f64>,
+    },
+    /// Coxian: stage rates plus continuation probabilities (length − 1).
+    Coxian {
+        /// Stage rates.
+        rates: Vec<f64>,
+        /// Continuation probabilities between consecutive stages.
+        cont: Vec<f64>,
+    },
+    /// Near-deterministic value (Erlang approximation).
+    Deterministic {
+        /// Target value.
+        value: f64,
+        /// Erlang stages used for the approximation (default 32).
+        #[serde(default = "default_det_stages")]
+        stages: usize,
+    },
+    /// Fit a PH to a mean and squared coefficient of variation.
+    TwoMoment {
+        /// Mean.
+        mean: f64,
+        /// Squared coefficient of variation.
+        scv: f64,
+    },
+    /// Raw phase-type parameters `(alpha, S)`.
+    Ph {
+        /// Initial probability vector.
+        alpha: Vec<f64>,
+        /// Sub-generator rows.
+        s: Vec<Vec<f64>>,
+    },
+}
+
+fn default_det_stages() -> usize {
+    32
+}
+
+impl DistSpec {
+    /// Materialize the specification into a validated [`PhaseType`].
+    pub fn build(&self) -> Result<PhaseType, String> {
+        match self {
+            DistSpec::Exponential { rate } => {
+                if *rate <= 0.0 {
+                    return Err(format!("exponential rate must be positive, got {rate}"));
+                }
+                Ok(exponential(*rate))
+            }
+            DistSpec::Erlang { stages, rate } => {
+                if *stages == 0 || *rate <= 0.0 {
+                    return Err("erlang needs positive stages and rate".to_string());
+                }
+                Ok(erlang(*stages, *rate))
+            }
+            DistSpec::Hyperexponential { probs, rates } => {
+                hyperexponential(probs, rates).map_err(|e| e.to_string())
+            }
+            DistSpec::Hypoexponential { rates } => {
+                hypoexponential(rates).map_err(|e| e.to_string())
+            }
+            DistSpec::Coxian { rates, cont } => coxian(rates, cont).map_err(|e| e.to_string()),
+            DistSpec::Deterministic { value, stages } => {
+                if *value <= 0.0 || *stages == 0 {
+                    return Err("deterministic needs positive value and stages".to_string());
+                }
+                Ok(deterministic_approx(*value, *stages))
+            }
+            DistSpec::TwoMoment { mean, scv } => {
+                if *mean <= 0.0 || *scv < 0.0 {
+                    return Err("two_moment needs positive mean and nonnegative scv".to_string());
+                }
+                Ok(fit_two_moment(*mean, *scv))
+            }
+            DistSpec::Ph { alpha, s } => {
+                let n = s.len();
+                if s.iter().any(|row| row.len() != n) {
+                    return Err("ph: S must be square".to_string());
+                }
+                let flat: Vec<f64> = s.iter().flatten().copied().collect();
+                let mat = gsched_linalg::Matrix::from_vec(n, n, flat);
+                PhaseType::new(alpha.clone(), mat).map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+/// One job class.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ClassSpec {
+    /// Processors per job, `g(p)`.
+    pub partition_size: usize,
+    /// Interarrival distribution.
+    pub arrival: DistSpec,
+    /// Service distribution.
+    pub service: DistSpec,
+    /// Quantum distribution.
+    pub quantum: DistSpec,
+    /// Context-switch overhead distribution.
+    pub switch_overhead: DistSpec,
+}
+
+/// A whole machine.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ModelSpec {
+    /// Processor count `P`.
+    pub processors: usize,
+    /// Job classes.
+    pub classes: Vec<ClassSpec>,
+}
+
+impl ModelSpec {
+    /// Parse from a JSON string.
+    pub fn from_json(text: &str) -> Result<ModelSpec, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid model JSON: {e}"))
+    }
+
+    /// Materialize into a validated [`GangModel`].
+    pub fn build(&self) -> Result<GangModel, String> {
+        let mut classes = Vec::with_capacity(self.classes.len());
+        for (p, c) in self.classes.iter().enumerate() {
+            let err = |field: &str, e: String| format!("class {p}, {field}: {e}");
+            classes.push(ClassParams {
+                partition_size: c.partition_size,
+                arrival: c.arrival.build().map_err(|e| err("arrival", e))?,
+                service: c.service.build().map_err(|e| err("service", e))?,
+                quantum: c.quantum.build().map_err(|e| err("quantum", e))?,
+                switch_overhead: c
+                    .switch_overhead
+                    .build()
+                    .map_err(|e| err("switch_overhead", e))?,
+            });
+        }
+        GangModel::new(self.processors, classes).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"{
+        "processors": 8,
+        "classes": [
+            {
+                "partition_size": 8,
+                "arrival": { "type": "exponential", "rate": 0.4 },
+                "service": { "type": "exponential", "rate": 1.328125 },
+                "quantum": { "type": "erlang", "stages": 2, "rate": 1.0 },
+                "switch_overhead": { "type": "exponential", "rate": 100.0 }
+            },
+            {
+                "partition_size": 2,
+                "arrival": { "type": "two_moment", "mean": 2.5, "scv": 2.0 },
+                "service": { "type": "hyperexponential", "probs": [0.4, 0.6], "rates": [1.0, 4.0] },
+                "quantum": { "type": "deterministic", "value": 1.0 },
+                "switch_overhead": { "type": "exponential", "rate": 100.0 }
+            }
+        ]
+    }"#;
+
+    #[test]
+    fn parse_and_build_example() {
+        let spec = ModelSpec::from_json(EXAMPLE).unwrap();
+        assert_eq!(spec.processors, 8);
+        assert_eq!(spec.classes.len(), 2);
+        let model = spec.build().unwrap();
+        assert_eq!(model.num_classes(), 2);
+        assert!((model.class(0).arrival_rate() - 0.4).abs() < 1e-12);
+        assert!((model.class(1).arrival.mean() - 2.5).abs() < 1e-9);
+        // Deterministic default stage count picked up.
+        assert!(model.class(1).quantum.scv() < 0.05);
+    }
+
+    #[test]
+    fn all_dist_variants_build() {
+        let specs = vec![
+            DistSpec::Exponential { rate: 1.0 },
+            DistSpec::Erlang { stages: 3, rate: 2.0 },
+            DistSpec::Hyperexponential {
+                probs: vec![0.5, 0.5],
+                rates: vec![1.0, 3.0],
+            },
+            DistSpec::Hypoexponential {
+                rates: vec![1.0, 2.0],
+            },
+            DistSpec::Coxian {
+                rates: vec![1.0, 2.0],
+                cont: vec![0.5],
+            },
+            DistSpec::Deterministic {
+                value: 2.0,
+                stages: 16,
+            },
+            DistSpec::TwoMoment { mean: 1.0, scv: 0.5 },
+            DistSpec::Ph {
+                alpha: vec![1.0, 0.0],
+                s: vec![vec![-2.0, 2.0], vec![0.0, -2.0]],
+            },
+        ];
+        for s in specs {
+            let ph = s.build().unwrap_or_else(|e| panic!("{s:?}: {e}"));
+            assert!(ph.mean() > 0.0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(DistSpec::Exponential { rate: 0.0 }.build().is_err());
+        assert!(DistSpec::Erlang { stages: 0, rate: 1.0 }.build().is_err());
+        assert!(DistSpec::Ph {
+            alpha: vec![1.0],
+            s: vec![vec![-1.0, 1.0]],
+        }
+        .build()
+        .is_err());
+        assert!(ModelSpec::from_json("{").is_err());
+        assert!(ModelSpec::from_json(r#"{"processors":0,"classes":[]}"#)
+            .unwrap()
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = ModelSpec::from_json(EXAMPLE).unwrap();
+        let text = serde_json::to_string(&spec).unwrap();
+        let again = ModelSpec::from_json(&text).unwrap();
+        assert_eq!(spec, again);
+    }
+}

@@ -1,0 +1,173 @@
+//! End-to-end tests of the `gsched` binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn gsched() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gsched"))
+}
+
+fn write_model(dir: &std::path::Path) -> std::path::PathBuf {
+    let model = r#"{
+      "processors": 4,
+      "classes": [
+        {
+          "partition_size": 4,
+          "arrival": { "type": "exponential", "rate": 0.2 },
+          "service": { "type": "exponential", "rate": 1.0 },
+          "quantum": { "type": "erlang", "stages": 2, "rate": 1.0 },
+          "switch_overhead": { "type": "exponential", "rate": 100.0 }
+        },
+        {
+          "partition_size": 1,
+          "arrival": { "type": "exponential", "rate": 0.8 },
+          "service": { "type": "exponential", "rate": 1.5 },
+          "quantum": { "type": "erlang", "stages": 2, "rate": 1.0 },
+          "switch_overhead": { "type": "exponential", "rate": 100.0 }
+        }
+      ]
+    }"#;
+    let path = dir.join("model.json");
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(model.as_bytes()).unwrap();
+    path
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gsched-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn solve_human_output() {
+    let dir = tmpdir("solve");
+    let model = write_model(&dir);
+    let out = gsched().arg("solve").arg(&model).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("machine: P = 4"), "{text}");
+    assert!(text.contains("all stable = true"), "{text}");
+}
+
+#[test]
+fn solve_json_output_is_json() {
+    let dir = tmpdir("solvejson");
+    let model = write_model(&dir);
+    let out = gsched()
+        .arg("solve")
+        .arg(&model)
+        .arg("--json")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let parsed: serde_json::Value = serde_json::from_str(text.trim()).expect("valid JSON");
+    assert_eq!(parsed["all_stable"], serde_json::Value::Bool(true));
+    assert!(parsed["classes"].as_array().unwrap().len() == 2);
+    assert!(parsed["classes"][0]["mean_jobs"].as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn simulate_runs_each_policy() {
+    let dir = tmpdir("sim");
+    let model = write_model(&dir);
+    for policy in ["gang", "lend", "rr", "fcfs"] {
+        let out = gsched()
+            .arg("simulate")
+            .arg(&model)
+            .args(["--policy", policy, "--horizon", "5000", "--json"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "policy {policy}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        let parsed: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+        assert!(
+            parsed["classes"][0]["completions"].as_u64().unwrap() > 0,
+            "policy {policy}"
+        );
+    }
+}
+
+#[test]
+fn tune_reports_a_quantum() {
+    let dir = tmpdir("tune");
+    let model = write_model(&dir);
+    let out = gsched()
+        .arg("tune")
+        .arg(&model)
+        .args(["--lo", "0.05", "--hi", "10", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let parsed: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    let q = parsed["quantum"].as_f64().unwrap();
+    assert!((0.05..=10.0).contains(&q));
+}
+
+#[test]
+fn stability_always_stable_class() {
+    let dir = tmpdir("stab");
+    let model = write_model(&dir);
+    let out = gsched()
+        .arg("stability")
+        .arg(&model)
+        .args(["--class", "1", "--lo", "0.5", "--hi", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stable"), "{text}");
+}
+
+#[test]
+fn paper_subcommand() {
+    let out = gsched()
+        .arg("paper")
+        .args(["--rho", "0.3", "--quantum", "1.0", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let parsed: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert_eq!(parsed["classes"].as_array().unwrap().len(), 4);
+}
+
+#[test]
+fn example_model_roundtrip() {
+    let out = gsched().arg("example-model").output().unwrap();
+    assert!(out.status.success());
+    let dir = tmpdir("roundtrip");
+    let path = dir.join("example.json");
+    std::fs::write(&path, &out.stdout).unwrap();
+    let solved = gsched().arg("solve").arg(&path).output().unwrap();
+    assert!(solved.status.success());
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = gsched().arg("solve").arg("/nonexistent/nope.json").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn bad_flags_fail_cleanly() {
+    let out = gsched().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let dir = tmpdir("badflag");
+    let model = write_model(&dir);
+    let out = gsched()
+        .arg("simulate")
+        .arg(&model)
+        .args(["--policy", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

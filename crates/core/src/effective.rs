@@ -1,0 +1,392 @@
+//! Effective-quantum extraction (paper §4.3, Theorem 4.3).
+//!
+//! The quantum class `p` *actually* uses differs from the parameter `G_p`:
+//! it ends early when the queue empties, and it is skipped entirely (length
+//! zero) when the class has no work at its turn. The paper captures this by
+//! constructing an absorbed chain `X_b` from the solved class process:
+//! restrict to the *service* states `Ω_p^s` (cycle phase `k < M_p`), redirect
+//! every transition that leaves the service period into an absorbing state,
+//! and read the time to absorption — a phase-type distribution whose initial
+//! vector `ξ_p` is the steady-state distribution of quantum-start states.
+//!
+//! The level coordinate is unbounded, so the chain is truncated at a level
+//! cap chosen from the stationary tail mass; the truncation redirects
+//! arrivals at the cap back into the cap level (reject) and is exact in the
+//! limit.
+
+use crate::generator::ClassChain;
+use crate::{GangError, Result};
+use gsched_linalg::Matrix;
+use gsched_phase::{fit_three_moment, fit_two_moment, PhaseType};
+use gsched_qbd::QbdSolution;
+use std::collections::HashMap;
+
+/// The effective-quantum distribution of a class, with diagnostics.
+#[derive(Debug, Clone)]
+pub struct EffectiveQuantum {
+    /// The (possibly large) exact truncated representation. Its atom at zero
+    /// is the probability that the class's turn is skipped entirely.
+    pub distribution: PhaseType,
+    /// Level cap used for the truncation.
+    pub level_cap: usize,
+    /// Stationary tail mass above the cap (truncation error indicator).
+    pub truncated_mass: f64,
+}
+
+/// Extract the effective quantum of a solved class chain.
+///
+/// `tail_eps` controls the truncation: the cap is the smallest level `≥ c+1`
+/// with stationary tail mass below `tail_eps`, clamped to `c + max_extra`.
+pub fn effective_quantum(
+    chain: &ClassChain,
+    sol: &QbdSolution,
+    tail_eps: f64,
+    max_extra: usize,
+) -> Result<EffectiveQuantum> {
+    let sp = &chain.space;
+    let d = &chain.dists;
+    let c = sp.c;
+
+    // Pick the cap from the stationary tail.
+    let mut cap = c + 1;
+    let hard_cap = c + max_extra.max(1);
+    while cap < hard_cap && sol.tail_prob(cap + 1) > tail_eps {
+        cap += 1;
+    }
+    let truncated_mass = sol.tail_prob(cap + 1);
+
+    // ---- Index the service states (i, a, cfg, k<m_q) for i in 1..=cap ----
+    let mut index: HashMap<(usize, usize, usize, usize), usize> = HashMap::new();
+    let mut states: Vec<(usize, usize, usize, usize)> = Vec::new();
+    for i in 1..=cap {
+        let n = sp.in_service(i);
+        for a in 0..sp.m_a {
+            for ci in 0..sp.cfgs_for(n).len() {
+                for k in 0..sp.m_q {
+                    index.insert((i, a, ci, k), states.len());
+                    states.push((i, a, ci, k));
+                }
+            }
+        }
+    }
+    let ns = states.len();
+    let mut t = Matrix::zeros(ns, ns);
+    // Absorption rate per state (quantum end events).
+    let mut absorb = vec![0.0; ns];
+
+    for (src, &(i, a, ci, k)) in states.iter().enumerate() {
+        let n = sp.in_service(i);
+        let cfg = &sp.cfgs_for(n)[ci].clone();
+        let mut out_sum = 0.0;
+        let add = |t: &mut Matrix, dst: usize, rate: f64, out_sum: &mut f64| {
+            if rate <= 0.0 || dst == src {
+                return; // self-loops are no-ops in continuous time
+            }
+            t[(src, dst)] += rate;
+            *out_sum += rate;
+        };
+
+        // Arrival-phase internal.
+        for a2 in 0..sp.m_a {
+            if a2 != a {
+                let r = d.sa[(a, a2)];
+                add(&mut t, index[&(i, a2, ci, k)], r, &mut out_sum);
+            }
+        }
+        // Arrival completion.
+        let ra = d.s0a[a];
+        if ra > 0.0 {
+            if i < cap {
+                let enters = i < c;
+                for (a2, &pa) in d.alpha_a.iter().enumerate() {
+                    if pa == 0.0 {
+                        continue;
+                    }
+                    if enters {
+                        for (b, &pb) in d.beta.iter().enumerate() {
+                            if pb == 0.0 {
+                                continue;
+                            }
+                            let mut cfg2 = cfg.clone();
+                            cfg2[b] += 1;
+                            let ci2 = sp.cfg_index(n + 1, &cfg2);
+                            add(
+                                &mut t,
+                                index[&(i + 1, a2, ci2, k)],
+                                ra * pa * pb,
+                                &mut out_sum,
+                            );
+                        }
+                    } else {
+                        add(&mut t, index[&(i + 1, a2, ci, k)], ra * pa, &mut out_sum);
+                    }
+                }
+            } else {
+                // At the cap: reject the arrival but let the arrival phase
+                // restart (keeps the arrival process honest).
+                for (a2, &pa) in d.alpha_a.iter().enumerate() {
+                    add(&mut t, index[&(i, a2, ci, k)], ra * pa, &mut out_sum);
+                }
+            }
+        }
+        // Quantum internal + expiry (absorbing).
+        for k2 in 0..sp.m_q {
+            if k2 != k {
+                add(&mut t, index[&(i, a, ci, k2)], d.sg[(k, k2)], &mut out_sum);
+            }
+        }
+        absorb[src] += d.s0g[k];
+
+        // Service internal.
+        for b in 0..sp.m_b {
+            let count = cfg[b] as f64;
+            if count == 0.0 {
+                continue;
+            }
+            for b2 in 0..sp.m_b {
+                if b2 != b {
+                    let r = count * d.sb[(b, b2)];
+                    if r > 0.0 {
+                        let mut cfg2 = cfg.clone();
+                        cfg2[b] -= 1;
+                        cfg2[b2] += 1;
+                        let ci2 = sp.cfg_index(n, &cfg2);
+                        add(&mut t, index[&(i, a, ci2, k)], r, &mut out_sum);
+                    }
+                }
+            }
+            // Service completion.
+            let rc = count * d.s0b[b];
+            if rc > 0.0 {
+                if i == 1 {
+                    absorb[src] += rc; // queue empties: quantum ends
+                } else if i > c {
+                    for (b2, &pb) in d.beta.iter().enumerate() {
+                        if pb == 0.0 {
+                            continue;
+                        }
+                        let mut cfg2 = cfg.clone();
+                        cfg2[b] -= 1;
+                        cfg2[b2] += 1;
+                        let ci2 = sp.cfg_index(n, &cfg2);
+                        add(&mut t, index[&(i - 1, a, ci2, k)], rc * pb, &mut out_sum);
+                    }
+                } else {
+                    let mut cfg2 = cfg.clone();
+                    cfg2[b] -= 1;
+                    let ci2 = sp.cfg_index(n - 1, &cfg2);
+                    add(&mut t, index[&(i - 1, a, ci2, k)], rc, &mut out_sum);
+                }
+            }
+        }
+        t[(src, src)] = -(out_sum + absorb[src]);
+    }
+
+    // ---- Initial vector ξ: stationary flow into quantum starts ----
+    let mut xi = vec![0.0; ns];
+    let mut atom_flow = 0.0;
+    // Level 0: vacation ends with an empty queue — the turn is skipped.
+    let pi0 = sol.level_vector(0);
+    for a in 0..sp.m_a {
+        for v in 0..sp.m_v {
+            let s = sp.state_index(0, a, 0, v);
+            atom_flow += pi0[s] * d.s0v[v];
+        }
+    }
+    // Levels 1..=cap.
+    for i in 1..=cap {
+        let pi = sol.level_vector(i);
+        let n = sp.in_service(i);
+        let ncfg = sp.cfgs_for(n).len();
+        for a in 0..sp.m_a {
+            for ci in 0..ncfg {
+                // Vacation completion with work: quantum starts per γ.
+                for v in 0..sp.m_v {
+                    let s = sp.state_index(i, a, ci, sp.m_q + v);
+                    let flow = pi[s] * d.s0v[v];
+                    if flow > 0.0 {
+                        for (k2, &g) in d.gamma.iter().enumerate() {
+                            xi[index[&(i, a, ci, k2)]] += flow * g;
+                        }
+                    }
+                }
+                // Quantum expiry followed by a zero-length vacation: a new
+                // quantum starts immediately.
+                if d.atom_v > 0.0 {
+                    for k in 0..sp.m_q {
+                        let s = sp.state_index(i, a, ci, k);
+                        let flow = pi[s] * d.s0g[k] * d.atom_v;
+                        if flow > 0.0 {
+                            for (k2, &g) in d.gamma.iter().enumerate() {
+                                xi[index[&(i, a, ci, k2)]] += flow * g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let total: f64 = xi.iter().sum::<f64>() + atom_flow;
+    if total <= 0.0 {
+        return Err(GangError::Qbd {
+            class: chain.class,
+            source: gsched_qbd::QbdError::Shape(
+                "no quantum-start flow found (degenerate chain)".to_string(),
+            ),
+        });
+    }
+    for w in &mut xi {
+        *w /= total;
+    }
+
+    let distribution = PhaseType::new(xi, t).map_err(GangError::Phase)?;
+    Ok(EffectiveQuantum {
+        distribution,
+        level_cap: cap,
+        truncated_mass,
+    })
+}
+
+/// Compress a (possibly large, possibly defective) effective-quantum PH to a
+/// small representation matching its first `moments` (2 or 3) conditional
+/// moments, preserving the atom at zero exactly.
+pub fn compress(ph: &PhaseType, moments: u8) -> PhaseType {
+    let delta = ph.atom_at_zero();
+    if delta >= 1.0 - 1e-12 || ph.order() == 0 {
+        // Identically zero: the class is always skipped.
+        return PhaseType::zero();
+    }
+    let scale = 1.0 - delta;
+    let m1 = ph.moment(1) / scale;
+    let m2 = ph.moment(2) / scale;
+    let fitted = if moments >= 3 {
+        fit_three_moment(m1, m2, ph.moment(3) / scale).0
+    } else {
+        let scv = ((m2 - m1 * m1) / (m1 * m1)).max(0.0);
+        fit_two_moment(m1, scv)
+    };
+    // Prune zero-weight branches (a mixed-Erlang fit can land exactly on a
+    // boundary) so downstream chains stay irreducible.
+    let fitted = fitted.pruned();
+    if delta <= 1e-15 {
+        return fitted;
+    }
+    let alpha: Vec<f64> = fitted.alpha().iter().map(|&a| a * scale).collect();
+    PhaseType::new(alpha, fitted.sub_generator())
+        .expect("scaling a valid PH initial vector stays valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::build_class_chain;
+    use crate::model::{ClassParams, GangModel};
+    use crate::vacation::heavy_traffic_vacation;
+    use gsched_phase::exponential;
+    use gsched_qbd::solution::SolveOptions;
+
+    fn two_class_model(lambda: f64) -> GangModel {
+        let mk = || ClassParams {
+            partition_size: 2,
+            arrival: exponential(lambda),
+            service: exponential(1.0),
+            quantum: exponential(1.0),
+            switch_overhead: exponential(100.0),
+        };
+        GangModel::new(2, vec![mk(), mk()]).unwrap()
+    }
+
+    fn solve_class(m: &GangModel, p: usize) -> (ClassChain, QbdSolution) {
+        let vac = heavy_traffic_vacation(m, p);
+        let chain = build_class_chain(m, p, &vac).unwrap();
+        let sol = chain.qbd.solve(&SolveOptions::default()).unwrap();
+        (chain, sol)
+    }
+
+    #[test]
+    fn effective_quantum_mean_at_most_full() {
+        let m = two_class_model(0.3);
+        let (chain, sol) = solve_class(&m, 0);
+        let eff = effective_quantum(&chain, &sol, 1e-9, 60).unwrap();
+        let full = m.class(0).quantum.mean();
+        assert!(
+            eff.distribution.mean() <= full + 1e-9,
+            "effective {} vs full {full}",
+            eff.distribution.mean()
+        );
+        assert!(eff.distribution.mean() > 0.0);
+        assert!(eff.truncated_mass < 1e-6);
+    }
+
+    #[test]
+    fn light_load_mostly_skipped() {
+        // Nearly no work: the class's turn is almost always skipped.
+        let m = two_class_model(0.01);
+        let (chain, sol) = solve_class(&m, 0);
+        let eff = effective_quantum(&chain, &sol, 1e-10, 60).unwrap();
+        assert!(
+            eff.distribution.atom_at_zero() > 0.8,
+            "atom = {}",
+            eff.distribution.atom_at_zero()
+        );
+        assert!(eff.distribution.mean() < 0.2 * m.class(0).quantum.mean());
+    }
+
+    #[test]
+    fn heavier_load_uses_more_quantum() {
+        let light = {
+            let m = two_class_model(0.1);
+            let (chain, sol) = solve_class(&m, 0);
+            effective_quantum(&chain, &sol, 1e-9, 60)
+                .unwrap()
+                .distribution
+                .mean()
+        };
+        let heavy = {
+            let m = two_class_model(0.4);
+            let (chain, sol) = solve_class(&m, 0);
+            effective_quantum(&chain, &sol, 1e-9, 60)
+                .unwrap()
+                .distribution
+                .mean()
+        };
+        assert!(
+            heavy > light * 1.5,
+            "heavy {heavy} should exceed light {light}"
+        );
+    }
+
+    #[test]
+    fn compress_preserves_two_moments_and_atom() {
+        let m = two_class_model(0.3);
+        let (chain, sol) = solve_class(&m, 0);
+        let eff = effective_quantum(&chain, &sol, 1e-9, 60).unwrap().distribution;
+        let small = compress(&eff, 2);
+        assert!(small.order() <= 130);
+        assert!((small.atom_at_zero() - eff.atom_at_zero()).abs() < 1e-9);
+        assert!(
+            (small.mean() - eff.mean()).abs() < 1e-6 * eff.mean().max(1.0),
+            "{} vs {}",
+            small.mean(),
+            eff.mean()
+        );
+        let rel2 = (small.moment(2) - eff.moment(2)).abs() / eff.moment(2).max(1e-12);
+        assert!(rel2 < 1e-5, "second moment off by {rel2}");
+    }
+
+    #[test]
+    fn compress_three_moments() {
+        let m = two_class_model(0.35);
+        let (chain, sol) = solve_class(&m, 0);
+        let eff = effective_quantum(&chain, &sol, 1e-9, 60).unwrap().distribution;
+        let small = compress(&eff, 3);
+        assert!((small.mean() - eff.mean()).abs() / eff.mean() < 1e-5);
+        let rel2 = (small.moment(2) - eff.moment(2)).abs() / eff.moment(2);
+        assert!(rel2 < 1e-4);
+    }
+
+    #[test]
+    fn compress_zero_is_zero() {
+        assert_eq!(compress(&PhaseType::zero(), 2), PhaseType::zero());
+    }
+}

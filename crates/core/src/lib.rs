@@ -1,0 +1,155 @@
+//! Analytic model of gang scheduling for multiprogrammed parallel systems.
+//!
+//! This crate implements the queueing-theoretic model of
+//!
+//! > M. S. Squillante, F. Wang, M. Papaefthymiou, *An Analysis of Gang
+//! > Scheduling for Multiprogrammed Parallel Computing Environments*,
+//! > SPAA 1996.
+//!
+//! # The system (paper §3)
+//!
+//! A machine with `P` identical processors runs `L` job classes. Class `p`
+//! jobs require `g(p)` processors each, so up to `c_p = P/g(p)` class-`p`
+//! jobs space-share the machine simultaneously. Classes time-share via a
+//! *timeplexing cycle*: class `p` receives a quantum drawn from `G_p`, then a
+//! context switch with overhead `C_p` hands the machine to class
+//! `(p+1) mod L`. A class whose queue empties surrenders the rest of its
+//! quantum. All parameters are phase-type distributions.
+//!
+//! # The analysis (paper §4)
+//!
+//! From the perspective of class `p` the machine alternates between service
+//! periods and *vacations* `Z_p` (everything else in the cycle). Each class
+//! is a quasi-birth-death process over levels = number of class-`p` jobs:
+//!
+//! * [`statespace`] enumerates the per-level states
+//!   `(arrival phase, service-phase configuration, cycle phase)` —
+//!   the paper's `(i_p, j^A_p, j^B_p…, k_p)` of §4.1;
+//! * [`generator`] assembles the QBD blocks of eq. (20);
+//! * [`vacation`] builds `Z_p` as the convolution
+//!   `C_p * G_{p+1} * C_{p+1} * … * C_{p−1}` (Theorem 4.1 for the
+//!   heavy-traffic initialization, Theorem 4.3 with *effective* quanta for
+//!   the general case);
+//! * [`effective`] extracts the effective-quantum distribution of a class
+//!   from its solved chain by absorbing-chain analysis (§4.3);
+//! * [`solver`] runs the fixed-point iteration of §4.3 and produces
+//!   [`solver::GangSolution`] with the paper's performance measures
+//!   (eq. 37 and Little's law, §4.5).
+//!
+//! Beyond the paper: [`response`] derives full response-time distributions
+//! by tagged-job analysis, and [`tuning`] optimizes quantum lengths and
+//! cycle splits — the use the paper's abstract and §6 envision for the
+//! model.
+//!
+//! # Quick example
+//!
+//! ```
+//! use gsched_core::model::{ClassParams, GangModel};
+//! use gsched_core::solver::{solve, SolverOptions};
+//! use gsched_phase::{erlang, exponential};
+//!
+//! // 4 processors, two classes: "big" jobs need all 4, "small" need 1.
+//! let model = GangModel::new(4, vec![
+//!     ClassParams {
+//!         partition_size: 4,
+//!         arrival: exponential(0.2),
+//!         service: exponential(1.0),
+//!         quantum: erlang(2, 0.5),
+//!         switch_overhead: exponential(100.0),
+//!     },
+//!     ClassParams {
+//!         partition_size: 1,
+//!         arrival: exponential(0.5),
+//!         service: exponential(2.0),
+//!         quantum: erlang(2, 0.5),
+//!         switch_overhead: exponential(100.0),
+//!     },
+//! ]).unwrap();
+//! let solution = solve(&model, &SolverOptions::default()).unwrap();
+//! assert!(solution.converged);
+//! assert!(solution.classes[0].mean_jobs > 0.0);
+//! ```
+
+pub mod dot;
+pub mod effective;
+pub mod generator;
+pub mod measures;
+pub mod model;
+pub mod response;
+pub mod solver;
+pub mod statespace;
+pub mod tuning;
+pub mod vacation;
+
+pub use model::{ClassParams, GangModel, ModelError};
+pub use solver::{solve, GangSolution, SolverOptions, VacationMode};
+
+/// Errors from model construction and solving.
+#[derive(Debug)]
+pub enum GangError {
+    /// Invalid model parameters.
+    Model(ModelError),
+    /// A class is not positive recurrent under the current vacations; the
+    /// payload is the class index and the drift report.
+    Unstable {
+        /// Class whose drift condition failed.
+        class: usize,
+        /// Drift details.
+        report: gsched_qbd::DriftReport,
+    },
+    /// The fixed-point iteration did not converge.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Last relative change observed.
+        last_change: f64,
+    },
+    /// Underlying QBD failure for a class.
+    Qbd {
+        /// Class index.
+        class: usize,
+        /// The QBD error.
+        source: gsched_qbd::QbdError,
+    },
+    /// Underlying phase-type failure.
+    Phase(gsched_phase::PhaseTypeError),
+}
+
+impl std::fmt::Display for GangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GangError::Model(e) => write!(f, "invalid model: {e}"),
+            GangError::Unstable { class, report } => write!(
+                f,
+                "class {class} is unstable: up-drift {:.6} >= down-drift {:.6}",
+                report.up_drift, report.down_drift
+            ),
+            GangError::NoConvergence {
+                iterations,
+                last_change,
+            } => write!(
+                f,
+                "fixed point did not converge after {iterations} iterations (last change {last_change:.3e})"
+            ),
+            GangError::Qbd { class, source } => write!(f, "class {class}: {source}"),
+            GangError::Phase(e) => write!(f, "phase-type failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GangError {}
+
+impl From<ModelError> for GangError {
+    fn from(e: ModelError) -> Self {
+        GangError::Model(e)
+    }
+}
+
+impl From<gsched_phase::PhaseTypeError> for GangError {
+    fn from(e: gsched_phase::PhaseTypeError) -> Self {
+        GangError::Phase(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GangError>;

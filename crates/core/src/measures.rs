@@ -1,0 +1,127 @@
+//! Steady-state performance measures (paper §4.5).
+
+use crate::generator::ClassChain;
+use crate::model::GangModel;
+use serde::{Deserialize, Serialize};
+
+/// Per-class steady-state measures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassMeasures {
+    /// Mean number of class jobs in the system, `N_p` (paper eq. 37).
+    pub mean_jobs: f64,
+    /// Variance of the number in system.
+    pub variance_jobs: f64,
+    /// Mean response time `T_p = N_p / λ_p` (Little's law, Theorem 2.1).
+    pub mean_response: f64,
+    /// Arrival rate `λ_p`.
+    pub arrival_rate: f64,
+    /// Probability the class has no jobs in the system.
+    pub prob_empty: f64,
+    /// Long-run fraction of time the class holds the machine (cycle phase in
+    /// its quantum).
+    pub service_fraction: f64,
+    /// Offered machine utilization `ρ_p = λ_p g(p)/(μ_p P)` (paper §5).
+    pub utilization_offered: f64,
+}
+
+/// Compute the measures of a solved class.
+pub fn class_measures(
+    model: &GangModel,
+    p: usize,
+    chain: &ClassChain,
+    sol: &gsched_qbd::QbdSolution,
+) -> ClassMeasures {
+    let sp = &chain.space;
+    let c = sp.c;
+    let lambda = model.class(p).arrival_rate();
+
+    // Fraction of time in quantum phases: boundary levels 1..c-1 plus the
+    // aggregated tail π_c (I−R)⁻¹ for levels ≥ c.
+    let mut service_fraction = 0.0;
+    for i in 1..c {
+        let pi = sol.level_vector(i);
+        for (s, &v) in pi.iter().enumerate() {
+            let (_, _, k) = sp.decode(i, s);
+            if sp.is_quantum_phase(k) {
+                service_fraction += v;
+            }
+        }
+    }
+    let tail = sol.tail_phase_vector();
+    for (s, &v) in tail.iter().enumerate() {
+        let (_, _, k) = sp.decode(c.max(1), s);
+        if sp.is_quantum_phase(k) {
+            service_fraction += v;
+        }
+    }
+
+    let mean_jobs = sol.mean_level();
+    ClassMeasures {
+        mean_jobs,
+        variance_jobs: sol.variance_level(),
+        mean_response: mean_jobs / lambda,
+        arrival_rate: lambda,
+        prob_empty: sol.level_prob(0),
+        service_fraction,
+        utilization_offered: model.class_utilization(p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::build_class_chain;
+    use crate::model::ClassParams;
+    use crate::vacation::heavy_traffic_vacation;
+    use gsched_phase::exponential;
+    use gsched_qbd::solution::SolveOptions;
+
+    #[test]
+    fn measures_consistent_on_single_class() {
+        let rho = 0.5;
+        let m = GangModel::new(
+            4,
+            vec![ClassParams {
+                partition_size: 4,
+                arrival: exponential(rho),
+                service: exponential(1.0),
+                quantum: exponential(1e-3),
+                switch_overhead: exponential(1e4),
+            }],
+        )
+        .unwrap();
+        let vac = heavy_traffic_vacation(&m, 0);
+        let chain = build_class_chain(&m, 0, &vac).unwrap();
+        let sol = chain.qbd.solve(&SolveOptions::default()).unwrap();
+        let meas = class_measures(&m, 0, &chain, &sol);
+
+        // ~M/M/1: N = rho/(1-rho), T = N/lambda, P(empty) = 1-rho.
+        assert!((meas.mean_jobs - 1.0).abs() < 0.05, "{}", meas.mean_jobs);
+        assert!((meas.mean_response - meas.mean_jobs / rho).abs() < 1e-12);
+        assert!((meas.prob_empty - 0.5).abs() < 0.05);
+        // Server busy fraction ~ rho (plus tiny vacation effect).
+        assert!((meas.service_fraction - rho).abs() < 0.05);
+        assert!((meas.utilization_offered - 0.5).abs() < 1e-12);
+        assert!(meas.variance_jobs > 0.0);
+    }
+
+    #[test]
+    fn little_law_holds_exactly_by_construction() {
+        let m = GangModel::new(
+            2,
+            vec![ClassParams {
+                partition_size: 2,
+                arrival: exponential(0.3),
+                service: exponential(1.0),
+                quantum: exponential(0.5),
+                switch_overhead: exponential(20.0),
+            }],
+        )
+        .unwrap();
+        let vac = heavy_traffic_vacation(&m, 0);
+        let chain = build_class_chain(&m, 0, &vac).unwrap();
+        let sol = chain.qbd.solve(&SolveOptions::default()).unwrap();
+        let meas = class_measures(&m, 0, &chain, &sol);
+        assert!((meas.mean_response * meas.arrival_rate - meas.mean_jobs).abs() < 1e-12);
+    }
+}

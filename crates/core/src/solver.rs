@@ -1,0 +1,544 @@
+//! The fixed-point solver (paper §4.3).
+//!
+//! The heavy-traffic initialization (Theorem 4.1) assumes every class uses
+//! its full quantum. Solving each class under that assumption yields its
+//! stationary distribution; from it the class's *effective* quantum — cut
+//! short or skipped when the queue is empty — is extracted (Theorem 4.3).
+//! The effective quanta shrink the other classes' vacations, the classes are
+//! re-solved, and the cycle repeats until the per-class mean populations
+//! stop changing. A class that is momentarily unstable under the current
+//! (pessimistic) vacations keeps its full quantum — a saturated class never
+//! surrenders its time slice — and typically becomes stable as the other
+//! classes' effective quanta shrink.
+
+use crate::effective::{compress, effective_quantum};
+use crate::response::response_time_distribution;
+use crate::generator::{build_class_chain, ClassChain};
+use crate::measures::{class_measures, ClassMeasures};
+use crate::model::GangModel;
+use crate::vacation::compose_vacation;
+use crate::{GangError, Result};
+use gsched_phase::PhaseType;
+use gsched_qbd::solution::SolveOptions as QbdSolveOptions;
+use gsched_qbd::{QbdError, QbdSolution};
+
+/// How the vacation distributions are built during the fixed point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VacationMode {
+    /// Theorem 4.1 only: one pass with full quanta, no fixed point. Exact in
+    /// the heavy-traffic regime, pessimistic otherwise.
+    HeavyTraffic,
+    /// Fixed point with each effective quantum compressed to a small PH
+    /// matching its first `moments` (2 or 3) conditional moments plus its
+    /// skip atom. Fast; the paper's insensitivity argument (§3.2) motivates
+    /// it. This is the default with `moments = 2`.
+    MomentMatched {
+        /// Number of moments to match (2 or 3).
+        moments: u8,
+    },
+    /// Fixed point with the full truncated absorbed-chain representation of
+    /// each effective quantum (Theorem 4.3 verbatim, up to level
+    /// truncation). Slower but avoids the compression step.
+    Exact,
+}
+
+impl Default for VacationMode {
+    fn default() -> Self {
+        VacationMode::MomentMatched { moments: 2 }
+    }
+}
+
+/// Options for [`solve`].
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Vacation construction mode.
+    pub mode: VacationMode,
+    /// Relative tolerance on per-class mean populations for fixed-point
+    /// convergence.
+    pub fp_tol: f64,
+    /// Maximum fixed-point iterations.
+    pub fp_max_iter: usize,
+    /// Stationary tail mass allowed above the truncation cap when
+    /// extracting effective quanta.
+    pub tail_eps: f64,
+    /// Maximum levels above `c_p` for the truncation cap.
+    pub max_extra_levels: usize,
+    /// Options passed to the per-class QBD solves.
+    pub qbd: QbdSolveOptions,
+    /// If true, return [`GangError::Unstable`] when any class remains
+    /// unstable at the end; if false (default) report it in the solution.
+    pub require_stable: bool,
+    /// Also compute each stable class's response-time *distribution*
+    /// (tagged-job analysis) and store its (p50, p90, p95, p99) quantiles in
+    /// the results. Costs one extra absorbing-chain solve per class.
+    pub response_quantiles: bool,
+    /// Under-relaxation weight `θ ∈ (0, 1]` on the effective-quantum update:
+    /// the next iteration uses the mixture `θ·new + (1−θ)·old`. `1` (no
+    /// damping) converges fastest when the iteration is well behaved; values
+    /// around `0.5` suppress the stable/unstable flapping that can occur
+    /// near saturation.
+    pub damping: f64,
+    /// Print per-iteration diagnostics to stderr.
+    pub trace: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            mode: VacationMode::default(),
+            fp_tol: 1e-6,
+            fp_max_iter: 300,
+            tail_eps: 1e-9,
+            max_extra_levels: 80,
+            qbd: QbdSolveOptions::default(),
+            require_stable: false,
+            response_quantiles: false,
+            damping: 0.7,
+            trace: false,
+        }
+    }
+}
+
+/// Result for one class.
+#[derive(Debug, Clone)]
+pub struct ClassResult {
+    /// Whether the class is positive recurrent under the converged
+    /// vacations.
+    pub stable: bool,
+    /// Steady-state measures (`None` when unstable).
+    pub measures: Option<ClassMeasures>,
+    /// `N_p`; infinite when unstable.
+    pub mean_jobs: f64,
+    /// `T_p = N_p/λ_p`; infinite when unstable.
+    pub mean_response: f64,
+    /// Mean of the class's effective quantum at the fixed point.
+    pub effective_quantum_mean: f64,
+    /// Probability the class's turn is skipped entirely (atom of the
+    /// effective quantum); zero when saturated.
+    pub skip_probability: f64,
+    /// Mean of the class's vacation `Z_p` at the fixed point.
+    pub vacation_mean: f64,
+    /// Response-time quantiles `(p50, p90, p95, p99)` from the tagged-job
+    /// distribution, when requested via
+    /// [`SolverOptions::response_quantiles`].
+    pub response_quantiles: Option<(f64, f64, f64, f64)>,
+}
+
+/// The solved gang-scheduling model.
+#[derive(Debug, Clone)]
+pub struct GangSolution {
+    /// Per-class results.
+    pub classes: Vec<ClassResult>,
+    /// Fixed-point iterations performed.
+    pub iterations: usize,
+    /// Whether the fixed point converged within the iteration budget.
+    pub converged: bool,
+    /// True iff every class is stable.
+    pub all_stable: bool,
+    /// Mean timeplexing-cycle length at the fixed point: the sum over
+    /// classes of the mean effective quantum plus the mean switch overhead.
+    /// Compare with `GangModel::full_cycle_mean()` to see how much of the
+    /// nominal cycle the switch-on-empty rule gives back.
+    pub mean_cycle: f64,
+}
+
+impl GangSolution {
+    /// Total mean number of jobs across classes (infinite if any class is
+    /// unstable).
+    pub fn total_mean_jobs(&self) -> f64 {
+        self.classes.iter().map(|c| c.mean_jobs).sum()
+    }
+}
+
+/// One class's per-iteration working state.
+enum ClassIterate {
+    Stable(Box<(ClassChain, QbdSolution)>),
+    Unstable,
+}
+
+/// Solve the gang-scheduling model.
+pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
+    let l = model.num_classes();
+    // Effective quanta, initialized to the full parameter quanta (Thm 4.1).
+    let mut quanta: Vec<PhaseType> = model.classes().iter().map(|c| c.quantum.clone()).collect();
+    let mut prev_n: Vec<f64> = vec![f64::NAN; l];
+    let mut iterations = 0usize;
+    let mut converged = false;
+    #[allow(unused_assignments)]
+    let mut last_change = f64::INFINITY;
+
+    #[allow(unused_assignments)]
+    let mut last_pass: Vec<ClassIterate> = Vec::new();
+    #[allow(unused_assignments)]
+    let mut last_vacations: Vec<PhaseType> = Vec::new();
+
+    loop {
+        iterations += 1;
+        // ---- Solve every class under the current vacations ----
+        let mut pass = Vec::with_capacity(l);
+        let mut vacs = Vec::with_capacity(l);
+        let mut n_now = Vec::with_capacity(l);
+        for p in 0..l {
+            let vac = compose_vacation(model, p, &quanta);
+            let chain = build_class_chain(model, p, &vac)?;
+            match chain.qbd.solve(&opts.qbd) {
+                Ok(sol) => {
+                    n_now.push(sol.mean_level());
+                    pass.push(ClassIterate::Stable(Box::new((chain, sol))));
+                }
+                Err(QbdError::Unstable(_)) => {
+                    n_now.push(f64::INFINITY);
+                    pass.push(ClassIterate::Unstable);
+                }
+                Err(source) => return Err(GangError::Qbd { class: p, source }),
+            }
+            vacs.push(vac);
+        }
+
+        // ---- Convergence test on the mean populations ----
+        let change = n_now
+            .iter()
+            .zip(prev_n.iter())
+            .map(|(&a, &b)| {
+                if a.is_infinite() && b.is_infinite() {
+                    0.0
+                } else if a.is_finite() && b.is_finite() {
+                    (a - b).abs() / b.abs().max(1.0)
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .fold(0.0_f64, f64::max);
+        if opts.trace {
+            let ns: Vec<String> = n_now.iter().map(|v| format!("{v:.4}")).collect();
+            let qs: Vec<String> = quanta.iter().map(|q| format!("{:.4}", q.mean())).collect();
+            eprintln!(
+                "[fp iter {iterations}] N = [{}], eff quanta = [{}], change = {change:.3e}",
+                ns.join(", "),
+                qs.join(", ")
+            );
+        }
+        prev_n = n_now;
+        last_pass = pass;
+        last_vacations = vacs;
+        last_change = change;
+
+        if opts.mode == VacationMode::HeavyTraffic {
+            converged = true;
+            break;
+        }
+        if iterations > 1 && change < opts.fp_tol {
+            converged = true;
+            break;
+        }
+        if iterations >= opts.fp_max_iter {
+            break;
+        }
+
+        // ---- Update effective quanta for the next iteration ----
+        let theta = opts.damping.clamp(1e-3, 1.0);
+        for p in 0..l {
+            let raw = match &last_pass[p] {
+                ClassIterate::Stable(cs) => {
+                    let (chain, sol) = cs.as_ref();
+                    let eff =
+                        effective_quantum(chain, sol, opts.tail_eps, opts.max_extra_levels)?;
+                    match &opts.mode {
+                        VacationMode::Exact => eff.distribution,
+                        VacationMode::MomentMatched { moments } => {
+                            compress(&eff.distribution, *moments)
+                        }
+                        VacationMode::HeavyTraffic => unreachable!(),
+                    }
+                }
+                // A saturated class always has work: full quantum.
+                ClassIterate::Unstable => model.class(p).quantum.clone(),
+            };
+            quanta[p] = if theta >= 1.0 {
+                raw
+            } else if let VacationMode::MomentMatched { moments } = &opts.mode {
+                // Under-relax in distribution space (mixture), then re-compress
+                // so the representation size stays bounded across iterations.
+                let mixed = gsched_phase::mixture(&[theta, 1.0 - theta], &[raw, quanta[p].clone()])
+                    .expect("damping mixture weights are valid");
+                compress(&mixed, *moments)
+            } else {
+                // Exact mode: mixtures would grow without bound — no damping.
+                raw
+            };
+        }
+    }
+
+    // ---- Assemble the final report ----
+    let mut classes = Vec::with_capacity(l);
+    let mut all_stable = true;
+    for (p, item) in last_pass.iter().enumerate() {
+        match item {
+            ClassIterate::Stable(cs) => {
+                let (chain, sol) = cs.as_ref();
+                let meas = class_measures(model, p, chain, sol);
+                let eff = effective_quantum(chain, sol, opts.tail_eps, opts.max_extra_levels)?;
+                let response_quantiles = if opts.response_quantiles {
+                    let rt = response_time_distribution(
+                        chain,
+                        sol,
+                        opts.tail_eps,
+                        opts.max_extra_levels,
+                    )?;
+                    let qs = rt.distribution.quantiles(&[0.50, 0.90, 0.95, 0.99]);
+                    Some((qs[0], qs[1], qs[2], qs[3]))
+                } else {
+                    None
+                };
+                classes.push(ClassResult {
+                    stable: true,
+                    mean_jobs: meas.mean_jobs,
+                    mean_response: meas.mean_response,
+                    effective_quantum_mean: eff.distribution.mean(),
+                    skip_probability: eff.distribution.atom_at_zero(),
+                    vacation_mean: last_vacations[p].mean(),
+                    measures: Some(meas),
+                    response_quantiles,
+                });
+            }
+            ClassIterate::Unstable => {
+                all_stable = false;
+                classes.push(ClassResult {
+                    stable: false,
+                    measures: None,
+                    mean_jobs: f64::INFINITY,
+                    mean_response: f64::INFINITY,
+                    effective_quantum_mean: model.class(p).quantum.mean(),
+                    skip_probability: 0.0,
+                    vacation_mean: last_vacations[p].mean(),
+                    response_quantiles: None,
+                });
+            }
+        }
+    }
+    let mean_cycle: f64 = classes
+        .iter()
+        .enumerate()
+        .map(|(p, c)| c.effective_quantum_mean + model.class(p).switch_overhead.mean())
+        .sum();
+    if opts.require_stable {
+        if let Some(p) = classes.iter().position(|c| !c.stable) {
+            // Recompute the drift report for the offending class for the error.
+            let vac = compose_vacation(model, p, &quanta);
+            let chain = build_class_chain(model, p, &vac)?;
+            let report = gsched_qbd::drift_condition(&chain.qbd.a0, &chain.qbd.a1, &chain.qbd.a2)
+                .map_err(|e| GangError::Qbd {
+                    class: p,
+                    source: e,
+                })?;
+            return Err(GangError::Unstable { class: p, report });
+        }
+    }
+    // Near saturation the fixed point converges geometrically with a rate
+    // approaching 1; a budget-exhausted iterate whose residual is already
+    // small is still a useful answer, so only a genuinely diverging
+    // iteration is an error.
+    if !converged && !(last_change < 1e-2) {
+        return Err(GangError::NoConvergence {
+            iterations,
+            last_change,
+        });
+    }
+    Ok(GangSolution {
+        classes,
+        iterations,
+        converged,
+        all_stable,
+        mean_cycle,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ClassParams;
+    use gsched_phase::{erlang, exponential};
+
+    fn symmetric_model(p: usize, classes: usize, lambda: f64, mu: f64, q: f64) -> GangModel {
+        let g = p; // every class needs the whole machine
+        let mk = || ClassParams {
+            partition_size: g,
+            arrival: exponential(lambda),
+            service: exponential(mu),
+            quantum: erlang(2, 1.0 / q),
+            switch_overhead: exponential(100.0),
+        };
+        GangModel::new(p, (0..classes).map(|_| mk()).collect()).unwrap()
+    }
+
+    #[test]
+    fn symmetric_classes_get_symmetric_results() {
+        let m = symmetric_model(4, 3, 0.2, 1.0, 1.0);
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        assert!(sol.converged);
+        assert!(sol.all_stable);
+        let n0 = sol.classes[0].mean_jobs;
+        for c in &sol.classes {
+            assert!((c.mean_jobs - n0).abs() < 1e-6, "{} vs {n0}", c.mean_jobs);
+            assert!(c.stable);
+        }
+    }
+
+    #[test]
+    fn fixed_point_improves_on_heavy_traffic() {
+        // At moderate load the fixed point must predict fewer jobs than the
+        // pessimistic heavy-traffic bound (vacations shrink).
+        let m = symmetric_model(4, 3, 0.25, 1.0, 1.5);
+        let ht = solve(
+            &m,
+            &SolverOptions {
+                mode: VacationMode::HeavyTraffic,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let fp = solve(&m, &SolverOptions::default()).unwrap();
+        assert!(fp.iterations > 1);
+        assert!(
+            fp.classes[0].mean_jobs < ht.classes[0].mean_jobs,
+            "fixed point {} should be below heavy-traffic {}",
+            fp.classes[0].mean_jobs,
+            ht.classes[0].mean_jobs
+        );
+    }
+
+    #[test]
+    fn exact_and_moment_matched_agree_reasonably() {
+        let m = symmetric_model(2, 2, 0.3, 1.0, 1.0);
+        let mm = solve(&m, &SolverOptions::default()).unwrap();
+        let ex = solve(
+            &m,
+            &SolverOptions {
+                mode: VacationMode::Exact,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let a = mm.classes[0].mean_jobs;
+        let b = ex.classes[0].mean_jobs;
+        assert!(
+            (a - b).abs() / b < 0.05,
+            "moment-matched {a} vs exact {b}"
+        );
+    }
+
+    #[test]
+    fn asymmetric_load_orders_populations() {
+        let mut m = symmetric_model(4, 2, 0.2, 1.0, 1.0);
+        // Class 1 gets three times the arrival rate.
+        let mut c1 = m.class(1).clone();
+        c1.arrival = exponential(0.6);
+        m = m.with_class(1, c1);
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        assert!(sol.all_stable);
+        assert!(sol.classes[1].mean_jobs > sol.classes[0].mean_jobs);
+    }
+
+    #[test]
+    fn overload_reported_unstable() {
+        // Two classes each wanting 80% of the machine cannot both fit.
+        let m = symmetric_model(4, 2, 0.8, 1.0, 1.0);
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        assert!(!sol.all_stable);
+        assert!(sol.classes.iter().any(|c| !c.stable));
+        assert!(sol.total_mean_jobs().is_infinite());
+        // Strict mode errors out instead.
+        let err = solve(
+            &m,
+            &SolverOptions {
+                require_stable: true,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, GangError::Unstable { .. }));
+    }
+
+    #[test]
+    fn one_saturated_class_does_not_break_the_other() {
+        // Class 0 overloaded, class 1 lightly loaded on its own partitions.
+        let m = GangModel::new(
+            4,
+            vec![
+                ClassParams {
+                    partition_size: 4,
+                    arrival: exponential(2.0), // impossible load
+                    service: exponential(1.0),
+                    quantum: erlang(2, 1.0),
+                    switch_overhead: exponential(100.0),
+                },
+                ClassParams {
+                    partition_size: 1,
+                    arrival: exponential(0.4),
+                    service: exponential(1.0),
+                    quantum: erlang(2, 1.0),
+                    switch_overhead: exponential(100.0),
+                },
+            ],
+        )
+        .unwrap();
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        assert!(!sol.classes[0].stable);
+        assert!(sol.classes[1].stable, "class 1 should survive");
+        assert!(sol.classes[1].mean_jobs.is_finite());
+    }
+
+    #[test]
+    fn skip_probability_rises_as_load_falls() {
+        let light = solve(&symmetric_model(2, 2, 0.05, 1.0, 1.0), &SolverOptions::default())
+            .unwrap()
+            .classes[0]
+            .skip_probability;
+        let heavy = solve(&symmetric_model(2, 2, 0.4, 1.0, 1.0), &SolverOptions::default())
+            .unwrap()
+            .classes[0]
+            .skip_probability;
+        assert!(light > heavy, "light {light} vs heavy {heavy}");
+    }
+
+    #[test]
+    fn mean_cycle_below_nominal() {
+        // With lightly loaded classes the effective cycle is far shorter
+        // than the nominal full cycle (turns are skipped or cut short).
+        let m = symmetric_model(4, 3, 0.1, 1.0, 2.0);
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        assert!(sol.mean_cycle > 0.0);
+        assert!(
+            sol.mean_cycle < m.full_cycle_mean(),
+            "effective cycle {} vs nominal {}",
+            sol.mean_cycle,
+            m.full_cycle_mean()
+        );
+    }
+
+    #[test]
+    fn response_quantiles_on_request() {
+        let m = symmetric_model(2, 2, 0.25, 1.0, 1.0);
+        let plain = solve(&m, &SolverOptions::default()).unwrap();
+        assert!(plain.classes[0].response_quantiles.is_none());
+        let opts = SolverOptions {
+            response_quantiles: true,
+            ..Default::default()
+        };
+        let rich = solve(&m, &opts).unwrap();
+        let (p50, p90, p95, p99) = rich.classes[0].response_quantiles.unwrap();
+        assert!(p50 > 0.0 && p50 < p90 && p90 < p95 && p95 < p99);
+        // Median below the mean for these right-skewed response times.
+        assert!(p50 < rich.classes[0].mean_response * 1.2);
+    }
+
+    #[test]
+    fn little_law_in_results() {
+        let m = symmetric_model(4, 2, 0.3, 1.0, 2.0);
+        let sol = solve(&m, &SolverOptions::default()).unwrap();
+        for c in &sol.classes {
+            let meas = c.measures.as_ref().unwrap();
+            assert!((c.mean_response * meas.arrival_rate - c.mean_jobs).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Vacation distributions `Z_p` (Theorems 4.1 and 4.3).
+//!
+//! From class `p`'s perspective, everything between two of its quanta is one
+//! "vacation": the context switch out of `p`, then each other class's
+//! quantum followed by its context switch, around the cycle back to `p`:
+//!
+//! ```text
+//!   Z_p = C_p * G_{p+1} * C_{p+1} * … * G_{p+L−1} * C_{p+L−1}    (mod L)
+//! ```
+//!
+//! In the **heavy-traffic regime** every class uses its full quantum, so the
+//! `G_n` are the raw parameter distributions (Theorem 4.1, eqs. 13–14). In
+//! the general regime each `G_n` is replaced by the class's **effective
+//! quantum** — the time class `n` actually holds the machine, which may be
+//! cut short by an empty queue or skipped entirely (Theorem 4.3,
+//! eqs. 33–35). Phase-type closure under convolution (Theorem 2.5) keeps
+//! `Z_p` phase-type either way.
+
+use crate::model::GangModel;
+use gsched_phase::{convolve, PhaseType};
+
+/// Compose class `p`'s vacation from per-class quantum distributions.
+///
+/// `quanta[n]` is the (effective) quantum distribution of class `n`; the
+/// overheads come from the model. The composition is
+/// `C_p * quanta[p+1] * C_{p+1} * … * quanta[p+L−1] * C_{p+L−1}` with all
+/// indices mod `L`.
+pub fn compose_vacation(model: &GangModel, p: usize, quanta: &[PhaseType]) -> PhaseType {
+    let l = model.num_classes();
+    assert_eq!(quanta.len(), l, "need one quantum distribution per class");
+    let mut z = model.class(p).switch_overhead.clone();
+    for step in 1..l {
+        let n = (p + step) % l;
+        z = convolve(&z, &quanta[n]);
+        z = convolve(&z, &model.class(n).switch_overhead);
+    }
+    z
+}
+
+/// Theorem 4.1: the heavy-traffic vacation — all other classes use their
+/// full parameter quanta.
+pub fn heavy_traffic_vacation(model: &GangModel, p: usize) -> PhaseType {
+    let quanta: Vec<PhaseType> = model.classes().iter().map(|c| c.quantum.clone()).collect();
+    compose_vacation(model, p, &quanta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ClassParams;
+    use gsched_phase::{erlang, exponential};
+
+    fn model3() -> GangModel {
+        let mk = |qmean: f64, omean: f64| ClassParams {
+            partition_size: 4,
+            arrival: exponential(0.1),
+            service: exponential(1.0),
+            quantum: erlang(2, 1.0 / qmean),
+            switch_overhead: exponential(1.0 / omean),
+        };
+        GangModel::new(4, vec![mk(1.0, 0.01), mk(2.0, 0.02), mk(3.0, 0.03)]).unwrap()
+    }
+
+    #[test]
+    fn heavy_traffic_mean_is_cycle_minus_own_quantum() {
+        let m = model3();
+        for p in 0..3 {
+            let z = heavy_traffic_vacation(&m, p);
+            let want = m.full_cycle_mean() - m.class(p).quantum.mean();
+            assert!(
+                (z.mean() - want).abs() < 1e-10,
+                "class {p}: {} vs {want}",
+                z.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_traffic_order_matches_theorem() {
+        // N_p = sum of other classes' quantum orders + all overhead orders
+        // (eq. 13): here 2+2 (quanta) + 1+1+1 (overheads) = 7.
+        let m = model3();
+        let z = heavy_traffic_vacation(&m, 0);
+        assert_eq!(z.order(), 7);
+    }
+
+    #[test]
+    fn single_class_vacation_is_overhead_only() {
+        let m = GangModel::new(
+            2,
+            vec![ClassParams {
+                partition_size: 2,
+                arrival: exponential(0.1),
+                service: exponential(1.0),
+                quantum: exponential(1.0),
+                switch_overhead: exponential(10.0),
+            }],
+        )
+        .unwrap();
+        let z = heavy_traffic_vacation(&m, 0);
+        assert_eq!(z.order(), 1);
+        assert!((z.mean() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_quanta_shrink_vacation() {
+        let m = model3();
+        // Replace class 1's quantum by a "mostly skipped" effective quantum:
+        // atom 0.8 at zero, else Exp(5).
+        let short = PhaseType::new(
+            vec![0.2],
+            gsched_linalg::Matrix::from_rows(&[&[-5.0]]),
+        )
+        .unwrap();
+        let mut quanta: Vec<PhaseType> =
+            m.classes().iter().map(|c| c.quantum.clone()).collect();
+        quanta[1] = short.clone();
+        let z = compose_vacation(&m, 0, &quanta);
+        let full = heavy_traffic_vacation(&m, 0);
+        let expected_drop = m.class(1).quantum.mean() - short.mean();
+        assert!((full.mean() - z.mean() - expected_drop).abs() < 1e-10);
+        assert!(z.mean() < full.mean());
+    }
+
+    #[test]
+    fn variance_adds_across_cycle() {
+        let m = model3();
+        let z = heavy_traffic_vacation(&m, 2);
+        let want: f64 = m.class(2).switch_overhead.variance()
+            + m.class(0).quantum.variance()
+            + m.class(0).switch_overhead.variance()
+            + m.class(1).quantum.variance()
+            + m.class(1).switch_overhead.variance();
+        assert!((z.variance() - want).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Kronecker products and sums.
+//!
+//! Used by the phase-type algebra: if `X ~ PH(α, S)` and `Y ~ PH(β, T)` then
+//! `min(X, Y)` has sub-generator `S ⊕ T = S ⊗ I + I ⊗ T`, and `max(X, Y)` is
+//! built from the same Kronecker blocks. Composite generators of independent
+//! Markov components are Kronecker sums as well.
+
+use crate::Matrix;
+
+/// Kronecker product `a ⊗ b`.
+///
+/// The result has shape `(a.rows·b.rows) × (a.cols·b.cols)`, with blocks
+/// `a[(i,j)] · b`.
+pub fn kron_product(a: &Matrix, b: &Matrix) -> Matrix {
+    let (ar, ac) = a.shape();
+    let (br, bc) = b.shape();
+    let mut out = Matrix::zeros(ar * br, ac * bc);
+    for i in 0..ar {
+        for j in 0..ac {
+            let v = a[(i, j)];
+            if v == 0.0 {
+                continue;
+            }
+            for k in 0..br {
+                for l in 0..bc {
+                    out[(i * br + k, j * bc + l)] = v * b[(k, l)];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Kronecker sum `a ⊕ b = a ⊗ I + I ⊗ b` for square `a`, `b`.
+///
+/// # Panics
+/// Panics if either matrix is not square.
+pub fn kron_sum(a: &Matrix, b: &Matrix) -> Matrix {
+    assert!(a.is_square() && b.is_square(), "kron_sum requires square inputs");
+    let left = kron_product(a, &Matrix::identity(b.rows()));
+    let right = kron_product(&Matrix::identity(a.rows()), b);
+    &left + &right
+}
+
+/// Kronecker product of two row vectors given as slices, returned as a `Vec`.
+///
+/// This is the initial-vector counterpart of [`kron_product`]: if `α` and `β`
+/// are initial probability vectors of two independent phase processes, the
+/// joint process starts in phase `(i, j)` with probability `α_i β_j`.
+pub fn kron_vec(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for &x in a {
+        for &y in b {
+            out.push(x * y);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_shape_and_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 3.0], &[4.0, 5.0]]);
+        let k = kron_product(&a, &b);
+        assert_eq!(k.shape(), (2, 4));
+        assert_eq!(k[(0, 1)], 3.0);
+        assert_eq!(k[(1, 0)], 4.0);
+        assert_eq!(k[(0, 3)], 6.0);
+        assert_eq!(k[(1, 2)], 8.0);
+    }
+
+    #[test]
+    fn product_with_identity_is_block_diag() {
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let k = kron_product(&Matrix::identity(2), &b);
+        assert_eq!(k.block(0, 0, 2, 2), b);
+        assert_eq!(k.block(2, 2, 2, 2), b);
+        assert_eq!(k.block(0, 2, 2, 2), Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn sum_of_generators_has_zero_row_sums() {
+        // Two tiny CTMC generators; their Kronecker sum must be a generator.
+        let a = Matrix::from_rows(&[&[-1.0, 1.0], &[2.0, -2.0]]);
+        let b = Matrix::from_rows(&[&[-3.0, 3.0], &[0.5, -0.5]]);
+        let s = kron_sum(&a, &b);
+        for rs in s.row_sums() {
+            assert!(rs.abs() < 1e-14);
+        }
+        assert_eq!(s.shape(), (4, 4));
+    }
+
+    #[test]
+    fn mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 1.0]]);
+        let c = Matrix::from_rows(&[&[0.5, 1.0], &[1.0, 0.0]]);
+        let d = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 2.0]]);
+        let lhs = kron_product(&a, &b).matmul(&kron_product(&c, &d)).unwrap();
+        let rhs = kron_product(&a.matmul(&c).unwrap(), &b.matmul(&d).unwrap());
+        assert!(lhs.max_abs_diff(&rhs) < 1e-14);
+    }
+
+    #[test]
+    fn kron_vec_probabilities() {
+        let a = [0.3, 0.7];
+        let b = [0.5, 0.25, 0.25];
+        let v = kron_vec(&a, &b);
+        assert_eq!(v.len(), 6);
+        let sum: f64 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-15);
+        assert!((v[0] - 0.15).abs() < 1e-15);
+        assert!((v[5] - 0.175).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn kron_sum_rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        let _ = kron_sum(&a, &Matrix::identity(2));
+    }
+}

@@ -1,0 +1,87 @@
+//! Dense linear-algebra kernels used by the gang-scheduling analytic solver.
+//!
+//! The matrices that arise in the SPAA 1996 gang-scheduling model (generator
+//! blocks of quasi-birth-death processes, phase-type representations) are
+//! small and dense — typically a few hundred rows at most — so this crate
+//! implements straightforward dense algorithms rather than pulling in an
+//! external linear-algebra stack:
+//!
+//! * [`Matrix`]: row-major dense matrix with the usual arithmetic.
+//! * [`lu::Lu`]: LU decomposition with partial pivoting, linear solves and
+//!   inverses.
+//! * [`kron`]: Kronecker products and sums (used for min/max of phase-type
+//!   distributions and for building composite generators).
+//! * [`spectral`]: power iteration for the spectral radius of a nonnegative
+//!   matrix (stability checks on the rate matrix `R`).
+//! * [`stationary`]: solving `x M = 0`, `x e = 1` systems that arise for
+//!   stationary probability vectors and QBD boundary equations.
+//!
+//! All computations are `f64`. The crate is deliberately dependency-free.
+
+pub mod kron;
+pub mod lu;
+pub mod matrix;
+pub mod spectral;
+pub mod stationary;
+pub mod vecops;
+
+pub use kron::{kron_product, kron_sum};
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use spectral::spectral_radius;
+pub use stationary::solve_left_nullspace;
+
+/// Default numerical tolerance used across the crate for convergence tests
+/// and singularity detection.
+pub const EPS: f64 = 1e-12;
+
+/// Error type for linear-algebra failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Matrix dimensions are incompatible with the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand.
+        lhs: (usize, usize),
+        /// Dimensions of the right operand.
+        rhs: (usize, usize),
+    },
+    /// The matrix is singular (or numerically so) and cannot be factored.
+    Singular,
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Which method failed.
+        method: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual at the last iteration.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NoConvergence {
+                method,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{method} failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,96 @@
+//! Left-nullspace solves for stationary-vector equations.
+//!
+//! Stationary distributions of Markov chains and the boundary equations of a
+//! QBD all take the form `x M = 0` together with a normalization `x w = 1`
+//! (the paper's equations (9)–(10) and (21)–(24)). `M` is singular by
+//! construction — its rows sum to zero — so we replace one column of the
+//! system with the normalization constraint and solve the resulting
+//! nonsingular system by LU.
+
+use crate::{Lu, Matrix, Result};
+
+/// Solve `x M = 0`, `x · w = 1` for a row vector `x`.
+///
+/// `m` must be square of dimension `n`, `w` a length-`n` weight vector (for a
+/// plain stationary distribution `w` is all ones; the QBD boundary system
+/// uses `w = [e, (I−R)^{-1} e]`).
+///
+/// The last column of `M` is replaced by `w`, which is valid whenever the
+/// nullspace of `Mᵀ` is one-dimensional (irreducible chains). The solve then
+/// reads `x M' = [0, …, 0, 1]`.
+pub fn solve_left_nullspace(m: &Matrix, w: &[f64]) -> Result<Vec<f64>> {
+    assert!(m.is_square(), "solve_left_nullspace: matrix must be square");
+    let n = m.rows();
+    assert_eq!(w.len(), n, "solve_left_nullspace: weight length mismatch");
+    let mut sys = m.clone();
+    for i in 0..n {
+        sys[(i, n - 1)] = w[i];
+    }
+    let mut rhs = vec![0.0; n];
+    rhs[n - 1] = 1.0;
+    let lu = Lu::new(&sys)?;
+    lu.solve_left_vec(&rhs)
+}
+
+/// Solve `x M = 0`, `Σ x_i = 1` (uniform weights), the common stationary
+/// distribution case.
+pub fn solve_stationary(m: &Matrix) -> Result<Vec<f64>> {
+    let w = vec![1.0; m.rows()];
+    solve_left_nullspace(m, &w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_state_generator() {
+        // Q = [[-a, a], [b, -b]] has stationary (b, a)/(a+b).
+        let (a, b) = (2.0, 3.0);
+        let q = Matrix::from_rows(&[&[-a, a], &[b, -b]]);
+        let pi = solve_stationary(&q).unwrap();
+        assert!((pi[0] - b / (a + b)).abs() < 1e-12);
+        assert!((pi[1] - a / (a + b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_state_cycle() {
+        // Cycle 0->1->2->0 with unit rates: uniform stationary distribution.
+        let q = Matrix::from_rows(&[
+            &[-1.0, 1.0, 0.0],
+            &[0.0, -1.0, 1.0],
+            &[1.0, 0.0, -1.0],
+        ]);
+        let pi = solve_stationary(&q).unwrap();
+        for p in &pi {
+            assert!((p - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_normalization() {
+        let q = Matrix::from_rows(&[&[-1.0, 1.0], &[1.0, -1.0]]);
+        // Weight vector (2, 2): x proportional to (1/2, 1/2) scaled so 2x0+2x1=1.
+        let x = solve_left_nullspace(&q, &[2.0, 2.0]).unwrap();
+        assert!((x[0] - 0.25).abs() < 1e-12);
+        assert!((x[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_small() {
+        // Random-ish irreducible generator.
+        let q = Matrix::from_rows(&[
+            &[-3.0, 2.0, 1.0],
+            &[0.5, -1.5, 1.0],
+            &[2.0, 2.0, -4.0],
+        ]);
+        let pi = solve_stationary(&q).unwrap();
+        let res = q.transpose().mul_vec(&pi).unwrap();
+        for r in res {
+            assert!(r.abs() < 1e-12);
+        }
+        let s: f64 = pi.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|&p| p > 0.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Discrete-time Markov chains (stochastic matrices).
+
+use crate::scc::is_strongly_connected;
+use crate::{MarkovError, Result};
+use gsched_linalg::Matrix;
+
+/// Numerical slack for stochasticity validation.
+const VTOL: f64 = 1e-8;
+
+/// A discrete-time Markov chain given by its transition probability matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dtmc {
+    p: Matrix,
+}
+
+impl Dtmc {
+    /// Validate and wrap a stochastic matrix (nonnegative rows summing to 1).
+    pub fn new(p: Matrix) -> Result<Dtmc> {
+        if !p.is_square() {
+            return Err(MarkovError::Invalid(format!(
+                "transition matrix must be square, got {}x{}",
+                p.rows(),
+                p.cols()
+            )));
+        }
+        let n = p.rows();
+        for i in 0..n {
+            let mut sum = 0.0;
+            for j in 0..n {
+                let v = p[(i, j)];
+                if v < -VTOL {
+                    return Err(MarkovError::Invalid(format!(
+                        "negative probability at ({i},{j}): {v}"
+                    )));
+                }
+                sum += v;
+            }
+            if (sum - 1.0).abs() > VTOL {
+                return Err(MarkovError::Invalid(format!(
+                    "row {i} sums to {sum}, expected 1"
+                )));
+            }
+        }
+        Ok(Dtmc { p })
+    }
+
+    /// Number of states.
+    pub fn dim(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// Borrow the transition matrix.
+    pub fn transition_matrix(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// True if the positive-probability digraph is strongly connected.
+    pub fn is_irreducible(&self) -> bool {
+        let n = self.dim();
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| self.p[(i, j)] > 0.0 && j != i)
+                    .collect()
+            })
+            .collect();
+        is_strongly_connected(&adj)
+    }
+
+    /// Stationary distribution `π P = π`, `π e = 1` via GTH elimination on
+    /// the embedded generator `P − I` (subtraction-free in the rates).
+    ///
+    /// # Errors
+    /// [`MarkovError::NotIrreducible`] if the chain is reducible.
+    pub fn stationary(&self) -> Result<Vec<f64>> {
+        if !self.is_irreducible() {
+            return Err(MarkovError::NotIrreducible);
+        }
+        // GTH operates on off-diagonal entries only, and P's off-diagonal
+        // entries equal those of the generator P − I.
+        Ok(crate::ctmc::gth_stationary(&self.p))
+    }
+
+    /// `n`-step transition matrix `Pⁿ`.
+    pub fn power(&self, n: usize) -> Matrix {
+        let mut result = Matrix::identity(self.dim());
+        let mut base = self.p.clone();
+        let mut e = n;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.matmul(&base).expect("square");
+            }
+            base = base.matmul(&base).expect("square");
+            e >>= 1;
+        }
+        result
+    }
+
+    /// Distribution after `n` steps from the initial distribution `pi0`.
+    pub fn step_n(&self, pi0: &[f64], n: usize) -> Vec<f64> {
+        let mut v = pi0.to_vec();
+        for _ in 0..n {
+            v = self.p.left_mul_vec(&v).expect("dimension");
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Dtmc::new(Matrix::from_rows(&[&[0.5, 0.5], &[0.3, 0.7]])).is_ok());
+        assert!(Dtmc::new(Matrix::from_rows(&[&[0.5, 0.6], &[0.3, 0.7]])).is_err());
+        assert!(Dtmc::new(Matrix::from_rows(&[&[1.1, -0.1], &[0.3, 0.7]])).is_err());
+        assert!(Dtmc::new(Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn stationary_two_state() {
+        let p = Dtmc::new(Matrix::from_rows(&[&[0.9, 0.1], &[0.4, 0.6]])).unwrap();
+        let pi = p.stationary().unwrap();
+        // pi = (0.4, 0.1)/0.5
+        assert!((pi[0] - 0.8).abs() < 1e-13);
+        assert!((pi[1] - 0.2).abs() < 1e-13);
+    }
+
+    #[test]
+    fn stationary_fixed_point() {
+        let p = Dtmc::new(Matrix::from_rows(&[
+        &[0.2, 0.5, 0.3],
+            &[0.6, 0.1, 0.3],
+            &[0.25, 0.25, 0.5],
+        ]))
+        .unwrap();
+        let pi = p.stationary().unwrap();
+        let next = p.transition_matrix().left_mul_vec(&pi).unwrap();
+        for (a, b) in pi.iter().zip(next.iter()) {
+            assert!((a - b).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn power_and_step_agree() {
+        let p = Dtmc::new(Matrix::from_rows(&[&[0.7, 0.3], &[0.2, 0.8]])).unwrap();
+        let p5 = p.power(5);
+        let from_steps = p.step_n(&[1.0, 0.0], 5);
+        assert!((p5[(0, 0)] - from_steps[0]).abs() < 1e-14);
+        assert!((p5[(0, 1)] - from_steps[1]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn power_converges_to_stationary() {
+        let p = Dtmc::new(Matrix::from_rows(&[&[0.5, 0.5], &[0.25, 0.75]])).unwrap();
+        let pk = p.power(200);
+        let pi = p.stationary().unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((pk[(i, j)] - pi[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn absorbing_dtmc_not_irreducible() {
+        let p = Dtmc::new(Matrix::from_rows(&[&[0.5, 0.5], &[0.0, 1.0]])).unwrap();
+        assert!(!p.is_irreducible());
+        assert!(p.stationary().is_err());
+    }
+
+    #[test]
+    fn identity_is_reducible_for_n_over_1() {
+        let p = Dtmc::new(Matrix::identity(2)).unwrap();
+        assert!(!p.is_irreducible());
+    }
+}

@@ -1,0 +1,60 @@
+//! Continuous- and discrete-time Markov chain machinery.
+//!
+//! This crate provides the background results of §2 of the SPAA 1996 paper:
+//!
+//! * [`Ctmc`] — validated infinitesimal generator matrices (§2.2, eqs. 5–6),
+//!   stationary distributions via the numerically stable GTH elimination
+//!   (Theorem 2.4, eqs. 9–10), and **uniformization** (§2.4) into a [`Dtmc`].
+//! * [`Dtmc`] — validated stochastic matrices and their stationary vectors.
+//! * [`absorbing`] — analysis of absorbing chains: fundamental matrix,
+//!   expected time to absorption, absorption probabilities. This is the
+//!   machinery behind the paper's construction of the effective-quantum
+//!   distribution (§4.3): the time to absorption of a PH chain *is* the
+//!   phase-type distribution.
+//! * [`scc`] — Tarjan's strongly-connected-components algorithm, used for
+//!   the irreducibility verification of §4.4.
+//! * [`transient`] — Poisson-weighted transient solutions `π(t)` via
+//!   uniformization.
+
+pub mod absorbing;
+pub mod ctmc;
+pub mod dtmc;
+pub mod scc;
+pub mod transient;
+
+pub use absorbing::AbsorbingCtmc;
+pub use ctmc::Ctmc;
+pub use dtmc::Dtmc;
+pub use scc::{condensation, is_strongly_connected, tarjan_scc};
+
+/// Errors produced by chain validation and solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// The matrix is not a valid generator / stochastic matrix.
+    Invalid(String),
+    /// The chain (restricted to the relevant states) is not irreducible.
+    NotIrreducible,
+    /// An underlying linear-algebra operation failed.
+    Linalg(gsched_linalg::LinalgError),
+}
+
+impl std::fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarkovError::Invalid(msg) => write!(f, "invalid chain: {msg}"),
+            MarkovError::NotIrreducible => write!(f, "chain is not irreducible"),
+            MarkovError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {}
+
+impl From<gsched_linalg::LinalgError> for MarkovError {
+    fn from(e: gsched_linalg::LinalgError) -> Self {
+        MarkovError::Linalg(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MarkovError>;

@@ -1,0 +1,159 @@
+//! Tarjan's strongly-connected-components algorithm.
+//!
+//! §4.4 of the paper verifies irreducibility of each per-class process by
+//! checking that the boundary levels plus the first repeating level are
+//! strongly connected. This module provides that check on an adjacency-list
+//! digraph.
+
+/// Compute the strongly connected components of a digraph given as adjacency
+/// lists. Components are returned in **reverse topological order** (Tarjan's
+/// natural output order): every edge between components points from a later
+/// component in the returned list to an earlier one.
+///
+/// An iterative implementation is used so that the deep recursions arising
+/// from long level chains cannot overflow the stack.
+pub fn tarjan_scc(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS stack: (node, next child position).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        call.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut child)) = call.last_mut() {
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    comps
+}
+
+/// True if the digraph is strongly connected (one component, or empty).
+pub fn is_strongly_connected(adj: &[Vec<usize>]) -> bool {
+    adj.is_empty() || tarjan_scc(adj).len() == 1
+}
+
+/// Condensation: map each vertex to its component id (ids follow the order
+/// returned by [`tarjan_scc`]).
+pub fn condensation(adj: &[Vec<usize>]) -> Vec<usize> {
+    let comps = tarjan_scc(adj);
+    let mut id = vec![0usize; adj.len()];
+    for (c, comp) in comps.iter().enumerate() {
+        for &v in comp {
+            id[v] = c;
+        }
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let adj = vec![vec![1], vec![2], vec![0]];
+        assert!(is_strongly_connected(&adj));
+        assert_eq!(tarjan_scc(&adj).len(), 1);
+    }
+
+    #[test]
+    fn chain_is_n_components() {
+        let adj = vec![vec![1], vec![2], vec![]];
+        let comps = tarjan_scc(&adj);
+        assert_eq!(comps.len(), 3);
+        assert!(!is_strongly_connected(&adj));
+        // Reverse topological: sink component first.
+        assert_eq!(comps[0], vec![2]);
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        // 0<->1, 2<->3, edge 1->2.
+        let adj = vec![vec![1], vec![0, 2], vec![3], vec![2]];
+        let comps = tarjan_scc(&adj);
+        assert_eq!(comps.len(), 2);
+        let ids = condensation(&adj);
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[2], ids[3]);
+        assert_ne!(ids[0], ids[2]);
+    }
+
+    #[test]
+    fn self_loops_ignored_gracefully() {
+        let adj = vec![vec![0, 1], vec![1, 0]];
+        assert!(is_strongly_connected(&adj));
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(is_strongly_connected(&[]));
+        assert_eq!(tarjan_scc(&[]).len(), 0);
+    }
+
+    #[test]
+    fn singleton() {
+        let adj = vec![vec![]];
+        assert!(is_strongly_connected(&adj));
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        // 100k-node cycle: recursion would overflow, iteration must not.
+        let n = 100_000;
+        let adj: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + 1) % n]).collect();
+        assert!(is_strongly_connected(&adj));
+    }
+
+    #[test]
+    fn disconnected_components_counted() {
+        let adj = vec![vec![1], vec![0], vec![3], vec![2], vec![]];
+        let comps = tarjan_scc(&adj);
+        assert_eq!(comps.len(), 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Transient solutions `π(t) = π(0)·exp(Qt)` by uniformization (paper §2.4).
+
+use crate::ctmc::Ctmc;
+use crate::Result;
+
+/// Transient state distribution at time `t` starting from `pi0`, using
+/// uniformization with truncation error below `tol`.
+///
+/// With `q ≥ max_i(−Q_ii)` and `P = I + Q/q`,
+/// `π(t) = Σ_k e^{−qt}(qt)^k/k! · π(0) Pᵏ`; the series is truncated when the
+/// remaining Poisson tail mass drops below `tol`.
+pub fn transient_distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, tol: f64) -> Result<Vec<f64>> {
+    assert!(t >= 0.0, "transient_distribution: t must be nonnegative");
+    assert!(tol > 0.0, "transient_distribution: tol must be positive");
+    if t == 0.0 {
+        return Ok(pi0.to_vec());
+    }
+    let (dtmc, q) = ctmc.uniformize(1.0)?;
+    let qt = q * t;
+    let p = dtmc.transition_matrix();
+
+    let mut v = pi0.to_vec();
+    let mut out = vec![0.0; v.len()];
+    // Poisson weights by forward recursion; for large qt switch to log space.
+    let mut log_w = -qt; // ln of weight for k = 0
+    let mut accumulated = 0.0;
+    let mut k = 0usize;
+    loop {
+        let w = log_w.exp();
+        if w > 0.0 {
+            for (o, &vi) in out.iter_mut().zip(v.iter()) {
+                *o += w * vi;
+            }
+            accumulated += w;
+        }
+        // Stop when remaining tail is provably below tol and we've passed
+        // the mode (weights decreasing).
+        if accumulated >= 1.0 - tol && (k as f64) > qt {
+            break;
+        }
+        // Hard cap to avoid infinite loops on extreme inputs.
+        if k > 100 + (qt + 12.0 * qt.sqrt().max(1.0)) as usize {
+            break;
+        }
+        v = p.left_mul_vec(&v)?;
+        k += 1;
+        log_w += qt.ln() - (k as f64).ln();
+    }
+    // Renormalize the truncation remainder to keep a proper distribution.
+    let s: f64 = out.iter().sum();
+    if s > 0.0 {
+        for o in &mut out {
+            *o /= s;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsched_linalg::Matrix;
+
+    fn two_state(a: f64, b: f64) -> Ctmc {
+        Ctmc::new(Matrix::from_rows(&[&[-a, a], &[b, -b]])).unwrap()
+    }
+
+    #[test]
+    fn matches_closed_form_two_state() {
+        // For Q = [[-a,a],[b,-b]]: p11(t) = b/(a+b) + a/(a+b) e^{-(a+b)t}.
+        let (a, b) = (2.0, 1.0);
+        let c = two_state(a, b);
+        for &t in &[0.0, 0.1, 0.5, 1.0, 3.0] {
+            let pi = transient_distribution(&c, &[1.0, 0.0], t, 1e-12).unwrap();
+            let want = b / (a + b) + a / (a + b) * (-(a + b) * t).exp();
+            assert!((pi[0] - want).abs() < 1e-9, "t={t}: {} vs {want}", pi[0]);
+        }
+    }
+
+    #[test]
+    fn converges_to_stationary() {
+        let c = two_state(1.0, 3.0);
+        let pi = transient_distribution(&c, &[1.0, 0.0], 50.0, 1e-12).unwrap();
+        let stat = c.stationary_gth().unwrap();
+        for (a, b) in pi.iter().zip(stat.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_time_is_identity() {
+        let c = two_state(1.0, 1.0);
+        let pi = transient_distribution(&c, &[0.3, 0.7], 0.0, 1e-12).unwrap();
+        assert_eq!(pi, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let c = two_state(5.0, 0.5);
+        for &t in &[0.01, 0.3, 2.0, 20.0] {
+            let pi = transient_distribution(&c, &[0.5, 0.5], t, 1e-12).unwrap();
+            let s: f64 = pi.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "t={t}: mass {s}");
+        }
+    }
+}

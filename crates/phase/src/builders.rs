@@ -1,0 +1,226 @@
+//! Constructors for the common phase-type families.
+//!
+//! The paper's examples use exactly these: Poisson arrivals are
+//! [`exponential`] interarrivals, the quantum-length in Figure 1 is a
+//! K-stage [`erlang`], and [`hyperexponential`]/[`coxian`] cover
+//! high-variability workloads when fitting empirical data (§3.2).
+
+use crate::dist::{PhaseType, PhaseTypeError};
+use gsched_linalg::Matrix;
+
+/// Exponential distribution with the given `rate` (mean `1/rate`).
+///
+/// # Panics
+/// Panics if `rate <= 0`.
+pub fn exponential(rate: f64) -> PhaseType {
+    assert!(rate > 0.0, "exponential: rate must be positive, got {rate}");
+    PhaseType::new(vec![1.0], Matrix::from_rows(&[&[-rate]]))
+        .expect("exponential parameters are always valid")
+}
+
+/// `k`-stage Erlang with per-stage rate `k·rate`, i.e. mean `1/rate` and
+/// squared coefficient of variation `1/k` (the paper's §2.5 example).
+///
+/// # Panics
+/// Panics if `k == 0` or `rate <= 0`.
+pub fn erlang(k: usize, rate: f64) -> PhaseType {
+    assert!(k > 0, "erlang: stage count must be positive");
+    assert!(rate > 0.0, "erlang: rate must be positive, got {rate}");
+    let stage_rate = k as f64 * rate;
+    let mut s = Matrix::zeros(k, k);
+    for i in 0..k {
+        s[(i, i)] = -stage_rate;
+        if i + 1 < k {
+            s[(i, i + 1)] = stage_rate;
+        }
+    }
+    let mut alpha = vec![0.0; k];
+    alpha[0] = 1.0;
+    PhaseType::new(alpha, s).expect("erlang parameters are always valid")
+}
+
+/// Hypoexponential (generalized Erlang): stages in series with individual
+/// `rates`. Mean is `Σ 1/rate_i`; SCV is below 1.
+///
+/// # Errors
+/// Fails if `rates` is empty or contains a nonpositive rate.
+pub fn hypoexponential(rates: &[f64]) -> Result<PhaseType, PhaseTypeError> {
+    if rates.is_empty() || rates.iter().any(|&r| r <= 0.0) {
+        return Err(PhaseTypeError::BadSubGenerator(
+            "hypoexponential needs nonempty positive rates".to_string(),
+        ));
+    }
+    let k = rates.len();
+    let mut s = Matrix::zeros(k, k);
+    for (i, &r) in rates.iter().enumerate() {
+        s[(i, i)] = -r;
+        if i + 1 < k {
+            s[(i, i + 1)] = r;
+        }
+    }
+    let mut alpha = vec![0.0; k];
+    alpha[0] = 1.0;
+    PhaseType::new(alpha, s)
+}
+
+/// Hyperexponential: a probabilistic mixture of exponentials — branch `i` is
+/// chosen with probability `probs[i]` and then runs at `rates[i]`. SCV ≥ 1.
+///
+/// # Errors
+/// Fails if lengths differ, probabilities are negative or sum above one, or a
+/// rate is nonpositive. A probability deficit becomes an atom at zero.
+pub fn hyperexponential(probs: &[f64], rates: &[f64]) -> Result<PhaseType, PhaseTypeError> {
+    if probs.len() != rates.len() || probs.is_empty() {
+        return Err(PhaseTypeError::Shape {
+            alpha_len: probs.len(),
+            s_shape: (rates.len(), rates.len()),
+        });
+    }
+    if rates.iter().any(|&r| r <= 0.0) {
+        return Err(PhaseTypeError::BadSubGenerator(
+            "hyperexponential rates must be positive".to_string(),
+        ));
+    }
+    let k = rates.len();
+    let mut s = Matrix::zeros(k, k);
+    for (i, &r) in rates.iter().enumerate() {
+        s[(i, i)] = -r;
+    }
+    PhaseType::new(probs.to_vec(), s)
+}
+
+/// Coxian distribution: stages in series where after stage `i` the process
+/// continues to stage `i+1` with probability `cont[i]` (length `k−1`) or
+/// absorbs with the complement.
+///
+/// # Errors
+/// Fails on empty/nonpositive rates or continuation probabilities outside
+/// `[0, 1]`.
+pub fn coxian(rates: &[f64], cont: &[f64]) -> Result<PhaseType, PhaseTypeError> {
+    let k = rates.len();
+    if k == 0 || rates.iter().any(|&r| r <= 0.0) {
+        return Err(PhaseTypeError::BadSubGenerator(
+            "coxian needs nonempty positive rates".to_string(),
+        ));
+    }
+    if cont.len() != k.saturating_sub(1) || cont.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+        return Err(PhaseTypeError::BadInitialVector(
+            "coxian continuation probabilities must be in [0,1] with length k-1".to_string(),
+        ));
+    }
+    let mut s = Matrix::zeros(k, k);
+    for i in 0..k {
+        s[(i, i)] = -rates[i];
+        if i + 1 < k {
+            s[(i, i + 1)] = rates[i] * cont[i];
+        }
+    }
+    let mut alpha = vec![0.0; k];
+    alpha[0] = 1.0;
+    PhaseType::new(alpha, s)
+}
+
+/// Erlang approximation of a deterministic value `d` using `stages` stages
+/// (SCV `1/stages`). Useful for near-constant context-switch overheads.
+///
+/// # Panics
+/// Panics if `d <= 0` or `stages == 0`.
+pub fn deterministic_approx(d: f64, stages: usize) -> PhaseType {
+    assert!(d > 0.0, "deterministic_approx: value must be positive");
+    erlang(stages, 1.0 / d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_basics() {
+        let e = exponential(4.0);
+        assert_eq!(e.order(), 1);
+        assert!((e.mean() - 0.25).abs() < 1e-12);
+        assert_eq!(e.atom_at_zero(), 0.0);
+        assert_eq!(e.exit_vector(), vec![4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = exponential(0.0);
+    }
+
+    #[test]
+    fn erlang_scv() {
+        for k in 1..=8 {
+            let ph = erlang(k, 2.0);
+            assert!((ph.mean() - 0.5).abs() < 1e-12, "k={k}");
+            assert!((ph.scv() - 1.0 / k as f64).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn hypoexponential_mean_is_sum() {
+        let ph = hypoexponential(&[1.0, 2.0, 4.0]).unwrap();
+        assert!((ph.mean() - (1.0 + 0.5 + 0.25)).abs() < 1e-12);
+        assert!(ph.scv() < 1.0);
+    }
+
+    #[test]
+    fn hypoexponential_rejects_bad_rates() {
+        assert!(hypoexponential(&[]).is_err());
+        assert!(hypoexponential(&[1.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn hyperexponential_mean_and_scv() {
+        let ph = hyperexponential(&[0.5, 0.5], &[1.0, 10.0]).unwrap();
+        assert!((ph.mean() - (0.5 + 0.05)).abs() < 1e-12);
+        assert!(ph.scv() > 1.0);
+    }
+
+    #[test]
+    fn hyperexponential_with_atom() {
+        let ph = hyperexponential(&[0.25, 0.25], &[1.0, 1.0]).unwrap();
+        assert!((ph.atom_at_zero() - 0.5).abs() < 1e-12);
+        assert!((ph.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hyperexponential_rejects_mismatch() {
+        assert!(hyperexponential(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(hyperexponential(&[], &[]).is_err());
+        assert!(hyperexponential(&[1.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn coxian_reduces_to_erlang() {
+        // Continuation probability 1 everywhere = hypoexponential.
+        let cox = coxian(&[3.0, 3.0], &[1.0]).unwrap();
+        let hypo = hypoexponential(&[3.0, 3.0]).unwrap();
+        assert!((cox.mean() - hypo.mean()).abs() < 1e-12);
+        assert!((cox.moment(2) - hypo.moment(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coxian_early_exit_shortens_mean() {
+        let cox = coxian(&[1.0, 1.0], &[0.5]).unwrap();
+        // Mean = 1 + 0.5 * 1 = 1.5
+        assert!((cox.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coxian_rejects_bad_cont() {
+        assert!(coxian(&[1.0, 1.0], &[1.5]).is_err());
+        assert!(coxian(&[1.0, 1.0], &[]).is_err());
+        assert!(coxian(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn deterministic_approx_concentrates() {
+        let d = deterministic_approx(2.0, 64);
+        assert!((d.mean() - 2.0).abs() < 1e-9);
+        assert!(d.scv() < 0.02);
+        // Most mass within 25% of the target value.
+        assert!(d.cdf(2.5) - d.cdf(1.5) > 0.95);
+    }
+}

@@ -1,0 +1,193 @@
+//! Fitting phase-type distributions to measured data.
+//!
+//! The paper's §3.2 argues its PH assumption is practical because *"a
+//! considerable body of research has examined the fitting of phase-type
+//! distributions to empirical data"* [2, 5, 15, 16]. This module provides
+//! the moment-based entry point of that workflow: summarize a sample of
+//! observed durations (interarrival gaps, service demands, measured
+//! overheads) and fit a small PH matching its first two or three moments.
+
+use crate::dist::PhaseType;
+use crate::fit::{fit_three_moment, fit_two_moment, FitQuality};
+
+/// Summary statistics of a sample of nonnegative durations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleMoments {
+    /// Number of observations.
+    pub count: usize,
+    /// First raw moment (mean).
+    pub m1: f64,
+    /// Second raw moment.
+    pub m2: f64,
+    /// Third raw moment.
+    pub m3: f64,
+}
+
+impl SampleMoments {
+    /// Compute raw moments of a sample.
+    ///
+    /// # Errors
+    /// Fails on an empty sample or on negative/non-finite observations.
+    pub fn from_samples(xs: &[f64]) -> Result<SampleMoments, String> {
+        if xs.is_empty() {
+            return Err("empty sample".to_string());
+        }
+        let mut m1 = 0.0;
+        let mut m2 = 0.0;
+        let mut m3 = 0.0;
+        for (i, &x) in xs.iter().enumerate() {
+            if !x.is_finite() || x < 0.0 {
+                return Err(format!("observation {i} is invalid: {x}"));
+            }
+            m1 += x;
+            m2 += x * x;
+            m3 += x * x * x;
+        }
+        let n = xs.len() as f64;
+        Ok(SampleMoments {
+            count: xs.len(),
+            m1: m1 / n,
+            m2: m2 / n,
+            m3: m3 / n,
+        })
+    }
+
+    /// Sample variance (biased, i.e. the raw-moment form).
+    pub fn variance(&self) -> f64 {
+        (self.m2 - self.m1 * self.m1).max(0.0)
+    }
+
+    /// Squared coefficient of variation.
+    pub fn scv(&self) -> f64 {
+        if self.m1 == 0.0 {
+            0.0
+        } else {
+            self.variance() / (self.m1 * self.m1)
+        }
+    }
+}
+
+/// Result of an empirical fit.
+#[derive(Debug, Clone)]
+pub struct EmpiricalFit {
+    /// The fitted distribution.
+    pub distribution: PhaseType,
+    /// Moments of the data it was fitted to.
+    pub moments: SampleMoments,
+    /// How many moments were matched exactly.
+    pub matched_moments: u8,
+}
+
+/// Fit a PH to a sample, matching two moments (and a third when the data
+/// falls inside the Coxian-2 feasible region).
+///
+/// # Errors
+/// Fails on an empty/invalid sample or a zero mean (all observations zero).
+pub fn fit_from_samples(xs: &[f64]) -> Result<EmpiricalFit, String> {
+    let moments = SampleMoments::from_samples(xs)?;
+    if moments.m1 <= 0.0 {
+        return Err("sample mean must be positive".to_string());
+    }
+    let (ph, quality) = fit_three_moment(moments.m1, moments.m2.max(moments.m1 * moments.m1), moments.m3);
+    let matched = match quality {
+        FitQuality::ThreeExact => 3,
+        FitQuality::TwoFallback => 2,
+    };
+    Ok(EmpiricalFit {
+        distribution: ph,
+        moments,
+        matched_moments: matched,
+    })
+}
+
+/// Fit matching only mean and SCV (more robust for small samples, where the
+/// third sample moment is noisy).
+pub fn fit_from_samples_two_moment(xs: &[f64]) -> Result<EmpiricalFit, String> {
+    let moments = SampleMoments::from_samples(xs)?;
+    if moments.m1 <= 0.0 {
+        return Err("sample mean must be positive".to_string());
+    }
+    let ph = fit_two_moment(moments.m1, moments.scv());
+    Ok(EmpiricalFit {
+        distribution: ph,
+        moments,
+        matched_moments: 2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{erlang, exponential, hyperexponential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_of_constant_sample() {
+        let m = SampleMoments::from_samples(&[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(m.m1, 2.0);
+        assert_eq!(m.m2, 4.0);
+        assert!(m.variance() < 1e-12);
+        assert_eq!(m.count, 3);
+    }
+
+    #[test]
+    fn invalid_samples_rejected() {
+        assert!(SampleMoments::from_samples(&[]).is_err());
+        assert!(SampleMoments::from_samples(&[1.0, -0.5]).is_err());
+        assert!(SampleMoments::from_samples(&[f64::NAN]).is_err());
+        assert!(fit_from_samples(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn recovers_exponential_from_its_samples() {
+        let src = exponential(2.0);
+        let mut rng = StdRng::seed_from_u64(99);
+        let xs = src.sample_n(&mut rng, 100_000);
+        let fit = fit_from_samples(&xs).unwrap();
+        assert!(
+            (fit.distribution.mean() - 0.5).abs() < 0.01,
+            "mean {}",
+            fit.distribution.mean()
+        );
+        assert!((fit.distribution.scv() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn recovers_erlang_shape() {
+        let src = erlang(4, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs = src.sample_n(&mut rng, 100_000);
+        let fit = fit_from_samples_two_moment(&xs).unwrap();
+        assert!((fit.distribution.mean() - 1.0).abs() < 0.01);
+        assert!(
+            (fit.distribution.scv() - 0.25).abs() < 0.05,
+            "scv {}",
+            fit.distribution.scv()
+        );
+    }
+
+    #[test]
+    fn recovers_hyperexponential_three_moments() {
+        let src = hyperexponential(&[0.3, 0.7], &[0.5, 4.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let xs = src.sample_n(&mut rng, 200_000);
+        let fit = fit_from_samples(&xs).unwrap();
+        assert_eq!(fit.matched_moments, 3);
+        let rel = |a: f64, b: f64| (a - b).abs() / b;
+        assert!(rel(fit.distribution.moment(1), src.moment(1)) < 0.02);
+        assert!(rel(fit.distribution.moment(2), src.moment(2)) < 0.05);
+        assert!(rel(fit.distribution.moment(3), src.moment(3)) < 0.15);
+    }
+
+    #[test]
+    fn low_variability_falls_back_to_two_moments() {
+        // SCV 1/8 is below the Coxian-2 floor (1/2): expect the fallback.
+        let src = erlang(8, 1.0);
+        let mut rng = StdRng::seed_from_u64(21);
+        let xs = src.sample_n(&mut rng, 50_000);
+        let fit = fit_from_samples(&xs).unwrap();
+        assert_eq!(fit.matched_moments, 2);
+        assert!((fit.distribution.mean() - 1.0).abs() < 0.02);
+    }
+}

@@ -1,0 +1,39 @@
+//! Phase-type (PH) distributions.
+//!
+//! The SPAA 1996 gang-scheduling model assumes *every* stochastic parameter —
+//! interarrival times `A_p`, service requirements `B_p`, quantum lengths
+//! `G_p`, and context-switch overheads `C_p` — follows a phase-type
+//! distribution `PH(α, S)` (paper §2.5 and §3.2). Phase-type distributions
+//! are dense in the distributions on `ℝ₊`, closed under convolution, mixture,
+//! minimum and maximum, and keep the overall model Markovian, which is what
+//! makes the matrix-geometric analysis possible.
+//!
+//! A `PH(α, S)` of order `m` is the distribution of the time to absorption of
+//! a CTMC on `{1, …, m, m+1}` started with probability vector `(α, α₀)`,
+//! where `S` is the `m × m` sub-generator among the transient states,
+//! `s⁰ = −S·e` is the exit-rate vector into the absorbing state `m+1`, and
+//! `α₀ = 1 − α·e` is an atom at zero.
+//!
+//! Provided here:
+//! * [`PhaseType`] — validated representation, moments, CDF/PDF/survival via
+//!   uniformization, sampling.
+//! * [`builders`] — exponential, Erlang, hypo-/hyper-exponential, Coxian and
+//!   deterministic-approximation constructors.
+//! * [`ops`] — convolution (Theorem 2.5), finite mixtures, minimum and
+//!   maximum via Kronecker algebra, time scaling.
+//! * [`fit`] — two- and three-moment matching used to compress the
+//!   "effective quantum" distributions in the fixed-point iteration.
+
+pub mod builders;
+pub mod dist;
+pub mod empirical;
+pub mod fit;
+pub mod ops;
+
+pub use builders::{
+    coxian, deterministic_approx, erlang, exponential, hyperexponential, hypoexponential,
+};
+pub use dist::{PhaseType, PhaseTypeError};
+pub use empirical::{fit_from_samples, fit_from_samples_two_moment, EmpiricalFit, SampleMoments};
+pub use fit::{fit_two_moment, fit_three_moment};
+pub use ops::{convolve, convolve_all, maximum, minimum, mixture};

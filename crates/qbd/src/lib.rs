@@ -1,0 +1,86 @@
+//! Quasi-birth-death (QBD) process solver — the matrix-geometric method.
+//!
+//! The per-class gang-scheduling processes of the SPAA 1996 paper are QBDs
+//! (§3, §4): the state space is organized into *levels* (the number of class
+//! `p` jobs in the system), transitions change the level by at most one, and
+//! from some level `c` onward (`c = P/g(p)`, all partitions busy) the
+//! transition blocks repeat. The paper's Theorem 4.2 gives the solution:
+//!
+//! * `π_{c+n+1} = π_{c+n} · R` where `R` is the minimal nonnegative solution
+//!   of `R²A₂ + RA₁ + A₀ = 0` (eq. 23) with `sp(R) < 1`;
+//! * the boundary vector `(π_0, …, π_c)` solves the finite linear system of
+//!   eqs. (21)/(25)/(26) with the normalization (24);
+//! * positive recurrence holds iff the drift condition `y A₀ e < y A₂ e` is
+//!   satisfied, `y` the stationary vector of `A = A₀+A₁+A₂` (Theorem 4.4).
+//!
+//! Provided here:
+//! * [`QbdProcess`] — a validated level-structured generator with an
+//!   arbitrary finite boundary (levels `0..=c` of possibly differing sizes).
+//! * [`rmatrix`] — two solvers for `R`: classical successive substitution
+//!   and the quadratically convergent logarithmic-reduction algorithm of
+//!   Latouche–Ramaswami (the modern counterpart of the paper's reference
+//!   [23], MAGIC).
+//! * [`solution::QbdSolution`] — the stationary distribution with closed-form
+//!   level moments (the paper's eq. 37).
+//! * [`stability`] — the drift condition of Theorem 4.4.
+
+pub mod process;
+pub mod rmatrix;
+pub mod solution;
+pub mod stability;
+
+pub use process::QbdProcess;
+pub use rmatrix::{solve_g_logarithmic_reduction, solve_r, solve_r_successive, RSolverMethod};
+pub use solution::QbdSolution;
+pub use stability::{drift_condition, DriftReport};
+
+/// Errors from QBD construction and solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QbdError {
+    /// Block shapes are inconsistent with a QBD structure.
+    Shape(String),
+    /// The infinite generator fails the zero-row-sum property.
+    NotGenerator(String),
+    /// The process is not positive recurrent (drift condition fails).
+    Unstable(DriftReport),
+    /// The boundary + first repeating level is not irreducible.
+    NotIrreducible,
+    /// Underlying numeric failure.
+    Linalg(gsched_linalg::LinalgError),
+    /// Underlying Markov-chain failure.
+    Markov(gsched_markov::MarkovError),
+}
+
+impl std::fmt::Display for QbdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QbdError::Shape(m) => write!(f, "bad QBD shape: {m}"),
+            QbdError::NotGenerator(m) => write!(f, "not a generator: {m}"),
+            QbdError::Unstable(r) => write!(
+                f,
+                "QBD is not positive recurrent: up-drift {} >= down-drift {}",
+                r.up_drift, r.down_drift
+            ),
+            QbdError::NotIrreducible => write!(f, "QBD is not irreducible"),
+            QbdError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            QbdError::Markov(e) => write!(f, "markov failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QbdError {}
+
+impl From<gsched_linalg::LinalgError> for QbdError {
+    fn from(e: gsched_linalg::LinalgError) -> Self {
+        QbdError::Linalg(e)
+    }
+}
+
+impl From<gsched_markov::MarkovError> for QbdError {
+    fn from(e: gsched_markov::MarkovError) -> Self {
+        QbdError::Markov(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, QbdError>;

@@ -1,0 +1,470 @@
+//! The level-structured QBD generator and its validation.
+
+use crate::{QbdError, Result};
+use gsched_linalg::Matrix;
+use gsched_markov::scc::is_strongly_connected;
+
+/// A continuous-time QBD process with a finite, possibly inhomogeneous
+/// boundary — the structure of the paper's eq. (20):
+///
+/// ```text
+///        ⎡ L₀   U₀                                  ⎤
+///        ⎢ D₁   L₁   U₁                             ⎥
+///        ⎢      D₂   L₂  U₂                         ⎥
+///    Q = ⎢           …   …    …                     ⎥
+///        ⎢           D_c  L_c  A₀                   ⎥   ← level c (= B̂₁₁ row)
+///        ⎢                A₂   A₁   A₀              ⎥
+///        ⎣                     A₂   A₁   A₀   …     ⎦
+/// ```
+///
+/// Levels `0..=c` form the *boundary* (sizes `d₀, …, d_c` with `d_c = D`);
+/// levels `c+1, c+2, …` repeat with the `D × D` blocks `A₀` (up), `A₁`
+/// (local) and `A₂` (down).
+#[derive(Debug, Clone)]
+pub struct QbdProcess {
+    /// `up[i]`: level `i → i+1`, shape `dᵢ × dᵢ₊₁`, for `i ∈ 0..c`.
+    pub boundary_up: Vec<Matrix>,
+    /// `local[i]`: level `i → i` (with diagonal), shape `dᵢ × dᵢ`, `i ∈ 0..=c`.
+    pub boundary_local: Vec<Matrix>,
+    /// `down[i]`: level `i → i−1`, shape `dᵢ × dᵢ₋₁`, for `i ∈ 1..=c`.
+    pub boundary_down: Vec<Matrix>,
+    /// Repeating up block `A₀` (`D × D`), also used from level `c`.
+    pub a0: Matrix,
+    /// Repeating local block `A₁` (`D × D`), levels `> c`.
+    pub a1: Matrix,
+    /// Repeating down block `A₂` (`D × D`), levels `> c` (down to `c` too).
+    pub a2: Matrix,
+}
+
+/// Numerical slack for generator validation.
+const VTOL: f64 = 1e-7;
+
+impl QbdProcess {
+    /// Validate shapes, sign structure, and zero row sums of the implied
+    /// infinite generator.
+    pub fn new(
+        boundary_up: Vec<Matrix>,
+        boundary_local: Vec<Matrix>,
+        boundary_down: Vec<Matrix>,
+        a0: Matrix,
+        a1: Matrix,
+        a2: Matrix,
+    ) -> Result<QbdProcess> {
+        let c = boundary_local.len().checked_sub(1).ok_or_else(|| {
+            QbdError::Shape("at least one boundary level (level 0) required".to_string())
+        })?;
+        if boundary_up.len() != c {
+            return Err(QbdError::Shape(format!(
+                "expected {} up blocks for {} boundary levels, got {}",
+                c,
+                c + 1,
+                boundary_up.len()
+            )));
+        }
+        if boundary_down.len() != c {
+            return Err(QbdError::Shape(format!(
+                "expected {} down blocks for {} boundary levels, got {}",
+                c,
+                c + 1,
+                boundary_down.len()
+            )));
+        }
+        let d = a1.rows();
+        for (name, m) in [("A0", &a0), ("A1", &a1), ("A2", &a2)] {
+            if m.shape() != (d, d) {
+                return Err(QbdError::Shape(format!(
+                    "{name} must be {d}x{d}, got {}x{}",
+                    m.rows(),
+                    m.cols()
+                )));
+            }
+        }
+        // Level sizes.
+        let dims: Vec<usize> = boundary_local.iter().map(|m| m.rows()).collect();
+        if dims[c] != d {
+            return Err(QbdError::Shape(format!(
+                "level c={c} must have the repeating dimension {d}, got {}",
+                dims[c]
+            )));
+        }
+        for (i, m) in boundary_local.iter().enumerate() {
+            if !m.is_square() {
+                return Err(QbdError::Shape(format!("local[{i}] is not square")));
+            }
+        }
+        for (i, m) in boundary_up.iter().enumerate() {
+            if m.shape() != (dims[i], dims[i + 1]) {
+                return Err(QbdError::Shape(format!(
+                    "up[{i}] must be {}x{}, got {}x{}",
+                    dims[i],
+                    dims[i + 1],
+                    m.rows(),
+                    m.cols()
+                )));
+            }
+        }
+        for (i, m) in boundary_down.iter().enumerate() {
+            // boundary_down[i] is the down block out of level i+1.
+            if m.shape() != (dims[i + 1], dims[i]) {
+                return Err(QbdError::Shape(format!(
+                    "down[{}] must be {}x{}, got {}x{}",
+                    i + 1,
+                    dims[i + 1],
+                    dims[i],
+                    m.rows(),
+                    m.cols()
+                )));
+            }
+        }
+
+        let proc = QbdProcess {
+            boundary_up,
+            boundary_local,
+            boundary_down,
+            a0,
+            a1,
+            a2,
+        };
+        proc.validate_generator()?;
+        Ok(proc)
+    }
+
+    /// Index of the first repeating level, `c`.
+    pub fn c(&self) -> usize {
+        self.boundary_local.len() - 1
+    }
+
+    /// Dimension of the repeating levels, `D`.
+    pub fn repeating_dim(&self) -> usize {
+        self.a1.rows()
+    }
+
+    /// Dimension of boundary level `i`.
+    pub fn level_dim(&self, i: usize) -> usize {
+        if i <= self.c() {
+            self.boundary_local[i].rows()
+        } else {
+            self.repeating_dim()
+        }
+    }
+
+    /// Check sign structure and zero row sums level by level.
+    fn validate_generator(&self) -> Result<()> {
+        let c = self.c();
+        let check_nonneg = |name: String, m: &Matrix, skip_diag: bool| -> Result<()> {
+            for i in 0..m.rows() {
+                for j in 0..m.cols() {
+                    if skip_diag && i == j {
+                        continue;
+                    }
+                    if m[(i, j)] < -VTOL {
+                        return Err(QbdError::NotGenerator(format!(
+                            "{name}[{i},{j}] = {} is negative",
+                            m[(i, j)]
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        };
+        for (i, m) in self.boundary_local.iter().enumerate() {
+            check_nonneg(format!("local[{i}]"), m, true)?;
+        }
+        for (i, m) in self.boundary_up.iter().enumerate() {
+            check_nonneg(format!("up[{i}]"), m, false)?;
+        }
+        for (i, m) in self.boundary_down.iter().enumerate() {
+            check_nonneg(format!("down[{}]", i + 1), m, false)?;
+        }
+        check_nonneg("A0".to_string(), &self.a0, false)?;
+        check_nonneg("A1".to_string(), &self.a1, true)?;
+        check_nonneg("A2".to_string(), &self.a2, false)?;
+
+        // Row sums per level.
+        let row_sum_check = |level: String, parts: Vec<&Matrix>| -> Result<()> {
+            let rows = parts[0].rows();
+            for r in 0..rows {
+                let total: f64 = parts.iter().map(|m| m.row(r).iter().sum::<f64>()).sum();
+                let scale: f64 = parts
+                    .iter()
+                    .map(|m| m.row(r).iter().map(|v| v.abs()).sum::<f64>())
+                    .sum();
+                if total.abs() > VTOL * (1.0 + scale) {
+                    return Err(QbdError::NotGenerator(format!(
+                        "row {r} of {level} sums to {total}"
+                    )));
+                }
+            }
+            Ok(())
+        };
+        if c == 0 {
+            row_sum_check("level 0".to_string(), vec![&self.boundary_local[0], &self.a0])?;
+        } else {
+            row_sum_check(
+                "level 0".to_string(),
+                vec![&self.boundary_local[0], &self.boundary_up[0]],
+            )?;
+            for i in 1..c {
+                row_sum_check(
+                    format!("level {i}"),
+                    vec![
+                        &self.boundary_down[i - 1],
+                        &self.boundary_local[i],
+                        &self.boundary_up[i],
+                    ],
+                )?;
+            }
+            row_sum_check(
+                format!("level {c}"),
+                vec![
+                    &self.boundary_down[c - 1],
+                    &self.boundary_local[c],
+                    &self.a0,
+                ],
+            )?;
+        }
+        row_sum_check(
+            "repeating level".to_string(),
+            vec![&self.a2, &self.a1, &self.a0],
+        )?;
+        Ok(())
+    }
+
+    /// The phase-process generator `A = A₀ + A₁ + A₂` of Theorem 4.4.
+    pub fn phase_generator(&self) -> Matrix {
+        &(&self.a0 + &self.a1) + &self.a2
+    }
+
+    /// §4.4 irreducibility check: the finite chain made of the boundary plus
+    /// the first two repeating levels must be strongly connected (transitions
+    /// above the truncation are dropped; by the repeating structure this is
+    /// sufficient).
+    pub fn is_irreducible(&self) -> bool {
+        let c = self.c();
+        // Global indices: levels 0..=c+2.
+        let dims: Vec<usize> = (0..=c + 2).map(|i| self.level_dim(i)).collect();
+        let offsets: Vec<usize> = dims
+            .iter()
+            .scan(0usize, |acc, &d| {
+                let o = *acc;
+                *acc += d;
+                Some(o)
+            })
+            .collect();
+        let n: usize = dims.iter().sum();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut add_block = |from_level: usize, to_level: usize, m: &Matrix| {
+            for i in 0..m.rows() {
+                for j in 0..m.cols() {
+                    if m[(i, j)] > 0.0 {
+                        let u = offsets[from_level] + i;
+                        let v = offsets[to_level] + j;
+                        if u != v {
+                            adj[u].push(v);
+                        }
+                    }
+                }
+            }
+        };
+        for (i, m) in self.boundary_local.iter().enumerate() {
+            add_block(i, i, m);
+        }
+        for (i, m) in self.boundary_up.iter().enumerate() {
+            add_block(i, i + 1, m);
+        }
+        for (i, m) in self.boundary_down.iter().enumerate() {
+            add_block(i + 1, i, m);
+        }
+        // Level c up, c+1 and c+2 blocks (truncate up-transitions from c+2).
+        add_block(c, c + 1, &self.a0);
+        add_block(c + 1, c + 1, &self.a1);
+        add_block(c + 1, c, &self.a2);
+        add_block(c + 1, c + 2, &self.a0);
+        add_block(c + 2, c + 2, &self.a1);
+        add_block(c + 2, c + 1, &self.a2);
+        is_strongly_connected(&adj)
+    }
+
+    /// Build the generator of the chain truncated at `max_level` (transitions
+    /// above are redirected nowhere; the top level keeps its up-rates on the
+    /// diagonal as a reflecting approximation). Used for cross-validation
+    /// against direct CTMC solves in tests.
+    pub fn truncated_generator(&self, max_level: usize) -> Matrix {
+        let c = self.c();
+        assert!(max_level > c, "truncate above the boundary");
+        let dims: Vec<usize> = (0..=max_level).map(|i| self.level_dim(i)).collect();
+        let offsets: Vec<usize> = dims
+            .iter()
+            .scan(0usize, |acc, &d| {
+                let o = *acc;
+                *acc += d;
+                Some(o)
+            })
+            .collect();
+        let n: usize = dims.iter().sum();
+        let mut q = Matrix::zeros(n, n);
+        let put = |q: &mut Matrix, from: usize, to: usize, m: &Matrix| {
+            q.set_block(offsets[from], offsets[to], m);
+        };
+        for (i, m) in self.boundary_local.iter().enumerate() {
+            put(&mut q, i, i, m);
+        }
+        for (i, m) in self.boundary_up.iter().enumerate() {
+            put(&mut q, i, i + 1, m);
+        }
+        for (i, m) in self.boundary_down.iter().enumerate() {
+            put(&mut q, i + 1, i, m);
+        }
+        for lvl in c..=max_level {
+            if lvl > c {
+                put(&mut q, lvl, lvl, &self.a1);
+                put(&mut q, lvl, lvl - 1, &self.a2);
+            }
+            if lvl < max_level {
+                put(&mut q, lvl, lvl + 1, &self.a0);
+            }
+        }
+        // Reflect: fold the dropped up-rates of the top level into its
+        // diagonal so rows still sum to zero (equivalent to rejecting
+        // arrivals at the truncation level).
+        let top = offsets[max_level];
+        let d = dims[max_level];
+        for i in 0..d {
+            let up_rate: f64 = self.a0.row(i).iter().sum();
+            q[(top + i, top + i)] += up_rate;
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// M/M/1 queue as a trivial QBD: one phase, boundary level 0 only.
+    pub(crate) fn mm1(lambda: f64, mu: f64) -> QbdProcess {
+        QbdProcess::new(
+            vec![],
+            vec![Matrix::from_rows(&[&[-lambda]])],
+            vec![],
+            Matrix::from_rows(&[&[lambda]]),
+            Matrix::from_rows(&[&[-(lambda + mu)]]),
+            Matrix::from_rows(&[&[mu]]),
+        )
+        .unwrap()
+    }
+
+    /// M/M/2 queue: levels 0,1 boundary (c=2 would be natural; use c=2).
+    pub(crate) fn mm2(lambda: f64, mu: f64) -> QbdProcess {
+        // Levels: 0 (empty), 1 (one busy), 2+ (both busy). All dims 1.
+        QbdProcess::new(
+            vec![
+                Matrix::from_rows(&[&[lambda]]),
+                Matrix::from_rows(&[&[lambda]]),
+            ],
+            vec![
+                Matrix::from_rows(&[&[-lambda]]),
+                Matrix::from_rows(&[&[-(lambda + mu)]]),
+                Matrix::from_rows(&[&[-(lambda + 2.0 * mu)]]),
+            ],
+            vec![
+                Matrix::from_rows(&[&[mu]]),
+                Matrix::from_rows(&[&[2.0 * mu]]),
+            ],
+            Matrix::from_rows(&[&[lambda]]),
+            Matrix::from_rows(&[&[-(lambda + 2.0 * mu)]]),
+            Matrix::from_rows(&[&[2.0 * mu]]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mm1_valid() {
+        let q = mm1(0.5, 1.0);
+        assert_eq!(q.c(), 0);
+        assert_eq!(q.repeating_dim(), 1);
+        assert!(q.is_irreducible());
+    }
+
+    #[test]
+    fn mm2_valid() {
+        let q = mm2(0.5, 1.0);
+        assert_eq!(q.c(), 2);
+        assert!(q.is_irreducible());
+    }
+
+    #[test]
+    fn shape_errors_detected() {
+        // Wrong up-block count.
+        let e = QbdProcess::new(
+            vec![Matrix::zeros(1, 1)],
+            vec![Matrix::from_rows(&[&[-1.0]])],
+            vec![],
+            Matrix::from_rows(&[&[1.0]]),
+            Matrix::from_rows(&[&[-2.0]]),
+            Matrix::from_rows(&[&[1.0]]),
+        );
+        assert!(matches!(e, Err(QbdError::Shape(_))));
+    }
+
+    #[test]
+    fn row_sum_violation_detected() {
+        let e = QbdProcess::new(
+            vec![],
+            vec![Matrix::from_rows(&[&[-1.0]])], // level 0: -1 + A0(=2) = 1 ≠ 0
+            vec![],
+            Matrix::from_rows(&[&[2.0]]),
+            Matrix::from_rows(&[&[-3.0]]),
+            Matrix::from_rows(&[&[1.0]]),
+        );
+        assert!(matches!(e, Err(QbdError::NotGenerator(_))));
+    }
+
+    #[test]
+    fn negative_rate_detected() {
+        let e = QbdProcess::new(
+            vec![],
+            vec![Matrix::from_rows(&[&[1.0]])], // positive "diagonal" is fine
+            vec![],
+            Matrix::from_rows(&[&[-1.0]]), // negative up rate
+            Matrix::from_rows(&[&[-1.0]]),
+            Matrix::from_rows(&[&[1.0]]),
+        );
+        assert!(matches!(e, Err(QbdError::NotGenerator(_))));
+    }
+
+    #[test]
+    fn phase_generator_rows_sum_zero() {
+        let q = mm2(0.7, 1.0);
+        let a = q.phase_generator();
+        for rs in a.row_sums() {
+            assert!(rs.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncated_generator_is_generator() {
+        let q = mm2(0.7, 1.0);
+        let t = q.truncated_generator(6);
+        assert_eq!(t.rows(), 7); // levels 0..=6, one state each
+        for rs in t.row_sums() {
+            assert!(rs.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reducible_detected() {
+        // Up rate zero: can never leave level 0 upward -> truncated graph
+        // not strongly connected.
+        let q = QbdProcess::new(
+            vec![],
+            vec![Matrix::from_rows(&[&[0.0]])],
+            vec![],
+            Matrix::from_rows(&[&[0.0]]),
+            Matrix::from_rows(&[&[-1.0]]),
+            Matrix::from_rows(&[&[1.0]]),
+        )
+        .unwrap();
+        assert!(!q.is_irreducible());
+    }
+}

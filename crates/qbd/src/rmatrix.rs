@@ -1,0 +1,283 @@
+//! Solvers for the rate matrix `R` (paper eq. 23).
+//!
+//! `R` is the minimal nonnegative solution of
+//!
+//! ```text
+//!     A₀ + R·A₁ + R²·A₂ = 0
+//! ```
+//!
+//! Two algorithms are provided:
+//!
+//! * **Successive substitution** — the classical fixed point
+//!   `R ← −(A₀ + R²A₂)·A₁⁻¹`, which converges monotonically from `R = 0`
+//!   (Neuts 1981). Linear convergence; slow near instability.
+//! * **Logarithmic reduction** (Latouche–Ramaswami 1993) — computes the
+//!   first-passage matrix `G` (minimal solution of `A₂ + A₁G + A₀G² = 0`)
+//!   with quadratic convergence and recovers
+//!   `R = A₀ · (−(A₁ + A₀G))⁻¹`. This is the default.
+
+use crate::{QbdError, Result};
+use gsched_linalg::{Lu, Matrix};
+
+/// Which algorithm to use for `R`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RSolverMethod {
+    /// Quadratically convergent logarithmic reduction (default).
+    #[default]
+    LogarithmicReduction,
+    /// Classical successive substitution.
+    SuccessiveSubstitution,
+}
+
+/// Solve for `R` using the requested method.
+pub fn solve_r(
+    a0: &Matrix,
+    a1: &Matrix,
+    a2: &Matrix,
+    method: RSolverMethod,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Matrix> {
+    match method {
+        RSolverMethod::SuccessiveSubstitution => solve_r_successive(a0, a1, a2, tol, max_iter),
+        RSolverMethod::LogarithmicReduction => {
+            let g = solve_g_logarithmic_reduction(a0, a1, a2, tol, max_iter)?;
+            r_from_g(a0, a1, &g)
+        }
+    }
+}
+
+/// Successive substitution: `R_{k+1} = −(A₀ + R_k² A₂) A₁⁻¹`, starting from
+/// `R₀ = 0`. The iterates increase monotonically to the minimal solution.
+pub fn solve_r_successive(
+    a0: &Matrix,
+    a1: &Matrix,
+    a2: &Matrix,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Matrix> {
+    let d = a1.rows();
+    let a1_lu = Lu::new(a1)?;
+    let mut r = Matrix::zeros(d, d);
+    let mut last_diff = f64::INFINITY;
+    for _ in 0..max_iter {
+        // numerator = A0 + R^2 A2
+        let r2 = r.matmul(&r)?;
+        let mut num = r2.matmul(a2)?;
+        num += a0;
+        // next = -num * A1^{-1}  <=>  next * A1 = -num
+        let next = a1_lu.solve_left_matrix(&num.scaled(-1.0))?;
+        last_diff = next.max_abs_diff(&r);
+        r = next;
+        if last_diff <= tol {
+            return Ok(r);
+        }
+    }
+    Err(QbdError::Linalg(gsched_linalg::LinalgError::NoConvergence {
+        method: "solve_r_successive",
+        iterations: max_iter,
+        residual: last_diff,
+    }))
+}
+
+/// Logarithmic reduction for the first-passage matrix `G` (minimal solution
+/// of `A₂ + A₁G + A₀G² = 0`).
+pub fn solve_g_logarithmic_reduction(
+    a0: &Matrix,
+    a1: &Matrix,
+    a2: &Matrix,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Matrix> {
+    let d = a1.rows();
+    let neg_a1_lu = Lu::new(&a1.scaled(-1.0))?;
+    // H = (−A1)⁻¹A0 (up step), L = (−A1)⁻¹A2 (down step).
+    let mut h = neg_a1_lu.solve_matrix(a0)?;
+    let mut l = neg_a1_lu.solve_matrix(a2)?;
+    let mut g = l.clone();
+    let mut t = h.clone();
+
+    let mut residual = f64::INFINITY;
+    for _ in 0..max_iter {
+        // U = H·L + L·H ; H ← (I−U)⁻¹H² ; L ← (I−U)⁻¹L²
+        let hl = h.matmul(&l)?;
+        let lh = l.matmul(&h)?;
+        let u = &hl + &lh;
+        let i_minus_u = &Matrix::identity(d) - &u;
+        let lu = Lu::new(&i_minus_u)?;
+        let h2 = h.matmul(&h)?;
+        let l2 = l.matmul(&l)?;
+        h = lu.solve_matrix(&h2)?;
+        l = lu.solve_matrix(&l2)?;
+        // G ← G + T·L ; T ← T·H
+        let tl = t.matmul(&l)?;
+        g += &tl;
+        t = t.matmul(&h)?;
+
+        // Convergence: for a positive recurrent QBD, G is stochastic; the
+        // defect of the row sums bounds the error. Also stop when the
+        // correction term vanishes (transient case: G substochastic).
+        let defect = g
+            .row_sums()
+            .iter()
+            .fold(0.0_f64, |m, &s| m.max((1.0 - s).abs()));
+        let correction = tl.max_abs();
+        residual = defect.min(correction);
+        if correction <= tol || defect <= tol {
+            return Ok(g);
+        }
+    }
+    Err(QbdError::Linalg(gsched_linalg::LinalgError::NoConvergence {
+        method: "solve_g_logarithmic_reduction",
+        iterations: max_iter,
+        residual,
+    }))
+}
+
+/// Recover `R = A₀ · (−(A₁ + A₀G))⁻¹` from the first-passage matrix `G`.
+pub fn r_from_g(a0: &Matrix, a1: &Matrix, g: &Matrix) -> Result<Matrix> {
+    let a0g = a0.matmul(g)?;
+    let u = &(a1.clone()) + &a0g; // U = A1 + A0 G
+    let neg_u_lu = Lu::new(&u.scaled(-1.0))?;
+    // R (−U) = A0  =>  R = A0 (−U)^{-1}
+    Ok(neg_u_lu.solve_left_matrix(a0)?)
+}
+
+/// Residual `‖A₀ + R A₁ + R² A₂‖_∞` of a candidate `R` — used in tests and
+/// as a post-hoc sanity check by callers.
+pub fn r_residual(a0: &Matrix, a1: &Matrix, a2: &Matrix, r: &Matrix) -> f64 {
+    let ra1 = r.matmul(a1).expect("square blocks");
+    let r2a2 = r.matmul(r).and_then(|r2| r2.matmul(a2)).expect("square");
+    let mut res = a0.clone();
+    res += &ra1;
+    res += &r2a2;
+    res.norm_inf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsched_linalg::spectral::spectral_radius_default;
+
+    fn mm1_blocks(lambda: f64, mu: f64) -> (Matrix, Matrix, Matrix) {
+        (
+            Matrix::from_rows(&[&[lambda]]),
+            Matrix::from_rows(&[&[-(lambda + mu)]]),
+            Matrix::from_rows(&[&[mu]]),
+        )
+    }
+
+    #[test]
+    fn mm1_r_is_rho_both_methods() {
+        let (a0, a1, a2) = mm1_blocks(0.6, 1.0);
+        for method in [
+            RSolverMethod::SuccessiveSubstitution,
+            RSolverMethod::LogarithmicReduction,
+        ] {
+            let r = solve_r(&a0, &a1, &a2, method, 1e-14, 100_000).unwrap();
+            assert!(
+                (r[(0, 0)] - 0.6).abs() < 1e-10,
+                "{method:?}: R = {}",
+                r[(0, 0)]
+            );
+        }
+    }
+
+    #[test]
+    fn methods_agree_on_multiphase_blocks() {
+        // Two-phase arrival-modulated M/M/1 (MMPP/M/1-like).
+        let l1 = 0.4;
+        let l2 = 1.2;
+        let mu = 2.0;
+        let s = 0.3; // phase switch rate
+        let a0 = Matrix::from_rows(&[&[l1, 0.0], &[0.0, l2]]);
+        let a2 = Matrix::from_rows(&[&[mu, 0.0], &[0.0, mu]]);
+        let a1 = Matrix::from_rows(&[
+            &[-(l1 + mu + s), s],
+            &[s, -(l2 + mu + s)],
+        ]);
+        let r_ss = solve_r(
+            &a0,
+            &a1,
+            &a2,
+            RSolverMethod::SuccessiveSubstitution,
+            1e-13,
+            1_000_000,
+        )
+        .unwrap();
+        let r_lr = solve_r(
+            &a0,
+            &a1,
+            &a2,
+            RSolverMethod::LogarithmicReduction,
+            1e-13,
+            200,
+        )
+        .unwrap();
+        assert!(r_ss.max_abs_diff(&r_lr) < 1e-8);
+        assert!(r_residual(&a0, &a1, &a2, &r_lr) < 1e-10);
+        assert!(r_lr.is_nonnegative(1e-12));
+        let sp = spectral_radius_default(&r_lr).unwrap();
+        assert!(sp < 1.0, "sp(R) = {sp}");
+    }
+
+    #[test]
+    fn g_is_stochastic_when_stable() {
+        let (a0, a1, a2) = mm1_blocks(0.5, 1.0);
+        let g = solve_g_logarithmic_reduction(&a0, &a1, &a2, 1e-14, 100).unwrap();
+        assert!((g[(0, 0)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_load_still_converges() {
+        // rho = 0.99: successive substitution needs many iterations, LR few.
+        let (a0, a1, a2) = mm1_blocks(0.99, 1.0);
+        let r = solve_r(
+            &a0,
+            &a1,
+            &a2,
+            RSolverMethod::LogarithmicReduction,
+            1e-13,
+            200,
+        )
+        .unwrap();
+        assert!((r[(0, 0)] - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residual_of_solution_is_small() {
+        let (a0, a1, a2) = mm1_blocks(0.3, 0.9);
+        let r = solve_r(
+            &a0,
+            &a1,
+            &a2,
+            RSolverMethod::LogarithmicReduction,
+            1e-14,
+            100,
+        )
+        .unwrap();
+        assert!(r_residual(&a0, &a1, &a2, &r) < 1e-12);
+    }
+
+    #[test]
+    fn successive_substitution_monotone_from_zero() {
+        // After a few iterations every entry must be <= the converged R
+        // (monotone convergence from below).
+        let (a0, a1, a2) = mm1_blocks(0.7, 1.0);
+        let r5 = {
+            let a1_lu = Lu::new(&a1).unwrap();
+            let mut r = Matrix::zeros(1, 1);
+            for _ in 0..5 {
+                let r2 = r.matmul(&r).unwrap();
+                let mut num = r2.matmul(&a2).unwrap();
+                num += &a0;
+                r = a1_lu.solve_left_matrix(&num.scaled(-1.0)).unwrap();
+            }
+            r
+        };
+        let r_star =
+            solve_r_successive(&a0, &a1, &a2, 1e-14, 1_000_000).unwrap();
+        assert!(r5[(0, 0)] <= r_star[(0, 0)] + 1e-12);
+        assert!(r5[(0, 0)] > 0.0);
+    }
+}

@@ -1,0 +1,458 @@
+//! Boundary solve and the stationary solution object (Theorem 4.2, eq. 37).
+
+use crate::process::QbdProcess;
+use crate::rmatrix::{r_residual, solve_r, RSolverMethod};
+use crate::stability::drift_condition;
+use crate::{QbdError, Result};
+use gsched_linalg::{solve_left_nullspace, spectral_radius, Lu, Matrix};
+
+/// Options controlling the QBD solve.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Algorithm for the rate matrix `R`.
+    pub method: RSolverMethod,
+    /// Convergence tolerance for the `R` iteration.
+    pub tol: f64,
+    /// Iteration budget for the `R` iteration.
+    pub max_iter: usize,
+    /// If true (default), fail with [`QbdError::NotIrreducible`] when the
+    /// §4.4 strong-connectivity check fails; if false, skip the check
+    /// (useful when the caller has already verified it).
+    pub check_irreducible: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            method: RSolverMethod::default(),
+            tol: 1e-12,
+            max_iter: 10_000,
+            check_irreducible: true,
+        }
+    }
+}
+
+/// The stationary distribution of a positive-recurrent QBD.
+///
+/// Stores the boundary vectors `π_0, …, π_c` and the rate matrix `R`; all
+/// higher levels follow from `π_{c+n} = π_c Rⁿ` (paper eq. 22).
+#[derive(Debug, Clone)]
+pub struct QbdSolution {
+    boundary: Vec<Vec<f64>>,
+    r: Matrix,
+    /// Cached `(I − R)⁻¹`.
+    i_minus_r_inv: Matrix,
+    /// Spectral radius of `R`.
+    sp_r: f64,
+}
+
+impl QbdProcess {
+    /// Solve for the stationary distribution (Theorem 4.2).
+    ///
+    /// Steps: §4.4 irreducibility check → drift condition (Theorem 4.4) →
+    /// `R` from eq. (23) → boundary system eqs. (21)/(24) → assemble.
+    pub fn solve(&self, opts: &SolveOptions) -> Result<QbdSolution> {
+        if opts.check_irreducible && !self.is_irreducible() {
+            return Err(QbdError::NotIrreducible);
+        }
+        let drift = drift_condition(&self.a0, &self.a1, &self.a2)?;
+        if !drift.is_stable() {
+            return Err(QbdError::Unstable(drift));
+        }
+        let r = solve_r(&self.a0, &self.a1, &self.a2, opts.method, opts.tol, opts.max_iter)?;
+        debug_assert!(
+            r_residual(&self.a0, &self.a1, &self.a2, &r) < 1e-6,
+            "R residual too large"
+        );
+        let d = self.repeating_dim();
+        let sp_r = spectral_radius(&r, 1e-12, 200_000).unwrap_or(1.0);
+        if sp_r >= 1.0 {
+            return Err(QbdError::Unstable(drift));
+        }
+        let i_minus_r = &Matrix::identity(d) - &r;
+        let i_minus_r_inv = Lu::new(&i_minus_r)?.inverse()?;
+
+        // ---- Boundary linear system (eqs. 21/25/26 + 24) ----
+        let c = self.c();
+        let dims: Vec<usize> = (0..=c).map(|i| self.level_dim(i)).collect();
+        let offsets: Vec<usize> = dims
+            .iter()
+            .scan(0usize, |acc, &x| {
+                let o = *acc;
+                *acc += x;
+                Some(o)
+            })
+            .collect();
+        let nb: usize = dims.iter().sum();
+        let mut m = Matrix::zeros(nb, nb);
+
+        // Column block j collects flow-balance contributions into level j.
+        // Row block i = unknown π_i.
+        for j in 0..=c {
+            // local contribution (π_j · local[j]); for j = c add R·A2.
+            if j < c {
+                m.set_block(offsets[j], offsets[j], &self.boundary_local[j]);
+            } else {
+                let ra2 = r.matmul(&self.a2)?;
+                let block = &self.boundary_local[c] + &ra2;
+                m.set_block(offsets[c], offsets[c], &block);
+            }
+            // up contribution from level j-1 (π_{j-1} · up[j-1]).
+            if j >= 1 {
+                m.set_block(offsets[j - 1], offsets[j], &self.boundary_up[j - 1]);
+            }
+            // down contribution from level j+1 when j+1 <= c.
+            if j < c {
+                m.set_block(offsets[j + 1], offsets[j], &self.boundary_down[j]);
+            }
+        }
+
+        // Normalization weights: 1 for levels < c, (I−R)⁻¹e for level c.
+        let mut w = vec![1.0; nb];
+        let tail = i_minus_r_inv.row_sums();
+        w[offsets[c]..offsets[c] + dims[c]].copy_from_slice(&tail);
+
+        let x = solve_left_nullspace(&m, &w)?;
+        // Clamp tiny negative round-off and split into levels.
+        let mut boundary = Vec::with_capacity(c + 1);
+        for j in 0..=c {
+            let seg: Vec<f64> = x[offsets[j]..offsets[j] + dims[j]]
+                .iter()
+                .map(|&v| if v < 0.0 && v > -1e-9 { 0.0 } else { v })
+                .collect();
+            if seg.iter().any(|&v| v < 0.0) {
+                return Err(QbdError::NotGenerator(format!(
+                    "boundary solve produced negative probability at level {j}"
+                )));
+            }
+            boundary.push(seg);
+        }
+
+        Ok(QbdSolution {
+            boundary,
+            r,
+            i_minus_r_inv,
+            sp_r,
+        })
+    }
+}
+
+impl QbdSolution {
+    /// Index of the first repeating level.
+    pub fn c(&self) -> usize {
+        self.boundary.len() - 1
+    }
+
+    /// The rate matrix `R`.
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Spectral radius of `R` (strictly below 1 for a solved system).
+    pub fn spectral_radius(&self) -> f64 {
+        self.sp_r
+    }
+
+    /// Stationary sub-vector of level `n` (computed as `π_c R^{n−c}` above
+    /// the boundary).
+    pub fn level_vector(&self, n: usize) -> Vec<f64> {
+        let c = self.c();
+        if n <= c {
+            return self.boundary[n].clone();
+        }
+        let mut v = self.boundary[c].clone();
+        for _ in c..n {
+            v = self.r.left_mul_vec(&v).expect("dimension");
+        }
+        v
+    }
+
+    /// Total stationary probability of level `n`.
+    pub fn level_prob(&self, n: usize) -> f64 {
+        self.level_vector(n).iter().sum()
+    }
+
+    /// `P(level ≥ n)`.
+    pub fn tail_prob(&self, n: usize) -> f64 {
+        let c = self.c();
+        if n <= c {
+            let below: f64 = (0..n).map(|i| self.level_prob(i)).sum();
+            return (1.0 - below).clamp(0.0, 1.0);
+        }
+        // π_c R^{n-c} (I−R)⁻¹ e
+        let mut v = self.boundary[c].clone();
+        for _ in c..n {
+            v = self.r.left_mul_vec(&v).expect("dimension");
+        }
+        let tail = self
+            .i_minus_r_inv
+            .row_sums();
+        v.iter().zip(tail.iter()).map(|(a, b)| a * b).sum()
+    }
+
+    /// Mean level — the paper's eq. (37):
+    ///
+    /// `N = Σ_{i=1}^{c−1} i·π_i·e + c·π_c(I−R)⁻¹e + π_c(I−R)⁻²Re`.
+    pub fn mean_level(&self) -> f64 {
+        let c = self.c();
+        let mut n = 0.0;
+        for i in 1..c {
+            n += i as f64 * self.level_prob(i);
+        }
+        let pi_c = &self.boundary[c];
+        // c · π_c (I−R)⁻¹ e
+        let inv_e = self.i_minus_r_inv.row_sums();
+        n += c as f64 * pi_c.iter().zip(inv_e.iter()).map(|(a, b)| a * b).sum::<f64>();
+        // π_c (I−R)⁻² R e
+        let inv2 = self
+            .i_minus_r_inv
+            .matmul(&self.i_minus_r_inv)
+            .expect("square");
+        let inv2_r = inv2.matmul(&self.r).expect("square");
+        let v = inv2_r.row_sums();
+        n += pi_c.iter().zip(v.iter()).map(|(a, b)| a * b).sum::<f64>();
+        n
+    }
+
+    /// Second raw moment of the level, `E[level²]`, via
+    /// `Σ n Rⁿ = R(I−R)⁻²` and `Σ n² Rⁿ = R(I+R)(I−R)⁻³`.
+    pub fn second_moment_level(&self) -> f64 {
+        let c = self.c();
+        let mut m2 = 0.0;
+        for i in 1..c {
+            m2 += (i * i) as f64 * self.level_prob(i);
+        }
+        let pi_c = &self.boundary[c];
+        let d = self.r.rows();
+        let inv = &self.i_minus_r_inv;
+        let inv2 = inv.matmul(inv).expect("square");
+        let inv3 = inv2.matmul(inv).expect("square");
+        // Σ_{n≥0} (c+n)² π_c Rⁿ e
+        //   = c² π_c(I−R)⁻¹e + 2c π_c R(I−R)⁻²e + π_c R(I+R)(I−R)⁻³e
+        let t1 = inv.row_sums();
+        let r_inv2 = self.r.matmul(&inv2).expect("square");
+        let t2 = r_inv2.row_sums();
+        let i_plus_r = &Matrix::identity(d) + &self.r;
+        let r_ipr_inv3 = self
+            .r
+            .matmul(&i_plus_r)
+            .and_then(|m| m.matmul(&inv3))
+            .expect("square");
+        let t3 = r_ipr_inv3.row_sums();
+        let cf = c as f64;
+        let dot = |v: &[f64]| -> f64 { pi_c.iter().zip(v.iter()).map(|(a, b)| a * b).sum() };
+        m2 + cf * cf * dot(&t1) + 2.0 * cf * dot(&t2) + dot(&t3)
+    }
+
+    /// Variance of the level.
+    pub fn variance_level(&self) -> f64 {
+        let m = self.mean_level();
+        (self.second_moment_level() - m * m).max(0.0)
+    }
+
+    /// Aggregated stationary phase vector over all levels `≥ c`:
+    /// `π_c (I−R)⁻¹`. Together with the boundary vectors this is the full
+    /// marginal over phases.
+    pub fn tail_phase_vector(&self) -> Vec<f64> {
+        self.i_minus_r_inv
+            .transpose()
+            .mul_vec(&self.boundary[self.c()])
+            .expect("dimension")
+    }
+
+    /// Total probability mass (should be 1; exposed for diagnostics).
+    pub fn total_mass(&self) -> f64 {
+        let c = self.c();
+        let mut s = 0.0;
+        for i in 0..c {
+            s += self.level_prob(i);
+        }
+        s + self.tail_phase_vector().iter().sum::<f64>()
+    }
+
+    /// Borrow the boundary vectors `π_0..=π_c`.
+    pub fn boundary(&self) -> &[Vec<f64>] {
+        &self.boundary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm1(lambda: f64, mu: f64) -> QbdProcess {
+        QbdProcess::new(
+            vec![],
+            vec![Matrix::from_rows(&[&[-lambda]])],
+            vec![],
+            Matrix::from_rows(&[&[lambda]]),
+            Matrix::from_rows(&[&[-(lambda + mu)]]),
+            Matrix::from_rows(&[&[mu]]),
+        )
+        .unwrap()
+    }
+
+    fn mmc(lambda: f64, mu: f64, servers: usize) -> QbdProcess {
+        // M/M/c: level i <= servers has service rate i*mu; dims all 1.
+        let c = servers;
+        let mut up = Vec::new();
+        let mut local = Vec::new();
+        let mut down = Vec::new();
+        for i in 0..=c {
+            let svc = (i as f64) * mu;
+            if i < c {
+                up.push(Matrix::from_rows(&[&[lambda]]));
+            }
+            local.push(Matrix::from_rows(&[&[-(lambda + svc)]]));
+            if i >= 1 {
+                down.push(Matrix::from_rows(&[&[(i as f64) * mu]]));
+            }
+        }
+        QbdProcess::new(
+            up,
+            local,
+            down,
+            Matrix::from_rows(&[&[lambda]]),
+            Matrix::from_rows(&[&[-(lambda + c as f64 * mu)]]),
+            Matrix::from_rows(&[&[c as f64 * mu]]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mm1_geometric_solution() {
+        let rho: f64 = 0.6;
+        let q = mm1(rho, 1.0);
+        let sol = q.solve(&SolveOptions::default()).unwrap();
+        for n in 0..12 {
+            let want = (1.0 - rho) * rho.powi(n as i32);
+            assert!(
+                (sol.level_prob(n) - want).abs() < 1e-10,
+                "n={n}: {} vs {want}",
+                sol.level_prob(n)
+            );
+        }
+        assert!((sol.mean_level() - rho / (1.0 - rho)).abs() < 1e-10);
+        assert!((sol.total_mass() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mm1_variance_closed_form() {
+        let rho: f64 = 0.5;
+        let q = mm1(rho, 1.0);
+        let sol = q.solve(&SolveOptions::default()).unwrap();
+        let var_want = rho / ((1.0 - rho) * (1.0 - rho));
+        assert!(
+            (sol.variance_level() - var_want).abs() < 1e-9,
+            "{} vs {var_want}",
+            sol.variance_level()
+        );
+    }
+
+    #[test]
+    fn mm2_erlang_c_mean() {
+        // M/M/2 with lambda=1.2, mu=1: rho = 0.6.
+        let (lambda, mu, s) = (1.2, 1.0, 2usize);
+        let q = mmc(lambda, mu, s);
+        let sol = q.solve(&SolveOptions::default()).unwrap();
+        // Closed form M/M/2: p0 = (1-rho)/(1+rho), Lq = 2rho^3/(1-rho^2)... use
+        // standard Erlang-C: a = lambda/mu = 1.2, rho = a/2 = 0.6.
+        let a = lambda / mu;
+        let rho = a / s as f64;
+        // p0 for c=2: 1 / (1 + a + a^2/(2(1-rho)))
+        let p0 = 1.0 / (1.0 + a + a * a / (2.0 * (1.0 - rho)));
+        let erlang_c = (a * a / 2.0) * p0 / (1.0 - rho);
+        let lq = erlang_c * rho / (1.0 - rho);
+        let l = lq + a;
+        assert!(
+            (sol.mean_level() - l).abs() < 1e-9,
+            "{} vs {l}",
+            sol.mean_level()
+        );
+        assert!((sol.level_prob(0) - p0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mm5_matches_erlang_formulas() {
+        let (lambda, mu, s) = (3.0, 1.0, 5usize);
+        let q = mmc(lambda, mu, s);
+        let sol = q.solve(&SolveOptions::default()).unwrap();
+        let a: f64 = lambda / mu;
+        let rho = a / s as f64;
+        let mut p0_inv = 0.0;
+        for k in 0..s {
+            p0_inv += a.powi(k as i32) / factorial(k);
+        }
+        p0_inv += a.powi(s as i32) / (factorial(s) * (1.0 - rho));
+        let p0 = 1.0 / p0_inv;
+        let erlang_c = a.powi(s as i32) / (factorial(s) * (1.0 - rho)) * p0;
+        let l = erlang_c * rho / (1.0 - rho) + a;
+        assert!(
+            (sol.mean_level() - l).abs() < 1e-8,
+            "{} vs {l}",
+            sol.mean_level()
+        );
+        fn factorial(n: usize) -> f64 {
+            (1..=n).map(|i| i as f64).product::<f64>().max(1.0)
+        }
+    }
+
+    #[test]
+    fn unstable_rejected() {
+        let q = mm1(1.5, 1.0);
+        assert!(matches!(
+            q.solve(&SolveOptions::default()),
+            Err(QbdError::Unstable(_))
+        ));
+    }
+
+    #[test]
+    fn tail_probabilities_consistent() {
+        let q = mm1(0.4, 1.0);
+        let sol = q.solve(&SolveOptions::default()).unwrap();
+        for n in 0..8 {
+            let direct: f64 = (n..60).map(|k| sol.level_prob(k)).sum();
+            assert!(
+                (sol.tail_prob(n) - direct).abs() < 1e-10,
+                "n={n}: {} vs {direct}",
+                sol.tail_prob(n)
+            );
+        }
+    }
+
+    #[test]
+    fn solution_matches_truncated_ctmc() {
+        use gsched_markov::Ctmc;
+        let q = mmc(1.0, 0.8, 3);
+        let sol = q.solve(&SolveOptions::default()).unwrap();
+        // Direct solve of the truncated chain at a high level.
+        let t = q.truncated_generator(60);
+        let pi = Ctmc::new(t).unwrap().stationary_gth().unwrap();
+        for n in 0..10 {
+            assert!(
+                (sol.level_prob(n) - pi[n]).abs() < 1e-8,
+                "n={n}: {} vs {}",
+                sol.level_prob(n),
+                pi[n]
+            );
+        }
+    }
+
+    #[test]
+    fn mean_level_matches_series() {
+        let q = mm1(0.7, 1.0);
+        let sol = q.solve(&SolveOptions::default()).unwrap();
+        let series: f64 = (1..500).map(|n| n as f64 * sol.level_prob(n)).sum();
+        assert!((sol.mean_level() - series).abs() < 1e-8);
+    }
+
+    #[test]
+    fn skip_irreducibility_check_option() {
+        let q = mm1(0.5, 1.0);
+        let opts = SolveOptions {
+            check_irreducible: false,
+            ..Default::default()
+        };
+        assert!(q.solve(&opts).is_ok());
+    }
+}

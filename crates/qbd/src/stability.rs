@@ -1,0 +1,113 @@
+//! The drift (positive recurrence) condition of Theorem 4.4.
+
+use crate::Result;
+use gsched_linalg::Matrix;
+use gsched_markov::Ctmc;
+
+/// Outcome of the drift test `y A₀ e < y A₂ e` (paper eq. 36).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Mean upward rate `y A₀ e` under the phase-stationary vector `y`.
+    pub up_drift: f64,
+    /// Mean downward rate `y A₂ e`.
+    pub down_drift: f64,
+    /// Stationary vector of the phase generator `A = A₀+A₁+A₂`.
+    pub phase_stationary: Vec<f64>,
+}
+
+impl DriftReport {
+    /// True iff the QBD is positive recurrent (strict inequality).
+    pub fn is_stable(&self) -> bool {
+        self.up_drift < self.down_drift
+    }
+
+    /// Stability margin `(down − up) / down`, in `(−∞, 1]`; positive when
+    /// stable. A convenient "distance from saturation" figure for tuning.
+    pub fn margin(&self) -> f64 {
+        if self.down_drift == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        (self.down_drift - self.up_drift) / self.down_drift
+    }
+}
+
+/// Evaluate the drift condition for repeating blocks `A₀`, `A₁`, `A₂`.
+///
+/// Solves `y A = 0`, `y e = 1` for `A = A₀+A₁+A₂` (the phase process with
+/// the level component censored) and compares the mean up- and down-rates.
+///
+/// # Errors
+/// Fails when `A` is reducible — the paper assumes irreducible phase-type
+/// representations, which make `A` irreducible (§4.4).
+pub fn drift_condition(a0: &Matrix, a1: &Matrix, a2: &Matrix) -> Result<DriftReport> {
+    let a = &(&(a0.clone()) + a1) + a2;
+    let ctmc = Ctmc::new(a)?;
+    let y = ctmc.stationary_gth()?;
+    let up: f64 = y
+        .iter()
+        .zip(a0.row_sums().iter())
+        .map(|(yi, ri)| yi * ri)
+        .sum();
+    let down: f64 = y
+        .iter()
+        .zip(a2.row_sums().iter())
+        .map(|(yi, ri)| yi * ri)
+        .sum();
+    Ok(DriftReport {
+        up_drift: up,
+        down_drift: down,
+        phase_stationary: y,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_drift_is_lambda_vs_mu() {
+        let a0 = Matrix::from_rows(&[&[0.6]]);
+        let a1 = Matrix::from_rows(&[&[-1.6]]);
+        let a2 = Matrix::from_rows(&[&[1.0]]);
+        let rep = drift_condition(&a0, &a1, &a2).unwrap();
+        assert!((rep.up_drift - 0.6).abs() < 1e-14);
+        assert!((rep.down_drift - 1.0).abs() < 1e-14);
+        assert!(rep.is_stable());
+        assert!((rep.margin() - 0.4).abs() < 1e-14);
+    }
+
+    #[test]
+    fn unstable_when_lambda_exceeds_mu() {
+        let a0 = Matrix::from_rows(&[&[1.5]]);
+        let a1 = Matrix::from_rows(&[&[-2.5]]);
+        let a2 = Matrix::from_rows(&[&[1.0]]);
+        let rep = drift_condition(&a0, &a1, &a2).unwrap();
+        assert!(!rep.is_stable());
+        assert!(rep.margin() < 0.0);
+    }
+
+    #[test]
+    fn critical_load_is_not_stable() {
+        let a0 = Matrix::from_rows(&[&[1.0]]);
+        let a1 = Matrix::from_rows(&[&[-2.0]]);
+        let a2 = Matrix::from_rows(&[&[1.0]]);
+        let rep = drift_condition(&a0, &a1, &a2).unwrap();
+        assert!(!rep.is_stable()); // strict inequality required
+    }
+
+    #[test]
+    fn phase_weighting_matters() {
+        // Phase 1 arrives fast, phase 2 slow; phase process spends 3/4 of
+        // time in phase 2 => weighted up-drift reflects that.
+        let a0 = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 0.2]]);
+        let a2 = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        // Phase switching: 1->2 at rate 3, 2->1 at rate 1.
+        let a1 = Matrix::from_rows(&[&[-(2.0 + 1.0 + 3.0), 3.0], &[1.0, -(0.2 + 1.0 + 1.0)]]);
+        let rep = drift_condition(&a0, &a1, &a2).unwrap();
+        let y = &rep.phase_stationary;
+        assert!((y[0] - 0.25).abs() < 1e-12);
+        let want_up = 0.25 * 2.0 + 0.75 * 0.2;
+        assert!((rep.up_drift - want_up).abs() < 1e-12);
+        assert!(rep.is_stable());
+    }
+}

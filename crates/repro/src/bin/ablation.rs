@@ -1,0 +1,84 @@
+//! Ablation study over the solver's design choices (documented in
+//! DESIGN.md):
+//!
+//! 1. **Vacation mode** — heavy-traffic only (Thm 4.1) vs fixed point with
+//!    2-moment compression vs 3-moment compression vs the exact truncated
+//!    absorbed chain (Thm 4.3). Shows how much the fixed point matters and
+//!    how little the compression order does.
+//! 2. **Erlang stage count K** of the quantum distribution — the paper's
+//!    figures leave K unspecified; this quantifies the sensitivity.
+//! 3. **Fixed-point tolerance** — iterations vs accuracy.
+//!
+//! Run: `cargo run --release -p gsched-repro --bin ablation`
+
+use gsched_core::solver::{solve, SolverOptions, VacationMode};
+use gsched_workload::{paper_model, PaperConfig};
+
+fn main() {
+    let base = PaperConfig {
+        lambda: 0.5,
+        quantum_mean: 1.0,
+        quantum_stages: 2,
+        overhead_mean: 0.01,
+    };
+
+    println!("# Ablation 1: vacation mode (lambda=0.5, quantum=1)");
+    println!("mode,N0,N1,N2,N3,iterations");
+    let model = paper_model(&base);
+    let modes: Vec<(&str, VacationMode)> = vec![
+        ("heavy-traffic", VacationMode::HeavyTraffic),
+        ("moment-2", VacationMode::MomentMatched { moments: 2 }),
+        ("moment-3", VacationMode::MomentMatched { moments: 3 }),
+        ("exact-truncated", VacationMode::Exact),
+    ];
+    for (name, mode) in modes {
+        let opts = SolverOptions {
+            mode,
+            ..Default::default()
+        };
+        match solve(&model, &opts) {
+            Ok(sol) => {
+                let ns: Vec<String> = sol
+                    .classes
+                    .iter()
+                    .map(|c| format!("{:.4}", c.mean_jobs))
+                    .collect();
+                println!("{name},{},{}", ns.join(","), sol.iterations);
+            }
+            Err(e) => println!("{name},error: {e}"),
+        }
+    }
+
+    println!("\n# Ablation 2: quantum Erlang stage count K (lambda=0.5, quantum=1)");
+    println!("K,N0,N1,N2,N3");
+    for k in [1usize, 2, 4, 8] {
+        let model = paper_model(&PaperConfig {
+            quantum_stages: k,
+            ..base.clone()
+        });
+        match solve(&model, &SolverOptions::default()) {
+            Ok(sol) => {
+                let ns: Vec<String> = sol
+                    .classes
+                    .iter()
+                    .map(|c| format!("{:.4}", c.mean_jobs))
+                    .collect();
+                println!("{k},{}", ns.join(","));
+            }
+            Err(e) => println!("{k},error: {e}"),
+        }
+    }
+
+    println!("\n# Ablation 3: fixed-point tolerance (lambda=0.5, quantum=1)");
+    println!("tol,N0,iterations");
+    for tol in [1e-2, 1e-4, 1e-6, 1e-8] {
+        let opts = SolverOptions {
+            fp_tol: tol,
+            ..Default::default()
+        };
+        match solve(&model, &opts) {
+            Ok(sol) => println!("{tol:.0e},{:.6},{}", sol.classes[0].mean_jobs, sol.iterations),
+            Err(e) => println!("{tol:.0e},error: {e}"),
+        }
+    }
+}

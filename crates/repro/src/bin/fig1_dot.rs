@@ -1,0 +1,50 @@
+//! Figure 1: the state-transition diagram of the class-`p` Markov chain in
+//! the special case of Poisson arrivals, exponential service, exponential
+//! context-switch overheads, a K-stage Erlang quantum, and 3 servers.
+//!
+//! Emits Graphviz DOT on stdout (render with `dot -Tsvg`). The diagram is
+//! generated from the same generator matrices the solver uses, so it is a
+//! faithful machine-drawn Figure 1.
+//!
+//! Run: `cargo run -p gsched-repro --bin fig1_dot > fig1.dot`
+
+use gsched_core::dot::class_chain_dot;
+use gsched_core::generator::build_class_chain;
+use gsched_core::model::{ClassParams, GangModel};
+use gsched_core::vacation::heavy_traffic_vacation;
+use gsched_phase::{erlang, exponential};
+
+fn main() {
+    // 3 servers for the focal class (g=1 on P=3), one competing class, as in
+    // the paper's figure: j^A = 1 phase, j^B = 1 phase, m_C = 1, M_p = K.
+    let k = 3;
+    let model = GangModel::new(
+        3,
+        vec![
+            ClassParams {
+                partition_size: 1,
+                arrival: exponential(0.5),
+                service: exponential(1.0),
+                quantum: erlang(k, 1.0),
+                switch_overhead: exponential(100.0),
+            },
+            ClassParams {
+                partition_size: 3,
+                arrival: exponential(0.2),
+                service: exponential(1.0),
+                quantum: erlang(k, 1.0),
+                switch_overhead: exponential(100.0),
+            },
+        ],
+    )
+    .expect("figure-1 parameters are valid");
+    let vacation = heavy_traffic_vacation(&model, 0);
+    let chain = build_class_chain(&model, 0, &vacation).expect("chain builds");
+    eprintln!(
+        "fig1: class-0 chain with c = {}, K = {k} quantum stages, vacation order {}",
+        chain.space.c,
+        vacation.order()
+    );
+    print!("{}", class_chain_dot(&chain, 5));
+    eprintln!("fig1: DOT written to stdout (render with `dot -Tsvg`)");
+}

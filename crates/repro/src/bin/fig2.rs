@@ -1,0 +1,14 @@
+//! Figure 2: mean number of jobs `N_p` versus mean quantum length `1/γ`
+//! for the 8-processor system at utilization `ρ = 0.4` (`λ_p = 0.4`).
+//!
+//! Paper's description of the shape: as quantum lengths grow from zero the
+//! mean number of jobs first drops fast (context-switch overhead stops
+//! dominating), reaches a knee, then rises monotonically (exhaustive-service
+//! effect: long quanta hold mostly-idle partitions while other classes
+//! queue). Class 0 (whole-machine jobs, slowest service) sits highest.
+//!
+//! Run: `cargo run --release -p gsched-repro --bin fig2`
+
+fn main() {
+    gsched_repro::run_quantum_figure("fig2", 0.4);
+}

@@ -1,0 +1,9 @@
+//! Figure 3: same quantum sweep as Figure 2 at heavy load `ρ = 0.9`
+//! (`λ_p = 0.9`). The paper notes the knees move closer together and the
+//! rise past the knee steepens as load grows.
+//!
+//! Run: `cargo run --release -p gsched-repro --bin fig3`
+
+fn main() {
+    gsched_repro::run_quantum_figure("fig3", 0.9);
+}

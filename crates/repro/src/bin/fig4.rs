@@ -1,0 +1,70 @@
+//! Figure 4: mean number of jobs versus mean service rate `μ` (common to
+//! all classes), quantum mean 5, `λ_p = 0.6`.
+//!
+//! Paper's shape: the mean number of jobs drops dramatically as the service
+//! rate starts increasing, then the rate of decrease becomes very low —
+//! diminishing returns past a point.
+//!
+//! Run: `cargo run --release -p gsched-repro --bin fig4`
+
+use gsched_core::solver::SolverOptions;
+use gsched_repro::{
+    class_series, is_monotone_decreasing, print_csv, record_from_sweep, report_checks, run_sweep,
+    save_record,
+};
+use gsched_workload::figures::{default_service_rate_grid, service_rate_sweep};
+use gsched_workload::spec::ShapeCheck;
+
+fn main() {
+    let grid = default_service_rate_grid();
+    let points = service_rate_sweep(2, &grid);
+    eprintln!("fig4: service-rate sweep over {} points", grid.len());
+    let results = run_sweep(&points, &SolverOptions::default());
+    print_csv("service_rate", &results);
+
+    let mut checks = Vec::new();
+    for p in 0..4 {
+        let (_, y) = class_series(&results, p);
+        checks.push(ShapeCheck {
+            name: format!("class {p} decreases monotonically in μ"),
+            passed: is_monotone_decreasing(&y, 0.01),
+            detail: format!(
+                "N from {:.3} to {:.3}",
+                y.first().copied().unwrap_or(f64::NAN),
+                y.last().copied().unwrap_or(f64::NAN)
+            ),
+        });
+        // Diminishing returns: the drop over the first half of the grid
+        // dominates the drop over the second half.
+        let finite: Vec<f64> = y.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.len() >= 4 {
+            let mid = finite.len() / 2;
+            let early_drop = finite[0] - finite[mid];
+            let late_drop = finite[mid] - finite[finite.len() - 1];
+            checks.push(ShapeCheck {
+                name: format!("class {p} shows diminishing returns"),
+                passed: early_drop > 2.0 * late_drop.max(0.0),
+                detail: format!("early drop {early_drop:.3}, late drop {late_drop:.3}"),
+            });
+        }
+    }
+
+    let record = record_from_sweep(
+        "fig4",
+        "Mean jobs vs mean service rate (paper Fig. 4)",
+        vec![
+            ("lambda".to_string(), 0.6),
+            ("quantum_mean".to_string(), 5.0),
+            ("overhead_mean".to_string(), 0.01),
+        ],
+        &results,
+        checks,
+    );
+    let ok = report_checks(&record.shape_checks);
+    save_record(&record).expect("write results json");
+    if !ok {
+        eprintln!("fig4: some shape checks FAILED");
+        std::process::exit(1);
+    }
+    eprintln!("fig4: all shape checks passed");
+}

@@ -1,0 +1,83 @@
+//! Figure 5: mean number of jobs `N_p` versus the fraction of the
+//! timeplexing cycle's quantum budget devoted to class `p`, at `λ_p = 0.6`
+//! (`ρ = 0.6`).
+//!
+//! Paper's shape: for every class, `N_p` decreases monotonically as that
+//! class's share of the cycle grows. (The paper fixes a cycle length; we fix
+//! a total quantum budget of 4 and note results are similar for any
+//! specified cycle length, as the paper states.)
+//!
+//! Run: `cargo run --release -p gsched-repro --bin fig5`
+
+use gsched_core::solver::SolverOptions;
+use gsched_repro::{
+    is_monotone_decreasing, print_csv, report_checks, run_sweep, save_record, SweepResult,
+};
+use gsched_workload::figures::{cycle_fraction_sweep, default_fraction_grid};
+use gsched_workload::spec::{ExperimentRecord, Series, ShapeCheck};
+
+const BUDGET: f64 = 4.0;
+
+fn main() {
+    let grid = default_fraction_grid();
+    let mut series = Vec::new();
+    let mut checks = Vec::new();
+    let mut per_class_results: Vec<Vec<SweepResult>> = Vec::new();
+
+    for class in 0..4 {
+        eprintln!("fig5: sweeping class {class}'s cycle fraction");
+        let points = cycle_fraction_sweep(class, BUDGET, 2, &grid);
+        let results = run_sweep(&points, &SolverOptions::default());
+        // The plotted curve is the focal class's own N.
+        let x: Vec<f64> = results.iter().map(|r| r.x).collect();
+        let y: Vec<f64> = results.iter().map(|r| r.n[class]).collect();
+        checks.push(ShapeCheck {
+            name: format!("class {class}'s N decreases in its own fraction"),
+            passed: is_monotone_decreasing(&y, 0.02),
+            detail: format!(
+                "N from {:.3} at f={:.1} to {:.3} at f={:.1}",
+                y.first().copied().unwrap_or(f64::NAN),
+                x.first().copied().unwrap_or(f64::NAN),
+                y.last().copied().unwrap_or(f64::NAN),
+                x.last().copied().unwrap_or(f64::NAN)
+            ),
+        });
+        series.push(Series {
+            label: format!("class {class}"),
+            x,
+            y,
+        });
+        per_class_results.push(results);
+    }
+
+    // CSV: fraction, then each class's own-N column.
+    println!("fraction,class0,class1,class2,class3");
+    for (i, &f) in grid.iter().enumerate() {
+        let vals: Vec<String> = (0..4)
+            .map(|c| format!("{:.6}", per_class_results[c][i].n[c]))
+            .collect();
+        println!("{f:.2},{}", vals.join(","));
+    }
+    // Also echo via the shared printer for the class-0 sweep (full detail).
+    eprintln!("fig5: full class-0 sweep detail:");
+    print_csv("fraction(class0 sweep)", &per_class_results[0]);
+
+    let record = ExperimentRecord {
+        id: "fig5".to_string(),
+        description: "Mean jobs vs fraction of timeplexing cycle (paper Fig. 5)".to_string(),
+        parameters: vec![
+            ("lambda".to_string(), 0.6),
+            ("quantum_budget".to_string(), BUDGET),
+            ("overhead_mean".to_string(), 0.01),
+        ],
+        series,
+        shape_checks: checks,
+    };
+    let ok = report_checks(&record.shape_checks);
+    save_record(&record).expect("write results json");
+    if !ok {
+        eprintln!("fig5: some shape checks FAILED");
+        std::process::exit(1);
+    }
+    eprintln!("fig5: all shape checks passed");
+}

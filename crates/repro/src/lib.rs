@@ -1,0 +1,352 @@
+//! Shared harness for the figure-reproduction binaries.
+//!
+//! Each binary sweeps a parameter (see `gsched_workload::figures`), solves
+//! the analytic model at every point, prints the paper's series as CSV,
+//! evaluates qualitative *shape checks* against the paper's description, and
+//! writes a JSON provenance record under `results/`.
+
+use gsched_core::solver::{solve, GangSolution, SolverOptions};
+use gsched_workload::figures::SweepPoint;
+use gsched_workload::spec::{ExperimentRecord, Series, ShapeCheck};
+use std::io::Write;
+use std::path::Path;
+
+/// Per-point outcome of a sweep: x value and per-class mean populations
+/// (`f64::INFINITY` when a class is unstable at that point).
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Swept x value.
+    pub x: f64,
+    /// `N_p` per class.
+    pub n: Vec<f64>,
+    /// Fixed-point iterations used.
+    pub iterations: usize,
+}
+
+/// Solve the model at every sweep point, in parallel across points.
+pub fn run_sweep(points: &[SweepPoint], opts: &SolverOptions) -> Vec<SweepResult> {
+    let mut out: Vec<Option<SweepResult>> = vec![None; points.len()];
+    let chunks: Vec<(usize, &SweepPoint)> = points.iter().enumerate().collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(points.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: std::sync::Mutex<&mut Vec<Option<SweepResult>>> = std::sync::Mutex::new(&mut out);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= chunks.len() {
+                    break;
+                }
+                let (idx, pt) = chunks[i];
+                let res = solve_point(pt, opts);
+                results.lock().unwrap()[idx] = Some(res);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    out.into_iter().map(|r| r.expect("all points solved")).collect()
+}
+
+fn solve_point(pt: &SweepPoint, opts: &SolverOptions) -> SweepResult {
+    match solve(&pt.model, opts) {
+        Ok(sol) => SweepResult {
+            x: pt.x,
+            n: sol.classes.iter().map(|c| c.mean_jobs).collect(),
+            iterations: sol.iterations,
+        },
+        Err(e) => {
+            eprintln!("warning: point x={} failed: {e}", pt.x);
+            SweepResult {
+                x: pt.x,
+                n: vec![f64::NAN; pt.model.num_classes()],
+                iterations: 0,
+            }
+        }
+    }
+}
+
+/// Extract one class's series from sweep results.
+pub fn class_series(results: &[SweepResult], class: usize) -> (Vec<f64>, Vec<f64>) {
+    (
+        results.iter().map(|r| r.x).collect(),
+        results.iter().map(|r| r.n[class]).collect(),
+    )
+}
+
+/// Print a CSV table `x, class0, class1, …` to stdout.
+pub fn print_csv(header_x: &str, results: &[SweepResult]) {
+    let classes = results.first().map(|r| r.n.len()).unwrap_or(0);
+    let cols: Vec<String> = (0..classes).map(|p| format!("class{p}")).collect();
+    println!("{header_x},{}", cols.join(","));
+    for r in results {
+        let vals: Vec<String> = r.n.iter().map(|v| format!("{v:.6}")).collect();
+        println!("{:.4},{}", r.x, vals.join(","));
+    }
+}
+
+/// U-shape check: the minimum is interior (not at either end) and the curve
+/// descends into it and ascends after it. Returns the knee x on success.
+pub fn u_shape_knee(x: &[f64], y: &[f64]) -> Option<f64> {
+    let finite: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y.iter())
+        .filter(|(_, v)| v.is_finite())
+        .map(|(&a, &b)| (a, b))
+        .collect();
+    if finite.len() < 3 {
+        return None;
+    }
+    let (mut kmin, mut vmin) = (0usize, f64::INFINITY);
+    for (i, &(_, v)) in finite.iter().enumerate() {
+        if v < vmin {
+            vmin = v;
+            kmin = i;
+        }
+    }
+    if kmin == 0 || kmin == finite.len() - 1 {
+        return None;
+    }
+    // Ends strictly above the knee (paper: fast drop, then monotone rise).
+    if finite[0].1 > vmin && finite[finite.len() - 1].1 > vmin {
+        Some(finite[kmin].0)
+    } else {
+        None
+    }
+}
+
+/// Check that `y` is (weakly) monotone decreasing, with `slack` relative
+/// tolerance for numerical wiggle.
+pub fn is_monotone_decreasing(y: &[f64], slack: f64) -> bool {
+    y.windows(2)
+        .all(|w| !w[0].is_finite() || !w[1].is_finite() || w[1] <= w[0] * (1.0 + slack) + 1e-12)
+}
+
+/// Save a JSON record under `results/<id>.json` (relative to the workspace
+/// root when run via `cargo run`, else the current directory).
+pub fn save_record(record: &ExperimentRecord) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", record.id));
+    let mut f = std::fs::File::create(&path)?;
+    let json = serde_json::to_string_pretty(record).expect("record serializes");
+    f.write_all(json.as_bytes())?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Build an [`ExperimentRecord`] from sweep results.
+pub fn record_from_sweep(
+    id: &str,
+    description: &str,
+    parameters: Vec<(String, f64)>,
+    results: &[SweepResult],
+    shape_checks: Vec<ShapeCheck>,
+) -> ExperimentRecord {
+    let classes = results.first().map(|r| r.n.len()).unwrap_or(0);
+    let series = (0..classes)
+        .map(|p| {
+            let (x, y) = class_series(results, p);
+            Series {
+                label: format!("class {p}"),
+                x,
+                y,
+            }
+        })
+        .collect();
+    ExperimentRecord {
+        id: id.to_string(),
+        description: description.to_string(),
+        parameters,
+        series,
+        shape_checks,
+    }
+}
+
+/// Print shape-check outcomes and return `true` if all passed.
+pub fn report_checks(checks: &[ShapeCheck]) -> bool {
+    let mut all = true;
+    for c in checks {
+        let mark = if c.passed { "PASS" } else { "FAIL" };
+        eprintln!("[{mark}] {}: {}", c.name, c.detail);
+        all &= c.passed;
+    }
+    all
+}
+
+/// Convenience: a [`GangSolution`] → per-class N vector.
+pub fn n_vector(sol: &GangSolution) -> Vec<f64> {
+    sol.classes.iter().map(|c| c.mean_jobs).collect()
+}
+
+/// Shared driver for Figures 2 and 3 (they differ only in `λ = ρ`).
+pub fn run_quantum_figure(id: &str, lambda: f64) {
+    use gsched_core::solver::SolverOptions;
+    use gsched_workload::figures::{default_quantum_grid, quantum_sweep};
+    use gsched_workload::spec::ShapeCheck;
+
+    let grid = default_quantum_grid();
+    let points = quantum_sweep(lambda, 2, &grid);
+    eprintln!(
+        "{id}: quantum sweep at rho = {lambda} over {} points",
+        grid.len()
+    );
+    let results = run_sweep(&points, &SolverOptions::default());
+    print_csv("quantum_mean", &results);
+
+    let mut checks = Vec::new();
+    let finite_min = |y: &[f64]| -> (f64, f64, f64) {
+        let fin: Vec<f64> = y.iter().copied().filter(|v| v.is_finite()).collect();
+        let min = fin.iter().copied().fold(f64::INFINITY, f64::min);
+        (
+            fin.first().copied().unwrap_or(f64::NAN),
+            min,
+            fin.last().copied().unwrap_or(f64::NAN),
+        )
+    };
+    // Class 0 is the wide, slow class: it needs far more than its fair
+    // 1/L share of the machine, so at heavy load it is saturated below a
+    // quantum threshold (the analysis's stability crossover), while at
+    // moderate load its curve descends to a plateau. Classes 1–3 show the
+    // paper's U: overhead-dominated at tiny quanta, exhaustive-service
+    // penalty at long ones.
+    for p in 0..4 {
+        let (x, y) = class_series(&results, p);
+        let (first, min, last) = finite_min(&y);
+        // Shared check: very short quanta are penalized.
+        checks.push(ShapeCheck {
+            name: format!("class {p}: short quanta penalized"),
+            passed: first > min * 1.2,
+            detail: format!("N(first finite) = {first:.3} vs min {min:.3}"),
+        });
+        if p == 0 {
+            if lambda >= 0.7 {
+                let unstable_short = y.first().map(|v| !v.is_finite()).unwrap_or(false);
+                let stable_long = y.last().map(|v| v.is_finite()).unwrap_or(false);
+                checks.push(ShapeCheck {
+                    name: "class 0: saturation crossover at heavy load".to_string(),
+                    passed: unstable_short && stable_long,
+                    detail: format!(
+                        "unstable at q = {:.2}, stable at q = {:.2} (class 0 needs ~68% of \
+                         the machine against a 25% fair share)",
+                        x.first().copied().unwrap_or(f64::NAN),
+                        x.last().copied().unwrap_or(f64::NAN)
+                    ),
+                });
+            } else {
+                checks.push(ShapeCheck {
+                    name: "class 0: descends to a plateau".to_string(),
+                    passed: (last - min) / min.max(1e-9) < 0.25,
+                    detail: format!("min {min:.3}, last {last:.3}"),
+                });
+            }
+        } else {
+            let knee = u_shape_knee(&x, &y);
+            checks.push(ShapeCheck {
+                name: format!("class {p}: U-shaped (knee then monotone rise)"),
+                passed: knee.is_some() && last > min * 1.05,
+                detail: match knee {
+                    Some(k) => format!("knee at quantum = {k:.2}, N rises to {last:.3}"),
+                    None => "no interior minimum found".to_string(),
+                },
+            });
+        }
+    }
+    // Class ordering N0 > N1 > N2 > N3 at the middle of the all-finite range.
+    let finite_idx: Vec<usize> = (0..results.len())
+        .filter(|&i| results[i].n.iter().all(|v| v.is_finite()))
+        .collect();
+    let mid = finite_idx
+        .get(finite_idx.len() / 2)
+        .copied()
+        .unwrap_or(results.len() - 1);
+    // At heavy load the two lightest classes nearly coincide (as in the
+    // paper's Figure 3, where their curves overlap), so allow 10% slack.
+    let ordered = (0..3).all(|p| {
+        !results[mid].n[p].is_finite() || results[mid].n[p] > results[mid].n[p + 1] * 0.9
+    });
+    checks.push(ShapeCheck {
+        name: "classes ordered N0 > N1 > N2 > N3".to_string(),
+        passed: ordered,
+        detail: format!(
+            "at quantum {:.2}: N = [{}]",
+            results[mid].x,
+            results[mid]
+                .n
+                .iter()
+                .map(|v| format!("{v:.3}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    });
+
+    let record = record_from_sweep(
+        id,
+        "Mean jobs vs mean quantum length (paper Fig. 2/3 family)",
+        vec![
+            ("lambda".to_string(), lambda),
+            ("overhead_mean".to_string(), 0.01),
+            ("quantum_stages".to_string(), 2.0),
+        ],
+        &results,
+        checks,
+    );
+    let ok = report_checks(&record.shape_checks);
+    save_record(&record).expect("write results json");
+    if !ok {
+        eprintln!("{id}: some shape checks FAILED");
+        std::process::exit(1);
+    }
+    eprintln!("{id}: all shape checks passed");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u_shape_detected() {
+        let x = [0.1, 0.5, 1.0, 2.0, 4.0];
+        let y = [10.0, 4.0, 3.0, 5.0, 8.0];
+        assert_eq!(u_shape_knee(&x, &y), Some(1.0));
+    }
+
+    #[test]
+    fn u_shape_rejects_monotone() {
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(u_shape_knee(&x, &[3.0, 2.0, 1.0]), None);
+        assert_eq!(u_shape_knee(&x, &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn u_shape_ignores_nan_points() {
+        let x = [0.1, 0.5, 1.0, 2.0, 4.0];
+        let y = [10.0, f64::NAN, 3.0, 5.0, 8.0];
+        assert_eq!(u_shape_knee(&x, &y), Some(1.0));
+    }
+
+    #[test]
+    fn monotone_check() {
+        assert!(is_monotone_decreasing(&[5.0, 4.0, 4.0, 1.0], 0.0));
+        assert!(!is_monotone_decreasing(&[5.0, 6.0, 4.0], 0.0));
+        // Small wiggle tolerated with slack.
+        assert!(is_monotone_decreasing(&[5.0, 5.01, 4.0], 0.01));
+    }
+
+    #[test]
+    fn sweep_runs_tiny_grid() {
+        use gsched_core::solver::SolverOptions;
+        use gsched_workload::figures::quantum_sweep;
+        let pts = quantum_sweep(0.3, 2, &[0.5, 1.0]);
+        let res = run_sweep(&pts, &SolverOptions::default());
+        assert_eq!(res.len(), 2);
+        for r in &res {
+            assert_eq!(r.n.len(), 4);
+            assert!(r.n.iter().all(|v| v.is_finite() && *v > 0.0));
+        }
+    }
+}

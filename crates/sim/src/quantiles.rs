@@ -1,0 +1,262 @@
+//! Streaming quantile estimation (the P² algorithm of Jain & Chlamtac).
+//!
+//! Response-time *distributions*, not just means, decide whether a gang
+//! scheduler feels interactive — the paper's motivation for time-sharing is
+//! "interactive response time for short jobs". The simulators estimate
+//! p50/p90/p95/p99 of per-class response times in O(1) memory with the P²
+//! algorithm: five markers per quantile, adjusted with a piecewise-parabolic
+//! prediction as samples stream in.
+
+/// P² estimator for a single quantile.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions (1-based counts).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired position increments.
+    dn: [f64; 5],
+    /// Samples seen so far.
+    count: usize,
+    /// Initial buffer until 5 samples arrive.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Create an estimator for quantile `p ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn new(p: f64) -> P2Quantile {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0,1), got {p}");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// The target quantile.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Add an observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(x);
+            if self.init.len() == 5 {
+                self.init.sort_by(f64::total_cmp);
+                self.q.copy_from_slice(&self.init);
+            }
+            return;
+        }
+        // Find cell k such that q[k] <= x < q[k+1], adjusting extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.q[i] && x < self.q[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let s = d.signum();
+                let qp = self.parabolic(i, s);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, s)
+                };
+                self.n[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let (qm, qi, qp) = (self.q[i - 1], self.q[i], self.q[i + 1]);
+        let (nm, ni, np) = (self.n[i - 1], self.n[i], self.n[i + 1]);
+        qi + s / (np - nm)
+            * ((ni - nm + s) * (qp - qi) / (np - ni) + (np - ni - s) * (qi - qm) / (ni - nm))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = (i as f64 + s) as usize;
+        self.q[i] + s * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate (exact order statistic until 5 samples arrive; NaN
+    /// when empty).
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if self.init.len() < 5 {
+            // Small-sample fallback: sorted-order interpolation.
+            let mut v = self.init.clone();
+            v.sort_by(f64::total_cmp);
+            let pos = self.p * (v.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            return v[lo] * (1.0 - frac) + v[hi] * frac;
+        }
+        self.q[2]
+    }
+}
+
+/// A bundle of the quantiles reported by the simulators.
+#[derive(Debug, Clone)]
+pub struct ResponseQuantiles {
+    /// Median.
+    pub p50: P2Quantile,
+    /// 90th percentile.
+    pub p90: P2Quantile,
+    /// 95th percentile.
+    pub p95: P2Quantile,
+    /// 99th percentile.
+    pub p99: P2Quantile,
+}
+
+impl ResponseQuantiles {
+    /// Fresh estimators.
+    pub fn new() -> ResponseQuantiles {
+        ResponseQuantiles {
+            p50: P2Quantile::new(0.50),
+            p90: P2Quantile::new(0.90),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    /// Feed one response time into every estimator.
+    pub fn add(&mut self, x: f64) {
+        self.p50.add(x);
+        self.p90.add(x);
+        self.p95.add(x);
+        self.p99.add(x);
+    }
+
+    /// `(p50, p90, p95, p99)` estimates.
+    pub fn values(&self) -> (f64, f64, f64, f64) {
+        (
+            self.p50.value(),
+            self.p90.value(),
+            self.p95.value(),
+            self.p99.value(),
+        )
+    }
+}
+
+impl Default for ResponseQuantiles {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt as _, SeedableRng};
+
+    #[test]
+    fn exact_for_tiny_samples() {
+        let mut q = P2Quantile::new(0.5);
+        q.add(3.0);
+        q.add(1.0);
+        q.add(2.0);
+        assert_eq!(q.value(), 2.0);
+        assert_eq!(q.count(), 3);
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        assert!(P2Quantile::new(0.9).value().is_nan());
+    }
+
+    #[test]
+    fn uniform_median_converges() {
+        let mut q = P2Quantile::new(0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200_000 {
+            q.add(rng.random::<f64>());
+        }
+        assert!((q.value() - 0.5).abs() < 0.01, "median {}", q.value());
+    }
+
+    #[test]
+    fn exponential_tail_quantiles() {
+        // Exp(1): p-quantile = -ln(1-p).
+        let mut bundle = ResponseQuantiles::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..400_000 {
+            let u: f64 = rng.random();
+            bundle.add(-(1.0 - u).ln());
+        }
+        let (p50, p90, p95, p99) = bundle.values();
+        let want = |p: f64| -(1.0f64 - p).ln();
+        assert!((p50 - want(0.50)).abs() / want(0.50) < 0.03, "p50 {p50}");
+        assert!((p90 - want(0.90)).abs() / want(0.90) < 0.03, "p90 {p90}");
+        assert!((p95 - want(0.95)).abs() / want(0.95) < 0.05, "p95 {p95}");
+        assert!((p99 - want(0.99)).abs() / want(0.99) < 0.10, "p99 {p99}");
+    }
+
+    #[test]
+    fn monotone_across_quantiles() {
+        let mut bundle = ResponseQuantiles::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..50_000 {
+            bundle.add(rng.random::<f64>().powi(2) * 10.0);
+        }
+        let (p50, p90, p95, p99) = bundle.values();
+        assert!(p50 <= p90 && p90 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn bad_quantile_rejected() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn constant_stream() {
+        let mut q = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            q.add(4.2);
+        }
+        assert!((q.value() - 4.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,270 @@
+//! Statistics collection: time averages, Welford accumulators, batch means.
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue length).
+#[derive(Debug, Clone, Default)]
+pub struct TimeAverage {
+    area: f64,
+    last_time: f64,
+    last_value: f64,
+    started: bool,
+    start_time: f64,
+}
+
+impl TimeAverage {
+    /// Begin integrating at `t` with value `v`.
+    pub fn start(&mut self, t: f64, v: f64) {
+        self.area = 0.0;
+        self.last_time = t;
+        self.last_value = v;
+        self.start_time = t;
+        self.started = true;
+    }
+
+    /// Record that the signal changed to `v` at time `t`.
+    pub fn update(&mut self, t: f64, v: f64) {
+        if !self.started {
+            self.start(t, v);
+            return;
+        }
+        self.area += self.last_value * (t - self.last_time);
+        self.last_time = t;
+        self.last_value = v;
+    }
+
+    /// Time average over `[start, t]`.
+    pub fn average(&self, t: f64) -> f64 {
+        if !self.started || t <= self.start_time {
+            return 0.0;
+        }
+        let area = self.area + self.last_value * (t - self.last_time);
+        area / (t - self.start_time)
+    }
+
+    /// Current signal value.
+    pub fn value(&self) -> f64 {
+        self.last_value
+    }
+}
+
+/// Welford's online mean/variance accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Add a sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Batch-means confidence intervals for steady-state simulation output.
+///
+/// The horizon after warmup is split into equal batches; the per-batch
+/// time averages are treated as (approximately) independent samples and a
+/// normal-theory confidence interval is formed.
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batches: Welford,
+}
+
+impl BatchMeans {
+    /// Start with no batches.
+    pub fn new() -> Self {
+        BatchMeans {
+            batches: Welford::default(),
+        }
+    }
+
+    /// Record one batch's average.
+    pub fn add_batch(&mut self, value: f64) {
+        self.batches.add(value);
+    }
+
+    /// Grand mean across batches.
+    pub fn mean(&self) -> f64 {
+        self.batches.mean()
+    }
+
+    /// Half-width of an approximate 95% confidence interval
+    /// (`1.96 · s/√n`; returns infinity with fewer than 2 batches).
+    pub fn ci95_halfwidth(&self) -> f64 {
+        let n = self.batches.count();
+        if n < 2 {
+            return f64::INFINITY;
+        }
+        1.96 * self.batches.std_dev() / (n as f64).sqrt()
+    }
+
+    /// Number of batches recorded.
+    pub fn count(&self) -> u64 {
+        self.batches.count()
+    }
+}
+
+impl Default for BatchMeans {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Total simulated time.
+    pub horizon: f64,
+    /// Initial interval discarded from statistics.
+    pub warmup: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of batches for confidence intervals.
+    pub batches: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            horizon: 200_000.0,
+            warmup: 20_000.0,
+            seed: 0x5EED,
+            batches: 20,
+        }
+    }
+}
+
+/// Per-class simulation output.
+#[derive(Debug, Clone)]
+pub struct ClassStats {
+    /// Time-average number of jobs in the system after warmup.
+    pub mean_jobs: f64,
+    /// 95% CI half-width on `mean_jobs` from batch means.
+    pub mean_jobs_ci95: f64,
+    /// Mean response time of completed jobs.
+    pub mean_response: f64,
+    /// Response-time standard deviation.
+    pub response_std: f64,
+    /// Jobs that arrived after warmup.
+    pub arrivals: u64,
+    /// Jobs that completed after warmup.
+    pub completions: u64,
+    /// Streaming response-time percentile estimates `(p50, p90, p95, p99)`
+    /// (P² algorithm); NaN when no jobs completed.
+    pub response_quantiles: (f64, f64, f64, f64),
+}
+
+/// Whole-run simulation output.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-class statistics.
+    pub classes: Vec<ClassStats>,
+    /// Fraction of processor-time doing useful work after warmup.
+    pub processor_utilization: f64,
+    /// Fraction of time spent in context switches after warmup.
+    pub switch_overhead_fraction: f64,
+    /// Measurement interval length (horizon − warmup).
+    pub measured_time: f64,
+}
+
+impl SimResult {
+    /// Little's-law cross-check for a class: `λ·W` vs time-average `N`.
+    /// Returns the relative discrepancy.
+    pub fn littles_law_gap(&self, class: usize) -> f64 {
+        let c = &self.classes[class];
+        if c.completions == 0 || self.measured_time <= 0.0 {
+            return f64::NAN;
+        }
+        let lambda = c.arrivals as f64 / self.measured_time;
+        let lw = lambda * c.mean_response;
+        if c.mean_jobs == 0.0 {
+            return f64::NAN;
+        }
+        (lw - c.mean_jobs).abs() / c.mean_jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_average_piecewise() {
+        let mut ta = TimeAverage::default();
+        ta.start(0.0, 1.0);
+        ta.update(2.0, 3.0); // value 1 over [0,2]
+        ta.update(4.0, 0.0); // value 3 over [2,4]
+        // average over [0,5]: (2*1 + 2*3 + 1*0)/5 = 8/5
+        assert!((ta.average(5.0) - 1.6).abs() < 1e-12);
+        assert_eq!(ta.value(), 0.0);
+    }
+
+    #[test]
+    fn time_average_before_start_is_zero() {
+        let ta = TimeAverage::default();
+        assert_eq!(ta.average(10.0), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::default();
+        for &x in &xs {
+            w.add(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        let mean = 5.0;
+        let var: f64 =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_means_ci_shrinks() {
+        let mut few = BatchMeans::new();
+        let mut many = BatchMeans::new();
+        // Same dispersion, different batch counts.
+        for i in 0..4 {
+            few.add_batch(10.0 + (i % 2) as f64);
+        }
+        for i in 0..64 {
+            many.add_batch(10.0 + (i % 2) as f64);
+        }
+        assert!(many.ci95_halfwidth() < few.ci95_halfwidth());
+    }
+
+    #[test]
+    fn batch_means_single_batch_infinite_ci() {
+        let mut bm = BatchMeans::new();
+        bm.add_batch(1.0);
+        assert!(bm.ci95_halfwidth().is_infinite());
+    }
+}

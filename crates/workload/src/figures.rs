@@ -1,0 +1,150 @@
+//! Parameter sweeps behind each figure of the paper's §5.
+
+use crate::{paper_model, paper_model_custom, paper_service_rates, PaperConfig, OVERHEAD_MEAN};
+use gsched_core::model::GangModel;
+
+/// One point of a figure sweep: the swept x-value and the model to solve.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The x-axis value as plotted in the paper.
+    pub x: f64,
+    /// The model at this point.
+    pub model: GangModel,
+}
+
+/// Figure 2 (and Figure 3): mean jobs vs mean quantum length `1/γ` at a
+/// given utilization (`ρ = λ`). The paper sweeps quantum lengths up to 6.
+pub fn quantum_sweep(lambda: f64, quantum_stages: usize, points: &[f64]) -> Vec<SweepPoint> {
+    points
+        .iter()
+        .map(|&q| SweepPoint {
+            x: q,
+            model: paper_model(&PaperConfig {
+                lambda,
+                quantum_mean: q,
+                quantum_stages,
+                overhead_mean: OVERHEAD_MEAN,
+            }),
+        })
+        .collect()
+}
+
+/// The default x-grid for Figures 2–3 (0.02 … 6).
+pub fn default_quantum_grid() -> Vec<f64> {
+    let mut g = vec![0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75];
+    for i in 2..=12 {
+        g.push(i as f64 * 0.5);
+    }
+    g
+}
+
+/// Figure 4: mean jobs vs common service rate `μ`, quantum mean 5, `λ = 0.6`.
+pub fn service_rate_sweep(quantum_stages: usize, rates: &[f64]) -> Vec<SweepPoint> {
+    rates
+        .iter()
+        .map(|&mu| SweepPoint {
+            x: mu,
+            model: paper_model_custom(
+                0.6,
+                &[mu, mu, mu, mu],
+                &[5.0, 5.0, 5.0, 5.0],
+                quantum_stages,
+                OVERHEAD_MEAN,
+            ),
+        })
+        .collect()
+}
+
+/// The default x-grid for Figure 4 (2 … 20).
+pub fn default_service_rate_grid() -> Vec<f64> {
+    (1..=10).map(|i| 2.0 * i as f64).collect()
+}
+
+/// Figure 5: mean jobs of class `class` vs the fraction of the timeplexing
+/// cycle's quantum budget devoted to that class. `λ = 0.6` (so `ρ = 0.6`
+/// under the normalized rates), total quantum budget `budget` split as
+/// `f · budget` for the focal class and `(1−f)·budget/3` for each other.
+pub fn cycle_fraction_sweep(
+    class: usize,
+    budget: f64,
+    quantum_stages: usize,
+    fractions: &[f64],
+) -> Vec<SweepPoint> {
+    let mus = paper_service_rates();
+    fractions
+        .iter()
+        .map(|&f| {
+            let mut quanta = [0.0; 4];
+            for (p, q) in quanta.iter_mut().enumerate() {
+                *q = if p == class {
+                    f * budget
+                } else {
+                    (1.0 - f) * budget / 3.0
+                };
+            }
+            SweepPoint {
+                x: f,
+                model: paper_model_custom(0.6, &mus, &quanta, quantum_stages, OVERHEAD_MEAN),
+            }
+        })
+        .collect()
+}
+
+/// The default fraction grid for Figure 5 (0.1 … 0.9).
+pub fn default_fraction_grid() -> Vec<f64> {
+    (1..=9).map(|i| i as f64 / 10.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantum_sweep_sets_quantum() {
+        let pts = quantum_sweep(0.4, 2, &[0.5, 1.0, 2.0]);
+        assert_eq!(pts.len(), 3);
+        for pt in &pts {
+            for p in 0..4 {
+                assert!((pt.model.class(p).quantum.mean() - pt.x).abs() < 1e-9);
+            }
+            assert!((pt.model.total_utilization() - 0.4).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn service_sweep_sets_common_mu() {
+        let pts = service_rate_sweep(2, &[2.0, 10.0]);
+        for pt in &pts {
+            for p in 0..4 {
+                assert!((pt.model.class(p).service_rate() - pt.x).abs() < 1e-9);
+                assert!((pt.model.class(p).quantum.mean() - 5.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fraction_sweep_budget_conserved() {
+        let budget = 4.0;
+        let pts = cycle_fraction_sweep(1, budget, 2, &[0.25, 0.5, 0.75]);
+        for pt in &pts {
+            let total: f64 = (0..4).map(|p| pt.model.class(p).quantum.mean()).sum();
+            assert!((total - budget).abs() < 1e-9, "total {total}");
+            assert!(
+                (pt.model.class(1).quantum.mean() - pt.x * budget).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn default_grids_are_monotone() {
+        for grid in [
+            default_quantum_grid(),
+            default_service_rate_grid(),
+            default_fraction_grid(),
+        ] {
+            for w in grid.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

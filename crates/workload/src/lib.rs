@@ -1,0 +1,169 @@
+//! Workload scenarios for the SPAA 1996 evaluation (paper §5).
+//!
+//! The paper's experiments all use one machine configuration:
+//!
+//! * `P = 8` processors, `L = 4` classes;
+//! * class `p` has `2^{3−p}` partitions, i.e. `g = [8, 4, 2, 1]`;
+//! * service-rate ratios `μ₀:μ₁:μ₂:μ₃ = 0.5 : 1 : 2 : 4`, normalized so
+//!   that with equal per-class arrival rates `λ_p = λ` the total offered
+//!   utilization `ρ = Σ_p λ_p g(p)/(μ_p P)` equals `λ` — that is,
+//!   `Σ_p g(p)/μ_p = P`, giving the base rates `μ_p = r_p · 21.25/8`;
+//! * context-switch overhead mean `0.01`;
+//! * Poisson arrivals, exponential service, Erlang quantum (Figure 1 shows a
+//!   K-stage Erlang; the stage count is configurable here, default 2).
+//!
+//! [`figures`] builds the exact parameter sweeps behind Figures 2–5, and
+//! [`spec`] provides serde-serializable experiment records used by the
+//! reproduction binaries to log paper-vs-measured series.
+
+pub mod figures;
+pub mod spec;
+
+use gsched_core::model::{ClassParams, GangModel};
+use gsched_phase::{erlang, exponential};
+
+/// The paper's service-rate *ratios* `0.5 : 1 : 2 : 4`.
+pub const SERVICE_RATIOS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+
+/// Partition sizes `g(p) = 2^{3−p}` for the 8-processor machine.
+pub const PARTITION_SIZES: [usize; 4] = [8, 4, 2, 1];
+
+/// Machine size used throughout §5.
+pub const PROCESSORS: usize = 8;
+
+/// Context-switch overhead mean used throughout §5.
+pub const OVERHEAD_MEAN: f64 = 0.01;
+
+/// Base service rates normalized so `Σ_p g(p)/μ_p = P`, which makes the
+/// total utilization equal the common per-class arrival rate.
+pub fn paper_service_rates() -> [f64; 4] {
+    // Σ g_p / (r_p s) = P  =>  s = (Σ g_p/r_p) / P = 21.25 / 8.
+    let s: f64 = PARTITION_SIZES
+        .iter()
+        .zip(SERVICE_RATIOS.iter())
+        .map(|(&g, &r)| g as f64 / r)
+        .sum::<f64>()
+        / PROCESSORS as f64;
+    let mut out = [0.0; 4];
+    for (o, &r) in out.iter_mut().zip(SERVICE_RATIOS.iter()) {
+        *o = r * s;
+    }
+    out
+}
+
+/// Options for building the paper's machine.
+#[derive(Debug, Clone)]
+pub struct PaperConfig {
+    /// Common per-class arrival rate `λ` (total utilization `ρ = λ` under
+    /// the normalized service rates).
+    pub lambda: f64,
+    /// Mean quantum length `1/γ`, shared by all classes.
+    pub quantum_mean: f64,
+    /// Erlang stage count of the quantum distribution.
+    pub quantum_stages: usize,
+    /// Mean context-switch overhead `1/δ`.
+    pub overhead_mean: f64,
+}
+
+impl Default for PaperConfig {
+    fn default() -> Self {
+        PaperConfig {
+            lambda: 0.4,
+            quantum_mean: 1.0,
+            quantum_stages: 2,
+            overhead_mean: OVERHEAD_MEAN,
+        }
+    }
+}
+
+/// Build the paper's 8-processor, 4-class model.
+pub fn paper_model(cfg: &PaperConfig) -> GangModel {
+    let mus = paper_service_rates();
+    let classes = (0..4)
+        .map(|p| ClassParams {
+            partition_size: PARTITION_SIZES[p],
+            arrival: exponential(cfg.lambda),
+            service: exponential(mus[p]),
+            quantum: erlang(cfg.quantum_stages, 1.0 / cfg.quantum_mean),
+            switch_overhead: exponential(1.0 / cfg.overhead_mean),
+        })
+        .collect();
+    GangModel::new(PROCESSORS, classes).expect("paper parameters are always valid")
+}
+
+/// Build the paper's machine with per-class quantum means (Figure 5) and/or
+/// a common service rate override (Figure 4).
+pub fn paper_model_custom(
+    lambda: f64,
+    service_rates: &[f64; 4],
+    quantum_means: &[f64; 4],
+    quantum_stages: usize,
+    overhead_mean: f64,
+) -> GangModel {
+    let classes = (0..4)
+        .map(|p| ClassParams {
+            partition_size: PARTITION_SIZES[p],
+            arrival: exponential(lambda),
+            service: exponential(service_rates[p]),
+            quantum: erlang(quantum_stages, 1.0 / quantum_means[p]),
+            switch_overhead: exponential(1.0 / overhead_mean),
+        })
+        .collect();
+    GangModel::new(PROCESSORS, classes).expect("paper parameters are always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_makes_rho_equal_lambda() {
+        for &lambda in &[0.2, 0.4, 0.6, 0.9] {
+            let m = paper_model(&PaperConfig {
+                lambda,
+                ..Default::default()
+            });
+            assert!(
+                (m.total_utilization() - lambda).abs() < 1e-12,
+                "lambda={lambda}: rho={}",
+                m.total_utilization()
+            );
+        }
+    }
+
+    #[test]
+    fn service_rates_keep_ratios() {
+        let mus = paper_service_rates();
+        assert!((mus[1] / mus[0] - 2.0).abs() < 1e-12);
+        assert!((mus[2] / mus[1] - 2.0).abs() < 1e-12);
+        assert!((mus[3] / mus[2] - 2.0).abs() < 1e-12);
+        // s = 21.25/8 = 2.65625; mu_0 = 0.5 s.
+        assert!((mus[0] - 1.328125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partitions_are_powers_of_two() {
+        let m = paper_model(&PaperConfig::default());
+        for p in 0..4 {
+            assert_eq!(m.partitions(p), 1 << p, "class {p}");
+        }
+    }
+
+    #[test]
+    fn class_utilizations_decrease_with_index() {
+        // With equal lambda, class 0 has by far the highest offered load.
+        let m = paper_model(&PaperConfig::default());
+        for p in 0..3 {
+            assert!(m.class_utilization(p) > m.class_utilization(p + 1));
+        }
+    }
+
+    #[test]
+    fn custom_builder_round_trips() {
+        let mus = paper_service_rates();
+        let m = paper_model_custom(0.6, &mus, &[1.0, 2.0, 3.0, 4.0], 3, 0.02);
+        assert_eq!(m.num_classes(), 4);
+        assert!((m.class(2).quantum.mean() - 3.0).abs() < 1e-9);
+        assert!((m.class(0).switch_overhead.mean() - 0.02).abs() < 1e-12);
+    }
+}

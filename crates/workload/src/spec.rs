@@ -1,0 +1,102 @@
+//! Serializable experiment records.
+//!
+//! The reproduction binaries write their measured series as JSON next to the
+//! CSV they print, so EXPERIMENTS.md can reference a machine-readable
+//! provenance trail.
+
+use serde::{Deserialize, Serialize};
+
+/// One measured series (one curve of a figure).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Series {
+    /// Curve label (e.g. `"class 0"`).
+    pub label: String,
+    /// X values.
+    pub x: Vec<f64>,
+    /// Y values (`NaN`/`inf` encoded as `null` by serde_json callers should
+    /// map them before writing if strict JSON is required).
+    pub y: Vec<f64>,
+}
+
+/// A complete experiment record for one figure.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. `"fig2"`.
+    pub id: String,
+    /// Human description.
+    pub description: String,
+    /// Fixed parameters, as `(name, value)` pairs.
+    pub parameters: Vec<(String, f64)>,
+    /// Measured series.
+    pub series: Vec<Series>,
+    /// Qualitative shape notes checked by the harness.
+    pub shape_checks: Vec<ShapeCheck>,
+}
+
+/// A qualitative property of the measured curves, recorded with its outcome.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ShapeCheck {
+    /// What is being checked.
+    pub name: String,
+    /// Whether the measured data satisfies it.
+    pub passed: bool,
+    /// Supporting detail.
+    pub detail: String,
+}
+
+impl ExperimentRecord {
+    /// True iff every shape check passed.
+    pub fn all_passed(&self) -> bool {
+        self.shape_checks.iter().all(|c| c.passed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip_semantics() {
+        let rec = ExperimentRecord {
+            id: "fig2".to_string(),
+            description: "quantum sweep".to_string(),
+            parameters: vec![("lambda".to_string(), 0.4)],
+            series: vec![Series {
+                label: "class 0".to_string(),
+                x: vec![1.0, 2.0],
+                y: vec![3.0, 4.0],
+            }],
+            shape_checks: vec![ShapeCheck {
+                name: "u-shape".to_string(),
+                passed: true,
+                detail: "knee at 1.0".to_string(),
+            }],
+        };
+        assert!(rec.all_passed());
+        let copy = rec.clone();
+        assert_eq!(copy, rec);
+    }
+
+    #[test]
+    fn failed_check_detected() {
+        let rec = ExperimentRecord {
+            id: "x".into(),
+            description: String::new(),
+            parameters: vec![],
+            series: vec![],
+            shape_checks: vec![
+                ShapeCheck {
+                    name: "a".into(),
+                    passed: true,
+                    detail: String::new(),
+                },
+                ShapeCheck {
+                    name: "b".into(),
+                    passed: false,
+                    detail: String::new(),
+                },
+            ],
+        };
+        assert!(!rec.all_passed());
+    }
+}

@@ -1,0 +1,75 @@
+//! Stability exploration: where does the gang-scheduled system saturate?
+//!
+//! Theorem 4.4 gives the per-class positive-recurrence condition under the
+//! fixed-point vacations. This example maps the stability boundary of the
+//! paper's configuration as the load grows, and shows the interplay the
+//! fixed point captures: a class that looks unstable under heavy-traffic
+//! vacations (everyone uses full quanta) is rescued once the other classes'
+//! effective quanta shrink.
+//!
+//! Run: `cargo run --release --example stability_map`
+
+use gang_scheduling::solver::{solve, SolverOptions, VacationMode};
+use gang_scheduling::workload::{paper_model, PaperConfig};
+
+fn main() {
+    println!("stability map of the paper's 8-processor system (quantum = 1)\n");
+    println!(
+        "{:>6} {:>24} {:>24}",
+        "rho", "heavy-traffic stable?", "fixed-point stable?"
+    );
+    let mut boundary_ht = None;
+    let mut boundary_fp = None;
+    for i in 1..=19 {
+        let rho = i as f64 * 0.05;
+        let model = paper_model(&PaperConfig {
+            lambda: rho,
+            quantum_mean: 1.0,
+            quantum_stages: 2,
+            overhead_mean: 0.01,
+        });
+        let ht = solve(
+            &model,
+            &SolverOptions {
+                mode: VacationMode::HeavyTraffic,
+                ..Default::default()
+            },
+        );
+        let fp = solve(&model, &SolverOptions::default());
+        let fmt = |r: &Result<gang_scheduling::solver::GangSolution, _>| match r {
+            Ok(sol) if sol.all_stable => "all stable".to_string(),
+            Ok(sol) => {
+                let bad: Vec<String> = sol
+                    .classes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !c.stable)
+                    .map(|(p, _)| p.to_string())
+                    .collect();
+                format!("classes {{{}}} saturated", bad.join(","))
+            }
+            Err(e) => format!("error: {e}"),
+        };
+        let ht_s = fmt(&ht);
+        let fp_s = fmt(&fp);
+        if boundary_ht.is_none() && ht_s != "all stable" {
+            boundary_ht = Some(rho);
+        }
+        if boundary_fp.is_none() && fp_s != "all stable" {
+            boundary_fp = Some(rho);
+        }
+        println!("{rho:>6.2} {ht_s:>24} {fp_s:>24}");
+    }
+    println!();
+    match (boundary_ht, boundary_fp) {
+        (Some(h), Some(f)) => println!(
+            "heavy-traffic analysis saturates at rho ≈ {h:.2}; the fixed point pushes the \
+             boundary to rho ≈ {f:.2} by letting lightly-loaded classes surrender their quanta."
+        ),
+        (Some(h), None) => println!(
+            "heavy-traffic analysis saturates at rho ≈ {h:.2}; the fixed point remains stable \
+             across the whole sweep."
+        ),
+        _ => println!("system stable across the whole sweep."),
+    }
+}
