@@ -70,5 +70,10 @@ fn bench_fp_tolerance(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_vacation_mode, bench_quantum_stages, bench_fp_tolerance);
+criterion_group!(
+    benches,
+    bench_vacation_mode,
+    bench_quantum_stages,
+    bench_fp_tolerance
+);
 criterion_main!(benches);

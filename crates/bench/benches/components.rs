@@ -156,7 +156,12 @@ fn bench_class_solve(c: &mut Criterion) {
         let vac = heavy_traffic_vacation(&model, p);
         let chain = build_class_chain(&model, p, &vac).unwrap();
         group.bench_with_input(BenchmarkId::new("class", p), &chain, |b, chain| {
-            b.iter(|| chain.qbd.solve(black_box(&SolveOptions::default())).unwrap())
+            b.iter(|| {
+                chain
+                    .qbd
+                    .solve(black_box(&SolveOptions::default()))
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -8,9 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gsched_core::solver::{solve, SolverOptions};
-use gsched_workload::figures::{
-    cycle_fraction_sweep, quantum_sweep, service_rate_sweep,
-};
+use gsched_workload::figures::{cycle_fraction_sweep, quantum_sweep, service_rate_sweep};
 use std::hint::black_box;
 
 fn bench_fig2(c: &mut Criterion) {
@@ -60,9 +58,9 @@ fn bench_full_grids(c: &mut Criterion) {
         let pts = quantum_sweep(lambda, 2, &[0.25, 0.5, 1.0, 2.0, 4.0]);
         g.bench_with_input(BenchmarkId::from_parameter(name), &pts, |b, pts| {
             b.iter(|| {
-                pts.iter()
-                    .map(|pt| solve(&pt.model, &SolverOptions::default()).unwrap())
-                    .count()
+                for pt in pts {
+                    std::hint::black_box(solve(&pt.model, &SolverOptions::default()).unwrap());
+                }
             })
         });
     }

@@ -1,0 +1,48 @@
+//! Instrumentation overhead: the analytic solver with no recorder installed
+//! (probes short-circuit on one atomic load) versus with the in-memory
+//! recorder capturing everything.
+//!
+//! The disabled case must be indistinguishable from the pre-instrumentation
+//! solver (< 2% overhead target); the enabled case quantifies the cost of
+//! full capture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsched_core::solver::{solve, SolverOptions};
+use gsched_workload::{paper_model, PaperConfig};
+use std::hint::black_box;
+
+fn config() -> PaperConfig {
+    PaperConfig {
+        lambda: 0.4,
+        quantum_mean: 1.0,
+        quantum_stages: 2,
+        overhead_mean: 0.01,
+    }
+}
+
+fn bench_solver_no_recorder(c: &mut Criterion) {
+    gsched_obs::uninstall();
+    let model = paper_model(&config());
+    let opts = SolverOptions::default();
+    c.bench_function("obs_overhead/solve_no_recorder", |b| {
+        b.iter(|| solve(black_box(&model), &opts).unwrap())
+    });
+}
+
+fn bench_solver_memory_recorder(c: &mut Criterion) {
+    let model = paper_model(&config());
+    let opts = SolverOptions::default();
+    let recorder = gsched_obs::install_memory();
+    c.bench_function("obs_overhead/solve_memory_recorder", |b| {
+        b.iter(|| solve(black_box(&model), &opts).unwrap())
+    });
+    gsched_obs::uninstall();
+    black_box(recorder.snapshot());
+}
+
+criterion_group!(
+    obs_overhead,
+    bench_solver_no_recorder,
+    bench_solver_memory_recorder
+);
+criterion_main!(obs_overhead);

@@ -10,6 +10,14 @@
 //! gsched example-model
 //! ```
 //!
+//! Every subcommand also accepts the diagnostics flags:
+//!
+//! * `--diag <path>` — capture solver/simulator instrumentation through
+//!   `gsched_obs` and write the JSON snapshot to `<path>`;
+//! * `-v` — print the human-readable diagnostics report (span tree, metric
+//!   tables) to stderr after the run; `-vv` additionally prints every
+//!   structured event.
+//!
 //! Model files are JSON (see [`spec`]); `gsched example-model` prints a
 //! template.
 
@@ -70,7 +78,9 @@ fn print_usage() {
          gsched tune      <model.json> [--lo Q] [--hi Q] [--objective total|max] [--json]\n  \
          gsched stability <model.json> [--class P] [--lo Q] [--hi Q]\n  \
          gsched paper     [--rho R] [--quantum Q] [--json]\n  \
-         gsched example-model"
+         gsched example-model\n\
+         diagnostics (any subcommand): --diag <path> writes a JSON metrics \
+         snapshot; -v prints a report to stderr (-vv adds events)"
     );
 }
 
@@ -80,6 +90,11 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
     let mut flags = HashMap::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
+        if a == "-v" || a == "-vv" {
+            let level = if a == "-vv" { "2" } else { "1" };
+            flags.insert("verbose".to_string(), level.to_string());
+            continue;
+        }
         if let Some(name) = a.strip_prefix("--") {
             if name == "json" || name == "percentiles" {
                 flags.insert(name.to_string(), "true".to_string());
@@ -105,9 +120,62 @@ fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result
     }
 }
 
+/// Diagnostics capture requested via `--diag <path>` and `-v`/`-vv`.
+///
+/// Installing the recorder is deferred to this struct so that commands only
+/// pay for instrumentation when it was asked for.
+struct Diagnostics {
+    recorder: Option<std::sync::Arc<gsched_obs::MemoryRecorder>>,
+    path: Option<String>,
+    verbosity: u8,
+}
+
+impl Diagnostics {
+    fn from_flags(flags: &HashMap<String, String>) -> Self {
+        let path = flags.get("diag").cloned();
+        let verbosity: u8 = flags
+            .get("verbose")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let recorder = if path.is_some() || verbosity > 0 {
+            Some(gsched_obs::install_memory())
+        } else {
+            None
+        };
+        Diagnostics {
+            recorder,
+            path,
+            verbosity,
+        }
+    }
+
+    /// Stop recording and emit the snapshot (JSON file and/or stderr report).
+    fn finish(self) -> Result<(), String> {
+        let Some(recorder) = self.recorder else {
+            return Ok(());
+        };
+        gsched_obs::uninstall();
+        let snap = recorder.snapshot();
+        if let Some(path) = &self.path {
+            std::fs::write(path, snap.to_json())
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        }
+        if self.verbosity >= 1 {
+            eprintln!("{}", snap.render());
+        }
+        if self.verbosity >= 2 {
+            for ev in &snap.events {
+                let fields: Vec<String> =
+                    ev.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                eprintln!("event {} [{}] {}", ev.name, ev.span, fields.join(" "));
+            }
+        }
+        Ok(())
+    }
+}
+
 fn load_model(path: &str) -> Result<GangModel, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     ModelSpec::from_json(&text)?.build()
 }
 
@@ -220,7 +288,10 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let path = pos.first().ok_or("solve: missing <model.json>")?;
     let model = load_model(path)?;
     let opts = solver_options(&flags)?;
-    let sol = solve(&model, &opts).map_err(|e| e.to_string())?;
+    let diag = Diagnostics::from_flags(&flags);
+    let sol = solve(&model, &opts).map_err(|e| e.to_string());
+    diag.finish()?;
+    let sol = sol?;
     if flags.contains_key("json") {
         println!("{}", solution_json(&sol));
     } else {
@@ -287,6 +358,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         seed,
         batches: 20,
     };
+    let diag = Diagnostics::from_flags(&flags);
     let result = match flags.get("policy").map(|s| s.as_str()).unwrap_or("gang") {
         "gang" => GangSim::new(&model, GangPolicy::SystemWide, cfg).run(),
         "lend" => GangSim::new(&model, GangPolicy::PerPartition, cfg).run(),
@@ -294,6 +366,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         "fcfs" => SpaceSharingSim::new(&model, cfg).run(),
         other => return Err(format!("unknown --policy `{other}` (gang|lend|rr|fcfs)")),
     };
+    diag.finish()?;
     if flags.contains_key("json") {
         println!("{}", sim_json(&result));
     } else {
@@ -314,8 +387,11 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("unknown --objective `{other}` (total|max)")),
     };
     let opts = SolverOptions::default();
-    let res = optimize_common_quantum(&model, lo, hi, 11, &objective, &opts)
-        .map_err(|e| e.to_string())?;
+    let diag = Diagnostics::from_flags(&flags);
+    let res =
+        optimize_common_quantum(&model, lo, hi, 11, &objective, &opts).map_err(|e| e.to_string());
+    diag.finish()?;
+    let res = res?;
     if flags.contains_key("json") {
         println!(
             r#"{{"quantum":{},"objective_value":{},"evaluations":{}}}"#,
@@ -348,7 +424,11 @@ fn cmd_stability(args: &[String]) -> Result<(), String> {
     let lo = flag_f64(&flags, "lo", 0.01)?;
     let hi = flag_f64(&flags, "hi", 50.0)?;
     let opts = SolverOptions::default();
-    match stability_threshold_quantum(&model, class, lo, hi, &opts).map_err(|e| e.to_string())? {
+    let diag = Diagnostics::from_flags(&flags);
+    let threshold =
+        stability_threshold_quantum(&model, class, lo, hi, &opts).map_err(|e| e.to_string());
+    diag.finish()?;
+    match threshold? {
         Some(q) if q == lo => println!("class {class} is stable across [{lo}, {hi}]"),
         Some(q) => println!("class {class} stabilizes at common quantum ≈ {q:.4}"),
         None => println!("class {class} is unstable across [{lo}, {hi}]"),
@@ -366,7 +446,10 @@ fn cmd_paper(args: &[String]) -> Result<(), String> {
         quantum_stages: 2,
         overhead_mean: 0.01,
     });
-    let sol = solve(&model, &SolverOptions::default()).map_err(|e| e.to_string())?;
+    let diag = Diagnostics::from_flags(&flags);
+    let sol = solve(&model, &SolverOptions::default()).map_err(|e| e.to_string());
+    diag.finish()?;
+    let sol = sol?;
     if flags.contains_key("json") {
         println!("{}", solution_json(&sol));
     } else {

@@ -226,7 +226,10 @@ mod tests {
     fn all_dist_variants_build() {
         let specs = vec![
             DistSpec::Exponential { rate: 1.0 },
-            DistSpec::Erlang { stages: 3, rate: 2.0 },
+            DistSpec::Erlang {
+                stages: 3,
+                rate: 2.0,
+            },
             DistSpec::Hyperexponential {
                 probs: vec![0.5, 0.5],
                 rates: vec![1.0, 3.0],
@@ -242,7 +245,10 @@ mod tests {
                 value: 2.0,
                 stages: 16,
             },
-            DistSpec::TwoMoment { mean: 1.0, scv: 0.5 },
+            DistSpec::TwoMoment {
+                mean: 1.0,
+                scv: 0.5,
+            },
             DistSpec::Ph {
                 alpha: vec![1.0, 0.0],
                 s: vec![vec![-2.0, 2.0], vec![0.0, -2.0]],
@@ -257,7 +263,12 @@ mod tests {
     #[test]
     fn bad_specs_rejected() {
         assert!(DistSpec::Exponential { rate: 0.0 }.build().is_err());
-        assert!(DistSpec::Erlang { stages: 0, rate: 1.0 }.build().is_err());
+        assert!(DistSpec::Erlang {
+            stages: 0,
+            rate: 1.0
+        }
+        .build()
+        .is_err());
         assert!(DistSpec::Ph {
             alpha: vec![1.0],
             s: vec![vec![-1.0, 1.0]],

@@ -44,7 +44,11 @@ fn solve_human_output() {
     let dir = tmpdir("solve");
     let model = write_model(&dir);
     let out = gsched().arg("solve").arg(&model).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("machine: P = 4"), "{text}");
     assert!(text.contains("all stable = true"), "{text}");
@@ -103,7 +107,11 @@ fn tune_reports_a_quantum() {
         .args(["--lo", "0.05", "--hi", "10", "--json"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let parsed: serde_json::Value =
         serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
     let q = parsed["quantum"].as_f64().unwrap();
@@ -151,7 +159,11 @@ fn example_model_roundtrip() {
 
 #[test]
 fn missing_file_fails_cleanly() {
-    let out = gsched().arg("solve").arg("/nonexistent/nope.json").output().unwrap();
+    let out = gsched()
+        .arg("solve")
+        .arg("/nonexistent/nope.json")
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("cannot read"), "{err}");

@@ -51,11 +51,11 @@ pub fn class_chain_dot(chain: &ClassChain, max_level: usize) -> String {
     out.push_str("digraph class_chain {\n");
     out.push_str("  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
     // Group nodes by level for readability.
-    for lvl in 0..=max_level {
+    for (lvl, &off) in offsets.iter().enumerate().take(max_level + 1) {
         out.push_str(&format!("  subgraph cluster_level_{lvl} {{\n"));
         out.push_str(&format!("    label=\"level {lvl}\";\n"));
         for idx in 0..chain.qbd.level_dim(lvl) {
-            let g = offsets[lvl] + idx;
+            let g = off + idx;
             out.push_str(&format!("    s{g} [label=\"{}\"];\n", label(g)));
         }
         out.push_str("  }\n");

@@ -17,6 +17,7 @@
 use crate::generator::ClassChain;
 use crate::{GangError, Result};
 use gsched_linalg::Matrix;
+use gsched_obs as obs;
 use gsched_phase::{fit_three_moment, fit_two_moment, PhaseType};
 use gsched_qbd::QbdSolution;
 use std::collections::HashMap;
@@ -54,6 +55,10 @@ pub fn effective_quantum(
         cap += 1;
     }
     let truncated_mass = sol.tail_prob(cap + 1);
+    if obs::enabled() {
+        obs::observe("core.effective.level_cap", cap as f64);
+        obs::observe("core.effective.truncated_mass", truncated_mass);
+    }
 
     // ---- Index the service states (i, a, cfg, k<m_q) for i in 1..=cap ----
     let mut index: HashMap<(usize, usize, usize, usize), usize> = HashMap::new();
@@ -360,7 +365,9 @@ mod tests {
     fn compress_preserves_two_moments_and_atom() {
         let m = two_class_model(0.3);
         let (chain, sol) = solve_class(&m, 0);
-        let eff = effective_quantum(&chain, &sol, 1e-9, 60).unwrap().distribution;
+        let eff = effective_quantum(&chain, &sol, 1e-9, 60)
+            .unwrap()
+            .distribution;
         let small = compress(&eff, 2);
         assert!(small.order() <= 130);
         assert!((small.atom_at_zero() - eff.atom_at_zero()).abs() < 1e-9);
@@ -378,7 +385,9 @@ mod tests {
     fn compress_three_moments() {
         let m = two_class_model(0.35);
         let (chain, sol) = solve_class(&m, 0);
-        let eff = effective_quantum(&chain, &sol, 1e-9, 60).unwrap().distribution;
+        let eff = effective_quantum(&chain, &sol, 1e-9, 60)
+            .unwrap()
+            .distribution;
         let small = compress(&eff, 3);
         assert!((small.mean() - eff.mean()).abs() / eff.mean() < 1e-5);
         let rel2 = (small.moment(2) - eff.moment(2)).abs() / eff.moment(2);

@@ -74,11 +74,7 @@ pub struct ClassChain {
 }
 
 /// Build the class-`p` QBD for the given vacation distribution `F_p`.
-pub fn build_class_chain(
-    model: &GangModel,
-    p: usize,
-    vacation: &PhaseType,
-) -> Result<ClassChain> {
+pub fn build_class_chain(model: &GangModel, p: usize, vacation: &PhaseType) -> Result<ClassChain> {
     let params = model.class(p);
     let c = model.partitions(p);
 
@@ -492,7 +488,12 @@ mod tests {
     use gsched_phase::{erlang, exponential};
     use gsched_qbd::solution::SolveOptions;
 
-    fn single_class_model(lambda: f64, mu: f64, quantum_mean: f64, overhead_mean: f64) -> GangModel {
+    fn single_class_model(
+        lambda: f64,
+        mu: f64,
+        quantum_mean: f64,
+        overhead_mean: f64,
+    ) -> GangModel {
         GangModel::new(
             4,
             vec![ClassParams {
@@ -513,7 +514,7 @@ mod tests {
         let chain = build_class_chain(&m, 0, &vac).unwrap();
         assert!(chain.qbd.is_irreducible());
         assert_eq!(chain.qbd.c(), 1); // c = P/g = 1
-        // level 0: vacation phases only (order 1) * m_a 1 = 1.
+                                      // level 0: vacation phases only (order 1) * m_a 1 = 1.
         assert_eq!(chain.qbd.level_dim(0), 1);
         // level >= 1: (m_q + m_v) = 2.
         assert_eq!(chain.qbd.repeating_dim(), 2);
@@ -543,7 +544,11 @@ mod tests {
             let m = single_class_model(0.5, 1.0, q, 0.05);
             let vac = heavy_traffic_vacation(&m, 0);
             let chain = build_class_chain(&m, 0, &vac).unwrap();
-            chain.qbd.solve(&SolveOptions::default()).unwrap().mean_level()
+            chain
+                .qbd
+                .solve(&SolveOptions::default())
+                .unwrap()
+                .mean_level()
         };
         let short = mk(0.1);
         let long = mk(100.0);

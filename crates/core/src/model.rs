@@ -140,10 +140,9 @@ impl GangModel {
                 return Err(ModelError::BadDistribution {
                     class: p,
                     param: "switch_overhead",
-                    reason:
-                        "a single-class model needs a positive-order overhead so the vacation \
+                    reason: "a single-class model needs a positive-order overhead so the vacation \
                          period is well defined"
-                            .to_string(),
+                        .to_string(),
                 });
             }
         }
@@ -244,7 +243,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_classes() {
-        assert_eq!(GangModel::new(4, vec![]).unwrap_err(), ModelError::NoClasses);
+        assert_eq!(
+            GangModel::new(4, vec![]).unwrap_err(),
+            ModelError::NoClasses
+        );
     }
 
     #[test]
@@ -258,11 +260,9 @@ mod tests {
     #[test]
     fn rejects_atom_in_service() {
         let mut c = basic_class(1);
-        c.service = gsched_phase::PhaseType::new(
-            vec![0.5],
-            gsched_linalg::Matrix::from_rows(&[&[-1.0]]),
-        )
-        .unwrap();
+        c.service =
+            gsched_phase::PhaseType::new(vec![0.5], gsched_linalg::Matrix::from_rows(&[&[-1.0]]))
+                .unwrap();
         let err = GangModel::new(4, vec![c]).unwrap_err();
         assert!(matches!(
             err,

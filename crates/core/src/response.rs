@@ -27,6 +27,7 @@
 use crate::generator::ClassChain;
 use crate::{GangError, Result};
 use gsched_linalg::Matrix;
+use gsched_obs as obs;
 use gsched_phase::PhaseType;
 use gsched_qbd::QbdSolution;
 use std::collections::HashMap;
@@ -94,6 +95,10 @@ pub fn response_time_distribution(
         cap += 1;
     }
     let folded_mass = sol.tail_prob(cap + 1);
+    if obs::enabled() {
+        obs::observe("core.response.ahead_cap", cap as f64);
+        obs::observe("core.response.folded_mass", folded_mass);
+    }
 
     // ---- Enumerate tagged states ----
     let mut states: Vec<Tagged> = Vec::new();
@@ -125,7 +130,11 @@ pub fn response_time_distribution(
     // ---- Fill transitions ----
     for (src, &state) in states.iter().enumerate() {
         let mut out = 0.0;
-        let add = |t: &mut Matrix, dst: Tagged, rate: f64, out: &mut f64, idx: &HashMap<Tagged, usize>| {
+        let add = |t: &mut Matrix,
+                   dst: Tagged,
+                   rate: f64,
+                   out: &mut f64,
+                   idx: &HashMap<Tagged, usize>| {
             if rate <= 0.0 {
                 return;
             }
@@ -137,9 +146,7 @@ pub fn response_time_distribution(
             *out += rate;
         };
         let (k, running) = match state {
-            Tagged::Waiting { k, .. } | Tagged::InService { k, .. } => {
-                (k, sp.is_quantum_phase(k))
-            }
+            Tagged::Waiting { k, .. } | Tagged::InService { k, .. } => (k, sp.is_quantum_phase(k)),
         };
 
         // Cycle-phase dynamics (identical in both tagged modes).
@@ -243,7 +250,11 @@ pub fn response_time_distribution(
                                     let ci2 = sp.cfg_index(c, &c2);
                                     add(
                                         &mut t,
-                                        Tagged::Waiting { h: h - 1, cfg: ci2, k },
+                                        Tagged::Waiting {
+                                            h: h - 1,
+                                            cfg: ci2,
+                                            k,
+                                        },
                                         rc * pb,
                                         &mut out,
                                         &index,
@@ -294,7 +305,12 @@ pub fn response_time_distribution(
                                     let ci2 = sp.cfg_index(h, &c2);
                                     add(
                                         &mut t,
-                                        Tagged::InService { h, cfg: ci2, own, k },
+                                        Tagged::InService {
+                                            h,
+                                            cfg: ci2,
+                                            own,
+                                            k,
+                                        },
                                         r,
                                         &mut out,
                                         &index,
@@ -309,7 +325,12 @@ pub fn response_time_distribution(
                             let ci2 = sp.cfg_index(h - 1, &c2);
                             add(
                                 &mut t,
-                                Tagged::InService { h: h - 1, cfg: ci2, own, k },
+                                Tagged::InService {
+                                    h: h - 1,
+                                    cfg: ci2,
+                                    own,
+                                    k,
+                                },
                                 rc,
                                 &mut out,
                                 &index,
@@ -346,9 +367,9 @@ pub fn response_time_distribution(
         let pi = sol.level_vector(i);
         let h = i.min(cap);
         let n_srv = sp.in_service(i);
-        for s_idx in 0..pi.len() {
+        for (s_idx, &pi_s) in pi.iter().enumerate() {
             let (a, ci, k_raw) = sp.decode(i, s_idx);
-            let w = pi[s_idx] * d.s0a[a];
+            let w = pi_s * d.s0a[a];
             if w == 0.0 {
                 continue;
             }
@@ -361,7 +382,12 @@ pub fn response_time_distribution(
                     if pb == 0.0 {
                         continue;
                     }
-                    let s = Tagged::InService { h, cfg: ci, own: b, k };
+                    let s = Tagged::InService {
+                        h,
+                        cfg: ci,
+                        own: b,
+                        k,
+                    };
                     xi[index[&s]] += w * pb;
                 }
             } else {

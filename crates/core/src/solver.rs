@@ -12,12 +12,13 @@
 //! classes' effective quanta shrink.
 
 use crate::effective::{compress, effective_quantum};
-use crate::response::response_time_distribution;
 use crate::generator::{build_class_chain, ClassChain};
 use crate::measures::{class_measures, ClassMeasures};
 use crate::model::GangModel;
+use crate::response::response_time_distribution;
 use crate::vacation::compose_vacation;
 use crate::{GangError, Result};
+use gsched_obs as obs;
 use gsched_phase::PhaseType;
 use gsched_qbd::solution::SolveOptions as QbdSolveOptions;
 use gsched_qbd::{QbdError, QbdSolution};
@@ -77,9 +78,11 @@ pub struct SolverOptions {
     /// damping) converges fastest when the iteration is well behaved; values
     /// around `0.5` suppress the stable/unstable flapping that can occur
     /// near saturation.
+    ///
+    /// Per-iteration diagnostics (populations, effective quanta,
+    /// convergence deltas) are published through `gsched_obs` — install a
+    /// recorder with `gsched_obs::install_memory()` to capture them.
     pub damping: f64,
-    /// Print per-iteration diagnostics to stderr.
-    pub trace: bool,
 }
 
 impl Default for SolverOptions {
@@ -94,7 +97,6 @@ impl Default for SolverOptions {
             require_stable: false,
             response_quantiles: false,
             damping: 0.7,
-            trace: false,
         }
     }
 }
@@ -158,6 +160,7 @@ enum ClassIterate {
 
 /// Solve the gang-scheduling model.
 pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
+    let _span = obs::span("core.solve");
     let l = model.num_classes();
     // Effective quanta, initialized to the full parameter quanta (Thm 4.1).
     let mut quanta: Vec<PhaseType> = model.classes().iter().map(|c| c.quantum.clone()).collect();
@@ -179,6 +182,9 @@ pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
         let mut vacs = Vec::with_capacity(l);
         let mut n_now = Vec::with_capacity(l);
         for p in 0..l {
+            // Named per class so qbd events fired inside carry the class
+            // in their span path (e.g. `core.solve/core.class1/qbd.solve`).
+            let _class_span = obs::span(format!("core.class{p}"));
             let vac = compose_vacation(model, p, &quanta);
             let chain = build_class_chain(model, p, &vac)?;
             match chain.qbd.solve(&opts.qbd) {
@@ -209,13 +215,19 @@ pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
                 }
             })
             .fold(0.0_f64, f64::max);
-        if opts.trace {
-            let ns: Vec<String> = n_now.iter().map(|v| format!("{v:.4}")).collect();
-            let qs: Vec<String> = quanta.iter().map(|q| format!("{:.4}", q.mean())).collect();
-            eprintln!(
-                "[fp iter {iterations}] N = [{}], eff quanta = [{}], change = {change:.3e}",
-                ns.join(", "),
-                qs.join(", ")
+        if obs::enabled() {
+            obs::event(
+                "core.solver.fp_iteration",
+                &[
+                    ("iteration", obs::FieldValue::U64(iterations as u64)),
+                    ("populations", obs::FieldValue::F64s(n_now.clone())),
+                    (
+                        "effective_quantum_means",
+                        obs::FieldValue::F64s(quanta.iter().map(|q| q.mean()).collect()),
+                    ),
+                    ("max_relative_change", obs::FieldValue::F64(change)),
+                    ("damping", obs::FieldValue::F64(opts.damping)),
+                ],
             );
         }
         prev_n = n_now;
@@ -241,8 +253,7 @@ pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
             let raw = match &last_pass[p] {
                 ClassIterate::Stable(cs) => {
                     let (chain, sol) = cs.as_ref();
-                    let eff =
-                        effective_quantum(chain, sol, opts.tail_eps, opts.max_extra_levels)?;
+                    let eff = effective_quantum(chain, sol, opts.tail_eps, opts.max_extra_levels)?;
                     match &opts.mode {
                         VacationMode::Exact => eff.distribution,
                         VacationMode::MomentMatched { moments } => {
@@ -328,9 +339,9 @@ pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
             let chain = build_class_chain(model, p, &vac)?;
             let report = gsched_qbd::drift_condition(&chain.qbd.a0, &chain.qbd.a1, &chain.qbd.a2)
                 .map_err(|e| GangError::Qbd {
-                    class: p,
-                    source: e,
-                })?;
+                class: p,
+                source: e,
+            })?;
             return Err(GangError::Unstable { class: p, report });
         }
     }
@@ -338,11 +349,43 @@ pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
     // approaching 1; a budget-exhausted iterate whose residual is already
     // small is still a useful answer, so only a genuinely diverging
     // iteration is an error.
-    if !converged && !(last_change < 1e-2) {
+    if !converged && (last_change.is_nan() || last_change >= 1e-2) {
         return Err(GangError::NoConvergence {
             iterations,
             last_change,
         });
+    }
+    if obs::enabled() {
+        obs::counter_add("core.solver.solves", 1);
+        obs::counter_add("core.solver.fp_iterations", iterations as u64);
+        obs::gauge_set("core.solver.final_change", last_change);
+        for (p, class) in classes.iter().enumerate() {
+            obs::observe(
+                "core.solver.effective_quantum_mean",
+                class.effective_quantum_mean,
+            );
+            obs::event(
+                "core.solver.class_result",
+                &[
+                    ("class", obs::FieldValue::U64(p as u64)),
+                    (
+                        "stable",
+                        obs::FieldValue::Str(
+                            if class.stable { "stable" } else { "unstable" }.to_string(),
+                        ),
+                    ),
+                    ("mean_jobs", obs::FieldValue::F64(class.mean_jobs)),
+                    (
+                        "effective_quantum_mean",
+                        obs::FieldValue::F64(class.effective_quantum_mean),
+                    ),
+                    (
+                        "skip_probability",
+                        obs::FieldValue::F64(class.skip_probability),
+                    ),
+                ],
+            );
+        }
     }
     Ok(GangSolution {
         classes,
@@ -421,10 +464,7 @@ mod tests {
         .unwrap();
         let a = mm.classes[0].mean_jobs;
         let b = ex.classes[0].mean_jobs;
-        assert!(
-            (a - b).abs() / b < 0.05,
-            "moment-matched {a} vs exact {b}"
-        );
+        assert!((a - b).abs() / b < 0.05, "moment-matched {a} vs exact {b}");
     }
 
     #[test]
@@ -490,13 +530,19 @@ mod tests {
 
     #[test]
     fn skip_probability_rises_as_load_falls() {
-        let light = solve(&symmetric_model(2, 2, 0.05, 1.0, 1.0), &SolverOptions::default())
-            .unwrap()
-            .classes[0]
+        let light = solve(
+            &symmetric_model(2, 2, 0.05, 1.0, 1.0),
+            &SolverOptions::default(),
+        )
+        .unwrap()
+        .classes[0]
             .skip_probability;
-        let heavy = solve(&symmetric_model(2, 2, 0.4, 1.0, 1.0), &SolverOptions::default())
-            .unwrap()
-            .classes[0]
+        let heavy = solve(
+            &symmetric_model(2, 2, 0.4, 1.0, 1.0),
+            &SolverOptions::default(),
+        )
+        .unwrap()
+        .classes[0]
             .skip_probability;
         assert!(light > heavy, "light {light} vs heavy {heavy}");
     }

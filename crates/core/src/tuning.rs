@@ -255,9 +255,9 @@ pub fn optimize_cycle_fractions(
 
     let eval = |fractions: &[f64]| -> f64 {
         let mut m = model.clone();
-        for p in 0..l {
+        for (p, &frac) in fractions.iter().enumerate() {
             let mut c = m.class(p).clone();
-            c.quantum = c.quantum.with_mean(fractions[p] * budget);
+            c.quantum = c.quantum.with_mean(frac * budget);
             m = m.with_class(p, c);
         }
         match solve(&m, opts) {
@@ -274,8 +274,8 @@ pub fn optimize_cycle_fractions(
             // rescaled proportionally.
             for &cand in &[0.5, 0.75, 1.25, 1.5, 2.0] {
                 let mut f2 = fractions.clone();
-                let new_fp = (fractions[p] * cand)
-                    .clamp(min_fraction, 1.0 - min_fraction * (l - 1) as f64);
+                let new_fp =
+                    (fractions[p] * cand).clamp(min_fraction, 1.0 - min_fraction * (l - 1) as f64);
                 let others: f64 = 1.0 - new_fp;
                 let old_others: f64 = 1.0 - fractions[p];
                 if old_others <= 0.0 {
@@ -398,15 +398,9 @@ mod tests {
         // Class 0 carries most of the load: it should get more than half of
         // the budget when minimizing its (weighted) response.
         let m = two_class(0.4, 0.1, 1.0);
-        let (quanta, val) = optimize_cycle_fractions(
-            &m,
-            2.0,
-            0.05,
-            &Objective::TotalMeanJobs,
-            &quick_opts(),
-            3,
-        )
-        .unwrap();
+        let (quanta, val) =
+            optimize_cycle_fractions(&m, 2.0, 0.05, &Objective::TotalMeanJobs, &quick_opts(), 3)
+                .unwrap();
         assert!(val.is_finite());
         assert!((quanta.iter().sum::<f64>() - 2.0).abs() < 1e-9);
         assert!(
@@ -419,13 +413,6 @@ mod tests {
     #[should_panic(expected = "positive range")]
     fn bad_range_rejected() {
         let m = two_class(0.2, 0.2, 1.0);
-        let _ = optimize_common_quantum(
-            &m,
-            1.0,
-            0.5,
-            5,
-            &Objective::TotalMeanJobs,
-            &quick_opts(),
-        );
+        let _ = optimize_common_quantum(&m, 1.0, 0.5, 5, &Objective::TotalMeanJobs, &quick_opts());
     }
 }

@@ -107,13 +107,9 @@ mod tests {
         let m = model3();
         // Replace class 1's quantum by a "mostly skipped" effective quantum:
         // atom 0.8 at zero, else Exp(5).
-        let short = PhaseType::new(
-            vec![0.2],
-            gsched_linalg::Matrix::from_rows(&[&[-5.0]]),
-        )
-        .unwrap();
-        let mut quanta: Vec<PhaseType> =
-            m.classes().iter().map(|c| c.quantum.clone()).collect();
+        let short =
+            PhaseType::new(vec![0.2], gsched_linalg::Matrix::from_rows(&[&[-5.0]])).unwrap();
+        let mut quanta: Vec<PhaseType> = m.classes().iter().map(|c| c.quantum.clone()).collect();
         quanta[1] = short.clone();
         let z = compose_vacation(&m, 0, &quanta);
         let full = heavy_traffic_vacation(&m, 0);

@@ -49,8 +49,8 @@ fn chains_are_generators_and_irreducible_across_grid() {
 #[test]
 fn solutions_satisfy_global_invariants_across_grid() {
     for (i, m) in grid_models().iter().enumerate() {
-        let sol = solve(m, &SolverOptions::default())
-            .unwrap_or_else(|e| panic!("grid model {i}: {e}"));
+        let sol =
+            solve(m, &SolverOptions::default()).unwrap_or_else(|e| panic!("grid model {i}: {e}"));
         assert!(sol.converged, "grid model {i}");
         for (p, c) in sol.classes.iter().enumerate() {
             assert!(c.stable, "grid model {i}, class {p}");

@@ -36,7 +36,10 @@ pub fn kron_product(a: &Matrix, b: &Matrix) -> Matrix {
 /// # Panics
 /// Panics if either matrix is not square.
 pub fn kron_sum(a: &Matrix, b: &Matrix) -> Matrix {
-    assert!(a.is_square() && b.is_square(), "kron_sum requires square inputs");
+    assert!(
+        a.is_square() && b.is_square(),
+        "kron_sum requires square inputs"
+    );
     let left = kron_product(a, &Matrix::identity(b.rows()));
     let right = kron_product(&Matrix::identity(a.rows()), b);
     &left + &right

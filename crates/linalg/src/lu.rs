@@ -113,19 +113,13 @@ impl Lu {
         }
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
-            let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = s;
+            let s: f64 = (0..i).map(|j| self.lu[(i, j)] * x[j]).sum();
+            x[i] -= s;
         }
         // Backward substitution.
         for i in (0..n).rev() {
-            let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = s / self.lu[(i, i)];
+            let s: f64 = ((i + 1)..n).map(|j| self.lu[(i, j)] * x[j]).sum();
+            x[i] = (x[i] - s) / self.lu[(i, i)];
         }
         Ok(x)
     }
@@ -164,19 +158,13 @@ impl Lu {
         // Solve Uᵀ y = b (forward, Uᵀ lower-triangular with diag of U)...
         let mut y = b.to_vec();
         for i in 0..n {
-            let mut s = y[i];
-            for j in 0..i {
-                s -= self.lu[(j, i)] * y[j];
-            }
-            y[i] = s / self.lu[(i, i)];
+            let s: f64 = (0..i).map(|j| self.lu[(j, i)] * y[j]).sum();
+            y[i] = (y[i] - s) / self.lu[(i, i)];
         }
         // ...then Lᵀ z = y (backward, unit diagonal).
         for i in (0..n).rev() {
-            let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(j, i)] * y[j];
-            }
-            y[i] = s;
+            let s: f64 = ((i + 1)..n).map(|j| self.lu[(j, i)] * y[j]).sum();
+            y[i] -= s;
         }
         // Undo the permutation: x = z Pᵀ, i.e. apply swaps in reverse.
         for k in (0..n).rev() {

@@ -56,11 +56,7 @@ mod tests {
     #[test]
     fn three_state_cycle() {
         // Cycle 0->1->2->0 with unit rates: uniform stationary distribution.
-        let q = Matrix::from_rows(&[
-            &[-1.0, 1.0, 0.0],
-            &[0.0, -1.0, 1.0],
-            &[1.0, 0.0, -1.0],
-        ]);
+        let q = Matrix::from_rows(&[&[-1.0, 1.0, 0.0], &[0.0, -1.0, 1.0], &[1.0, 0.0, -1.0]]);
         let pi = solve_stationary(&q).unwrap();
         for p in &pi {
             assert!((p - 1.0 / 3.0).abs() < 1e-12);
@@ -79,11 +75,7 @@ mod tests {
     #[test]
     fn residual_is_small() {
         // Random-ish irreducible generator.
-        let q = Matrix::from_rows(&[
-            &[-3.0, 2.0, 1.0],
-            &[0.5, -1.5, 1.0],
-            &[2.0, 2.0, -4.0],
-        ]);
+        let q = Matrix::from_rows(&[&[-3.0, 2.0, 1.0], &[0.5, -1.5, 1.0], &[2.0, 2.0, -4.0]]);
         let pi = solve_stationary(&q).unwrap();
         let res = q.transpose().mul_vec(&pi).unwrap();
         for r in res {

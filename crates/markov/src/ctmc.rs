@@ -85,11 +85,7 @@ impl Ctmc {
     pub fn is_irreducible(&self) -> bool {
         let n = self.dim();
         let adj: Vec<Vec<usize>> = (0..n)
-            .map(|i| {
-                (0..n)
-                    .filter(|&j| j != i && self.q[(i, j)] > 0.0)
-                    .collect()
-            })
+            .map(|i| (0..n).filter(|&j| j != i && self.q[(i, j)] > 0.0).collect())
             .collect();
         is_strongly_connected(&adj)
     }
@@ -162,7 +158,8 @@ fn gth_stationary_impl(q: &Matrix) -> Option<Vec<f64>> {
     let mut denom = vec![1.0; n];
     for k in (1..n).rev() {
         let s: f64 = (0..k).map(|j| a[(k, j)]).sum();
-        if !(s > 0.0) {
+        // Reject non-positive and NaN normalizers alike.
+        if s.is_nan() || s <= 0.0 {
             return None;
         }
         denom[k] = s;
@@ -230,7 +227,9 @@ mod tests {
         // Deterministic pseudo-random irreducible generator.
         let mut seed = 12345u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / (u32::MAX as f64)
         };
         for n in 2..10 {
@@ -254,11 +253,7 @@ mod tests {
     #[test]
     fn gth_handles_stiff_generator() {
         // Rates spanning 10 orders of magnitude.
-        let rates = Matrix::from_rows(&[
-            &[0.0, 1e-6, 0.0],
-            &[1e4, 0.0, 1e4],
-            &[0.0, 1e-6, 0.0],
-        ]);
+        let rates = Matrix::from_rows(&[&[0.0, 1e-6, 0.0], &[1e4, 0.0, 1e4], &[0.0, 1e-6, 0.0]]);
         let c = Ctmc::from_rates(&rates).unwrap();
         let pi = c.stationary_gth().unwrap();
         let res = c.generator().transpose().mul_vec(&pi).unwrap();

@@ -58,11 +58,7 @@ impl Dtmc {
     pub fn is_irreducible(&self) -> bool {
         let n = self.dim();
         let adj: Vec<Vec<usize>> = (0..n)
-            .map(|i| {
-                (0..n)
-                    .filter(|&j| self.p[(i, j)] > 0.0 && j != i)
-                    .collect()
-            })
+            .map(|i| (0..n).filter(|&j| self.p[(i, j)] > 0.0 && j != i).collect())
             .collect();
         is_strongly_connected(&adj)
     }
@@ -130,7 +126,7 @@ mod tests {
     #[test]
     fn stationary_fixed_point() {
         let p = Dtmc::new(Matrix::from_rows(&[
-        &[0.2, 0.5, 0.3],
+            &[0.2, 0.5, 0.3],
             &[0.6, 0.1, 0.3],
             &[0.25, 0.25, 0.5],
         ]))

@@ -50,11 +50,7 @@ fn simulate_occupancy(q: &Matrix, start: usize, horizon: f64, rng: &mut StdRng) 
 
 #[test]
 fn gth_stationary_matches_simulation() {
-    let q = Matrix::from_rows(&[
-        &[-2.0, 1.5, 0.5],
-        &[0.3, -1.0, 0.7],
-        &[1.2, 0.8, -2.0],
-    ]);
+    let q = Matrix::from_rows(&[&[-2.0, 1.5, 0.5], &[0.3, -1.0, 0.7], &[1.2, 0.8, -2.0]]);
     let chain = Ctmc::new(q.clone()).unwrap();
     let pi = chain.stationary_gth().unwrap();
     let mut rng = StdRng::seed_from_u64(4242);
@@ -75,11 +71,7 @@ fn absorption_time_matches_simulation() {
     let analytic = a.mean_absorption_time(&[1.0, 0.0]).unwrap();
 
     // Simulate: full generator with absorbing state 2.
-    let q = Matrix::from_rows(&[
-        &[-3.0, 1.0, 2.0],
-        &[0.5, -1.5, 1.0],
-        &[0.0, 0.0, 0.0],
-    ]);
+    let q = Matrix::from_rows(&[&[-3.0, 1.0, 2.0], &[0.5, -1.5, 1.0], &[0.0, 0.0, 0.0]]);
     let mut rng = StdRng::seed_from_u64(99);
     let n_runs = 200_000;
     let mut total = 0.0;

@@ -1,0 +1,40 @@
+//! Workspace-wide instrumentation: hierarchical timed spans, typed
+//! counters/gauges, log-scale histograms, and structured event records,
+//! exportable as JSON diagnostics or a human-readable report.
+//!
+//! # Architecture
+//!
+//! All instrumentation flows through a global, swappable [`Recorder`]. By
+//! default none is installed and every probe is a single relaxed atomic
+//! load — solver and simulator hot paths pay essentially nothing. Callers
+//! that want diagnostics install a [`MemoryRecorder`] (usually via
+//! [`install_memory`]), run the workload, then take a [`Snapshot`] for JSON
+//! export ([`Snapshot::to_json`]) or a tree report ([`Snapshot::render`]).
+//!
+//! Metric names use `crate.component.operation` form (for example
+//! `qbd.rmatrix.iterations`). Span *paths* additionally join nested span
+//! names with `/`, so time spent solving the class-2 QBD inside a full
+//! solve shows up as `core.solve/core.class2/qbd.solve`.
+//!
+//! # Probes
+//!
+//! * [`span`] — RAII timer; nesting is tracked per thread.
+//! * [`counter_add`] — monotone `u64` totals (events processed, iterations).
+//! * [`gauge_set`] — last-write-wins `f64` level (convergence delta, rate).
+//! * [`observe`] — log-scale histogram sample (queue lengths, times).
+//! * [`event`] — structured record with fields, tagged with the emitting
+//!   span path (fixed-point trajectories, per-class solve summaries).
+
+mod histogram;
+mod recorder;
+mod report;
+mod snapshot;
+
+pub use histogram::LogHistogram;
+pub use recorder::{
+    counter_add, enabled, event, gauge_set, install, install_memory, installed_memory, observe,
+    span, uninstall, FieldValue, MemoryRecorder, Recorder, SpanGuard,
+};
+pub use snapshot::{
+    EventSnapshot, HistogramSnapshot, MetricF64, MetricU64, Snapshot, SpanSnapshot,
+};

@@ -1,0 +1,390 @@
+//! The global recorder, probe functions, and the in-memory implementation.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::histogram::LogHistogram;
+use crate::snapshot::{
+    EventSnapshot, HistogramSnapshot, MetricF64, MetricU64, Snapshot, SpanSnapshot,
+};
+
+/// A field value attached to an [`event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (counts, iteration numbers).
+    U64(u64),
+    /// Floating-point scalar (residuals, deltas, means).
+    F64(f64),
+    /// Short string (method names, modes).
+    Str(String),
+    /// Vector of floats (per-class populations, effective quanta).
+    F64s(Vec<f64>),
+}
+
+impl FieldValue {
+    fn to_json(&self) -> serde_json::Value {
+        match self {
+            FieldValue::U64(x) => serde_json::Value::Number(*x as f64),
+            FieldValue::F64(x) => serde_json::Value::Number(*x),
+            FieldValue::Str(s) => serde_json::Value::String(s.clone()),
+            FieldValue::F64s(v) => {
+                serde_json::Value::Array(v.iter().map(|x| serde_json::Value::Number(*x)).collect())
+            }
+        }
+    }
+}
+
+/// Sink for instrumentation data. Implementations must be thread-safe;
+/// probes may fire concurrently from solver worker threads.
+pub trait Recorder: Send + Sync {
+    /// Add `delta` to the monotone counter `name`.
+    fn counter_add(&self, name: &str, delta: u64);
+    /// Set gauge `name` to `value` (last write wins).
+    fn gauge_set(&self, name: &str, value: f64);
+    /// Record `value` into histogram `name`.
+    fn observe(&self, name: &str, value: f64);
+    /// Record a completed span occurrence for `path` (slash-joined).
+    fn span_record(&self, path: &str, nanos: u64);
+    /// Record a structured event, tagged with the emitting span `path`.
+    fn event(&self, name: &str, span_path: &str, fields: &[(&str, FieldValue)]);
+}
+
+/// Fast-path switch: probes return immediately while this is false, so an
+/// uninstrumented run costs one relaxed atomic load per probe.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed recorder. `RwLock` so probes share read access.
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+/// Typed handle kept alongside `RECORDER` when the installed recorder is a
+/// [`MemoryRecorder`], so diagnostics code can snapshot it later.
+static MEMORY: RwLock<Option<Arc<MemoryRecorder>>> = RwLock::new(None);
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether a recorder is installed (probes are live).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install `recorder` as the global sink, replacing any previous one.
+pub fn install(recorder: Arc<dyn Recorder>) {
+    *MEMORY.write() = None;
+    *RECORDER.write() = Some(recorder);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Install a fresh [`MemoryRecorder`] and return a handle to it.
+pub fn install_memory() -> Arc<MemoryRecorder> {
+    let recorder = Arc::new(MemoryRecorder::new());
+    install(recorder.clone());
+    *MEMORY.write() = Some(recorder.clone());
+    recorder
+}
+
+/// The currently installed recorder, if it is a [`MemoryRecorder`].
+pub fn installed_memory() -> Option<Arc<MemoryRecorder>> {
+    MEMORY.read().clone()
+}
+
+/// Remove the installed recorder; probes return to no-ops.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+    *RECORDER.write() = None;
+    *MEMORY.write() = None;
+}
+
+fn with_recorder(f: impl FnOnce(&dyn Recorder)) {
+    if !enabled() {
+        return;
+    }
+    let guard = RECORDER.read();
+    if let Some(recorder) = guard.as_ref() {
+        f(recorder.as_ref());
+    }
+}
+
+/// Add `delta` to counter `name` (no-op when nothing is installed).
+pub fn counter_add(name: &str, delta: u64) {
+    with_recorder(|r| r.counter_add(name, delta));
+}
+
+/// Set gauge `name` to `value` (no-op when nothing is installed).
+pub fn gauge_set(name: &str, value: f64) {
+    with_recorder(|r| r.gauge_set(name, value));
+}
+
+/// Record `value` into histogram `name` (no-op when nothing is installed).
+pub fn observe(name: &str, value: f64) {
+    with_recorder(|r| r.observe(name, value));
+}
+
+/// Emit a structured event tagged with the current span path.
+pub fn event(name: &str, fields: &[(&str, FieldValue)]) {
+    if !enabled() {
+        return;
+    }
+    let path = SPAN_STACK.with(|stack| stack.borrow().join("/"));
+    with_recorder(|r| r.event(name, &path, fields));
+}
+
+/// Open a timed span. The returned guard closes the span on drop and
+/// records its wall time under the slash-joined path of all spans open on
+/// this thread. When no recorder is installed the guard is inert.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { start: None };
+    }
+    SPAN_STACK.with(|stack| stack.borrow_mut().push(name.into()));
+    SpanGuard {
+        start: Some(Instant::now()),
+    }
+}
+
+/// RAII guard for an open span; see [`span`].
+#[must_use = "a span guard times the region until it is dropped"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let nanos = start.elapsed().as_nanos() as u64;
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        with_recorder(|r| r.span_record(&path, nanos));
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct SpanStat {
+    count: u64,
+    total_nanos: u64,
+}
+
+/// Everything a [`MemoryRecorder`] has accumulated.
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LogHistogram>,
+    spans: BTreeMap<String, SpanStat>,
+    events: Vec<EventSnapshot>,
+    events_dropped: u64,
+}
+
+/// Cap on stored events so long runs cannot grow memory without bound;
+/// drops past the cap are counted in `events_dropped`.
+const MAX_EVENTS: usize = 100_000;
+
+/// Recorder that aggregates everything in memory behind a mutex, for
+/// export via [`MemoryRecorder::snapshot`].
+pub struct MemoryRecorder {
+    registry: Mutex<Registry>,
+}
+
+impl Default for MemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        MemoryRecorder {
+            registry: Mutex::new(Registry::default()),
+        }
+    }
+
+    /// Snapshot the accumulated data for export.
+    pub fn snapshot(&self) -> Snapshot {
+        let registry = self.registry.lock();
+        Snapshot {
+            counters: registry
+                .counters
+                .iter()
+                .map(|(name, &value)| MetricU64 {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            gauges: registry
+                .gauges
+                .iter()
+                .map(|(name, &value)| MetricF64 {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            histograms: registry
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramSnapshot {
+                    name: name.clone(),
+                    count: h.count(),
+                    mean: h.mean(),
+                    min: h.min(),
+                    max: h.max(),
+                    p50: h.quantile(0.5),
+                    p90: h.quantile(0.9),
+                    p99: h.quantile(0.99),
+                })
+                .collect(),
+            spans: registry
+                .spans
+                .iter()
+                .map(|(path, stat)| SpanSnapshot {
+                    path: path.clone(),
+                    count: stat.count,
+                    total_nanos: stat.total_nanos,
+                })
+                .collect(),
+            events: registry.events.clone(),
+            events_dropped: registry.events_dropped,
+        }
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn counter_add(&self, name: &str, delta: u64) {
+        let mut registry = self.registry.lock();
+        match registry.counters.get_mut(name) {
+            Some(total) => *total += delta,
+            None => {
+                registry.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        let mut registry = self.registry.lock();
+        match registry.gauges.get_mut(name) {
+            Some(slot) => *slot = value,
+            None => {
+                registry.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        let mut registry = self.registry.lock();
+        match registry.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = LogHistogram::new();
+                h.record(value);
+                registry.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    fn span_record(&self, path: &str, nanos: u64) {
+        let mut registry = self.registry.lock();
+        let stat = match registry.spans.get_mut(path) {
+            Some(stat) => stat,
+            None => {
+                registry.spans.insert(path.to_string(), SpanStat::default());
+                registry.spans.get_mut(path).unwrap()
+            }
+        };
+        stat.count += 1;
+        stat.total_nanos += nanos;
+    }
+
+    fn event(&self, name: &str, span_path: &str, fields: &[(&str, FieldValue)]) {
+        let mut registry = self.registry.lock();
+        if registry.events.len() >= MAX_EVENTS {
+            registry.events_dropped += 1;
+            return;
+        }
+        registry.events.push(EventSnapshot {
+            name: name.to_string(),
+            span: span_path.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_recorder_aggregates_directly() {
+        let recorder = MemoryRecorder::new();
+        recorder.counter_add("a.count", 2);
+        recorder.counter_add("a.count", 3);
+        recorder.gauge_set("a.level", 1.5);
+        recorder.gauge_set("a.level", 2.5);
+        recorder.observe("a.hist", 10.0);
+        recorder.span_record("outer/inner", 1000);
+        recorder.span_record("outer/inner", 500);
+        recorder.event("a.event", "outer", &[("k", FieldValue::U64(7))]);
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counter("a.count"), Some(5));
+        assert_eq!(snapshot.gauge("a.level"), Some(2.5));
+        assert_eq!(snapshot.histogram("a.hist").unwrap().count, 1);
+        let span = snapshot.span("outer/inner").unwrap();
+        assert_eq!(span.count, 2);
+        assert_eq!(span.total_nanos, 1500);
+        assert_eq!(snapshot.events.len(), 1);
+        assert_eq!(snapshot.events[0].span, "outer");
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_exact() {
+        let recorder = Arc::new(MemoryRecorder::new());
+        let threads = 8;
+        let per_thread = 5000;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let recorder = Arc::clone(&recorder);
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        recorder.counter_add("shared.count", 1);
+                        recorder.observe("shared.hist", 1.0);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counter("shared.count"), Some(threads * per_thread));
+        assert_eq!(
+            snapshot.histogram("shared.hist").unwrap().count,
+            threads * per_thread
+        );
+    }
+
+    #[test]
+    fn event_cap_counts_drops() {
+        let recorder = MemoryRecorder::new();
+        for _ in 0..(MAX_EVENTS + 10) {
+            recorder.event("e", "", &[]);
+        }
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.events.len(), MAX_EVENTS);
+        assert_eq!(snapshot.events_dropped, 10);
+    }
+}

@@ -1,0 +1,121 @@
+//! Exportable view of everything a recorder accumulated.
+
+use serde::{Deserialize, Serialize};
+
+/// A named `u64` counter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricU64 {
+    /// Metric name (`crate.component.operation`).
+    pub name: String,
+    /// Accumulated total.
+    pub value: u64,
+}
+
+/// A named `f64` gauge value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricF64 {
+    /// Metric name.
+    pub name: String,
+    /// Last value set.
+    pub value: f64,
+}
+
+/// Summary of one histogram: count, mean, extremes, and quantiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (within ~4.4% relative resolution).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Aggregate timing for one span path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanSnapshot {
+    /// Slash-joined nesting path, e.g. `core.solve/qbd.solve`.
+    pub path: String,
+    /// Number of times the span completed.
+    pub count: u64,
+    /// Total wall time across completions, in nanoseconds.
+    pub total_nanos: u64,
+}
+
+/// One structured event with its fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventSnapshot {
+    /// Event name.
+    pub name: String,
+    /// Span path that was open when the event fired.
+    pub span: String,
+    /// Field name/value pairs, values already in JSON form.
+    pub fields: Vec<(String, serde_json::Value)>,
+}
+
+/// Complete diagnostics bundle; serializes to the `--diag` JSON schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<MetricU64>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<MetricF64>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// All span paths, sorted by path.
+    pub spans: Vec<SpanSnapshot>,
+    /// Structured events in emission order.
+    pub events: Vec<EventSnapshot>,
+    /// Events discarded once the in-memory cap was reached.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// Value of counter `name`, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value)
+    }
+
+    /// Value of gauge `name`, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|m| m.name == name).map(|m| m.value)
+    }
+
+    /// Summary of histogram `name`, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Aggregate for span `path`, if recorded.
+    pub fn span(&self, path: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Events with the given name, in emission order.
+    pub fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a EventSnapshot> {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+
+    /// Serialize as pretty-printed JSON (the `--diag` file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Parse a snapshot back from its JSON form.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}

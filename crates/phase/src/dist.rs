@@ -296,7 +296,10 @@ impl PhaseType {
         }
         let s = self.s.to_matrix();
         let m = self.order();
-        let q = (0..m).map(|i| -s[(i, i)]).fold(0.0_f64, f64::max).max(1e-300);
+        let q = (0..m)
+            .map(|i| -s[(i, i)])
+            .fold(0.0_f64, f64::max)
+            .max(1e-300);
         let p = {
             let mut p = s.scaled(1.0 / q);
             for i in 0..m {
@@ -317,9 +320,7 @@ impl PhaseType {
         }
         for k in 0..=kmax {
             total += w * v.iter().sum::<f64>();
-            v = p
-                .left_mul_vec(&v)
-                .expect("dimensions fixed");
+            v = p.left_mul_vec(&v).expect("dimensions fixed");
             w *= qt / (k as f64 + 1.0);
         }
         total.clamp(0.0, 1.0)
@@ -353,7 +354,10 @@ impl PhaseType {
         let s = self.s.to_matrix();
         let m = self.order();
         let s0 = self.exit_vector();
-        let q = (0..m).map(|i| -s[(i, i)]).fold(0.0_f64, f64::max).max(1e-300);
+        let q = (0..m)
+            .map(|i| -s[(i, i)])
+            .fold(0.0_f64, f64::max)
+            .max(1e-300);
         let p = {
             let mut p = s.scaled(1.0 / q);
             for i in 0..m {
@@ -399,14 +403,20 @@ impl PhaseType {
     /// Panics if any `p` is outside `[0, 1)`.
     pub fn quantiles(&self, ps: &[f64]) -> Vec<f64> {
         for &p in ps {
-            assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+            assert!(
+                (0.0..1.0).contains(&p),
+                "quantile requires p in [0,1), got {p}"
+            );
         }
         if self.order() == 0 {
             return vec![0.0; ps.len()];
         }
         let m = self.order();
         let s = self.s.to_matrix();
-        let q = (0..m).map(|i| -s[(i, i)]).fold(0.0_f64, f64::max).max(1e-300);
+        let q = (0..m)
+            .map(|i| -s[(i, i)])
+            .fold(0.0_f64, f64::max)
+            .max(1e-300);
         let p_mat = {
             let mut p = s.scaled(1.0 / q);
             for i in 0..m {
@@ -544,7 +554,10 @@ impl PhaseType {
     pub fn with_mean(&self, new_mean: f64) -> PhaseType {
         assert!(new_mean > 0.0, "with_mean: target mean must be positive");
         let m = self.mean();
-        assert!(m > 0.0, "with_mean: cannot rescale a zero-mean distribution");
+        assert!(
+            m > 0.0,
+            "with_mean: cannot rescale a zero-mean distribution"
+        );
         let factor = m / new_mean; // rates scale by factor
         PhaseType {
             alpha: self.alpha.clone(),

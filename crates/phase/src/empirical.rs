@@ -88,7 +88,11 @@ pub fn fit_from_samples(xs: &[f64]) -> Result<EmpiricalFit, String> {
     if moments.m1 <= 0.0 {
         return Err("sample mean must be positive".to_string());
     }
-    let (ph, quality) = fit_three_moment(moments.m1, moments.m2.max(moments.m1 * moments.m1), moments.m3);
+    let (ph, quality) = fit_three_moment(
+        moments.m1,
+        moments.m2.max(moments.m1 * moments.m1),
+        moments.m3,
+    );
     let matched = match quality {
         FitQuality::ThreeExact => 3,
         FitQuality::TwoFallback => 2,

@@ -56,7 +56,7 @@ pub fn fit_two_moment(mean: f64, scv: f64) -> PhaseType {
     // Tijms: p chooses E_{k-1} (k-1 stages) with stage rate mu.
     let p = (kf * scv - (kf * (1.0 + scv) - kf * kf * scv).sqrt()) / (1.0 + scv);
     let mu = (kf - p) / mean; // per-stage rate
-    // Erlang builder takes (stages, overall rate) with stage rate = stages*rate.
+                              // Erlang builder takes (stages, overall rate) with stage rate = stages*rate.
     let e_km1 = erlang(k - 1, mu / (kf - 1.0));
     let e_k = erlang(k, mu / kf);
     mixture(&[p, 1.0 - p], &[e_km1, e_k]).expect("mixed-Erlang weights are valid")

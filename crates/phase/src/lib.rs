@@ -35,5 +35,5 @@ pub use builders::{
 };
 pub use dist::{PhaseType, PhaseTypeError};
 pub use empirical::{fit_from_samples, fit_from_samples_two_moment, EmpiricalFit, SampleMoments};
-pub use fit::{fit_two_moment, fit_three_moment};
+pub use fit::{fit_three_moment, fit_two_moment};
 pub use ops::{convolve, convolve_all, maximum, minimum, mixture};

@@ -198,7 +198,10 @@ impl QbdProcess {
             Ok(())
         };
         if c == 0 {
-            row_sum_check("level 0".to_string(), vec![&self.boundary_local[0], &self.a0])?;
+            row_sum_check(
+                "level 0".to_string(),
+                vec![&self.boundary_local[0], &self.a0],
+            )?;
         } else {
             row_sum_check(
                 "level 0".to_string(),

@@ -18,6 +18,7 @@
 
 use crate::{QbdError, Result};
 use gsched_linalg::{Lu, Matrix};
+use gsched_obs as obs;
 
 /// Which algorithm to use for `R`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,6 +39,7 @@ pub fn solve_r(
     tol: f64,
     max_iter: usize,
 ) -> Result<Matrix> {
+    let _span = obs::span("qbd.solve_r");
     match method {
         RSolverMethod::SuccessiveSubstitution => solve_r_successive(a0, a1, a2, tol, max_iter),
         RSolverMethod::LogarithmicReduction => {
@@ -45,6 +47,25 @@ pub fn solve_r(
             r_from_g(a0, a1, &g)
         }
     }
+}
+
+/// Emit the per-solve instrumentation shared by both `R` algorithms.
+fn record_r_solve(method: &'static str, dim: usize, iterations: usize, residual: f64) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::counter_add("qbd.rmatrix.solves", 1);
+    obs::counter_add("qbd.rmatrix.iterations", iterations as u64);
+    obs::observe("qbd.rmatrix.iterations_per_solve", iterations as f64);
+    obs::event(
+        "qbd.rmatrix.solve",
+        &[
+            ("method", obs::FieldValue::Str(method.to_string())),
+            ("dim", obs::FieldValue::U64(dim as u64)),
+            ("iterations", obs::FieldValue::U64(iterations as u64)),
+            ("residual", obs::FieldValue::F64(residual)),
+        ],
+    );
 }
 
 /// Successive substitution: `R_{k+1} = −(A₀ + R_k² A₂) A₁⁻¹`, starting from
@@ -60,7 +81,7 @@ pub fn solve_r_successive(
     let a1_lu = Lu::new(a1)?;
     let mut r = Matrix::zeros(d, d);
     let mut last_diff = f64::INFINITY;
-    for _ in 0..max_iter {
+    for iteration in 1..=max_iter {
         // numerator = A0 + R^2 A2
         let r2 = r.matmul(&r)?;
         let mut num = r2.matmul(a2)?;
@@ -70,14 +91,17 @@ pub fn solve_r_successive(
         last_diff = next.max_abs_diff(&r);
         r = next;
         if last_diff <= tol {
+            record_r_solve("successive_substitution", d, iteration, last_diff);
             return Ok(r);
         }
     }
-    Err(QbdError::Linalg(gsched_linalg::LinalgError::NoConvergence {
-        method: "solve_r_successive",
-        iterations: max_iter,
-        residual: last_diff,
-    }))
+    Err(QbdError::Linalg(
+        gsched_linalg::LinalgError::NoConvergence {
+            method: "solve_r_successive",
+            iterations: max_iter,
+            residual: last_diff,
+        },
+    ))
 }
 
 /// Logarithmic reduction for the first-passage matrix `G` (minimal solution
@@ -98,7 +122,7 @@ pub fn solve_g_logarithmic_reduction(
     let mut t = h.clone();
 
     let mut residual = f64::INFINITY;
-    for _ in 0..max_iter {
+    for iteration in 1..=max_iter {
         // U = H·L + L·H ; H ← (I−U)⁻¹H² ; L ← (I−U)⁻¹L²
         let hl = h.matmul(&l)?;
         let lh = l.matmul(&h)?;
@@ -124,14 +148,17 @@ pub fn solve_g_logarithmic_reduction(
         let correction = tl.max_abs();
         residual = defect.min(correction);
         if correction <= tol || defect <= tol {
+            record_r_solve("logarithmic_reduction", d, iteration, residual);
             return Ok(g);
         }
     }
-    Err(QbdError::Linalg(gsched_linalg::LinalgError::NoConvergence {
-        method: "solve_g_logarithmic_reduction",
-        iterations: max_iter,
-        residual,
-    }))
+    Err(QbdError::Linalg(
+        gsched_linalg::LinalgError::NoConvergence {
+            method: "solve_g_logarithmic_reduction",
+            iterations: max_iter,
+            residual,
+        },
+    ))
 }
 
 /// Recover `R = A₀ · (−(A₁ + A₀G))⁻¹` from the first-passage matrix `G`.
@@ -192,10 +219,7 @@ mod tests {
         let s = 0.3; // phase switch rate
         let a0 = Matrix::from_rows(&[&[l1, 0.0], &[0.0, l2]]);
         let a2 = Matrix::from_rows(&[&[mu, 0.0], &[0.0, mu]]);
-        let a1 = Matrix::from_rows(&[
-            &[-(l1 + mu + s), s],
-            &[s, -(l2 + mu + s)],
-        ]);
+        let a1 = Matrix::from_rows(&[&[-(l1 + mu + s), s], &[s, -(l2 + mu + s)]]);
         let r_ss = solve_r(
             &a0,
             &a1,
@@ -275,8 +299,7 @@ mod tests {
             }
             r
         };
-        let r_star =
-            solve_r_successive(&a0, &a1, &a2, 1e-14, 1_000_000).unwrap();
+        let r_star = solve_r_successive(&a0, &a1, &a2, 1e-14, 1_000_000).unwrap();
         assert!(r5[(0, 0)] <= r_star[(0, 0)] + 1e-12);
         assert!(r5[(0, 0)] > 0.0);
     }

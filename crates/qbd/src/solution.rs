@@ -5,6 +5,7 @@ use crate::rmatrix::{r_residual, solve_r, RSolverMethod};
 use crate::stability::drift_condition;
 use crate::{QbdError, Result};
 use gsched_linalg::{solve_left_nullspace, spectral_radius, Lu, Matrix};
+use gsched_obs as obs;
 
 /// Options controlling the QBD solve.
 #[derive(Debug, Clone)]
@@ -52,6 +53,7 @@ impl QbdProcess {
     /// Steps: §4.4 irreducibility check → drift condition (Theorem 4.4) →
     /// `R` from eq. (23) → boundary system eqs. (21)/(24) → assemble.
     pub fn solve(&self, opts: &SolveOptions) -> Result<QbdSolution> {
+        let _span = obs::span("qbd.solve");
         if opts.check_irreducible && !self.is_irreducible() {
             return Err(QbdError::NotIrreducible);
         }
@@ -59,7 +61,14 @@ impl QbdProcess {
         if !drift.is_stable() {
             return Err(QbdError::Unstable(drift));
         }
-        let r = solve_r(&self.a0, &self.a1, &self.a2, opts.method, opts.tol, opts.max_iter)?;
+        let r = solve_r(
+            &self.a0,
+            &self.a1,
+            &self.a2,
+            opts.method,
+            opts.tol,
+            opts.max_iter,
+        )?;
         debug_assert!(
             r_residual(&self.a0, &self.a1, &self.a2, &r) < 1e-6,
             "R residual too large"
@@ -84,6 +93,14 @@ impl QbdProcess {
             })
             .collect();
         let nb: usize = dims.iter().sum();
+        let boundary_span = obs::span("qbd.boundary_solve");
+        obs::event(
+            "qbd.boundary",
+            &[
+                ("size", obs::FieldValue::U64(nb as u64)),
+                ("levels", obs::FieldValue::U64((c + 1) as u64)),
+            ],
+        );
         let mut m = Matrix::zeros(nb, nb);
 
         // Column block j collects flow-balance contributions into level j.
@@ -127,6 +144,7 @@ impl QbdProcess {
             }
             boundary.push(seg);
         }
+        drop(boundary_span);
 
         Ok(QbdSolution {
             boundary,
@@ -184,9 +202,7 @@ impl QbdSolution {
         for _ in c..n {
             v = self.r.left_mul_vec(&v).expect("dimension");
         }
-        let tail = self
-            .i_minus_r_inv
-            .row_sums();
+        let tail = self.i_minus_r_inv.row_sums();
         v.iter().zip(tail.iter()).map(|(a, b)| a * b).sum()
     }
 
@@ -202,7 +218,12 @@ impl QbdSolution {
         let pi_c = &self.boundary[c];
         // c · π_c (I−R)⁻¹ e
         let inv_e = self.i_minus_r_inv.row_sums();
-        n += c as f64 * pi_c.iter().zip(inv_e.iter()).map(|(a, b)| a * b).sum::<f64>();
+        n += c as f64
+            * pi_c
+                .iter()
+                .zip(inv_e.iter())
+                .map(|(a, b)| a * b)
+                .sum::<f64>();
         // π_c (I−R)⁻² R e
         let inv2 = self
             .i_minus_r_inv
@@ -428,12 +449,12 @@ mod tests {
         // Direct solve of the truncated chain at a high level.
         let t = q.truncated_generator(60);
         let pi = Ctmc::new(t).unwrap().stationary_gth().unwrap();
-        for n in 0..10 {
+        for (n, &pi_n) in pi.iter().enumerate().take(10) {
             assert!(
-                (sol.level_prob(n) - pi[n]).abs() < 1e-8,
+                (sol.level_prob(n) - pi_n).abs() < 1e-8,
                 "n={n}: {} vs {}",
                 sol.level_prob(n),
-                pi[n]
+                pi_n
             );
         }
     }

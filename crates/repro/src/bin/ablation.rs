@@ -77,7 +77,10 @@ fn main() {
             ..Default::default()
         };
         match solve(&model, &opts) {
-            Ok(sol) => println!("{tol:.0e},{:.6},{}", sol.classes[0].mean_jobs, sol.iterations),
+            Ok(sol) => println!(
+                "{tol:.0e},{:.6},{}",
+                sol.classes[0].mean_jobs, sol.iterations
+            ),
             Err(e) => println!("{tol:.0e},error: {e}"),
         }
     }

@@ -7,22 +7,48 @@ use gsched_core::solver::{solve, SolverOptions, VacationMode};
 use gsched_workload::{paper_model, PaperConfig};
 
 fn main() {
-    let lam: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.9);
-    let q: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let lam: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.9);
+    let q: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
     let mode = match std::env::args().nth(3).as_deref() {
         Some("ht") => VacationMode::HeavyTraffic,
         Some("m3") => VacationMode::MomentMatched { moments: 3 },
         Some("exact") => VacationMode::Exact,
         _ => VacationMode::MomentMatched { moments: 2 },
     };
-    let model = paper_model(&PaperConfig { lambda: lam, quantum_mean: q, quantum_stages: 2, overhead_mean: 0.01 });
-    let opts = SolverOptions { trace: true, mode, ..Default::default() };
-    match solve(&model, &opts) {
+    let model = paper_model(&PaperConfig {
+        lambda: lam,
+        quantum_mean: q,
+        quantum_stages: 2,
+        overhead_mean: 0.01,
+    });
+    let opts = SolverOptions {
+        mode,
+        ..Default::default()
+    };
+    let recorder = gsched_obs::install_memory();
+    let result = solve(&model, &opts);
+    gsched_obs::uninstall();
+    let snapshot = recorder.snapshot();
+    for ev in snapshot.events_named("core.solver.fp_iteration") {
+        let fields: Vec<String> = ev.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        eprintln!("[fp] {}", fields.join(" "));
+    }
+    match result {
         Ok(sol) => {
             for (p, c) in sol.classes.iter().enumerate() {
-                println!("class {p}: N={:.4} stable={} effq={:.4} skip={:.3}", c.mean_jobs, c.stable, c.effective_quantum_mean, c.skip_probability);
+                println!(
+                    "class {p}: N={:.4} stable={} effq={:.4} skip={:.3}",
+                    c.mean_jobs, c.stable, c.effective_quantum_mean, c.skip_probability
+                );
             }
             println!("iters={} converged={}", sol.iterations, sol.converged);
+            eprintln!("{}", snapshot.render());
         }
         Err(e) => println!("ERROR: {e}"),
     }

@@ -6,9 +6,18 @@ use gsched_sim::{GangPolicy, GangSim, SimConfig};
 use gsched_workload::{paper_model, PaperConfig};
 
 fn main() {
-    let lam: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.4);
-    let q: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let horizon: f64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(400_000.0);
+    let lam: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.4);
+    let q: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let horizon: f64 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400_000.0);
     let model = paper_model(&PaperConfig {
         lambda: lam,
         quantum_mean: q,
@@ -31,5 +40,9 @@ fn main() {
         .iter()
         .map(|c| format!("{:.4}±{:.3}", c.mean_jobs, c.mean_jobs_ci95))
         .collect();
-    println!("q={q} N=[{}] util={:.3}", ns.join(", "), r.processor_utilization);
+    println!(
+        "q={q} N=[{}] util={:.3}",
+        ns.join(", "),
+        r.processor_utilization
+    );
 }

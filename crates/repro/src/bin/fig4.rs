@@ -9,13 +9,14 @@
 
 use gsched_core::solver::SolverOptions;
 use gsched_repro::{
-    class_series, is_monotone_decreasing, print_csv, record_from_sweep, report_checks, run_sweep,
-    save_record,
+    class_series, init_diagnostics, is_monotone_decreasing, print_csv, record_from_sweep,
+    report_checks, run_sweep, save_record,
 };
 use gsched_workload::figures::{default_service_rate_grid, service_rate_sweep};
 use gsched_workload::spec::ShapeCheck;
 
 fn main() {
+    init_diagnostics();
     let grid = default_service_rate_grid();
     let points = service_rate_sweep(2, &grid);
     eprintln!("fig4: service-rate sweep over {} points", grid.len());

@@ -11,7 +11,8 @@
 
 use gsched_core::solver::SolverOptions;
 use gsched_repro::{
-    is_monotone_decreasing, print_csv, report_checks, run_sweep, save_record, SweepResult,
+    init_diagnostics, is_monotone_decreasing, print_csv, report_checks, run_sweep, save_record,
+    SweepResult,
 };
 use gsched_workload::figures::{cycle_fraction_sweep, default_fraction_grid};
 use gsched_workload::spec::{ExperimentRecord, Series, ShapeCheck};
@@ -19,6 +20,7 @@ use gsched_workload::spec::{ExperimentRecord, Series, ShapeCheck};
 const BUDGET: f64 = 4.0;
 
 fn main() {
+    init_diagnostics();
     let grid = default_fraction_grid();
     let mut series = Vec::new();
     let mut checks = Vec::new();

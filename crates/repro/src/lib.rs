@@ -4,6 +4,10 @@
 //! the analytic model at every point, prints the paper's series as CSV,
 //! evaluates qualitative *shape checks* against the paper's description, and
 //! writes a JSON provenance record under `results/`.
+//!
+//! Setting the `GSCHED_DIAG` environment variable (any non-empty value)
+//! additionally captures solver instrumentation through `gsched_obs` and
+//! writes a `results/<id>.diag.json` sidecar next to each record.
 
 use gsched_core::solver::{solve, GangSolution, SolverOptions};
 use gsched_workload::figures::SweepPoint;
@@ -49,7 +53,9 @@ pub fn run_sweep(points: &[SweepPoint], opts: &SolverOptions) -> Vec<SweepResult
     })
     .expect("sweep worker panicked");
 
-    out.into_iter().map(|r| r.expect("all points solved")).collect()
+    out.into_iter()
+        .map(|r| r.expect("all points solved"))
+        .collect()
 }
 
 fn solve_point(pt: &SweepPoint, opts: &SolverOptions) -> SweepResult {
@@ -126,8 +132,23 @@ pub fn is_monotone_decreasing(y: &[f64], slack: f64) -> bool {
         .all(|w| !w[0].is_finite() || !w[1].is_finite() || w[1] <= w[0] * (1.0 + slack) + 1e-12)
 }
 
+/// Install the in-memory diagnostics recorder when the `GSCHED_DIAG`
+/// environment variable is set. Returns whether it was installed;
+/// [`save_record`] then writes a `results/<id>.diag.json` sidecar.
+pub fn init_diagnostics() -> bool {
+    let wanted = std::env::var("GSCHED_DIAG")
+        .map(|v| !v.is_empty())
+        .unwrap_or(false);
+    if wanted {
+        gsched_obs::install_memory();
+    }
+    wanted
+}
+
 /// Save a JSON record under `results/<id>.json` (relative to the workspace
-/// root when run via `cargo run`, else the current directory).
+/// root when run via `cargo run`, else the current directory). When a
+/// diagnostics recorder is active (see [`init_diagnostics`]) a
+/// `results/<id>.diag.json` snapshot is written alongside it.
 pub fn save_record(record: &ExperimentRecord) -> std::io::Result<()> {
     let dir = Path::new("results");
     std::fs::create_dir_all(dir)?;
@@ -136,6 +157,11 @@ pub fn save_record(record: &ExperimentRecord) -> std::io::Result<()> {
     let json = serde_json::to_string_pretty(record).expect("record serializes");
     f.write_all(json.as_bytes())?;
     eprintln!("wrote {}", path.display());
+    if let Some(recorder) = gsched_obs::installed_memory() {
+        let sidecar = dir.join(format!("{}.diag.json", record.id));
+        std::fs::write(&sidecar, recorder.snapshot().to_json())?;
+        eprintln!("wrote {}", sidecar.display());
+    }
     Ok(())
 }
 
@@ -189,6 +215,7 @@ pub fn run_quantum_figure(id: &str, lambda: f64) {
     use gsched_workload::figures::{default_quantum_grid, quantum_sweep};
     use gsched_workload::spec::ShapeCheck;
 
+    init_diagnostics();
     let grid = default_quantum_grid();
     let points = quantum_sweep(lambda, 2, &grid);
     eprintln!(
@@ -266,9 +293,8 @@ pub fn run_quantum_figure(id: &str, lambda: f64) {
         .unwrap_or(results.len() - 1);
     // At heavy load the two lightest classes nearly coincide (as in the
     // paper's Figure 3, where their curves overlap), so allow 10% slack.
-    let ordered = (0..3).all(|p| {
-        !results[mid].n[p].is_finite() || results[mid].n[p] > results[mid].n[p + 1] * 0.9
-    });
+    let ordered = (0..3)
+        .all(|p| !results[mid].n[p].is_finite() || results[mid].n[p] > results[mid].n[p + 1] * 0.9);
     checks.push(ShapeCheck {
         name: "classes ordered N0 > N1 > N2 > N3".to_string(),
         passed: ordered,

@@ -279,7 +279,11 @@ impl<'a> TimeSharingSim<'a> {
                     // Switch overhead before the next job runs.
                     if !ready.is_empty() {
                         in_switch = true;
-                        let o = core.model.class(class).switch_overhead.sample(&mut core.rng);
+                        let o = core
+                            .model
+                            .class(class)
+                            .switch_overhead
+                            .sample(&mut core.rng);
                         core.events
                             .schedule(core.clock.now() + o, Event::SwitchDone);
                     }
@@ -306,7 +310,11 @@ impl<'a> TimeSharingSim<'a> {
                     }
                     ready.push_back(id);
                     in_switch = true;
-                    let o = core.model.class(class).switch_overhead.sample(&mut core.rng);
+                    let o = core
+                        .model
+                        .class(class)
+                        .switch_overhead
+                        .sample(&mut core.rng);
                     core.events
                         .schedule(core.clock.now() + o, Event::SwitchDone);
                 }

@@ -42,6 +42,7 @@ impl<E> Ord for Scheduled<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     seq: u64,
+    popped: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -56,6 +57,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            popped: 0,
         }
     }
 
@@ -79,7 +81,16 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event.
     pub fn pop(&mut self) -> Option<(f64, E)> {
-        self.heap.pop().map(|s| (s.time, s.payload))
+        let item = self.heap.pop().map(|s| (s.time, s.payload));
+        if item.is_some() {
+            self.popped += 1;
+        }
+        item
+    }
+
+    /// Number of events popped (i.e. processed) so far.
+    pub fn popped(&self) -> u64 {
+        self.popped
     }
 
     /// Time of the next event without removing it.

@@ -17,6 +17,7 @@ use crate::engine::{EventQueue, SimClock};
 use crate::quantiles::ResponseQuantiles;
 use crate::stats::{BatchMeans, ClassStats, SimConfig, SimResult, TimeAverage, Welford};
 use gsched_core::model::GangModel;
+use gsched_obs as obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -111,6 +112,11 @@ struct State<'a> {
     /// zero-overhead configurations).
     spin_count: usize,
     spin_time: f64,
+    /// Full rotations of the timeplexing cycle completed so far.
+    cycles_completed: u64,
+    /// Pre-built metric names (`sim.class{p}.queue_len`) so the per-event
+    /// queue-length probe does not allocate.
+    queue_len_metric: Vec<String>,
 }
 
 impl<'a> State<'a> {
@@ -146,11 +152,15 @@ impl<'a> State<'a> {
             batch_len,
             spin_count: 0,
             spin_time: -1.0,
+            cycles_completed: 0,
+            queue_len_metric: (0..l).map(|p| format!("sim.class{p}.queue_len")).collect(),
             cfg,
         }
     }
 
     fn run(mut self) -> SimResult {
+        let _span = obs::span("sim.run");
+        let wall_start = std::time::Instant::now();
         let l = self.model.num_classes();
         for p in 0..l {
             self.jobs_ta[p].start(0.0, 0.0);
@@ -224,6 +234,20 @@ impl<'a> State<'a> {
         }
         let busy_avg = self.busy_ta.average(end);
         let switch_avg = self.switch_ta.average(end);
+        if obs::enabled() {
+            obs::counter_add("sim.runs", 1);
+            obs::counter_add("sim.events_processed", self.events.popped());
+            obs::counter_add("sim.cycles_completed", self.cycles_completed);
+            obs::counter_add(
+                "sim.completions",
+                self.completions_after_warmup.iter().sum(),
+            );
+            obs::gauge_set("sim.measured_time", measured);
+            let secs = wall_start.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                obs::gauge_set("sim.event_rate_per_sec", self.events.popped() as f64 / secs);
+            }
+        }
         SimResult {
             classes,
             processor_utilization: busy_avg / self.model.processors() as f64,
@@ -245,6 +269,9 @@ impl<'a> State<'a> {
     fn record_jobs(&mut self, p: usize) {
         let n = self.queues[p].len() as f64;
         let t = self.now();
+        if obs::enabled() {
+            obs::observe(&self.queue_len_metric[p], n);
+        }
         self.jobs_ta[p].update(t, n);
         if t >= self.cfg.warmup {
             self.batch_ta[p].update(t, n);
@@ -358,7 +385,11 @@ impl<'a> State<'a> {
             return; // resumed by on_arrival
         }
         self.switch_ta.update(self.now(), 1.0);
-        let mut o = self.model.class(self.current).switch_overhead.sample(&mut self.rng);
+        let mut o = self
+            .model
+            .class(self.current)
+            .switch_overhead
+            .sample(&mut self.rng);
         // Zero-time spin guard for pathological zero-overhead parameters
         // with work present (bounded by one full rotation, but be safe).
         if o == 0.0 {
@@ -493,6 +524,9 @@ impl<'a> State<'a> {
         self.in_switch = false;
         self.switch_ta.update(self.now(), 0.0);
         self.current = (self.current + 1) % self.model.num_classes();
+        if self.current == 0 {
+            self.cycles_completed += 1;
+        }
         self.start_quantum();
     }
 }

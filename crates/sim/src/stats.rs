@@ -222,7 +222,7 @@ mod tests {
         ta.start(0.0, 1.0);
         ta.update(2.0, 3.0); // value 1 over [0,2]
         ta.update(4.0, 0.0); // value 3 over [2,4]
-        // average over [0,5]: (2*1 + 2*3 + 1*0)/5 = 8/5
+                             // average over [0,5]: (2*1 + 2*3 + 1*0)/5 = 8/5
         assert!((ta.average(5.0) - 1.6).abs() < 1e-12);
         assert_eq!(ta.value(), 0.0);
     }

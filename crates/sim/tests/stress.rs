@@ -43,11 +43,18 @@ fn heavy_tailed_service_keeps_invariants() {
     .unwrap();
     let r = GangSim::new(&m, GangPolicy::SystemWide, cfg(3, 60_000.0)).run();
     for p in 0..2 {
-        assert!(r.littles_law_gap(p) < 0.25, "class {p}: {}", r.littles_law_gap(p));
+        assert!(
+            r.littles_law_gap(p) < 0.25,
+            "class {p}: {}",
+            r.littles_law_gap(p)
+        );
         let c = &r.classes[p];
         assert!(c.completions > 0);
         let (p50, p90, p95, p99) = c.response_quantiles;
-        assert!(p50 <= p90 && p90 <= p95 && p95 <= p99, "class {p} quantiles");
+        assert!(
+            p50 <= p90 && p90 <= p95 && p95 <= p99,
+            "class {p} quantiles"
+        );
         // With heavy tails the p99 dwarfs the median for class 0.
         if p == 0 {
             assert!(p99 > 3.0 * p50, "p99 {p99} vs p50 {p50}");

@@ -129,9 +129,7 @@ mod tests {
         for pt in &pts {
             let total: f64 = (0..4).map(|p| pt.model.class(p).quantum.mean()).sum();
             assert!((total - budget).abs() < 1e-9, "total {total}");
-            assert!(
-                (pt.model.class(1).quantum.mean() - pt.x * budget).abs() < 1e-9
-            );
+            assert!((pt.model.class(1).quantum.mean() - pt.x * budget).abs() < 1e-9);
         }
     }
 

@@ -35,8 +35,15 @@ fn main() {
     )
     .expect("valid model");
 
-    println!("machine: P = {}, classes = {}", model.processors(), model.num_classes());
-    println!("offered utilization rho = {:.3}\n", model.total_utilization());
+    println!(
+        "machine: P = {}, classes = {}",
+        model.processors(),
+        model.num_classes()
+    );
+    println!(
+        "offered utilization rho = {:.3}\n",
+        model.total_utilization()
+    );
 
     // ---- Analytic solution (matrix-geometric fixed point, paper §4) ----
     let solution = solve(&model, &SolverOptions::default()).expect("solver succeeds");

@@ -19,7 +19,10 @@ fn main() {
     let grid: Vec<f64> = [0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0].to_vec();
 
     println!("tuning quantum length for rho = {lambda} (8 processors, 4 classes)\n");
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}", "quantum", "N0", "N1", "N2", "N3", "total");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "quantum", "N0", "N1", "N2", "N3", "total"
+    );
 
     let mut best = (f64::NAN, f64::INFINITY);
     let mut table = Vec::new();

@@ -15,9 +15,7 @@
 
 use gang_scheduling::core::tuning::{optimize_common_quantum, Objective};
 use gang_scheduling::model::{ClassParams, GangModel};
-use gang_scheduling::phase::{
-    erlang, exponential, fit_from_samples, hyperexponential, PhaseType,
-};
+use gang_scheduling::phase::{erlang, exponential, fit_from_samples, hyperexponential, PhaseType};
 use gang_scheduling::sim::{GangPolicy, GangSim, SimConfig};
 use gang_scheduling::solver::SolverOptions;
 use rand::rngs::StdRng;

@@ -2,9 +2,7 @@
 //! coarse grids (the full grids run in the `gsched-repro` binaries).
 
 use gang_scheduling::solver::{solve, SolverOptions};
-use gang_scheduling::workload::figures::{
-    cycle_fraction_sweep, quantum_sweep, service_rate_sweep,
-};
+use gang_scheduling::workload::figures::{cycle_fraction_sweep, quantum_sweep, service_rate_sweep};
 
 fn n_of(model: &gang_scheduling::model::GangModel, class: usize) -> f64 {
     solve(model, &SolverOptions::default()).unwrap().classes[class].mean_jobs

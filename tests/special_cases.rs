@@ -10,7 +10,12 @@ use gang_scheduling::model::{ClassParams, GangModel};
 use gang_scheduling::phase::{erlang, exponential};
 use gang_scheduling::solver::{solve, SolverOptions};
 
-fn dedicated(arrival: f64, service: gang_scheduling::phase::PhaseType, g: usize, p: usize) -> GangModel {
+fn dedicated(
+    arrival: f64,
+    service: gang_scheduling::phase::PhaseType,
+    g: usize,
+    p: usize,
+) -> GangModel {
     GangModel::new(
         p,
         vec![ClassParams {
@@ -81,10 +86,7 @@ fn m_er2_1_limit_pollaczek_khinchine() {
     let scv = 0.5;
     let want = rho + rho * rho * (1.0 + scv) / (2.0 * (1.0 - rho));
     let got = sol.classes[0].mean_jobs;
-    assert!(
-        (got - want).abs() / want < 0.02,
-        "N = {got}, P-K = {want}"
-    );
+    assert!((got - want).abs() / want < 0.02, "N = {got}, P-K = {want}");
 }
 
 #[test]

@@ -1,0 +1,76 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::scope` (and `crossbeam::thread::scope`) on top of
+//! `std::thread::scope`, which has offered the same structured-concurrency
+//! guarantee since Rust 1.63. Only the subset used by this workspace is
+//! implemented: spawning borrowing worker threads inside a scope.
+
+pub use thread::scope;
+
+/// Scoped-thread module mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Result type of [`scope`]: `Err` carries a panic payload from a child
+    /// thread. With the std backing, child panics propagate when the scope
+    /// exits, so in practice this is always `Ok` on return.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle passed to [`scope`]'s closure and to spawned threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope,
+        /// matching crossbeam's signature (nested spawns).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned; all
+    /// spawned threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        let sum_ref = &sum;
+        super::scope(|s| {
+            for &x in &data {
+                s.spawn(move |_| {
+                    sum_ref.fetch_add(x, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let hit = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    hit.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hit.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,384 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! range strategies over numeric types, `prop_map`, `collection::vec`, the
+//! `proptest!` macro with `#![proptest_config(...)]`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberate for an offline stub:
+//! * inputs are drawn from a deterministic per-test PRNG (seeded from the
+//!   test path and case index), so runs are reproducible without a
+//!   persistence file;
+//! * there is no shrinking — a failing case reports the case index so it
+//!   can be re-run, but is not minimized.
+
+/// Test-case outcome used by the assertion macros.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's inputs do not satisfy a `prop_assume!` precondition;
+    /// the case is skipped without counting toward the target.
+    Reject(String),
+    /// A `prop_assert!`-style check failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure outcome.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection outcome.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic PRNG (splitmix64) for drawing test inputs.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test path and case index, so each (test, case) pair
+    /// draws the same inputs on every run.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        // FNV-1a over the path, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing a fixed value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        (self.start as f64 + rng.unit_f64() * (self.end - self.start) as f64) as f32
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "empty integer range strategy");
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i64 - self.start as i64) as u64;
+                assert!(span > 0, "empty integer range strategy");
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(isize, i64, i32, i16, i8);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: usize,
+    }
+
+    /// Produce `Vec`s of exactly `len` draws from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a test running `config.cases` accepted cases. Attributes on the
+/// inner fns (including `#[test]`) are passed through unchanged.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                let mut __passed: u32 = 0;
+                let mut __case: u32 = 0;
+                let __max_cases = __config.cases.saturating_mul(20).max(100);
+                while __passed < __config.cases {
+                    __case += 1;
+                    assert!(
+                        __case <= __max_cases,
+                        "proptest `{}`: too many rejected cases ({} accepted of {} wanted)",
+                        __path, __passed, __config.cases
+                    );
+                    let mut __rng = $crate::TestRng::for_case(__path, __case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match __outcome {
+                        Ok(()) => __passed += 1,
+                        Err($crate::TestCaseError::Reject(_)) => {}
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed on case {}: {}",
+                                __path, __case, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l != __r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Fail the current case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        if $left == $right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}",
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+}
+
+/// Skip the current case unless `cond` holds (does not count as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 1.5f64..2.5, n in 3usize..9) {
+            prop_assert!((1.5..2.5).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in collection::vec(0.0f64..1.0, 5),
+                               k in (1u64..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(v.len(), 5);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+            prop_assert!(k % 2 == 0 && (2..20).contains(&k));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u32..10) {
+            prop_assume!(a % 2 == 0);
+            prop_assert!(a % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut r1 = super::TestRng::for_case("x::y", 3);
+        let mut r2 = super::TestRng::for_case("x::y", 3);
+        assert_eq!(r1.next_u64(), r2.next_u64());
+        let mut r3 = super::TestRng::for_case("x::y", 4);
+        assert_ne!(r1.next_u64(), r3.next_u64());
+    }
+}

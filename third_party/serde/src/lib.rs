@@ -1,0 +1,253 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a self-contained serialization framework under serde's name covering the
+//! subset this repository uses: the `Serialize`/`Deserialize` traits, their
+//! derive macros (including `#[serde(tag = "...", rename_all =
+//! "snake_case")]` tagged enums and `#[serde(default = "path")]` fields),
+//! and a JSON-shaped [`Value`] data model consumed by the vendored
+//! `serde_json`.
+//!
+//! Unlike real serde there is no visitor machinery: serialization goes
+//! through [`Value`] directly. Every format in this workspace is JSON, so
+//! nothing is lost, and derived code stays debuggable.
+
+mod value;
+
+pub use value::Value;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls ----
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::msg(format!("expected bool, got {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| Error::msg(format!("expected number, got {}", v.kind())))
+            }
+        }
+    )*};
+}
+impl_float!(f64, f32);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let x = v
+                    .as_f64()
+                    .ok_or_else(|| Error::msg(format!("expected integer, got {}", v.kind())))?;
+                if x.fract() != 0.0 {
+                    return Err(Error::msg(format!("expected integer, got {x}")));
+                }
+                Ok(x as $t)
+            }
+        }
+    )*};
+}
+impl_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg(format!("expected array, got {}", v.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| Error::msg(format!("expected array tuple, got {}", v.kind())))?;
+                let want = [$($idx),+].len();
+                if arr.len() != want {
+                    return Err(Error::msg(format!(
+                        "expected {want}-tuple, got array of {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Support functions referenced by derive-generated code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Look up `key` in an object body.
+    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Deserialize field `key`, treating a missing key as `Null` (so
+    /// `Option` fields default to `None` and everything else reports the
+    /// missing field).
+    pub fn field<T: Deserialize>(obj: &[(String, Value)], key: &str) -> Result<T, Error> {
+        match get(obj, key) {
+            Some(v) => T::from_value(v).map_err(|e| Error::msg(format!("field `{key}`: {e}"))),
+            None => T::from_value(&Value::Null)
+                .map_err(|_| Error::msg(format!("missing field `{key}`"))),
+        }
+    }
+
+    /// Expect an object body, with a type name for error context.
+    pub fn expect_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+        v.as_object()
+            .ok_or_else(|| Error::msg(format!("expected object for `{ty}`, got {}", v.kind())))
+    }
+
+    /// Expect the tag field of an internally tagged enum.
+    pub fn expect_tag<'a>(
+        obj: &'a [(String, Value)],
+        tag: &str,
+        ty: &str,
+    ) -> Result<&'a str, Error> {
+        get(obj, tag)
+            .and_then(Value::as_str)
+            .ok_or_else(|| Error::msg(format!("missing `{tag}` tag for `{ty}`")))
+    }
+}

@@ -1,0 +1,227 @@
+//! JSON-shaped data model shared by the vendored `serde` and `serde_json`.
+
+/// A JSON-like value.
+///
+/// Numbers are stored as `f64`, which covers every quantity this workspace
+/// serializes (probabilities, rates, counts well below 2^53). Objects keep
+/// insertion order as a `Vec` of pairs so emitted JSON is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (always an `f64` internally).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Borrow as a bool, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an `i64`, if this is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(x) if x.fract() == 0.0 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if this is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow the object's key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// True iff this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object/array lookup that returns `None` out of range or on kind
+    /// mismatch, mirroring `serde_json::Value::get`.
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.get_from(self)
+    }
+}
+
+/// Index types usable with [`Value::get`] and `value[index]`.
+pub trait ValueIndex {
+    /// Non-panicking lookup.
+    fn get_from<'a>(&self, v: &'a Value) -> Option<&'a Value>;
+}
+
+impl ValueIndex for &str {
+    fn get_from<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        match v {
+            Value::Object(o) => o.iter().find(|(k, _)| k == self).map(|(_, x)| x),
+            _ => None,
+        }
+    }
+}
+
+impl ValueIndex for String {
+    fn get_from<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        self.as_str().get_from(v)
+    }
+}
+
+impl ValueIndex for usize {
+    fn get_from<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        match v {
+            Value::Array(a) => a.get(*self),
+            _ => None,
+        }
+    }
+}
+
+impl<I: ValueIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+
+    /// Panic-free indexing like `serde_json`: missing keys and kind
+    /// mismatches yield `Null` instead of panicking.
+    fn index(&self, index: I) -> &Value {
+        static NULL: Value = Value::Null;
+        index.get_from(self).unwrap_or(&NULL)
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// Compact JSON rendering (delegates to the same writer serde_json
+    /// uses is not possible from here, so this is a minimal equivalent).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(x) => {
+                if !x.is_finite() {
+                    f.write_str("null")
+                } else if x.fract() == 0.0 && x.abs() < 9.0e15 {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::String(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\r' => f.write_str("\\r")?,
+                        '\t' => f.write_str("\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            Value::Array(a) => {
+                f.write_str("[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(o) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in o.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", Value::String(k.clone()))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_get() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::Number(1.0)),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        assert_eq!(v["a"].as_f64(), Some(1.0));
+        assert_eq!(v["b"][0], Value::Bool(true));
+        assert!(v["missing"].is_null());
+        assert!(v.get("b").is_some());
+        assert!(v.get("zzz").is_none());
+    }
+
+    #[test]
+    fn integral_display() {
+        assert_eq!(Value::Number(3.0).to_string(), "3");
+        assert_eq!(Value::Number(0.5).to_string(), "0.5");
+        assert_eq!(Value::Number(f64::NAN).to_string(), "null");
+    }
+}

@@ -1,0 +1,414 @@
+//! Offline stand-in for the `serde_derive` crate.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (which go through `serde::Value` rather than visitors). Written
+//! without `syn`/`quote`: the derive input is parsed by walking the raw
+//! `TokenStream` and the impl is emitted as a string.
+//!
+//! Supported input shapes — exactly what this workspace uses:
+//! * structs with named fields;
+//! * enums whose variants have named fields or no fields, with an
+//!   internally-tagged representation via
+//!   `#[serde(tag = "...", rename_all = "snake_case")]`;
+//! * `#[serde(default = "path")]` on fields.
+//!
+//! Anything else (tuple structs, generics, other serde attributes) is
+//! rejected with a compile-time panic naming the construct, so a future
+//! user hits a clear error instead of silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::str::FromStr;
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    TokenStream::from_str(&gen_serialize(&item)).expect("serde_derive: generated code parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    TokenStream::from_str(&gen_deserialize(&item)).expect("serde_derive: generated code parses")
+}
+
+// ---- input model ----
+
+struct Field {
+    name: String,
+    /// `#[serde(default = "path")]` if present.
+    default_path: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    fields: Vec<Field>,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// `#[serde(tag = "...")]` container attribute.
+    tag: Option<String>,
+    /// `#[serde(rename_all = "snake_case")]` container attribute.
+    rename_snake: bool,
+    shape: Shape,
+}
+
+// ---- parsing ----
+
+/// Key/value pairs found in one `#[serde(...)]` attribute.
+fn parse_serde_attr(group: &proc_macro::Group) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    // Expect: Ident("serde") Group(Paren, k = "v", ...)
+    if tokens.len() != 2 {
+        return out;
+    }
+    let inner = match &tokens[1] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return out,
+    };
+    let items: Vec<TokenTree> = inner.into_iter().collect();
+    let mut i = 0;
+    while i < items.len() {
+        let key = match &items[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => panic!("serde_derive: unsupported serde attribute syntax"),
+        };
+        i += 1;
+        if i < items.len() && matches!(&items[i], TokenTree::Punct(p) if p.as_char() == '=') {
+            i += 1;
+            let val = match &items[i] {
+                TokenTree::Literal(l) => unquote(&l.to_string()),
+                _ => panic!("serde_derive: expected string after `{key} =`"),
+            };
+            i += 1;
+            out.push((key, val));
+        } else {
+            out.push((key.clone(), String::new()));
+        }
+        if i < items.len() {
+            match &items[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                _ => panic!("serde_derive: expected `,` in serde attribute"),
+            }
+        }
+    }
+    out
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Consume leading `#[...]` attributes from `tokens[i..]`; return the new
+/// index and any serde key/value pairs found.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Vec<(String, String)>) {
+    let mut serde_kvs = Vec::new();
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
+                {
+                    serde_kvs.extend(parse_serde_attr(g));
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, serde_kvs)
+}
+
+/// Parse the fields of a brace-delimited named-field body.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, kvs) = skip_attrs(&tokens, i);
+        i = ni;
+        if i >= tokens.len() {
+            break;
+        }
+        // Optional visibility: `pub` or `pub(...)`.
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got `{other}`"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got `{other}`"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let default_path = kvs
+            .iter()
+            .find(|(k, _)| k == "default")
+            .map(|(_, v)| v.clone());
+        fields.push(Field { name, default_path });
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group, enum_name: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (ni, _) = skip_attrs(&tokens, i);
+        i = ni;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant of `{enum_name}`, got `{other}`"),
+        };
+        i += 1;
+        let mut fields = Vec::new();
+        if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    fields = parse_named_fields(g);
+                    i += 1;
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    panic!(
+                        "serde_derive: tuple variant `{enum_name}::{name}` is not supported; \
+                         use named fields"
+                    );
+                }
+                _ => {}
+            }
+        }
+        if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                other => panic!("serde_derive: expected `,` after variant, got `{other}`"),
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, container_kvs) = skip_attrs(&tokens, 0);
+    // Optional visibility.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got `{other}`"),
+    };
+    i += 1;
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported");
+    }
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde_derive: `{name}` must have a braced body, got `{other}`"),
+    };
+    let shape = match kw.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body, &name)),
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    let tag = container_kvs
+        .iter()
+        .find(|(k, _)| k == "tag")
+        .map(|(_, v)| v.clone());
+    let rename_snake = container_kvs
+        .iter()
+        .any(|(k, v)| k == "rename_all" && v == "snake_case");
+    Item {
+        name,
+        tag,
+        rename_snake,
+        shape,
+    }
+}
+
+// ---- codegen ----
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn variant_key(item: &Item, variant: &str) -> String {
+    if item.rename_snake {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Struct(fields) => {
+            let mut pairs = String::new();
+            for f in fields {
+                pairs.push_str(&format!(
+                    "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})),",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(variants) => {
+            let tag = item
+                .tag
+                .as_deref()
+                .unwrap_or_else(|| panic!("serde_derive: enum `{name}` needs #[serde(tag = ...)]"));
+            let mut arms = String::new();
+            for v in variants {
+                let key = variant_key(item, &v.name);
+                let bindings: Vec<&str> = v.fields.iter().map(|f| f.name.as_str()).collect();
+                let pattern = if bindings.is_empty() {
+                    format!("{name}::{}", v.name)
+                } else {
+                    format!("{name}::{} {{ {} }}", v.name, bindings.join(", "))
+                };
+                let mut pairs = format!(
+                    "(\"{tag}\".to_string(), ::serde::Value::String(\"{key}\".to_string())),"
+                );
+                for f in &v.fields {
+                    pairs.push_str(&format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value({0})),",
+                        f.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{pattern} => ::serde::Value::Object(vec![{pairs}]),\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// Field initializer inside a struct/variant literal being deserialized from
+/// object body `__obj`.
+fn field_init(f: &Field) -> String {
+    match &f.default_path {
+        Some(path) => format!(
+            "{0}: match ::serde::__private::get(__obj, \"{0}\") {{\n\
+                 Some(__v) => ::serde::Deserialize::from_value(__v)\n\
+                     .map_err(|e| ::serde::Error::msg(format!(\"field `{0}`: {{e}}\")))?,\n\
+                 None => {path}(),\n\
+             }},",
+            f.name
+        ),
+        None => format!("{0}: ::serde::__private::field(__obj, \"{0}\")?,", f.name),
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields.iter().map(field_init).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __obj = ::serde::__private::expect_object(__v, \"{name}\")?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(variants) => {
+            let tag = item
+                .tag
+                .as_deref()
+                .unwrap_or_else(|| panic!("serde_derive: enum `{name}` needs #[serde(tag = ...)]"));
+            let mut arms = String::new();
+            for v in variants {
+                let key = variant_key(item, &v.name);
+                let ctor = if v.fields.is_empty() {
+                    format!("{name}::{}", v.name)
+                } else {
+                    let inits: String = v.fields.iter().map(field_init).collect();
+                    format!("{name}::{} {{ {inits} }}", v.name)
+                };
+                arms.push_str(&format!("\"{key}\" => Ok({ctor}),\n"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __obj = ::serde::__private::expect_object(__v, \"{name}\")?;\n\
+                         match ::serde::__private::expect_tag(__obj, \"{tag}\", \"{name}\")? {{\n\
+                             {arms}\
+                             other => Err(::serde::Error::msg(format!(\n\
+                                 \"unknown `{tag}` value `{{other}}` for `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
