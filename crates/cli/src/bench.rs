@@ -1,0 +1,418 @@
+//! `gsched bench` — canonical benchmark scenarios with telemetry capture
+//! and regression gating.
+//!
+//! Each scenario reruns a workload the repository treats as canonical: the
+//! solver sweeps behind the paper's Figures 2–5 plus one simulator run. For
+//! every scenario the harness records the median wall time over `reps`
+//! repetitions together with the solver/simulator metrics published through
+//! `gsched_obs` (R-matrix solves and iterations, residuals, spectral radii,
+//! drift margins, fixed-point iterations, simulator event rate). The result
+//! is a schema-versioned [`BenchReport`] written as `BENCH_<label>.json`;
+//! `--compare <baseline.json>` turns the same run into a regression gate.
+
+use gsched_core::model::GangModel;
+use gsched_core::solver::{solve, SolverOptions};
+use gsched_obs as obs;
+use gsched_sim::{GangPolicy, GangSim, SimConfig};
+use gsched_workload::figures;
+use gsched_workload::{paper_model, PaperConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Version of the `BENCH_*.json` schema. Bump on incompatible changes.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Telemetry for one benchmark scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario identifier (stable across runs; the compare key).
+    pub name: String,
+    /// `"solver"` or `"sim"`.
+    pub kind: String,
+    /// Median wall time over the repetitions, in milliseconds.
+    pub wall_ms: f64,
+    /// Models solved (solver scenarios) or simulated runs (sim scenarios).
+    pub points: u64,
+    /// Fixed-point iterations across all solves.
+    pub fp_iterations: u64,
+    /// `R`-matrix solves across all solves.
+    pub rmatrix_solves: u64,
+    /// Total inner iterations across those `R` solves.
+    pub rmatrix_iterations: u64,
+    /// Largest `R` residual seen (`None` for sim scenarios).
+    pub max_r_residual: Option<f64>,
+    /// Largest `sp(R)` seen (`None` for sim scenarios).
+    pub max_spectral_radius: Option<f64>,
+    /// Smallest drift margin seen (`None` for sim scenarios).
+    pub min_drift_margin: Option<f64>,
+    /// Simulator events processed (`0` for solver scenarios).
+    pub sim_events: u64,
+    /// Simulator event rate, events per wall-clock second (`None` for
+    /// solver scenarios).
+    pub sim_event_rate: Option<f64>,
+}
+
+/// A full benchmark run: schema version, label, and per-scenario telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Run label (`--label`), embedded in the output filename.
+    pub label: String,
+    /// Wall-time repetitions per scenario.
+    pub reps: u64,
+    /// Whether the reduced `--quick` scenario set was used.
+    pub quick: bool,
+    /// Per-scenario results, in execution order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl BenchReport {
+    /// Serialize as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench report serializes")
+    }
+
+    /// Parse a report back from its JSON form.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let report: BenchReport =
+            serde_json::from_str(text).map_err(|e| format!("bad bench JSON: {e}"))?;
+        if report.schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "bench schema version {} (expected {})",
+                report.schema_version, BENCH_SCHEMA_VERSION
+            ));
+        }
+        Ok(report)
+    }
+}
+
+/// What one scenario actually runs.
+enum Workload {
+    /// Solve every model in order with the default options.
+    Solver(Vec<GangModel>),
+    /// One gang-simulator run to the given horizon.
+    Sim { model: GangModel, horizon: f64 },
+}
+
+struct Scenario {
+    name: &'static str,
+    workload: Workload,
+}
+
+/// The canonical scenario set. `quick` shrinks every sweep to a few points
+/// and the simulation horizon by 10× — used by CI smoke runs.
+fn scenarios(quick: bool) -> Vec<Scenario> {
+    let quantum_grid: Vec<f64> = if quick {
+        vec![0.5, 1.0, 2.0]
+    } else {
+        figures::default_quantum_grid()
+    };
+    let rate_grid: Vec<f64> = if quick {
+        vec![4.0, 10.0]
+    } else {
+        figures::default_service_rate_grid()
+    };
+    let fraction_grid: Vec<f64> = if quick {
+        vec![0.25, 0.5, 0.75]
+    } else {
+        figures::default_fraction_grid()
+    };
+    let models = |pts: Vec<figures::SweepPoint>| pts.into_iter().map(|p| p.model).collect();
+    vec![
+        Scenario {
+            name: "fig2_quantum_sweep_rho04",
+            workload: Workload::Solver(models(figures::quantum_sweep(0.4, 2, &quantum_grid))),
+        },
+        Scenario {
+            name: "fig3_quantum_sweep_rho06",
+            workload: Workload::Solver(models(figures::quantum_sweep(0.6, 2, &quantum_grid))),
+        },
+        Scenario {
+            name: "fig4_service_rate_sweep",
+            workload: Workload::Solver(models(figures::service_rate_sweep(2, &rate_grid))),
+        },
+        Scenario {
+            name: "fig5_cycle_fraction_sweep",
+            workload: Workload::Solver(models(figures::cycle_fraction_sweep(
+                0,
+                4.0,
+                2,
+                &fraction_grid,
+            ))),
+        },
+        Scenario {
+            name: "sim_gang_rho06",
+            workload: Workload::Sim {
+                model: paper_model(&PaperConfig {
+                    lambda: 0.6,
+                    quantum_mean: 1.0,
+                    quantum_stages: 2,
+                    overhead_mean: 0.01,
+                }),
+                horizon: if quick { 2_000.0 } else { 20_000.0 },
+            },
+        },
+    ]
+}
+
+/// `NaN`-free view of a histogram extreme for the JSON schema.
+fn hist_max(snap: &obs::Snapshot, name: &str) -> Option<f64> {
+    snap.histogram(name)
+        .map(|h| h.max)
+        .filter(|v| v.is_finite())
+}
+
+fn hist_min(snap: &obs::Snapshot, name: &str) -> Option<f64> {
+    snap.histogram(name)
+        .map(|h| h.min)
+        .filter(|v| v.is_finite())
+}
+
+/// Run one scenario `reps` times; wall time is the median, metrics come
+/// from the last repetition's snapshot.
+fn run_scenario(sc: &Scenario, reps: u64) -> ScenarioResult {
+    let mut wall_ms = Vec::with_capacity(reps as usize);
+    let mut last_snap = None;
+    let mut points = 0u64;
+    for _ in 0..reps {
+        let recorder = obs::install_memory();
+        let start = Instant::now();
+        points = 0;
+        match &sc.workload {
+            Workload::Solver(models) => {
+                for model in models {
+                    // Sweep endpoints may be unstable or non-convergent;
+                    // that is part of the canonical workload, not an error.
+                    let _ = solve(model, &SolverOptions::default());
+                    points += 1;
+                }
+            }
+            Workload::Sim { model, horizon } => {
+                let cfg = SimConfig {
+                    horizon: *horizon,
+                    warmup: horizon / 10.0,
+                    seed: 7,
+                    batches: 20,
+                };
+                let _ = GangSim::new(model, GangPolicy::SystemWide, cfg).run();
+                points += 1;
+            }
+        }
+        wall_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        obs::uninstall();
+        last_snap = Some(recorder.snapshot());
+    }
+    wall_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    let snap = last_snap.expect("reps >= 1");
+    let kind = match sc.workload {
+        Workload::Solver(_) => "solver",
+        Workload::Sim { .. } => "sim",
+    };
+    ScenarioResult {
+        name: sc.name.to_string(),
+        kind: kind.to_string(),
+        wall_ms: wall_ms[wall_ms.len() / 2],
+        points,
+        fp_iterations: snap.counter("core.solver.fp_iterations").unwrap_or(0),
+        rmatrix_solves: snap.counter("qbd.rmatrix.solves").unwrap_or(0),
+        rmatrix_iterations: snap.counter("qbd.rmatrix.iterations").unwrap_or(0),
+        max_r_residual: hist_max(&snap, "qbd.rmatrix.residual"),
+        max_spectral_radius: hist_max(&snap, "qbd.spectral_radius"),
+        min_drift_margin: hist_min(&snap, "qbd.drift_margin"),
+        sim_events: snap.counter("sim.events_processed").unwrap_or(0),
+        sim_event_rate: snap.gauge("sim.event_rate_per_sec"),
+    }
+}
+
+/// Run the full scenario set.
+pub fn run_bench(label: &str, reps: u64, quick: bool) -> BenchReport {
+    let reps = reps.max(1);
+    let mut results = Vec::new();
+    for sc in scenarios(quick) {
+        eprintln!("bench: running {} ({} reps)...", sc.name, reps);
+        results.push(run_scenario(&sc, reps));
+    }
+    BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        label: label.to_string(),
+        reps,
+        quick,
+        scenarios: results,
+    }
+}
+
+/// Outcome of comparing a run against a baseline.
+pub struct CompareOutcome {
+    /// Per-scenario delta table rows (aligned, human-readable).
+    pub lines: Vec<String>,
+    /// One entry per wall-time regression beyond the threshold.
+    pub regressions: Vec<String>,
+}
+
+/// Compare `current` against `baseline`: wall-time deltas per scenario, a
+/// regression recorded when a scenario slowed down by more than
+/// `threshold` (a fraction, e.g. `0.25` = 25%). Scenarios present on only
+/// one side are reported but never count as regressions.
+pub fn compare_reports(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    threshold: f64,
+) -> CompareOutcome {
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+    lines.push(format!(
+        "{:<28} {:>12} {:>12} {:>9}  status",
+        "scenario", "base ms", "current ms", "delta"
+    ));
+    for cur in &current.scenarios {
+        let Some(base) = baseline.scenarios.iter().find(|b| b.name == cur.name) else {
+            lines.push(format!(
+                "{:<28} {:>12} {:>12.2} {:>9}  new (no baseline)",
+                cur.name, "-", cur.wall_ms, "-"
+            ));
+            continue;
+        };
+        let delta = if base.wall_ms > 0.0 {
+            cur.wall_ms / base.wall_ms - 1.0
+        } else {
+            0.0
+        };
+        let status = if delta > threshold {
+            regressions.push(format!(
+                "{}: {:.2} ms -> {:.2} ms ({:+.1}% > {:.1}% allowed)",
+                cur.name,
+                base.wall_ms,
+                cur.wall_ms,
+                delta * 100.0,
+                threshold * 100.0
+            ));
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        lines.push(format!(
+            "{:<28} {:>12.2} {:>12.2} {:>+8.1}%  {status}",
+            cur.name,
+            base.wall_ms,
+            cur.wall_ms,
+            delta * 100.0
+        ));
+    }
+    for base in &baseline.scenarios {
+        if !current.scenarios.iter().any(|c| c.name == base.name) {
+            lines.push(format!(
+                "{:<28} {:>12.2} {:>12} {:>9}  missing from current run",
+                base.name, base.wall_ms, "-", "-"
+            ));
+        }
+    }
+    CompareOutcome { lines, regressions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_scenario(name: &str, wall_ms: f64) -> ScenarioResult {
+        ScenarioResult {
+            name: name.to_string(),
+            kind: "solver".to_string(),
+            wall_ms,
+            points: 3,
+            fp_iterations: 42,
+            rmatrix_solves: 12,
+            rmatrix_iterations: 900,
+            max_r_residual: Some(3.2e-13),
+            max_spectral_radius: Some(0.81),
+            min_drift_margin: Some(0.12),
+            sim_events: 0,
+            sim_event_rate: None,
+        }
+    }
+
+    fn sample_report(wall_ms: f64) -> BenchReport {
+        BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            label: "test".to_string(),
+            reps: 3,
+            quick: true,
+            scenarios: vec![
+                sample_scenario("fig2", wall_ms),
+                sample_scenario("sim", 5.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = sample_report(10.0);
+        let text = report.to_json();
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut report = sample_report(10.0);
+        report.schema_version = BENCH_SCHEMA_VERSION + 1;
+        let err = BenchReport::from_json(&report.to_json()).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn nullable_metrics_survive_round_trip() {
+        let mut report = sample_report(10.0);
+        report.scenarios[0].max_r_residual = None;
+        report.scenarios[0].min_drift_margin = None;
+        let back = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.scenarios[0].max_r_residual, None);
+        assert_eq!(back.scenarios[0].min_drift_margin, None);
+        assert_eq!(back.scenarios[0].max_spectral_radius, Some(0.81));
+    }
+
+    #[test]
+    fn compare_flags_regressions_beyond_threshold() {
+        let base = sample_report(10.0);
+        let cur = sample_report(14.0); // +40% on fig2, sim unchanged
+        let out = compare_reports(&base, &cur, 0.25);
+        assert_eq!(out.regressions.len(), 1, "{:?}", out.regressions);
+        assert!(out.regressions[0].contains("fig2"));
+        assert!(out.lines.iter().any(|l| l.contains("REGRESSED")));
+        assert!(out.lines.iter().any(|l| l.contains("ok")));
+    }
+
+    #[test]
+    fn compare_within_threshold_is_clean() {
+        let base = sample_report(10.0);
+        let cur = sample_report(11.0); // +10%
+        let out = compare_reports(&base, &cur, 0.25);
+        assert!(out.regressions.is_empty(), "{:?}", out.regressions);
+    }
+
+    #[test]
+    fn compare_handles_scenario_set_drift() {
+        let mut base = sample_report(10.0);
+        base.scenarios.push(sample_scenario("retired", 3.0));
+        let mut cur = sample_report(10.0);
+        cur.scenarios.push(sample_scenario("brand_new", 2.0));
+        let out = compare_reports(&base, &cur, 0.25);
+        assert!(out.regressions.is_empty());
+        assert!(out.lines.iter().any(|l| l.contains("new (no baseline)")));
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("missing from current run")));
+    }
+
+    #[test]
+    fn quick_scenarios_cover_fig2_to_fig5_and_sim() {
+        let names: Vec<&str> = scenarios(true).iter().map(|s| s.name).collect();
+        for want in ["fig2", "fig3", "fig4", "fig5", "sim_"] {
+            assert!(
+                names.iter().any(|n| n.starts_with(want)),
+                "missing scenario {want} in {names:?}"
+            );
+        }
+    }
+}

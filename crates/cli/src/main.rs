@@ -6,6 +6,9 @@
 //!                               [--horizon T] [--warmup T] [--seed N] [--json]
 //! gsched tune      <model.json> [--lo Q] [--hi Q] [--objective total|max] [--json]
 //! gsched stability <model.json> [--class P] [--lo Q] [--hi Q]
+//! gsched doctor    <model.json> [--mode ht|m2|m3|exact] [--json]
+//! gsched bench     [--label L] [--reps N] [--quick] [--out DIR]
+//!                  [--compare BENCH.json] [--threshold FRAC]
 //! gsched paper     [--rho R] [--quantum Q] [--json]
 //! gsched example-model
 //! ```
@@ -14,13 +17,25 @@
 //!
 //! * `--diag <path>` — capture solver/simulator instrumentation through
 //!   `gsched_obs` and write the JSON snapshot to `<path>`;
+//! * `--trace <path>` — write the span tree as a Chrome Trace Event file,
+//!   loadable in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`;
 //! * `-v` — print the human-readable diagnostics report (span tree, metric
 //!   tables) to stderr after the run; `-vv` additionally prints every
 //!   structured event.
 //!
+//! `gsched doctor` solves the model and prints the per-class numerical-health
+//! table (drift slack, `sp(R)`, `R` residual, truncated tail mass) with WARN
+//! lines when a class is close to instability or under-resolved.
+//!
+//! `gsched bench` runs the canonical Figure 2–5 solver sweeps plus a
+//! simulator workload and writes schema-versioned telemetry to
+//! `BENCH_<label>.json`; with `--compare` it exits non-zero when a scenario's
+//! wall time regresses beyond the threshold.
+//!
 //! Model files are JSON (see [`spec`]); `gsched example-model` prints a
 //! template.
 
+mod bench;
 mod spec;
 
 use gsched_core::model::GangModel;
@@ -55,6 +70,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "simulate" => cmd_simulate(rest),
         "tune" => cmd_tune(rest),
         "stability" => cmd_stability(rest),
+        "doctor" => cmd_doctor(rest),
+        "bench" => cmd_bench(rest),
         "paper" => cmd_paper(rest),
         "example-model" => {
             println!("{}", example_model_json());
@@ -77,10 +94,13 @@ fn print_usage() {
          gsched simulate  <model.json> [--policy gang|lend|rr|fcfs] [--horizon T] [--warmup T] [--seed N] [--json]\n  \
          gsched tune      <model.json> [--lo Q] [--hi Q] [--objective total|max] [--json]\n  \
          gsched stability <model.json> [--class P] [--lo Q] [--hi Q]\n  \
+         gsched doctor    <model.json> [--mode ht|m2|m3|exact] [--json]\n  \
+         gsched bench     [--label L] [--reps N] [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC]\n  \
          gsched paper     [--rho R] [--quantum Q] [--json]\n  \
          gsched example-model\n\
          diagnostics (any subcommand): --diag <path> writes a JSON metrics \
-         snapshot; -v prints a report to stderr (-vv adds events)"
+         snapshot; --trace <path> writes a Chrome Trace Event file \
+         (Perfetto); -v prints a report to stderr (-vv adds events)"
     );
 }
 
@@ -96,7 +116,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
             continue;
         }
         if let Some(name) = a.strip_prefix("--") {
-            if name == "json" || name == "percentiles" {
+            if name == "json" || name == "percentiles" || name == "quick" {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
             }
@@ -120,24 +140,27 @@ fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result
     }
 }
 
-/// Diagnostics capture requested via `--diag <path>` and `-v`/`-vv`.
+/// Diagnostics capture requested via `--diag <path>`, `--trace <path>`, and
+/// `-v`/`-vv`.
 ///
 /// Installing the recorder is deferred to this struct so that commands only
 /// pay for instrumentation when it was asked for.
 struct Diagnostics {
     recorder: Option<std::sync::Arc<gsched_obs::MemoryRecorder>>,
     path: Option<String>,
+    trace_path: Option<String>,
     verbosity: u8,
 }
 
 impl Diagnostics {
     fn from_flags(flags: &HashMap<String, String>) -> Self {
         let path = flags.get("diag").cloned();
+        let trace_path = flags.get("trace").cloned();
         let verbosity: u8 = flags
             .get("verbose")
             .and_then(|v| v.parse().ok())
             .unwrap_or(0);
-        let recorder = if path.is_some() || verbosity > 0 {
+        let recorder = if path.is_some() || trace_path.is_some() || verbosity > 0 {
             Some(gsched_obs::install_memory())
         } else {
             None
@@ -145,11 +168,13 @@ impl Diagnostics {
         Diagnostics {
             recorder,
             path,
+            trace_path,
             verbosity,
         }
     }
 
-    /// Stop recording and emit the snapshot (JSON file and/or stderr report).
+    /// Stop recording and emit the snapshot (JSON file, trace file, and/or
+    /// stderr report).
     fn finish(self) -> Result<(), String> {
         let Some(recorder) = self.recorder else {
             return Ok(());
@@ -157,7 +182,11 @@ impl Diagnostics {
         gsched_obs::uninstall();
         let snap = recorder.snapshot();
         if let Some(path) = &self.path {
-            std::fs::write(path, snap.to_json())
+            gsched_obs::write_atomic(path, snap.to_json().as_bytes())
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        }
+        if let Some(path) = &self.trace_path {
+            gsched_obs::write_atomic(path, snap.to_chrome_trace().as_bytes())
                 .map_err(|e| format!("cannot write `{path}`: {e}"))?;
         }
         if self.verbosity >= 1 {
@@ -432,6 +461,149 @@ fn cmd_stability(args: &[String]) -> Result<(), String> {
         Some(q) if q == lo => println!("class {class} is stable across [{lo}, {hi}]"),
         Some(q) => println!("class {class} stabilizes at common quantum ≈ {q:.4}"),
         None => println!("class {class} is unstable across [{lo}, {hi}]"),
+    }
+    Ok(())
+}
+
+/// Minimal JSON string escaping for hand-rolled output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn cmd_doctor(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("doctor: missing <model.json>")?;
+    let model = load_model(path)?;
+    let mut opts = solver_options(&flags)?;
+    opts.collect_health = true;
+    let defaults = gsched_core::HealthThresholds::default();
+    let thresholds = gsched_core::HealthThresholds {
+        drift_margin: flag_f64(&flags, "warn-drift", defaults.drift_margin)?,
+        spectral_gap: flag_f64(&flags, "warn-gap", defaults.spectral_gap)?,
+        r_residual: flag_f64(&flags, "warn-residual", defaults.r_residual)?,
+        truncated_mass: flag_f64(&flags, "warn-trunc", defaults.truncated_mass)?,
+    };
+    let diag = Diagnostics::from_flags(&flags);
+    let sol = solve(&model, &opts).map_err(|e| e.to_string());
+    diag.finish()?;
+    let sol = sol?;
+    let health = sol.health.as_ref().expect("collect_health was set");
+    if flags.contains_key("json") {
+        let classes: Vec<String> = health
+            .classes
+            .iter()
+            .map(|c| {
+                format!(
+                    r#"{{"class":{},"stable":{},"drift_margin":{},"spectral_radius":{},"r_residual":{},"truncated_mass":{}}}"#,
+                    c.class,
+                    c.stable,
+                    json_f64(c.drift_margin),
+                    json_f64(c.spectral_radius),
+                    json_f64(c.r_residual),
+                    json_f64(c.truncated_mass),
+                )
+            })
+            .collect();
+        let warnings: Vec<String> = health
+            .warnings(&thresholds)
+            .iter()
+            .map(|w| json_str(w))
+            .collect();
+        println!(
+            r#"{{"all_stable":{},"converged":{},"classes":[{}],"warnings":[{}]}}"#,
+            sol.all_stable,
+            sol.converged,
+            classes.join(","),
+            warnings.join(",")
+        );
+    } else {
+        println!(
+            "numerical health: {} classes, converged = {}, all stable = {}",
+            health.classes.len(),
+            sol.converged,
+            sol.all_stable
+        );
+        print!("{}", health.render(&thresholds));
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let (_, flags) = parse_flags(args)?;
+    let quick = flags.contains_key("quick");
+    let label = flags.get("label").cloned().unwrap_or_else(|| {
+        if quick {
+            "quick".to_string()
+        } else {
+            "local".to_string()
+        }
+    });
+    if !label
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(format!(
+            "--label `{label}` must be alphanumeric (plus `_` and `-`); it names the output file"
+        ));
+    }
+    let reps = flag_f64(&flags, "reps", if quick { 1.0 } else { 3.0 })? as u64;
+    let report = bench::run_bench(&label, reps, quick);
+    let dir = flags.get("out").map(String::as_str).unwrap_or(".");
+    let out_path = format!("{dir}/BENCH_{label}.json");
+    gsched_obs::write_atomic(&out_path, report.to_json().as_bytes())
+        .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    println!(
+        "{:<28} {:>12} {:>8} {:>10} {:>12} {:>14}",
+        "scenario", "wall ms", "points", "fp iters", "R solves", "max residual"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<28} {:>12.2} {:>8} {:>10} {:>12} {:>14}",
+            s.name,
+            s.wall_ms,
+            s.points,
+            s.fp_iterations,
+            s.rmatrix_solves,
+            s.max_r_residual
+                .map(|v| format!("{v:.3e}"))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+    }
+    println!("wrote {out_path}");
+    if let Some(baseline_path) = flags.get("compare") {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read `{baseline_path}`: {e}"))?;
+        let baseline = bench::BenchReport::from_json(&text)?;
+        let threshold = flag_f64(&flags, "threshold", 0.25)?;
+        let outcome = bench::compare_reports(&baseline, &report, threshold);
+        for line in &outcome.lines {
+            println!("{line}");
+        }
+        if !outcome.regressions.is_empty() {
+            for r in &outcome.regressions {
+                eprintln!("regression: {r}");
+            }
+            return Err(format!(
+                "{} scenario(s) regressed beyond the {:.0}% wall-time threshold",
+                outcome.regressions.len(),
+                threshold * 100.0
+            ));
+        }
+        println!(
+            "no wall-time regressions against {baseline_path} (threshold {:.0}%)",
+            threshold * 100.0
+        );
     }
     Ok(())
 }

@@ -158,6 +158,239 @@ fn example_model_roundtrip() {
 }
 
 #[test]
+fn doctor_prints_health_table() {
+    let dir = tmpdir("doctor");
+    let model = write_model(&dir);
+    let out = gsched().arg("doctor").arg(&model).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("drift_slack"), "{text}");
+    assert!(text.contains("sp(R)"), "{text}");
+    assert!(text.contains("R_residual"), "{text}");
+    assert!(text.contains("all stable = true"), "{text}");
+}
+
+#[test]
+fn doctor_json_has_per_class_health() {
+    let dir = tmpdir("doctorjson");
+    let model = write_model(&dir);
+    let out = gsched()
+        .arg("doctor")
+        .arg(&model)
+        .arg("--json")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let parsed: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert_eq!(parsed["all_stable"], serde_json::Value::Bool(true));
+    let classes = parsed["classes"].as_array().unwrap();
+    assert_eq!(classes.len(), 2);
+    for c in classes {
+        assert!(c["drift_margin"].as_f64().unwrap() > 0.0);
+        let sp = c["spectral_radius"].as_f64().unwrap();
+        assert!(sp > 0.0 && sp < 1.0, "sp(R) = {sp}");
+        assert!(c["r_residual"].as_f64().unwrap() < 1e-8);
+    }
+}
+
+#[test]
+fn doctor_warns_with_tight_thresholds() {
+    // Force warnings by making the thresholds impossible to satisfy.
+    let dir = tmpdir("doctorwarn");
+    let model = write_model(&dir);
+    let out = gsched()
+        .arg("doctor")
+        .arg(&model)
+        .args(["--warn-drift", "1.0", "--warn-gap", "1.0"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("WARN"), "{text}");
+}
+
+#[test]
+fn trace_flag_writes_valid_chrome_trace() {
+    let dir = tmpdir("trace");
+    let model = write_model(&dir);
+    let trace = dir.join("trace.json");
+    let out = gsched()
+        .arg("solve")
+        .arg(&model)
+        .args(["--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid trace JSON");
+    let events = parsed["traceEvents"].as_array().unwrap();
+    // At least the top-level core.solve span plus metadata records.
+    let complete: Vec<&serde_json::Value> = events
+        .iter()
+        .filter(|e| e["ph"] == serde_json::Value::String("X".to_string()))
+        .collect();
+    assert!(!complete.is_empty(), "{text}");
+    for ev in &complete {
+        assert!(ev["ts"].as_f64().unwrap() >= 0.0);
+        assert!(ev["dur"].as_f64().unwrap() >= 0.0);
+        assert!(ev["name"].as_str().is_some());
+    }
+    assert!(events
+        .iter()
+        .any(|e| e["ph"] == serde_json::Value::String("M".to_string())));
+    assert!(complete
+        .iter()
+        .any(|e| e["args"]["path"].as_str().unwrap().contains("core.solve")));
+}
+
+#[test]
+fn bench_quick_writes_schema_versioned_report() {
+    let dir = tmpdir("bench");
+    let out = gsched()
+        .arg("bench")
+        .args([
+            "--quick",
+            "--label",
+            "smoke",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(dir.join("BENCH_smoke.json")).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(parsed["schema_version"].as_f64().unwrap(), 1.0);
+    assert_eq!(parsed["label"].as_str().unwrap(), "smoke");
+    let scenarios = parsed["scenarios"].as_array().unwrap();
+    let names: Vec<&str> = scenarios
+        .iter()
+        .map(|s| s["name"].as_str().unwrap())
+        .collect();
+    for want in ["fig2", "fig3", "fig4", "fig5", "sim_"] {
+        assert!(
+            names.iter().any(|n| n.starts_with(want)),
+            "missing {want} in {names:?}"
+        );
+    }
+    for s in scenarios {
+        assert!(s["wall_ms"].as_f64().unwrap() > 0.0);
+    }
+    // Solver scenarios carry numerical telemetry.
+    let fig2 = scenarios
+        .iter()
+        .find(|s| s["name"].as_str().unwrap().starts_with("fig2"))
+        .unwrap();
+    assert!(fig2["rmatrix_solves"].as_f64().unwrap() > 0.0);
+    assert!(fig2["max_r_residual"].as_f64().unwrap() >= 0.0);
+    // The sim scenario counts events.
+    let sim = scenarios
+        .iter()
+        .find(|s| s["name"].as_str().unwrap().starts_with("sim_"))
+        .unwrap();
+    assert!(sim["sim_events"].as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn bench_compare_gates_on_injected_regression() {
+    let dir = tmpdir("benchgate");
+    // First run produces the baseline.
+    let out = gsched()
+        .arg("bench")
+        .args(["--quick", "--label", "base", "--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let base_path = dir.join("BENCH_base.json");
+    let text = std::fs::read_to_string(&base_path).unwrap();
+    // Inject a regression: pretend the baseline was 10000x faster.
+    let doctored: String = text
+        .lines()
+        .map(|l| {
+            if let Some(idx) = l.find("\"wall_ms\":") {
+                format!("{}\"wall_ms\": 0.0001,", &l[..idx])
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let doctored_path = dir.join("doctored.json");
+    std::fs::write(&doctored_path, doctored).unwrap();
+    let out = gsched()
+        .arg("bench")
+        .args([
+            "--quick",
+            "--label",
+            "gate",
+            "--out",
+            dir.to_str().unwrap(),
+            "--compare",
+            doctored_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "compare against a doctored fast baseline must fail"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("regress"), "{err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    // Comparing a run against itself passes with a generous threshold.
+    let self_path = dir.join("BENCH_gate.json");
+    let out = gsched()
+        .arg("bench")
+        .args([
+            "--quick",
+            "--label",
+            "selfcheck",
+            "--out",
+            dir.to_str().unwrap(),
+            "--compare",
+            self_path.to_str().unwrap(),
+            "--threshold",
+            "20.0",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no wall-time regressions"));
+}
+
+#[test]
+fn bench_rejects_bad_label() {
+    let out = gsched()
+        .arg("bench")
+        .args(["--quick", "--label", "../evil"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let out = gsched()
         .arg("solve")

@@ -1,0 +1,209 @@
+//! Per-class numerical-health report: how trustworthy a solution is.
+//!
+//! The solver's answer is only as good as the numerics underneath it: the
+//! `R`-matrix iteration leaves a residual, the matrix-geometric tail decays
+//! at rate `sp(R)` (so `1 − sp(R)` is the margin before the geometric series
+//! degenerates), the Theorem 4.4 drift condition gives the class's distance
+//! from saturation, and the effective-quantum extraction truncates the level
+//! space leaving a known tail mass behind. All four are computed during the
+//! solve and already determine accuracy — this module aggregates them into
+//! one table with explicit WARN thresholds, surfaced by `gsched doctor`.
+
+use std::fmt::Write;
+
+/// Health indicators for one class at the converged fixed point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassHealth {
+    /// Class index.
+    pub class: usize,
+    /// Whether the class is positive recurrent under the final vacations.
+    pub stable: bool,
+    /// Drift-condition slack `(down − up)/down` of Theorem 4.4; positive
+    /// when stable, near zero at the edge of saturation.
+    pub drift_margin: f64,
+    /// Spectral radius of the rate matrix `R` (`NaN` when unstable — no `R`
+    /// exists).
+    pub spectral_radius: f64,
+    /// Residual `‖A₀ + RA₁ + R²A₂‖_∞` of the computed `R` (`NaN` when
+    /// unstable).
+    pub r_residual: f64,
+    /// Stationary tail mass discarded by the effective-quantum level
+    /// truncation (`NaN` when unstable).
+    pub truncated_mass: f64,
+}
+
+/// WARN thresholds for [`HealthReport::warnings`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthThresholds {
+    /// Warn when a stable class's drift margin falls below this.
+    pub drift_margin: f64,
+    /// Warn when `1 − sp(R)` falls below this.
+    pub spectral_gap: f64,
+    /// Warn when the `R` residual exceeds this.
+    pub r_residual: f64,
+    /// Warn when the truncated tail mass exceeds this.
+    pub truncated_mass: f64,
+}
+
+impl Default for HealthThresholds {
+    fn default() -> Self {
+        HealthThresholds {
+            drift_margin: 0.05,
+            spectral_gap: 0.05,
+            r_residual: 1e-8,
+            truncated_mass: 1e-6,
+        }
+    }
+}
+
+/// The aggregated per-class health table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthReport {
+    /// One entry per class, in class order.
+    pub classes: Vec<ClassHealth>,
+}
+
+impl HealthReport {
+    /// All threshold violations, one human-readable line each. Empty when
+    /// every class is comfortably inside the thresholds.
+    pub fn warnings(&self, th: &HealthThresholds) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in &self.classes {
+            if !c.stable {
+                out.push(format!(
+                    "class {}: UNSTABLE (drift margin {:.4} <= 0)",
+                    c.class, c.drift_margin
+                ));
+                continue;
+            }
+            if c.drift_margin < th.drift_margin {
+                out.push(format!(
+                    "class {}: drift margin {:.4} below {:.4} — near saturation",
+                    c.class, c.drift_margin, th.drift_margin
+                ));
+            }
+            if 1.0 - c.spectral_radius < th.spectral_gap {
+                out.push(format!(
+                    "class {}: spectral gap 1-sp(R) = {:.4} below {:.4} — slow geometric tail",
+                    c.class,
+                    1.0 - c.spectral_radius,
+                    th.spectral_gap
+                ));
+            }
+            if c.r_residual > th.r_residual {
+                out.push(format!(
+                    "class {}: R residual {:.3e} above {:.3e} — R iteration under-converged",
+                    c.class, c.r_residual, th.r_residual
+                ));
+            }
+            if c.truncated_mass > th.truncated_mass {
+                out.push(format!(
+                    "class {}: truncated tail mass {:.3e} above {:.3e} — raise max_extra_levels",
+                    c.class, c.truncated_mass, th.truncated_mass
+                ));
+            }
+        }
+        out
+    }
+
+    /// Render the health table plus WARN lines.
+    pub fn render(&self, th: &HealthThresholds) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8} {:>12} {:>10} {:>10} {:>12} {:>12}",
+            "class", "stable", "drift_slack", "sp(R)", "1-sp(R)", "R_residual", "trunc_mass"
+        );
+        for c in &self.classes {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>8} {:>12.6} {:>10.6} {:>10.6} {:>12.3e} {:>12.3e}",
+                c.class,
+                if c.stable { "yes" } else { "NO" },
+                c.drift_margin,
+                c.spectral_radius,
+                1.0 - c.spectral_radius,
+                c.r_residual,
+                c.truncated_mass,
+            );
+        }
+        let warnings = self.warnings(th);
+        if warnings.is_empty() {
+            let _ = writeln!(out, "all classes within health thresholds");
+        } else {
+            for w in &warnings {
+                let _ = writeln!(out, "WARN {w}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy(class: usize) -> ClassHealth {
+        ClassHealth {
+            class,
+            stable: true,
+            drift_margin: 0.4,
+            spectral_radius: 0.5,
+            r_residual: 1e-13,
+            truncated_mass: 1e-10,
+        }
+    }
+
+    #[test]
+    fn comfortable_classes_produce_no_warnings() {
+        let report = HealthReport {
+            classes: vec![healthy(0), healthy(1)],
+        };
+        let th = HealthThresholds::default();
+        assert!(report.warnings(&th).is_empty());
+        let text = report.render(&th);
+        assert!(text.contains("all classes within health thresholds"));
+        assert!(!text.contains("WARN"));
+    }
+
+    #[test]
+    fn each_threshold_fires_independently() {
+        let th = HealthThresholds::default();
+        let mut near_saturation = healthy(0);
+        near_saturation.drift_margin = 0.01;
+        let mut slow_tail = healthy(1);
+        slow_tail.spectral_radius = 0.97;
+        let mut bad_residual = healthy(2);
+        bad_residual.r_residual = 1e-5;
+        let mut fat_tail = healthy(3);
+        fat_tail.truncated_mass = 1e-3;
+        let report = HealthReport {
+            classes: vec![near_saturation, slow_tail, bad_residual, fat_tail],
+        };
+        let warnings = report.warnings(&th);
+        assert_eq!(warnings.len(), 4, "{warnings:?}");
+        assert!(warnings[0].contains("drift margin"));
+        assert!(warnings[1].contains("spectral gap"));
+        assert!(warnings[2].contains("R residual"));
+        assert!(warnings[3].contains("truncated tail mass"));
+        let text = report.render(&th);
+        assert_eq!(text.matches("WARN").count(), 4);
+    }
+
+    #[test]
+    fn unstable_class_is_a_single_warning() {
+        let report = HealthReport {
+            classes: vec![ClassHealth {
+                class: 0,
+                stable: false,
+                drift_margin: -0.2,
+                spectral_radius: f64::NAN,
+                r_residual: f64::NAN,
+                truncated_mass: f64::NAN,
+            }],
+        };
+        let warnings = report.warnings(&HealthThresholds::default());
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("UNSTABLE"));
+    }
+}

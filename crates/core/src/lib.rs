@@ -73,6 +73,7 @@
 pub mod dot;
 pub mod effective;
 pub mod generator;
+pub mod health;
 pub mod measures;
 pub mod model;
 pub mod response;
@@ -81,6 +82,7 @@ pub mod statespace;
 pub mod tuning;
 pub mod vacation;
 
+pub use health::{ClassHealth, HealthReport, HealthThresholds};
 pub use model::{ClassParams, GangModel, ModelError};
 pub use solver::{solve, GangSolution, SolverOptions, VacationMode};
 

@@ -13,6 +13,7 @@
 
 use crate::effective::{compress, effective_quantum};
 use crate::generator::{build_class_chain, ClassChain};
+use crate::health::{ClassHealth, HealthReport};
 use crate::measures::{class_measures, ClassMeasures};
 use crate::model::GangModel;
 use crate::response::response_time_distribution;
@@ -83,6 +84,11 @@ pub struct SolverOptions {
     /// convergence deltas) are published through `gsched_obs` — install a
     /// recorder with `gsched_obs::install_memory()` to capture them.
     pub damping: f64,
+    /// Also assemble a per-class numerical-health report
+    /// ([`GangSolution::health`]): drift slack, `sp(R)`, `R` residual, and
+    /// truncated tail mass at the fixed point. Costs one extra drift check
+    /// and residual evaluation per class.
+    pub collect_health: bool,
 }
 
 impl Default for SolverOptions {
@@ -97,6 +103,7 @@ impl Default for SolverOptions {
             require_stable: false,
             response_quantiles: false,
             damping: 0.7,
+            collect_health: false,
         }
     }
 }
@@ -142,6 +149,9 @@ pub struct GangSolution {
     /// Compare with `GangModel::full_cycle_mean()` to see how much of the
     /// nominal cycle the switch-on-empty rule gives back.
     pub mean_cycle: f64,
+    /// Per-class numerical-health report, when requested via
+    /// [`SolverOptions::collect_health`].
+    pub health: Option<HealthReport>,
 }
 
 impl GangSolution {
@@ -282,6 +292,7 @@ pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
 
     // ---- Assemble the final report ----
     let mut classes = Vec::with_capacity(l);
+    let mut health_classes = Vec::with_capacity(if opts.collect_health { l } else { 0 });
     let mut all_stable = true;
     for (p, item) in last_pass.iter().enumerate() {
         match item {
@@ -289,6 +300,27 @@ pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
                 let (chain, sol) = cs.as_ref();
                 let meas = class_measures(model, p, chain, sol);
                 let eff = effective_quantum(chain, sol, opts.tail_eps, opts.max_extra_levels)?;
+                if opts.collect_health {
+                    let drift =
+                        gsched_qbd::drift_condition(&chain.qbd.a0, &chain.qbd.a1, &chain.qbd.a2)
+                            .map_err(|e| GangError::Qbd {
+                                class: p,
+                                source: e,
+                            })?;
+                    health_classes.push(ClassHealth {
+                        class: p,
+                        stable: true,
+                        drift_margin: drift.margin(),
+                        spectral_radius: sol.spectral_radius(),
+                        r_residual: gsched_qbd::r_residual(
+                            &chain.qbd.a0,
+                            &chain.qbd.a1,
+                            &chain.qbd.a2,
+                            sol.r(),
+                        ),
+                        truncated_mass: eff.truncated_mass,
+                    });
+                }
                 let response_quantiles = if opts.response_quantiles {
                     let rt = response_time_distribution(
                         chain,
@@ -314,6 +346,25 @@ pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
             }
             ClassIterate::Unstable => {
                 all_stable = false;
+                if opts.collect_health {
+                    // No stationary solution exists: rebuild the chain under
+                    // the final vacations for the drift margin alone.
+                    let chain = build_class_chain(model, p, &last_vacations[p])?;
+                    let drift =
+                        gsched_qbd::drift_condition(&chain.qbd.a0, &chain.qbd.a1, &chain.qbd.a2)
+                            .map_err(|e| GangError::Qbd {
+                                class: p,
+                                source: e,
+                            })?;
+                    health_classes.push(ClassHealth {
+                        class: p,
+                        stable: false,
+                        drift_margin: drift.margin(),
+                        spectral_radius: f64::NAN,
+                        r_residual: f64::NAN,
+                        truncated_mass: f64::NAN,
+                    });
+                }
                 classes.push(ClassResult {
                     stable: false,
                     measures: None,
@@ -393,6 +444,9 @@ pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
         converged,
         all_stable,
         mean_cycle,
+        health: opts.collect_health.then_some(HealthReport {
+            classes: health_classes,
+        }),
     })
 }
 
@@ -576,6 +630,101 @@ mod tests {
         assert!(p50 > 0.0 && p50 < p90 && p90 < p95 && p95 < p99);
         // Median below the mean for these right-skewed response times.
         assert!(p50 < rich.classes[0].mean_response * 1.2);
+    }
+
+    #[test]
+    fn health_report_only_on_request() {
+        let m = symmetric_model(2, 2, 0.2, 1.0, 1.0);
+        let plain = solve(&m, &SolverOptions::default()).unwrap();
+        assert!(plain.health.is_none());
+        let rich = solve(
+            &m,
+            &SolverOptions {
+                collect_health: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let health = rich.health.unwrap();
+        assert_eq!(health.classes.len(), 2);
+        for (p, c) in health.classes.iter().enumerate() {
+            assert_eq!(c.class, p);
+            assert!(c.stable);
+            assert!(c.drift_margin > 0.0);
+            assert!(c.spectral_radius > 0.0 && c.spectral_radius < 1.0);
+            assert!(c.r_residual >= 0.0 && c.r_residual < 1e-8);
+            assert!(c.truncated_mass >= 0.0 && c.truncated_mass < 1e-6);
+        }
+        // A comfortably loaded model trips no thresholds.
+        let th = crate::health::HealthThresholds::default();
+        assert!(
+            health.warnings(&th).is_empty(),
+            "{:?}",
+            health.warnings(&th)
+        );
+    }
+
+    #[test]
+    fn near_instability_trips_health_warnings() {
+        // Heavy-traffic mode keeps the pessimistic full-quantum vacations, so
+        // the stability boundary is approached smoothly: at λ = 0.48 the
+        // class is still positive recurrent but its drift slack and spectral
+        // gap have both collapsed below the default thresholds. (Under the
+        // fixed point the shrinking vacations make the transition to
+        // saturation nearly discontinuous, which is why this test pins the
+        // heavy-traffic regime.)
+        let m = symmetric_model(2, 2, 0.48, 1.0, 4.0);
+        let sol = solve(
+            &m,
+            &SolverOptions {
+                collect_health: true,
+                mode: VacationMode::HeavyTraffic,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(sol.all_stable, "model must stay stable for this test");
+        let health = sol.health.unwrap();
+        let c = &health.classes[0];
+        assert!(c.stable && c.drift_margin > 0.0);
+        assert!(c.spectral_radius < 1.0);
+        let th = crate::health::HealthThresholds::default();
+        let warnings = health.warnings(&th);
+        assert!(
+            warnings.iter().any(|w| w.contains("drift margin")),
+            "expected a drift-margin warning, got {warnings:?}"
+        );
+        assert!(
+            warnings.iter().any(|w| w.contains("spectral gap")),
+            "expected a spectral-gap warning, got {warnings:?}"
+        );
+        assert!(
+            warnings.iter().any(|w| w.contains("truncated tail mass")),
+            "expected a truncated-mass warning, got {warnings:?}"
+        );
+        assert!(health.render(&th).contains("WARN"));
+    }
+
+    #[test]
+    fn unstable_class_health_has_negative_drift_and_nan_numerics() {
+        let m = symmetric_model(4, 2, 0.8, 1.0, 1.0);
+        let sol = solve(
+            &m,
+            &SolverOptions {
+                collect_health: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!sol.all_stable);
+        let health = sol.health.unwrap();
+        let bad = health.classes.iter().find(|c| !c.stable).unwrap();
+        assert!(bad.drift_margin <= 0.0, "margin {}", bad.drift_margin);
+        assert!(bad.spectral_radius.is_nan());
+        assert!(bad.r_residual.is_nan());
+        assert!(bad.truncated_mass.is_nan());
+        let warnings = health.warnings(&crate::health::HealthThresholds::default());
+        assert!(warnings.iter().any(|w| w.contains("UNSTABLE")));
     }
 
     #[test]

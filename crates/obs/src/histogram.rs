@@ -214,9 +214,53 @@ mod tests {
     #[test]
     fn empty_histogram_is_nan() {
         let h = LogHistogram::new();
-        assert!(h.quantile(0.5).is_nan());
+        for q in [0.0, 0.5, 1.0] {
+            assert!(h.quantile(q).is_nan(), "q={q}");
+        }
         assert!(h.mean().is_nan());
         assert!(h.min().is_nan());
+        assert!(h.max().is_nan());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = LogHistogram::new();
+        h.record(7.25);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 7.25);
+        assert_eq!(h.min(), 7.25);
+        assert_eq!(h.max(), 7.25);
+        // Bucket midpoints are clamped to [min, max], so a single sample is
+        // returned exactly at every quantile.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 7.25, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_outside_unit_interval_is_nan() {
+        let mut h = LogHistogram::new();
+        h.record(1.0);
+        assert!(h.quantile(-0.1).is_nan());
+        assert!(h.quantile(1.1).is_nan());
+        assert!(h.quantile(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn negative_samples_count_exactly_in_the_zero_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(-3.0);
+        h.record(-1.0);
+        h.record(2.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), -3.0);
+        assert_eq!(h.max(), 2.0);
+        assert!((h.sum() - (-2.0)).abs() < 1e-12);
+        // Two of three samples are in the non-positive bucket, reported as 0.
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert!((h.quantile(1.0) - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -224,6 +268,29 @@ mod tests {
         let mut h = LogHistogram::new();
         h.record(f64::NAN);
         h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
         assert_eq!(h.count(), 0);
+        assert!(h.mean().is_nan());
+        // Mixed with a finite sample, non-finite values leave no residue.
+        h.record(4.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.quantile(0.5), 4.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = LogHistogram::new();
+        a.record(3.0);
+        let empty = LogHistogram::new();
+        let mut b = a.clone();
+        b.merge(&empty);
+        assert_eq!(b.count(), 1);
+        assert_eq!(b.min(), 3.0);
+        let mut c = LogHistogram::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.quantile(0.5), 3.0);
     }
 }

@@ -9,7 +9,10 @@
 //! load — solver and simulator hot paths pay essentially nothing. Callers
 //! that want diagnostics install a [`MemoryRecorder`] (usually via
 //! [`install_memory`]), run the workload, then take a [`Snapshot`] for JSON
-//! export ([`Snapshot::to_json`]) or a tree report ([`Snapshot::render`]).
+//! export ([`Snapshot::to_json`]), a tree report ([`Snapshot::render`]), or
+//! a Chrome Trace Event timeline ([`Snapshot::to_chrome_trace`], viewable
+//! in Perfetto). Sidecar files should be written with [`write_atomic`] so
+//! concurrent readers never see a torn JSON document.
 //!
 //! Metric names use `crate.component.operation` form (for example
 //! `qbd.rmatrix.iterations`). Span *paths* additionally join nested span
@@ -25,16 +28,20 @@
 //! * [`event`] — structured record with fields, tagged with the emitting
 //!   span path (fixed-point trajectories, per-class solve summaries).
 
+mod fsio;
 mod histogram;
 mod recorder;
 mod report;
 mod snapshot;
+mod trace;
 
+pub use fsio::write_atomic;
 pub use histogram::LogHistogram;
 pub use recorder::{
     counter_add, enabled, event, gauge_set, install, install_memory, installed_memory, observe,
-    span, uninstall, FieldValue, MemoryRecorder, Recorder, SpanGuard,
+    span, thread_label, uninstall, FieldValue, MemoryRecorder, Recorder, SpanGuard,
 };
 pub use snapshot::{
-    EventSnapshot, HistogramSnapshot, MetricF64, MetricU64, Snapshot, SpanSnapshot,
+    EventSnapshot, HistogramSnapshot, MetricF64, MetricU64, Snapshot, SpanIntervalSnapshot,
+    SpanSnapshot,
 };

@@ -2,15 +2,16 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
 use crate::histogram::LogHistogram;
 use crate::snapshot::{
-    EventSnapshot, HistogramSnapshot, MetricF64, MetricU64, Snapshot, SpanSnapshot,
+    EventSnapshot, HistogramSnapshot, MetricF64, MetricU64, Snapshot, SpanIntervalSnapshot,
+    SpanSnapshot,
 };
 
 /// A field value attached to an [`event`].
@@ -50,8 +51,35 @@ pub trait Recorder: Send + Sync {
     fn observe(&self, name: &str, value: f64);
     /// Record a completed span occurrence for `path` (slash-joined).
     fn span_record(&self, path: &str, nanos: u64);
+    /// Record one completed span *interval*: its start offset from the
+    /// process timing epoch, duration, and the recording thread. Default is
+    /// a no-op so aggregate-only recorders need not store intervals.
+    fn span_interval(&self, _path: &str, _start_nanos: u64, _dur_nanos: u64, _tid: u64) {}
     /// Record a structured event, tagged with the emitting span `path`.
     fn event(&self, name: &str, span_path: &str, fields: &[(&str, FieldValue)]);
+}
+
+/// Process-wide timing epoch all span intervals are measured from. Anchored
+/// lazily at the first [`install`]/[`span`] call so trace timestamps start
+/// near zero.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonically increasing thread labels for trace rows; `ThreadId` has no
+/// stable public integer form.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small dense label for the current thread (1-based, assigned in first-
+/// use order). Stable for the thread's lifetime.
+pub fn thread_label() -> u64 {
+    TID.with(|t| *t)
 }
 
 /// Fast-path switch: probes return immediately while this is false, so an
@@ -77,6 +105,7 @@ pub fn enabled() -> bool {
 
 /// Install `recorder` as the global sink, replacing any previous one.
 pub fn install(recorder: Arc<dyn Recorder>) {
+    epoch(); // anchor the interval clock no later than installation
     *MEMORY.write() = None;
     *RECORDER.write() = Some(recorder);
     ENABLED.store(true, Ordering::Release);
@@ -144,20 +173,22 @@ pub fn span(name: impl Into<String>) -> SpanGuard {
         return SpanGuard { start: None };
     }
     SPAN_STACK.with(|stack| stack.borrow_mut().push(name.into()));
+    let now = Instant::now();
     SpanGuard {
-        start: Some(Instant::now()),
+        start: Some((now, now.duration_since(epoch()).as_nanos() as u64)),
     }
 }
 
 /// RAII guard for an open span; see [`span`].
 #[must_use = "a span guard times the region until it is dropped"]
 pub struct SpanGuard {
-    start: Option<Instant>,
+    /// `(start instant, start offset from the process epoch in ns)`.
+    start: Option<(Instant, u64)>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(start) = self.start else {
+        let Some((start, start_offset)) = self.start else {
             return;
         };
         let nanos = start.elapsed().as_nanos() as u64;
@@ -167,7 +198,11 @@ impl Drop for SpanGuard {
             stack.pop();
             path
         });
-        with_recorder(|r| r.span_record(&path, nanos));
+        let tid = thread_label();
+        with_recorder(|r| {
+            r.span_record(&path, nanos);
+            r.span_interval(&path, start_offset, nanos, tid);
+        });
     }
 }
 
@@ -184,6 +219,8 @@ struct Registry {
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, LogHistogram>,
     spans: BTreeMap<String, SpanStat>,
+    span_intervals: Vec<SpanIntervalSnapshot>,
+    span_intervals_dropped: u64,
     events: Vec<EventSnapshot>,
     events_dropped: u64,
 }
@@ -191,6 +228,11 @@ struct Registry {
 /// Cap on stored events so long runs cannot grow memory without bound;
 /// drops past the cap are counted in `events_dropped`.
 const MAX_EVENTS: usize = 100_000;
+
+/// Cap on stored span intervals (the raw material for trace export). At 32
+/// bytes + path each this bounds trace memory to a few tens of MB; drops
+/// past the cap are counted in `span_intervals_dropped`.
+const MAX_SPAN_INTERVALS: usize = 200_000;
 
 /// Recorder that aggregates everything in memory behind a mutex, for
 /// export via [`MemoryRecorder::snapshot`].
@@ -255,6 +297,8 @@ impl MemoryRecorder {
                     total_nanos: stat.total_nanos,
                 })
                 .collect(),
+            span_intervals: registry.span_intervals.clone(),
+            span_intervals_dropped: registry.span_intervals_dropped,
             events: registry.events.clone(),
             events_dropped: registry.events_dropped,
         }
@@ -305,6 +349,20 @@ impl Recorder for MemoryRecorder {
         };
         stat.count += 1;
         stat.total_nanos += nanos;
+    }
+
+    fn span_interval(&self, path: &str, start_nanos: u64, dur_nanos: u64, tid: u64) {
+        let mut registry = self.registry.lock();
+        if registry.span_intervals.len() >= MAX_SPAN_INTERVALS {
+            registry.span_intervals_dropped += 1;
+            return;
+        }
+        registry.span_intervals.push(SpanIntervalSnapshot {
+            path: path.to_string(),
+            start_nanos,
+            dur_nanos,
+            tid,
+        });
     }
 
     fn event(&self, name: &str, span_path: &str, fields: &[(&str, FieldValue)]) {

@@ -52,6 +52,20 @@ pub struct SpanSnapshot {
     pub total_nanos: u64,
 }
 
+/// One completed span occurrence with its timing interval — the raw
+/// material for trace export (see [`Snapshot::to_chrome_trace`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanIntervalSnapshot {
+    /// Slash-joined nesting path, e.g. `core.solve/qbd.solve`.
+    pub path: String,
+    /// Start offset from the process timing epoch, in nanoseconds.
+    pub start_nanos: u64,
+    /// Wall-clock duration, in nanoseconds.
+    pub dur_nanos: u64,
+    /// Dense per-thread label (1-based, first-use order).
+    pub tid: u64,
+}
+
 /// One structured event with its fields.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EventSnapshot {
@@ -74,6 +88,13 @@ pub struct Snapshot {
     pub histograms: Vec<HistogramSnapshot>,
     /// All span paths, sorted by path.
     pub spans: Vec<SpanSnapshot>,
+    /// Raw span intervals in completion order (absent in pre-trace
+    /// snapshots, hence the deserialization default).
+    #[serde(default = "Vec::new")]
+    pub span_intervals: Vec<SpanIntervalSnapshot>,
+    /// Span intervals discarded once the in-memory cap was reached.
+    #[serde(default = "u64::default")]
+    pub span_intervals_dropped: u64,
     /// Structured events in emission order.
     pub events: Vec<EventSnapshot>,
     /// Events discarded once the in-memory cap was reached.

@@ -124,6 +124,56 @@ fn snapshot_round_trips_through_json() {
 }
 
 #[test]
+fn span_intervals_follow_the_span_tree() {
+    with_global(|| {
+        let recorder = obs::install_memory();
+        {
+            let _outer = obs::span("outer");
+            std::thread::sleep(Duration::from_millis(1));
+            let _inner = obs::span("inner");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.span_intervals.len(), 2);
+        assert_eq!(snapshot.span_intervals_dropped, 0);
+        // Completion order: inner drops first.
+        let inner = &snapshot.span_intervals[0];
+        let outer = &snapshot.span_intervals[1];
+        assert_eq!(inner.path, "outer/inner");
+        assert_eq!(outer.path, "outer");
+        assert_eq!(inner.tid, outer.tid);
+        assert!(inner.start_nanos >= outer.start_nanos);
+        assert!(
+            inner.start_nanos + inner.dur_nanos <= outer.start_nanos + outer.dur_nanos + 1_000,
+            "inner interval contained in outer (1µs slop)"
+        );
+        // The aggregate view agrees with the interval log.
+        assert_eq!(snapshot.span("outer/inner").unwrap().count, 1);
+    });
+}
+
+#[test]
+fn pre_interval_diag_json_still_parses() {
+    // Diag snapshots written before span intervals existed lack the
+    // `span_intervals` fields; the schema must default them.
+    let old = r#"{
+      "counters": [{"name": "a", "value": 1}],
+      "gauges": [],
+      "histograms": [],
+      "spans": [{"path": "core.solve", "count": 1, "total_nanos": 5}],
+      "events": [],
+      "events_dropped": 0
+    }"#;
+    let parsed = obs::Snapshot::from_json(old).expect("old schema parses");
+    assert!(parsed.span_intervals.is_empty());
+    assert_eq!(parsed.span_intervals_dropped, 0);
+    assert_eq!(parsed.counter("a"), Some(1));
+    // And the trace exporter accepts it (producing an empty timeline).
+    let trace: serde_json::Value = serde_json::from_str(&parsed.to_chrome_trace()).unwrap();
+    assert!(trace["traceEvents"].as_array().is_some());
+}
+
+#[test]
 fn install_replaces_and_uninstall_disables() {
     with_global(|| {
         let first = obs::install_memory();

@@ -30,7 +30,9 @@ pub mod solution;
 pub mod stability;
 
 pub use process::QbdProcess;
-pub use rmatrix::{solve_g_logarithmic_reduction, solve_r, solve_r_successive, RSolverMethod};
+pub use rmatrix::{
+    r_residual, solve_g_logarithmic_reduction, solve_r, solve_r_successive, RSolverMethod,
+};
 pub use solution::QbdSolution;
 pub use stability::{drift_condition, DriftReport};
 

@@ -57,6 +57,7 @@ fn record_r_solve(method: &'static str, dim: usize, iterations: usize, residual:
     obs::counter_add("qbd.rmatrix.solves", 1);
     obs::counter_add("qbd.rmatrix.iterations", iterations as u64);
     obs::observe("qbd.rmatrix.iterations_per_solve", iterations as f64);
+    obs::observe("qbd.rmatrix.residual", residual);
     obs::event(
         "qbd.rmatrix.solve",
         &[

@@ -75,6 +75,10 @@ impl QbdProcess {
         );
         let d = self.repeating_dim();
         let sp_r = spectral_radius(&r, 1e-12, 200_000).unwrap_or(1.0);
+        if obs::enabled() {
+            obs::observe("qbd.spectral_radius", sp_r);
+            obs::observe("qbd.drift_margin", drift.margin());
+        }
         if sp_r >= 1.0 {
             return Err(QbdError::Unstable(drift));
         }

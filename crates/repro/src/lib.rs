@@ -5,14 +5,15 @@
 //! evaluates qualitative *shape checks* against the paper's description, and
 //! writes a JSON provenance record under `results/`.
 //!
-//! Setting the `GSCHED_DIAG` environment variable (any non-empty value)
-//! additionally captures solver instrumentation through `gsched_obs` and
-//! writes a `results/<id>.diag.json` sidecar next to each record.
+//! Setting the `GSCHED_DIAG` environment variable additionally captures
+//! solver instrumentation through `gsched_obs` and writes a
+//! `results/<id>.diag.json` sidecar next to each record. Any non-empty
+//! value enables it except the conventional opt-outs `0`, `false`, and
+//! `off` (case-insensitive), which disable it like an unset variable.
 
 use gsched_core::solver::{solve, GangSolution, SolverOptions};
 use gsched_workload::figures::SweepPoint;
 use gsched_workload::spec::{ExperimentRecord, Series, ShapeCheck};
-use std::io::Write;
 use std::path::Path;
 
 /// Per-point outcome of a sweep: x value and per-class mean populations
@@ -135,14 +136,24 @@ pub fn is_monotone_decreasing(y: &[f64], slack: f64) -> bool {
 /// Install the in-memory diagnostics recorder when the `GSCHED_DIAG`
 /// environment variable is set. Returns whether it was installed;
 /// [`save_record`] then writes a `results/<id>.diag.json` sidecar.
+///
+/// Accepted values: any non-empty string enables diagnostics except `0`,
+/// `false`, and `off` (case-insensitive), which count as disabled — so
+/// `GSCHED_DIAG=0 cargo run …` behaves like an unset variable.
 pub fn init_diagnostics() -> bool {
     let wanted = std::env::var("GSCHED_DIAG")
-        .map(|v| !v.is_empty())
+        .map(|v| diag_value_enables(&v))
         .unwrap_or(false);
     if wanted {
         gsched_obs::install_memory();
     }
     wanted
+}
+
+/// Whether a `GSCHED_DIAG` value asks for diagnostics.
+fn diag_value_enables(value: &str) -> bool {
+    let v = value.trim();
+    !v.is_empty() && !["0", "false", "off"].contains(&v.to_ascii_lowercase().as_str())
 }
 
 /// Save a JSON record under `results/<id>.json` (relative to the workspace
@@ -153,13 +164,12 @@ pub fn save_record(record: &ExperimentRecord) -> std::io::Result<()> {
     let dir = Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.json", record.id));
-    let mut f = std::fs::File::create(&path)?;
     let json = serde_json::to_string_pretty(record).expect("record serializes");
-    f.write_all(json.as_bytes())?;
+    gsched_obs::write_atomic(&path, json.as_bytes())?;
     eprintln!("wrote {}", path.display());
     if let Some(recorder) = gsched_obs::installed_memory() {
         let sidecar = dir.join(format!("{}.diag.json", record.id));
-        std::fs::write(&sidecar, recorder.snapshot().to_json())?;
+        gsched_obs::write_atomic(&sidecar, recorder.snapshot().to_json().as_bytes())?;
         eprintln!("wrote {}", sidecar.display());
     }
     Ok(())
@@ -333,6 +343,16 @@ pub fn run_quantum_figure(id: &str, lambda: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn diag_env_values() {
+        for on in ["1", "true", "yes", "json", " verbose "] {
+            assert!(diag_value_enables(on), "{on:?} should enable");
+        }
+        for off in ["", "0", "false", "off", "FALSE", "Off", " 0 "] {
+            assert!(!diag_value_enables(off), "{off:?} should disable");
+        }
+    }
 
     #[test]
     fn u_shape_detected() {
