@@ -26,10 +26,7 @@ fn bench_vacation_mode(c: &mut Criterion) {
         ("moment3", VacationMode::MomentMatched { moments: 3 }),
         ("exact", VacationMode::Exact),
     ] {
-        let opts = SolverOptions {
-            mode: mode.clone(),
-            ..Default::default()
-        };
+        let opts = SolverOptions::builder().mode(mode.clone()).build().unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
             b.iter(|| solve(black_box(&model), opts).unwrap())
         });
@@ -57,10 +54,7 @@ fn bench_fp_tolerance(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_fp_tolerance");
     g.sample_size(10);
     for tol in [1e-3, 1e-6, 1e-9] {
-        let opts = SolverOptions {
-            fp_tol: tol,
-            ..Default::default()
-        };
+        let opts = SolverOptions::builder().fp_tol(tol).build().unwrap();
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{tol:.0e}")),
             &opts,

@@ -8,11 +8,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gsched_core::solver::{solve, SolverOptions};
-use gsched_workload::figures::{cycle_fraction_sweep, quantum_sweep, service_rate_sweep};
+use gsched_workload::figures::{
+    cycle_fraction_sweep_request, quantum_sweep_request, service_rate_sweep_request,
+};
 use std::hint::black_box;
 
 fn bench_fig2(c: &mut Criterion) {
-    let pts = quantum_sweep(0.4, 2, &[1.0]);
+    let pts = quantum_sweep_request(0.4, 2, &[1.0]).points;
     let mut g = c.benchmark_group("fig2");
     g.sample_size(10);
     g.bench_function("point_q1", |b| {
@@ -22,7 +24,7 @@ fn bench_fig2(c: &mut Criterion) {
 }
 
 fn bench_fig3(c: &mut Criterion) {
-    let pts = quantum_sweep(0.9, 2, &[1.0]);
+    let pts = quantum_sweep_request(0.9, 2, &[1.0]).points;
     let mut g = c.benchmark_group("fig3");
     g.sample_size(10);
     g.bench_function("point_q1_rho09", |b| {
@@ -32,7 +34,7 @@ fn bench_fig3(c: &mut Criterion) {
 }
 
 fn bench_fig4(c: &mut Criterion) {
-    let pts = service_rate_sweep(2, &[8.0]);
+    let pts = service_rate_sweep_request(2, &[8.0]).points;
     let mut g = c.benchmark_group("fig4");
     g.sample_size(10);
     g.bench_function("point_mu8", |b| {
@@ -42,7 +44,7 @@ fn bench_fig4(c: &mut Criterion) {
 }
 
 fn bench_fig5(c: &mut Criterion) {
-    let pts = cycle_fraction_sweep(0, 4.0, 2, &[0.5]);
+    let pts = cycle_fraction_sweep_request(0, 4.0, 2, &[0.5]).points;
     let mut g = c.benchmark_group("fig5");
     g.sample_size(10);
     g.bench_function("point_f05_class0", |b| {
@@ -55,7 +57,7 @@ fn bench_full_grids(c: &mut Criterion) {
     let mut g = c.benchmark_group("full_grid");
     g.sample_size(10);
     for (name, lambda) in [("fig2_grid5", 0.4), ("fig3_grid5", 0.9)] {
-        let pts = quantum_sweep(lambda, 2, &[0.25, 0.5, 1.0, 2.0, 4.0]);
+        let pts = quantum_sweep_request(lambda, 2, &[0.25, 0.5, 1.0, 2.0, 4.0]).points;
         g.bench_with_input(BenchmarkId::from_parameter(name), &pts, |b, pts| {
             b.iter(|| {
                 for pt in pts {

@@ -11,16 +11,20 @@
 //! `--compare <baseline.json>` turns the same run into a regression gate.
 
 use gsched_core::model::GangModel;
-use gsched_core::solver::{solve, SolverOptions};
+use gsched_engine::{run_sweep, SweepOptions, SweepRequest};
 use gsched_obs as obs;
 use gsched_sim::{GangPolicy, GangSim, SimConfig};
-use gsched_workload::figures;
+use gsched_workload::figures::Figure;
 use gsched_workload::{paper_model, PaperConfig};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Version of the `BENCH_*.json` schema. Bump on incompatible changes.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: solver scenarios run through the `gsched-engine` sweep pool; adds
+/// the top-level `jobs` field and the per-scenario `warm_hits`,
+/// `warm_misses`, and `parallel_speedup` fields.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Telemetry for one benchmark scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,6 +54,13 @@ pub struct ScenarioResult {
     /// Simulator event rate, events per wall-clock second (`None` for
     /// solver scenarios).
     pub sim_event_rate: Option<f64>,
+    /// Sweep points solved from a warm start (`0` for sim scenarios).
+    pub warm_hits: u64,
+    /// Sweep points solved cold (`0` for sim scenarios).
+    pub warm_misses: u64,
+    /// Sequential median wall time divided by the parallel median
+    /// (`None` for sim scenarios or when the run is sequential-only).
+    pub parallel_speedup: Option<f64>,
 }
 
 /// A full benchmark run: schema version, label, and per-scenario telemetry.
@@ -63,6 +74,8 @@ pub struct BenchReport {
     pub reps: u64,
     /// Whether the reduced `--quick` scenario set was used.
     pub quick: bool,
+    /// Worker threads used for the parallel sweep pass.
+    pub jobs: u64,
     /// Per-scenario results, in execution order.
     pub scenarios: Vec<ScenarioResult>,
 }
@@ -89,8 +102,8 @@ impl BenchReport {
 
 /// What one scenario actually runs.
 enum Workload {
-    /// Solve every model in order with the default options.
-    Solver(Vec<GangModel>),
+    /// Evaluate a figure sweep on the engine pool (warm-started).
+    Sweep(SweepRequest),
     /// One gang-simulator run to the given horizon.
     Sim { model: GangModel, horizon: f64 },
 }
@@ -103,57 +116,31 @@ struct Scenario {
 /// The canonical scenario set. `quick` shrinks every sweep to a few points
 /// and the simulation horizon by 10× — used by CI smoke runs.
 fn scenarios(quick: bool) -> Vec<Scenario> {
-    let quantum_grid: Vec<f64> = if quick {
-        vec![0.5, 1.0, 2.0]
-    } else {
-        figures::default_quantum_grid()
-    };
-    let rate_grid: Vec<f64> = if quick {
-        vec![4.0, 10.0]
-    } else {
-        figures::default_service_rate_grid()
-    };
-    let fraction_grid: Vec<f64> = if quick {
-        vec![0.25, 0.5, 0.75]
-    } else {
-        figures::default_fraction_grid()
-    };
-    let models = |pts: Vec<figures::SweepPoint>| pts.into_iter().map(|p| p.model).collect();
-    vec![
-        Scenario {
-            name: "fig2_quantum_sweep_rho04",
-            workload: Workload::Solver(models(figures::quantum_sweep(0.4, 2, &quantum_grid))),
-        },
-        Scenario {
-            name: "fig3_quantum_sweep_rho06",
-            workload: Workload::Solver(models(figures::quantum_sweep(0.6, 2, &quantum_grid))),
-        },
-        Scenario {
-            name: "fig4_service_rate_sweep",
-            workload: Workload::Solver(models(figures::service_rate_sweep(2, &rate_grid))),
-        },
-        Scenario {
-            name: "fig5_cycle_fraction_sweep",
-            workload: Workload::Solver(models(figures::cycle_fraction_sweep(
-                0,
-                4.0,
-                2,
-                &fraction_grid,
-            ))),
-        },
-        Scenario {
-            name: "sim_gang_rho06",
-            workload: Workload::Sim {
-                model: paper_model(&PaperConfig {
-                    lambda: 0.6,
-                    quantum_mean: 1.0,
-                    quantum_stages: 2,
-                    overhead_mean: 0.01,
-                }),
-                horizon: if quick { 2_000.0 } else { 20_000.0 },
+    let mut out: Vec<Scenario> = Figure::ALL
+        .iter()
+        .map(|fig| Scenario {
+            name: match fig {
+                Figure::Fig2 => "fig2_quantum_sweep_rho04",
+                Figure::Fig3 => "fig3_quantum_sweep_rho06",
+                Figure::Fig4 => "fig4_service_rate_sweep",
+                Figure::Fig5 => "fig5_cycle_fraction_sweep",
             },
+            workload: Workload::Sweep(fig.request(quick)),
+        })
+        .collect();
+    out.push(Scenario {
+        name: "sim_gang_rho06",
+        workload: Workload::Sim {
+            model: paper_model(&PaperConfig {
+                lambda: 0.6,
+                quantum_mean: 1.0,
+                quantum_stages: 2,
+                overhead_mean: 0.01,
+            }),
+            horizon: if quick { 2_000.0 } else { 20_000.0 },
         },
-    ]
+    });
+    out
 }
 
 /// `NaN`-free view of a histogram extreme for the JSON schema.
@@ -169,9 +156,20 @@ fn hist_min(snap: &obs::Snapshot, name: &str) -> Option<f64> {
         .filter(|v| v.is_finite())
 }
 
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    xs[xs.len() / 2]
+}
+
 /// Run one scenario `reps` times; wall time is the median, metrics come
 /// from the last repetition's snapshot.
-fn run_scenario(sc: &Scenario, reps: u64) -> ScenarioResult {
+///
+/// Sweep scenarios run sequentially (`jobs = 1`) for the recorded wall
+/// time — keeping the regression gate comparable across machines — and,
+/// when `jobs > 1`, once more in parallel to record the speedup. Both
+/// passes warm-start and return bitwise-identical results, so the
+/// telemetry describes the same numerical work.
+fn run_scenario(sc: &Scenario, reps: u64, jobs: usize) -> ScenarioResult {
     let mut wall_ms = Vec::with_capacity(reps as usize);
     let mut last_snap = None;
     let mut points = 0u64;
@@ -180,13 +178,11 @@ fn run_scenario(sc: &Scenario, reps: u64) -> ScenarioResult {
         let start = Instant::now();
         points = 0;
         match &sc.workload {
-            Workload::Solver(models) => {
-                for model in models {
-                    // Sweep endpoints may be unstable or non-convergent;
-                    // that is part of the canonical workload, not an error.
-                    let _ = solve(model, &SolverOptions::default());
-                    points += 1;
-                }
+            Workload::Sweep(req) => {
+                // Sweep endpoints may be unstable or non-convergent; the
+                // engine records those per point, they are not errors.
+                let report = run_sweep(req, &SweepOptions::default().with_jobs(1));
+                points = report.points.len() as u64;
             }
             Workload::Sim { model, horizon } => {
                 let cfg = SimConfig {
@@ -203,16 +199,31 @@ fn run_scenario(sc: &Scenario, reps: u64) -> ScenarioResult {
         obs::uninstall();
         last_snap = Some(recorder.snapshot());
     }
-    wall_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    let seq_ms = median(wall_ms);
+    let mut parallel_speedup = None;
+    if let Workload::Sweep(req) = &sc.workload {
+        if jobs > 1 {
+            let mut par_ms = Vec::with_capacity(reps as usize);
+            for _ in 0..reps {
+                let start = Instant::now();
+                let _ = run_sweep(req, &SweepOptions::default().with_jobs(jobs));
+                par_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            }
+            let par = median(par_ms);
+            if par > 0.0 {
+                parallel_speedup = Some(seq_ms / par);
+            }
+        }
+    }
     let snap = last_snap.expect("reps >= 1");
     let kind = match sc.workload {
-        Workload::Solver(_) => "solver",
+        Workload::Sweep(_) => "solver",
         Workload::Sim { .. } => "sim",
     };
     ScenarioResult {
         name: sc.name.to_string(),
         kind: kind.to_string(),
-        wall_ms: wall_ms[wall_ms.len() / 2],
+        wall_ms: seq_ms,
         points,
         fp_iterations: snap.counter("core.solver.fp_iterations").unwrap_or(0),
         rmatrix_solves: snap.counter("qbd.rmatrix.solves").unwrap_or(0),
@@ -222,22 +233,34 @@ fn run_scenario(sc: &Scenario, reps: u64) -> ScenarioResult {
         min_drift_margin: hist_min(&snap, "qbd.drift_margin"),
         sim_events: snap.counter("sim.events_processed").unwrap_or(0),
         sim_event_rate: snap.gauge("sim.event_rate_per_sec"),
+        warm_hits: snap.counter("engine.warm.hits").unwrap_or(0),
+        warm_misses: snap.counter("engine.warm.misses").unwrap_or(0),
+        parallel_speedup,
     }
 }
 
-/// Run the full scenario set.
-pub fn run_bench(label: &str, reps: u64, quick: bool) -> BenchReport {
+/// Run the full scenario set. `jobs = 0` picks `min(4, cores)` for the
+/// parallel sweep pass.
+pub fn run_bench(label: &str, reps: u64, quick: bool, jobs: usize) -> BenchReport {
     let reps = reps.max(1);
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
     let mut results = Vec::new();
     for sc in scenarios(quick) {
         eprintln!("bench: running {} ({} reps)...", sc.name, reps);
-        results.push(run_scenario(&sc, reps));
+        results.push(run_scenario(&sc, reps, jobs));
     }
     BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
         label: label.to_string(),
         reps,
         quick,
+        jobs: jobs as u64,
         scenarios: results,
     }
 }
@@ -328,6 +351,9 @@ mod tests {
             min_drift_margin: Some(0.12),
             sim_events: 0,
             sim_event_rate: None,
+            warm_hits: 9,
+            warm_misses: 3,
+            parallel_speedup: Some(1.8),
         }
     }
 
@@ -337,6 +363,7 @@ mod tests {
             label: "test".to_string(),
             reps: 3,
             quick: true,
+            jobs: 4,
             scenarios: vec![
                 sample_scenario("fig2", wall_ms),
                 sample_scenario("sim", 5.0),
@@ -365,10 +392,31 @@ mod tests {
         let mut report = sample_report(10.0);
         report.scenarios[0].max_r_residual = None;
         report.scenarios[0].min_drift_margin = None;
+        report.scenarios[0].parallel_speedup = None;
         let back = BenchReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back.scenarios[0].max_r_residual, None);
         assert_eq!(back.scenarios[0].min_drift_margin, None);
+        assert_eq!(back.scenarios[0].parallel_speedup, None);
         assert_eq!(back.scenarios[0].max_spectral_radius, Some(0.81));
+    }
+
+    #[test]
+    fn v2_fields_round_trip() {
+        let report = sample_report(10.0);
+        let text = report.to_json();
+        for field in [
+            "\"jobs\"",
+            "\"warm_hits\"",
+            "\"warm_misses\"",
+            "\"parallel_speedup\"",
+        ] {
+            assert!(text.contains(field), "missing {field} in {text}");
+        }
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back.jobs, 4);
+        assert_eq!(back.scenarios[0].warm_hits, 9);
+        assert_eq!(back.scenarios[0].warm_misses, 3);
+        assert_eq!(back.scenarios[0].parallel_speedup, Some(1.8));
     }
 
     #[test]

@@ -4,14 +4,22 @@
 //! gsched solve     <model.json> [--mode ht|m2|m3|exact] [--json]
 //! gsched simulate  <model.json> [--policy gang|lend|rr|fcfs]
 //!                               [--horizon T] [--warmup T] [--seed N] [--json]
+//! gsched sweep     [fig2|fig3|fig4|fig5|all] [--jobs N] [--quick]
+//!                  [--no-warm] [--parity-check] [--json]
 //! gsched tune      <model.json> [--lo Q] [--hi Q] [--objective total|max] [--json]
 //! gsched stability <model.json> [--class P] [--lo Q] [--hi Q]
 //! gsched doctor    <model.json> [--mode ht|m2|m3|exact] [--json]
-//! gsched bench     [--label L] [--reps N] [--quick] [--out DIR]
+//! gsched bench     [--label L] [--reps N] [--jobs N] [--quick] [--out DIR]
 //!                  [--compare BENCH.json] [--threshold FRAC]
 //! gsched paper     [--rho R] [--quantum Q] [--json]
 //! gsched example-model
 //! ```
+//!
+//! `gsched sweep` evaluates the paper's figure sweeps on the
+//! `gsched-engine` work-stealing pool: `--jobs N` sets the worker count
+//! (0 = all cores), `--no-warm` disables neighbour warm starting, and
+//! `--parity-check` re-runs the sweep single-threaded and fails unless the
+//! parallel results match to 1e-10.
 //!
 //! Every subcommand also accepts the diagnostics flags:
 //!
@@ -41,8 +49,10 @@ mod spec;
 use gsched_core::model::GangModel;
 use gsched_core::solver::{solve, GangSolution, SolverOptions, VacationMode};
 use gsched_core::tuning::{optimize_common_quantum, stability_threshold_quantum, Objective};
+use gsched_engine::{run_sweep, SweepOptions, SweepReport};
 use gsched_sim::baselines::{SpaceSharingSim, TimeSharingSim};
 use gsched_sim::{GangPolicy, GangSim, SimConfig, SimResult};
+use gsched_workload::figures::Figure;
 use gsched_workload::{paper_model, PaperConfig};
 use spec::ModelSpec;
 use std::collections::HashMap;
@@ -68,6 +78,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "solve" => cmd_solve(rest),
         "simulate" => cmd_simulate(rest),
+        "sweep" => cmd_sweep(rest),
         "tune" => cmd_tune(rest),
         "stability" => cmd_stability(rest),
         "doctor" => cmd_doctor(rest),
@@ -92,10 +103,11 @@ fn print_usage() {
     eprintln!(
         "usage:\n  gsched solve     <model.json> [--mode ht|m2|m3|exact] [--json]\n  \
          gsched simulate  <model.json> [--policy gang|lend|rr|fcfs] [--horizon T] [--warmup T] [--seed N] [--json]\n  \
+         gsched sweep     [fig2|fig3|fig4|fig5|all] [--jobs N] [--quick] [--no-warm] [--parity-check] [--json]\n  \
          gsched tune      <model.json> [--lo Q] [--hi Q] [--objective total|max] [--json]\n  \
          gsched stability <model.json> [--class P] [--lo Q] [--hi Q]\n  \
          gsched doctor    <model.json> [--mode ht|m2|m3|exact] [--json]\n  \
-         gsched bench     [--label L] [--reps N] [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC]\n  \
+         gsched bench     [--label L] [--reps N] [--jobs N] [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC]\n  \
          gsched paper     [--rho R] [--quantum Q] [--json]\n  \
          gsched example-model\n\
          diagnostics (any subcommand): --diag <path> writes a JSON metrics \
@@ -116,7 +128,12 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
             continue;
         }
         if let Some(name) = a.strip_prefix("--") {
-            if name == "json" || name == "percentiles" || name == "quick" {
+            if name == "json"
+                || name == "percentiles"
+                || name == "quick"
+                || name == "no-warm"
+                || name == "parity-check"
+            {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
             }
@@ -216,11 +233,11 @@ fn solver_options(flags: &HashMap<String, String>) -> Result<SolverOptions, Stri
         Some("exact") => VacationMode::Exact,
         Some(other) => return Err(format!("unknown --mode `{other}`")),
     };
-    Ok(SolverOptions {
-        mode,
-        response_quantiles: flags.contains_key("percentiles"),
-        ..Default::default()
-    })
+    SolverOptions::builder()
+        .mode(mode)
+        .response_quantiles(flags.contains_key("percentiles"))
+        .build()
+        .map_err(|e| e.to_string())
 }
 
 fn print_solution_human(model: &GangModel, sol: &GangSolution) {
@@ -404,6 +421,167 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Largest per-point, per-class difference in mean response between two
+/// runs of the same sweep (`NaN`-safe: two failed points agree).
+fn sweep_divergence(a: &SweepReport, b: &SweepReport, classes: usize) -> f64 {
+    let mut worst: f64 = 0.0;
+    for (pa, pb) in a.points.iter().zip(b.points.iter()) {
+        for (ra, rb) in pa
+            .mean_responses(classes)
+            .iter()
+            .zip(pb.mean_responses(classes).iter())
+        {
+            if ra.is_nan() && rb.is_nan() {
+                continue;
+            }
+            worst = worst.max((ra - rb).abs());
+        }
+    }
+    worst
+}
+
+fn sweep_report_json(fig: Figure, report: &SweepReport, classes: usize) -> String {
+    let points: Vec<String> = report
+        .points
+        .iter()
+        .map(|p| {
+            let jobs: Vec<String> = p
+                .solution
+                .as_ref()
+                .map(|s| s.classes.iter().map(|c| json_f64(c.mean_jobs)).collect())
+                .unwrap_or_default();
+            let resp: Vec<String> = p
+                .mean_responses(classes)
+                .iter()
+                .map(|&v| json_f64(v))
+                .collect();
+            format!(
+                r#"{{"x":{},"ok":{},"warm_started":{},"mean_jobs":[{}],"mean_response":[{}],"error":{}}}"#,
+                json_f64(p.x),
+                p.is_ok(),
+                p.warm_started,
+                jobs.join(","),
+                resp.join(","),
+                p.error.as_deref().map(json_str).unwrap_or_else(|| "null".to_string()),
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"figure":{},"axis":{},"jobs":{},"chunks":{},"warm_hits":{},"warm_misses":{},"warm_hit_rate":{},"wall_ms":{},"points":[{}]}}"#,
+        json_str(fig.name()),
+        json_str(&report.axis.label()),
+        report.stats.jobs,
+        report.stats.chunks,
+        report.stats.warm_hits,
+        report.stats.warm_misses,
+        json_f64(report.stats.warm_hit_rate()),
+        json_f64(report.stats.wall_ms),
+        points.join(",")
+    )
+}
+
+fn print_sweep_human(fig: Figure, report: &SweepReport, classes: usize) {
+    println!(
+        "{}: {} points, {} jobs, {} chunks, warm hit rate {:.0}%, {:.1} ms",
+        fig.name(),
+        report.points.len(),
+        report.stats.jobs,
+        report.stats.chunks,
+        report.stats.warm_hit_rate() * 100.0,
+        report.stats.wall_ms
+    );
+    let header: Vec<String> = (0..classes).map(|p| format!("N[{p}]")).collect();
+    println!(
+        "{:>10} {:>5} {}",
+        "x",
+        "warm",
+        header
+            .iter()
+            .map(|h| format!("{h:>10}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for p in &report.points {
+        match &p.solution {
+            Some(sol) => {
+                let cols: Vec<String> = sol
+                    .classes
+                    .iter()
+                    .map(|c| format!("{:>10.4}", c.mean_jobs))
+                    .collect();
+                println!("{:>10.4} {:>5} {}", p.x, p.warm_started, cols.join(" "));
+            }
+            None => println!(
+                "{:>10.4} {:>5} failed: {}",
+                p.x,
+                p.warm_started,
+                p.error.as_deref().unwrap_or("unknown")
+            ),
+        }
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let which = pos.first().map(String::as_str).unwrap_or("all");
+    let figures: Vec<Figure> = if which == "all" {
+        Figure::ALL.to_vec()
+    } else {
+        vec![Figure::from_name(which)
+            .ok_or_else(|| format!("unknown figure `{which}` (fig2|fig3|fig4|fig5|all)"))?]
+    };
+    let quick = flags.contains_key("quick");
+    let jobs = flag_f64(&flags, "jobs", 0.0)? as usize;
+    let solver = solver_options(&flags)?;
+    let opts = SweepOptions::default()
+        .with_jobs(jobs)
+        .with_warm_start(!flags.contains_key("no-warm"))
+        .with_solver(solver);
+    let parity = flags.contains_key("parity-check");
+    let diag = Diagnostics::from_flags(&flags);
+    let mut json_reports = Vec::new();
+    let mut failures = 0;
+    let mut parity_errors = Vec::new();
+    for fig in figures {
+        let req = fig.request(quick);
+        let classes = req
+            .points
+            .first()
+            .map(|p| p.model.num_classes())
+            .unwrap_or(0);
+        let report = run_sweep(&req, &opts);
+        failures += report.failures();
+        if parity {
+            let seq = run_sweep(&req, &opts.clone().with_jobs(1));
+            let div = sweep_divergence(&report, &seq, classes);
+            if div > 1e-10 {
+                parity_errors.push(format!(
+                    "{}: parallel vs sequential diverge by {div:.3e} (> 1e-10)",
+                    fig.name()
+                ));
+            }
+        }
+        if flags.contains_key("json") {
+            json_reports.push(sweep_report_json(fig, &report, classes));
+        } else {
+            print_sweep_human(fig, &report, classes);
+        }
+    }
+    diag.finish()?;
+    if flags.contains_key("json") {
+        println!("[{}]", json_reports.join(","));
+    } else if failures > 0 {
+        eprintln!("sweep: {failures} point(s) failed to solve");
+    }
+    if !parity_errors.is_empty() {
+        return Err(parity_errors.join("; "));
+    }
+    if parity && !flags.contains_key("json") {
+        println!("parity check passed (sequential vs parallel within 1e-10)");
+    }
+    Ok(())
+}
+
 fn cmd_tune(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
     let path = pos.first().ok_or("tune: missing <model.json>")?;
@@ -558,18 +736,27 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         ));
     }
     let reps = flag_f64(&flags, "reps", if quick { 1.0 } else { 3.0 })? as u64;
-    let report = bench::run_bench(&label, reps, quick);
+    let jobs = flag_f64(&flags, "jobs", 0.0)? as usize;
+    let report = bench::run_bench(&label, reps, quick, jobs);
     let dir = flags.get("out").map(String::as_str).unwrap_or(".");
     let out_path = format!("{dir}/BENCH_{label}.json");
     gsched_obs::write_atomic(&out_path, report.to_json().as_bytes())
         .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
     println!(
-        "{:<28} {:>12} {:>8} {:>10} {:>12} {:>14}",
-        "scenario", "wall ms", "points", "fp iters", "R solves", "max residual"
+        "{:<28} {:>12} {:>8} {:>10} {:>12} {:>14} {:>9} {:>9}",
+        "scenario", "wall ms", "points", "fp iters", "R solves", "max residual", "warm", "speedup"
     );
     for s in &report.scenarios {
+        let warm = if s.warm_hits + s.warm_misses > 0 {
+            format!(
+                "{:.0}%",
+                100.0 * s.warm_hits as f64 / (s.warm_hits + s.warm_misses) as f64
+            )
+        } else {
+            "-".to_string()
+        };
         println!(
-            "{:<28} {:>12.2} {:>8} {:>10} {:>12} {:>14}",
+            "{:<28} {:>12.2} {:>8} {:>10} {:>12} {:>14} {:>9} {:>9}",
             s.name,
             s.wall_ms,
             s.points,
@@ -577,6 +764,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             s.rmatrix_solves,
             s.max_r_residual
                 .map(|v| format!("{v:.3e}"))
+                .unwrap_or_else(|| "-".to_string()),
+            warm,
+            s.parallel_speedup
+                .map(|v| format!("{v:.2}x"))
                 .unwrap_or_else(|| "-".to_string()),
         );
     }

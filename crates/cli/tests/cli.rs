@@ -273,8 +273,9 @@ fn bench_quick_writes_schema_versioned_report() {
     );
     let text = std::fs::read_to_string(dir.join("BENCH_smoke.json")).unwrap();
     let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
-    assert_eq!(parsed["schema_version"].as_f64().unwrap(), 1.0);
+    assert_eq!(parsed["schema_version"].as_f64().unwrap(), 2.0);
     assert_eq!(parsed["label"].as_str().unwrap(), "smoke");
+    assert!(parsed["jobs"].as_u64().unwrap() >= 1);
     let scenarios = parsed["scenarios"].as_array().unwrap();
     let names: Vec<&str> = scenarios
         .iter()
@@ -296,6 +297,11 @@ fn bench_quick_writes_schema_versioned_report() {
         .unwrap();
     assert!(fig2["rmatrix_solves"].as_f64().unwrap() > 0.0);
     assert!(fig2["max_r_residual"].as_f64().unwrap() >= 0.0);
+    // Sweep scenarios are warm-started and count hits/misses per point.
+    let hits = fig2["warm_hits"].as_u64().unwrap();
+    let misses = fig2["warm_misses"].as_u64().unwrap();
+    assert_eq!(hits + misses, fig2["points"].as_u64().unwrap());
+    assert!(hits > misses, "warm hit rate should exceed 50%");
     // The sim scenario counts events.
     let sim = scenarios
         .iter()
@@ -378,6 +384,61 @@ fn bench_compare_gates_on_injected_regression() {
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(String::from_utf8_lossy(&out.stdout).contains("no wall-time regressions"));
+}
+
+#[test]
+fn sweep_parity_check_and_json() {
+    let out = gsched()
+        .arg("sweep")
+        .args(["fig4", "--quick", "--jobs", "2", "--parity-check", "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let parsed: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    let reports = parsed.as_array().unwrap();
+    assert_eq!(reports.len(), 1);
+    let rep = &reports[0];
+    assert_eq!(rep["figure"].as_str().unwrap(), "fig4");
+    let points = rep["points"].as_array().unwrap();
+    assert_eq!(points.len(), 2);
+    for p in points {
+        assert_eq!(p["ok"], serde_json::Value::Bool(true));
+        assert!(p["mean_response"][0].as_f64().unwrap() > 0.0);
+    }
+    assert_eq!(
+        rep["warm_hits"].as_u64().unwrap() + rep["warm_misses"].as_u64().unwrap(),
+        2
+    );
+}
+
+#[test]
+fn sweep_human_output_reports_warm_rate() {
+    let out = gsched()
+        .arg("sweep")
+        .args(["fig5", "--quick", "--jobs", "1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fig5:"), "{text}");
+    assert!(text.contains("warm hit rate"), "{text}");
+}
+
+#[test]
+fn sweep_rejects_unknown_figure() {
+    let out = gsched().arg("sweep").arg("fig9").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown figure"), "{err}");
 }
 
 #[test]

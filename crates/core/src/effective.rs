@@ -233,12 +233,10 @@ pub fn effective_quantum(
     }
     let total: f64 = xi.iter().sum::<f64>() + atom_flow;
     if total <= 0.0 {
-        return Err(GangError::Qbd {
-            class: chain.class,
-            source: gsched_qbd::QbdError::Shape(
-                "no quantum-start flow found (degenerate chain)".to_string(),
-            ),
-        });
+        return Err(GangError::from(gsched_qbd::QbdError::Shape(
+            "no quantum-start flow found (degenerate chain)".to_string(),
+        ))
+        .with_class(chain.class));
     }
     for w in &mut xi {
         *w /= total;

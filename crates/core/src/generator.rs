@@ -79,12 +79,10 @@ pub fn build_class_chain(model: &GangModel, p: usize, vacation: &PhaseType) -> R
     let c = model.partitions(p);
 
     if vacation.order() == 0 || vacation.atom_at_zero() > 1.0 - 1e-9 {
-        return Err(GangError::Qbd {
-            class: p,
-            source: QbdError::Shape(
-                "vacation distribution must have positive order and non-unit atom".to_string(),
-            ),
-        });
+        return Err(GangError::from(QbdError::Shape(
+            "vacation distribution must have positive order and non-unit atom".to_string(),
+        ))
+        .with_class(p));
     }
 
     let atom_v = vacation.atom_at_zero();
@@ -140,7 +138,7 @@ pub fn build_class_chain(model: &GangModel, p: usize, vacation: &PhaseType) -> R
     let a2 = asm.down_block(c + 1);
 
     let qbd = QbdProcess::new(boundary_up, boundary_local, boundary_down, a0, a1, a2)
-        .map_err(|source| GangError::Qbd { class: p, source })?;
+        .map_err(|source| GangError::from(source).with_class(p))?;
 
     Ok(ClassChain {
         class: p,

@@ -84,7 +84,11 @@ pub mod vacation;
 
 pub use health::{ClassHealth, HealthReport, HealthThresholds};
 pub use model::{ClassParams, GangModel, ModelError};
-pub use solver::{solve, GangSolution, SolverOptions, VacationMode};
+pub use solver::{
+    solve, solve_warm, GangSolution, SolveOutcome, SolverOptions, SolverOptionsBuilder,
+    VacationMode, WarmStart,
+};
+pub use vacation::VacationCache;
 
 /// Errors from model construction and solving.
 #[derive(Debug)]
@@ -106,15 +110,57 @@ pub enum GangError {
         /// Last relative change observed.
         last_change: f64,
     },
-    /// Underlying QBD failure for a class.
+    /// Underlying QBD failure, with whatever scenario context is known.
     Qbd {
-        /// Class index.
-        class: usize,
+        /// Class index, when the failure is attributable to one class.
+        class: Option<usize>,
+        /// Sweep-axis coordinate of the failing scenario, when the solve
+        /// ran as part of a parameter sweep.
+        sweep_point: Option<f64>,
         /// The QBD error.
         source: gsched_qbd::QbdError,
     },
+    /// Invalid [`SolverOptions`] rejected by
+    /// [`SolverOptions::builder`]'s `build()` validation.
+    InvalidOptions(String),
     /// Underlying phase-type failure.
     Phase(gsched_phase::PhaseTypeError),
+}
+
+impl GangError {
+    /// Attach a class index to a [`GangError::Qbd`] error (no-op for other
+    /// variants). Used by the solver so QBD failures report which class's
+    /// chain broke.
+    #[must_use]
+    pub fn with_class(self, class: usize) -> Self {
+        match self {
+            GangError::Qbd {
+                sweep_point,
+                source,
+                ..
+            } => GangError::Qbd {
+                class: Some(class),
+                sweep_point,
+                source,
+            },
+            other => other,
+        }
+    }
+
+    /// Attach a sweep-axis coordinate to a [`GangError::Qbd`] error (no-op
+    /// for other variants). Used by the sweep engine so failures report
+    /// which scenario failed.
+    #[must_use]
+    pub fn with_sweep_point(self, x: f64) -> Self {
+        match self {
+            GangError::Qbd { class, source, .. } => GangError::Qbd {
+                class,
+                sweep_point: Some(x),
+                source,
+            },
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for GangError {
@@ -133,7 +179,21 @@ impl std::fmt::Display for GangError {
                 f,
                 "fixed point did not converge after {iterations} iterations (last change {last_change:.3e})"
             ),
-            GangError::Qbd { class, source } => write!(f, "class {class}: {source}"),
+            GangError::Qbd {
+                class,
+                sweep_point,
+                source,
+            } => {
+                match class {
+                    Some(p) => write!(f, "class {p}")?,
+                    None => write!(f, "QBD solve")?,
+                }
+                if let Some(x) = sweep_point {
+                    write!(f, " (sweep point x={x})")?;
+                }
+                write!(f, ": {source}")
+            }
+            GangError::InvalidOptions(msg) => write!(f, "invalid solver options: {msg}"),
             GangError::Phase(e) => write!(f, "phase-type failure: {e}"),
         }
     }
@@ -150,6 +210,18 @@ impl From<ModelError> for GangError {
 impl From<gsched_phase::PhaseTypeError> for GangError {
     fn from(e: gsched_phase::PhaseTypeError) -> Self {
         GangError::Phase(e)
+    }
+}
+
+impl From<gsched_qbd::QbdError> for GangError {
+    /// Context-free conversion; callers attach scenario context with
+    /// [`GangError::with_class`] / [`GangError::with_sweep_point`].
+    fn from(e: gsched_qbd::QbdError) -> Self {
+        GangError::Qbd {
+            class: None,
+            sweep_point: None,
+            source: e,
+        }
     }
 }
 

@@ -403,12 +403,10 @@ pub fn response_time_distribution(
     // proper and errs slightly optimistic (documented).
     let total: f64 = xi.iter().sum();
     if total <= 0.0 {
-        return Err(GangError::Qbd {
-            class: chain.class,
-            source: gsched_qbd::QbdError::Shape(
-                "no arrival flow found for response-time analysis".to_string(),
-            ),
-        });
+        return Err(GangError::from(gsched_qbd::QbdError::Shape(
+            "no arrival flow found for response-time analysis".to_string(),
+        ))
+        .with_class(chain.class));
     }
     for w in &mut xi {
         *w /= total;

@@ -17,8 +17,9 @@ use crate::health::{ClassHealth, HealthReport};
 use crate::measures::{class_measures, ClassMeasures};
 use crate::model::GangModel;
 use crate::response::response_time_distribution;
-use crate::vacation::compose_vacation;
+use crate::vacation::{compose_vacation, VacationCache};
 use crate::{GangError, Result};
+use gsched_linalg::Matrix;
 use gsched_obs as obs;
 use gsched_phase::PhaseType;
 use gsched_qbd::solution::SolveOptions as QbdSolveOptions;
@@ -51,7 +52,13 @@ impl Default for VacationMode {
 }
 
 /// Options for [`solve`].
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`SolverOptions::default`] or [`SolverOptions::builder`] and adjust
+/// fields from there. Literal construction is reserved so new knobs can be
+/// added without a breaking change.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SolverOptions {
     /// Vacation construction mode.
     pub mode: VacationMode,
@@ -89,6 +96,11 @@ pub struct SolverOptions {
     /// truncated tail mass at the fixed point. Costs one extra drift check
     /// and residual evaluation per class.
     pub collect_health: bool,
+    /// Solve the `L` independent per-class QBD chains of each fixed-point
+    /// pass on scoped worker threads instead of serially. The per-class
+    /// solves are mutually independent given the current quanta, so this is
+    /// numerics-neutral: results are bitwise identical to the serial path.
+    pub parallel_classes: bool,
 }
 
 impl Default for SolverOptions {
@@ -104,7 +116,153 @@ impl Default for SolverOptions {
             response_quantiles: false,
             damping: 0.7,
             collect_health: false,
+            parallel_classes: false,
         }
+    }
+}
+
+impl SolverOptions {
+    /// Start building options from the defaults.
+    pub fn builder() -> SolverOptionsBuilder {
+        SolverOptionsBuilder::default()
+    }
+}
+
+/// Chainable builder for [`SolverOptions`]; [`SolverOptionsBuilder::build`]
+/// validates the combination before handing the options out.
+///
+/// ```
+/// use gsched_core::solver::{SolverOptions, VacationMode};
+/// let opts = SolverOptions::builder()
+///     .mode(VacationMode::Exact)
+///     .fp_tol(1e-8)
+///     .collect_health(true)
+///     .build()
+///     .unwrap();
+/// assert_eq!(opts.fp_tol, 1e-8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SolverOptionsBuilder {
+    opts: SolverOptions,
+}
+
+impl SolverOptionsBuilder {
+    /// Set the vacation construction mode.
+    pub fn mode(mut self, mode: VacationMode) -> Self {
+        self.opts.mode = mode;
+        self
+    }
+
+    /// Set the fixed-point convergence tolerance.
+    pub fn fp_tol(mut self, tol: f64) -> Self {
+        self.opts.fp_tol = tol;
+        self
+    }
+
+    /// Set the fixed-point iteration budget.
+    pub fn fp_max_iter(mut self, n: usize) -> Self {
+        self.opts.fp_max_iter = n;
+        self
+    }
+
+    /// Set the stationary tail mass allowed above the truncation cap.
+    pub fn tail_eps(mut self, eps: f64) -> Self {
+        self.opts.tail_eps = eps;
+        self
+    }
+
+    /// Set the maximum levels above `c_p` for the truncation cap.
+    pub fn max_extra_levels(mut self, n: usize) -> Self {
+        self.opts.max_extra_levels = n;
+        self
+    }
+
+    /// Set the options passed to the per-class QBD solves.
+    pub fn qbd(mut self, qbd: QbdSolveOptions) -> Self {
+        self.opts.qbd = qbd;
+        self
+    }
+
+    /// Error out (instead of reporting) when a class remains unstable.
+    pub fn require_stable(mut self, yes: bool) -> Self {
+        self.opts.require_stable = yes;
+        self
+    }
+
+    /// Also compute response-time quantiles per class.
+    pub fn response_quantiles(mut self, yes: bool) -> Self {
+        self.opts.response_quantiles = yes;
+        self
+    }
+
+    /// Set the under-relaxation weight on the effective-quantum update.
+    pub fn damping(mut self, theta: f64) -> Self {
+        self.opts.damping = theta;
+        self
+    }
+
+    /// Also assemble the per-class numerical-health report.
+    pub fn collect_health(mut self, yes: bool) -> Self {
+        self.opts.collect_health = yes;
+        self
+    }
+
+    /// Solve the per-class chains on scoped worker threads.
+    pub fn parallel_classes(mut self, yes: bool) -> Self {
+        self.opts.parallel_classes = yes;
+        self
+    }
+
+    /// Validate and produce the final [`SolverOptions`].
+    pub fn build(self) -> Result<SolverOptions> {
+        let o = self.opts;
+        if !(o.fp_tol.is_finite() && o.fp_tol > 0.0) {
+            return Err(GangError::InvalidOptions(format!(
+                "fp_tol must be finite and positive, got {}",
+                o.fp_tol
+            )));
+        }
+        if o.fp_max_iter == 0 {
+            return Err(GangError::InvalidOptions(
+                "fp_max_iter must be at least 1".into(),
+            ));
+        }
+        if !(o.tail_eps > 0.0 && o.tail_eps < 1.0) {
+            return Err(GangError::InvalidOptions(format!(
+                "tail_eps must lie in (0, 1), got {}",
+                o.tail_eps
+            )));
+        }
+        if o.max_extra_levels == 0 {
+            return Err(GangError::InvalidOptions(
+                "max_extra_levels must be at least 1".into(),
+            ));
+        }
+        if !(o.damping > 0.0 && o.damping <= 1.0) {
+            return Err(GangError::InvalidOptions(format!(
+                "damping must lie in (0, 1], got {}",
+                o.damping
+            )));
+        }
+        if let VacationMode::MomentMatched { moments } = &o.mode {
+            if !(2..=3).contains(moments) {
+                return Err(GangError::InvalidOptions(format!(
+                    "MomentMatched supports 2 or 3 moments, got {moments}"
+                )));
+            }
+        }
+        if !(o.qbd.tol.is_finite() && o.qbd.tol > 0.0) {
+            return Err(GangError::InvalidOptions(format!(
+                "qbd.tol must be finite and positive, got {}",
+                o.qbd.tol
+            )));
+        }
+        if o.qbd.max_iter == 0 {
+            return Err(GangError::InvalidOptions(
+                "qbd.max_iter must be at least 1".into(),
+            ));
+        }
+        Ok(o)
     }
 }
 
@@ -168,12 +326,109 @@ enum ClassIterate {
     Unstable,
 }
 
+/// Converged solver state exportable to a neighbouring scenario.
+///
+/// A sweep engine hands the `WarmStart` returned for point `k` to the solve
+/// of point `k+1`: the effective quanta seed the fixed point near its
+/// solution and each class's `R` matrix seeds the successive-substitution
+/// iteration for eq. (23). Passing `WarmStart::default()` (nothing to seed
+/// from) still enables *continuation mode*, in which each fixed-point pass
+/// warm-starts its `R` solves from the previous pass of the same solve.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// Converged per-class effective quanta (ignored by
+    /// [`VacationMode::HeavyTraffic`], which is defined by full quanta).
+    pub quanta: Option<Vec<PhaseType>>,
+    /// Converged per-class rate matrices `R`; `None` for classes that were
+    /// unstable at the exporting point.
+    pub r_matrices: Vec<Option<Matrix>>,
+}
+
+/// Result of [`solve_warm`]: the solution plus the converged state a
+/// neighbouring scenario can warm-start from.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The solved model.
+    pub solution: GangSolution,
+    /// Converged state for reuse by the next sweep point.
+    pub warm: WarmStart,
+}
+
 /// Solve the gang-scheduling model.
 pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
+    Ok(solve_warm(model, opts, None, None)?.solution)
+}
+
+/// Solve one class's QBD chain under the current quanta. Independent across
+/// classes, so callable from worker threads.
+fn solve_one_class(
+    model: &GangModel,
+    opts: &SolverOptions,
+    p: usize,
+    quanta: &[PhaseType],
+    initial_r: Option<&Matrix>,
+    cache: Option<&VacationCache>,
+) -> Result<(PhaseType, ClassIterate)> {
+    // Named per class so qbd events fired inside carry the class in their
+    // span path (e.g. `core.solve/core.class1/qbd.solve`).
+    let _class_span = obs::span(format!("core.class{p}"));
+    let vac = match cache {
+        Some(c) => c.compose(model, p, quanta),
+        None => compose_vacation(model, p, quanta),
+    };
+    let chain = build_class_chain(model, p, &vac)?;
+    let qbd_opts;
+    let qbd_ref = match initial_r {
+        Some(r0) => {
+            let mut o = opts.qbd.clone();
+            o.initial_r = Some(r0.clone());
+            qbd_opts = o;
+            &qbd_opts
+        }
+        None => &opts.qbd,
+    };
+    match chain.qbd.solve(qbd_ref) {
+        Ok(sol) => Ok((vac, ClassIterate::Stable(Box::new((chain, sol))))),
+        Err(QbdError::Unstable(_)) => Ok((vac, ClassIterate::Unstable)),
+        Err(source) => Err(GangError::from(source).with_class(p)),
+    }
+}
+
+/// Solve the gang-scheduling model with optional warm start and vacation
+/// memoization, returning the converged state for reuse.
+///
+/// `warm = None` reproduces [`solve`] exactly (every `R` solve is cold).
+/// `warm = Some(_)` enables continuation mode: per-class `R` solves seed
+/// from the supplied matrices (and from the previous fixed-point pass
+/// thereafter), and the supplied quanta seed the effective-quantum fixed
+/// point. A `cache` memoizes vacation convolutions across calls.
+pub fn solve_warm(
+    model: &GangModel,
+    opts: &SolverOptions,
+    warm: Option<&WarmStart>,
+    cache: Option<&VacationCache>,
+) -> Result<SolveOutcome> {
     let _span = obs::span("core.solve");
     let l = model.num_classes();
-    // Effective quanta, initialized to the full parameter quanta (Thm 4.1).
+    let continuation = warm.is_some();
+    // Effective quanta, initialized to the full parameter quanta (Thm 4.1)
+    // or, in continuation mode, to the neighbouring point's converged
+    // quanta (heavy-traffic mode always starts from the full quanta).
     let mut quanta: Vec<PhaseType> = model.classes().iter().map(|c| c.quantum.clone()).collect();
+    // Per-class R warm-start state, threaded through fixed-point passes.
+    let mut r_state: Vec<Option<Matrix>> = vec![None; l];
+    if let Some(w) = warm {
+        if opts.mode != VacationMode::HeavyTraffic {
+            if let Some(q) = &w.quanta {
+                if q.len() == l {
+                    quanta = q.clone();
+                }
+            }
+        }
+        if w.r_matrices.len() == l {
+            r_state = w.r_matrices.clone();
+        }
+    }
     let mut prev_n: Vec<f64> = vec![f64::NAN; l];
     let mut iterations = 0usize;
     let mut converged = false;
@@ -188,27 +443,55 @@ pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
     loop {
         iterations += 1;
         // ---- Solve every class under the current vacations ----
+        // The per-class solves are mutually independent, so the parallel
+        // path below is bitwise-identical to the serial one.
+        let results: Vec<Result<(PhaseType, ClassIterate)>> = if opts.parallel_classes && l > 1 {
+            let mut slots: Vec<Option<Result<(PhaseType, ClassIterate)>>> = Vec::new();
+            slots.resize_with(l, || None);
+            let quanta_ref = &quanta;
+            let r_state_ref = &r_state;
+            crossbeam::scope(|s| {
+                for (p, slot) in slots.iter_mut().enumerate() {
+                    s.spawn(move |_| {
+                        *slot = Some(solve_one_class(
+                            model,
+                            opts,
+                            p,
+                            quanta_ref,
+                            r_state_ref[p].as_ref(),
+                            cache,
+                        ));
+                    });
+                }
+            })
+            .expect("scoped class-solve threads join cleanly");
+            slots
+                .into_iter()
+                .map(|s| s.expect("every class slot is filled"))
+                .collect()
+        } else {
+            (0..l)
+                .map(|p| solve_one_class(model, opts, p, &quanta, r_state[p].as_ref(), cache))
+                .collect()
+        };
         let mut pass = Vec::with_capacity(l);
         let mut vacs = Vec::with_capacity(l);
         let mut n_now = Vec::with_capacity(l);
-        for p in 0..l {
-            // Named per class so qbd events fired inside carry the class
-            // in their span path (e.g. `core.solve/core.class1/qbd.solve`).
-            let _class_span = obs::span(format!("core.class{p}"));
-            let vac = compose_vacation(model, p, &quanta);
-            let chain = build_class_chain(model, p, &vac)?;
-            match chain.qbd.solve(&opts.qbd) {
-                Ok(sol) => {
-                    n_now.push(sol.mean_level());
-                    pass.push(ClassIterate::Stable(Box::new((chain, sol))));
-                }
-                Err(QbdError::Unstable(_)) => {
-                    n_now.push(f64::INFINITY);
-                    pass.push(ClassIterate::Unstable);
-                }
-                Err(source) => return Err(GangError::Qbd { class: p, source }),
-            }
+        for res in results {
+            let (vac, item) = res?;
+            n_now.push(match &item {
+                ClassIterate::Stable(cs) => cs.1.mean_level(),
+                ClassIterate::Unstable => f64::INFINITY,
+            });
+            pass.push(item);
             vacs.push(vac);
+        }
+        if continuation {
+            for (p, item) in pass.iter().enumerate() {
+                if let ClassIterate::Stable(cs) = item {
+                    r_state[p] = Some(cs.1.r().clone());
+                }
+            }
         }
 
         // ---- Convergence test on the mean populations ----
@@ -303,10 +586,7 @@ pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
                 if opts.collect_health {
                     let drift =
                         gsched_qbd::drift_condition(&chain.qbd.a0, &chain.qbd.a1, &chain.qbd.a2)
-                            .map_err(|e| GangError::Qbd {
-                                class: p,
-                                source: e,
-                            })?;
+                            .map_err(|e| GangError::from(e).with_class(p))?;
                     health_classes.push(ClassHealth {
                         class: p,
                         stable: true,
@@ -352,10 +632,7 @@ pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
                     let chain = build_class_chain(model, p, &last_vacations[p])?;
                     let drift =
                         gsched_qbd::drift_condition(&chain.qbd.a0, &chain.qbd.a1, &chain.qbd.a2)
-                            .map_err(|e| GangError::Qbd {
-                                class: p,
-                                source: e,
-                            })?;
+                            .map_err(|e| GangError::from(e).with_class(p))?;
                     health_classes.push(ClassHealth {
                         class: p,
                         stable: false,
@@ -389,10 +666,7 @@ pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
             let vac = compose_vacation(model, p, &quanta);
             let chain = build_class_chain(model, p, &vac)?;
             let report = gsched_qbd::drift_condition(&chain.qbd.a0, &chain.qbd.a1, &chain.qbd.a2)
-                .map_err(|e| GangError::Qbd {
-                class: p,
-                source: e,
-            })?;
+                .map_err(|e| GangError::from(e).with_class(p))?;
             return Err(GangError::Unstable { class: p, report });
         }
     }
@@ -438,15 +712,28 @@ pub fn solve(model: &GangModel, opts: &SolverOptions) -> Result<GangSolution> {
             );
         }
     }
-    Ok(GangSolution {
-        classes,
-        iterations,
-        converged,
-        all_stable,
-        mean_cycle,
-        health: opts.collect_health.then_some(HealthReport {
-            classes: health_classes,
-        }),
+    let warm_out = WarmStart {
+        quanta: Some(quanta),
+        r_matrices: last_pass
+            .iter()
+            .map(|item| match item {
+                ClassIterate::Stable(cs) => Some(cs.1.r().clone()),
+                ClassIterate::Unstable => None,
+            })
+            .collect(),
+    };
+    Ok(SolveOutcome {
+        solution: GangSolution {
+            classes,
+            iterations,
+            converged,
+            all_stable,
+            mean_cycle,
+            health: opts.collect_health.then_some(HealthReport {
+                classes: health_classes,
+            }),
+        },
+        warm: warm_out,
     })
 }
 
@@ -488,10 +775,10 @@ mod tests {
         let m = symmetric_model(4, 3, 0.25, 1.0, 1.5);
         let ht = solve(
             &m,
-            &SolverOptions {
-                mode: VacationMode::HeavyTraffic,
-                ..Default::default()
-            },
+            &SolverOptions::builder()
+                .mode(VacationMode::HeavyTraffic)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let fp = solve(&m, &SolverOptions::default()).unwrap();
@@ -510,10 +797,10 @@ mod tests {
         let mm = solve(&m, &SolverOptions::default()).unwrap();
         let ex = solve(
             &m,
-            &SolverOptions {
-                mode: VacationMode::Exact,
-                ..Default::default()
-            },
+            &SolverOptions::builder()
+                .mode(VacationMode::Exact)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let a = mm.classes[0].mean_jobs;
@@ -544,10 +831,10 @@ mod tests {
         // Strict mode errors out instead.
         let err = solve(
             &m,
-            &SolverOptions {
-                require_stable: true,
-                ..Default::default()
-            },
+            &SolverOptions::builder()
+                .require_stable(true)
+                .build()
+                .unwrap(),
         )
         .unwrap_err();
         assert!(matches!(err, GangError::Unstable { .. }));
@@ -621,10 +908,10 @@ mod tests {
         let m = symmetric_model(2, 2, 0.25, 1.0, 1.0);
         let plain = solve(&m, &SolverOptions::default()).unwrap();
         assert!(plain.classes[0].response_quantiles.is_none());
-        let opts = SolverOptions {
-            response_quantiles: true,
-            ..Default::default()
-        };
+        let opts = SolverOptions::builder()
+            .response_quantiles(true)
+            .build()
+            .unwrap();
         let rich = solve(&m, &opts).unwrap();
         let (p50, p90, p95, p99) = rich.classes[0].response_quantiles.unwrap();
         assert!(p50 > 0.0 && p50 < p90 && p90 < p95 && p95 < p99);
@@ -639,10 +926,10 @@ mod tests {
         assert!(plain.health.is_none());
         let rich = solve(
             &m,
-            &SolverOptions {
-                collect_health: true,
-                ..Default::default()
-            },
+            &SolverOptions::builder()
+                .collect_health(true)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let health = rich.health.unwrap();
@@ -676,11 +963,11 @@ mod tests {
         let m = symmetric_model(2, 2, 0.48, 1.0, 4.0);
         let sol = solve(
             &m,
-            &SolverOptions {
-                collect_health: true,
-                mode: VacationMode::HeavyTraffic,
-                ..Default::default()
-            },
+            &SolverOptions::builder()
+                .collect_health(true)
+                .mode(VacationMode::HeavyTraffic)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         assert!(sol.all_stable, "model must stay stable for this test");
@@ -710,10 +997,10 @@ mod tests {
         let m = symmetric_model(4, 2, 0.8, 1.0, 1.0);
         let sol = solve(
             &m,
-            &SolverOptions {
-                collect_health: true,
-                ..Default::default()
-            },
+            &SolverOptions::builder()
+                .collect_health(true)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         assert!(!sol.all_stable);
@@ -725,6 +1012,117 @@ mod tests {
         assert!(bad.truncated_mass.is_nan());
         let warnings = health.warnings(&crate::health::HealthThresholds::default());
         assert!(warnings.iter().any(|w| w.contains("UNSTABLE")));
+    }
+
+    #[test]
+    fn builder_validates_options() {
+        assert!(SolverOptions::builder().build().is_ok());
+        for bad in [
+            SolverOptions::builder().fp_tol(0.0).build(),
+            SolverOptions::builder().fp_tol(f64::NAN).build(),
+            SolverOptions::builder().fp_max_iter(0).build(),
+            SolverOptions::builder().tail_eps(1.0).build(),
+            SolverOptions::builder().max_extra_levels(0).build(),
+            SolverOptions::builder().damping(0.0).build(),
+            SolverOptions::builder().damping(1.5).build(),
+            SolverOptions::builder()
+                .mode(VacationMode::MomentMatched { moments: 5 })
+                .build(),
+        ] {
+            assert!(matches!(bad, Err(GangError::InvalidOptions(_))), "{bad:?}");
+        }
+        let opts = SolverOptions::builder()
+            .fp_tol(1e-8)
+            .damping(1.0)
+            .parallel_classes(true)
+            .build()
+            .unwrap();
+        assert_eq!(opts.fp_tol, 1e-8);
+        assert!(opts.parallel_classes);
+    }
+
+    #[test]
+    fn parallel_classes_is_bitwise_identical() {
+        let m = symmetric_model(4, 3, 0.2, 1.0, 1.0);
+        let serial = solve(&m, &SolverOptions::default()).unwrap();
+        let par = solve(
+            &m,
+            &SolverOptions::builder()
+                .parallel_classes(true)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(serial.iterations, par.iterations);
+        for (a, b) in serial.classes.iter().zip(par.classes.iter()) {
+            assert_eq!(a.mean_jobs.to_bits(), b.mean_jobs.to_bits());
+            assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
+            assert_eq!(
+                a.effective_quantum_mean.to_bits(),
+                b.effective_quantum_mean.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_converges_to_cold_answer() {
+        let m = symmetric_model(4, 2, 0.25, 1.0, 1.0);
+        let opts = SolverOptions::default();
+        let cold = solve_warm(&m, &opts, None, None).unwrap();
+        assert_eq!(cold.warm.r_matrices.len(), 2);
+        assert!(cold.warm.r_matrices.iter().all(|r| r.is_some()));
+        // Re-solving seeded with the converged state lands on the same
+        // fixed point in no more iterations.
+        let warm = solve_warm(&m, &opts, Some(&cold.warm), None).unwrap();
+        assert!(warm.solution.iterations <= cold.solution.iterations);
+        for (a, b) in cold
+            .solution
+            .classes
+            .iter()
+            .zip(warm.solution.classes.iter())
+        {
+            let rel = (a.mean_jobs - b.mean_jobs).abs() / a.mean_jobs;
+            assert!(rel < 1e-4, "cold {} vs warm {}", a.mean_jobs, b.mean_jobs);
+        }
+        // An empty warm start (continuation mode only) reproduces the cold
+        // trajectory: quanta seeds are absent and R seeding starts empty.
+        let cont = solve_warm(&m, &opts, Some(&WarmStart::default()), None).unwrap();
+        for (a, b) in cold
+            .solution
+            .classes
+            .iter()
+            .zip(cont.solution.classes.iter())
+        {
+            assert!((a.mean_jobs - b.mean_jobs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn vacation_cache_does_not_change_results() {
+        let m = symmetric_model(4, 2, 0.3, 1.0, 1.5);
+        let opts = SolverOptions::default();
+        let plain = solve_warm(&m, &opts, None, None).unwrap();
+        let cache = VacationCache::new();
+        let cached = solve_warm(&m, &opts, None, Some(&cache)).unwrap();
+        assert!(!cache.is_empty());
+        for (a, b) in plain
+            .solution
+            .classes
+            .iter()
+            .zip(cached.solution.classes.iter())
+        {
+            assert_eq!(a.mean_jobs.to_bits(), b.mean_jobs.to_bits());
+        }
+        // Second run over the same model hits the memo table throughout.
+        let again = solve_warm(&m, &opts, None, Some(&cache)).unwrap();
+        for (a, b) in plain
+            .solution
+            .classes
+            .iter()
+            .zip(again.solution.classes.iter())
+        {
+            assert_eq!(a.mean_jobs.to_bits(), b.mean_jobs.to_bits());
+        }
     }
 
     #[test]

@@ -327,10 +327,7 @@ mod tests {
     }
 
     fn quick_opts() -> SolverOptions {
-        SolverOptions {
-            fp_tol: 1e-4,
-            ..Default::default()
-        }
+        SolverOptions::builder().fp_tol(1e-4).build().unwrap()
     }
 
     #[test]

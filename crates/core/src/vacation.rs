@@ -17,7 +17,10 @@
 //! `Z_p` phase-type either way.
 
 use crate::model::GangModel;
+use gsched_obs as obs;
 use gsched_phase::{convolve, PhaseType};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 
 /// Compose class `p`'s vacation from per-class quantum distributions.
 ///
@@ -35,6 +38,79 @@ pub fn compose_vacation(model: &GangModel, p: usize, quanta: &[PhaseType]) -> Ph
         z = convolve(&z, &model.class(n).switch_overhead);
     }
     z
+}
+
+/// A thread-safe memo table for [`compose_vacation`].
+///
+/// `compose_vacation` is a pure function of the class index and the exact
+/// phase-type parameters of every quantum and switch-overhead distribution,
+/// so its results can be keyed on the f64 *bit patterns* of those
+/// parameters. Sweeps hit the cache whenever the sweep axis leaves the
+/// quanta and overheads untouched (e.g. service-rate sweeps, where only
+/// arrival/service rates move), and fixed-point iterations at different
+/// sweep points that pass through identical effective quanta share work.
+/// Because the keyed function is deterministic, concurrent use from worker
+/// threads cannot change results — the cache is parity-safe by
+/// construction. Hit/miss counts go to `core.vacation.cache_hits` /
+/// `core.vacation.cache_misses`.
+#[derive(Debug, Default)]
+pub struct VacationCache {
+    inner: Mutex<HashMap<Vec<u64>, PhaseType>>,
+}
+
+impl VacationCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized vacation distributions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Memoized [`compose_vacation`].
+    pub fn compose(&self, model: &GangModel, p: usize, quanta: &[PhaseType]) -> PhaseType {
+        let key = vacation_key(model, p, quanta);
+        if let Some(hit) = self.inner.lock().get(&key) {
+            obs::counter_add("core.vacation.cache_hits", 1);
+            return hit.clone();
+        }
+        let z = compose_vacation(model, p, quanta);
+        obs::counter_add("core.vacation.cache_misses", 1);
+        self.inner.lock().insert(key, z.clone());
+        z
+    }
+}
+
+/// Exact-bits cache key: class index plus the `(alpha, S)` parameters of
+/// every quantum and switch-overhead distribution entering the convolution.
+fn vacation_key(model: &GangModel, p: usize, quanta: &[PhaseType]) -> Vec<u64> {
+    fn push_ph(key: &mut Vec<u64>, ph: &PhaseType) {
+        key.push(ph.order() as u64);
+        for &a in ph.alpha() {
+            key.push(a.to_bits());
+        }
+        for &s in ph.sub_generator().as_slice() {
+            key.push(s.to_bits());
+        }
+    }
+    let l = model.num_classes();
+    let mut key = Vec::with_capacity(2 + 2 * l * 8);
+    key.push(p as u64);
+    for step in 1..l {
+        let n = (p + step) % l;
+        push_ph(&mut key, &quanta[n]);
+    }
+    for n in 0..l {
+        push_ph(&mut key, &model.class(n).switch_overhead);
+    }
+    key
 }
 
 /// Theorem 4.1: the heavy-traffic vacation — all other classes use their
@@ -116,6 +192,31 @@ mod tests {
         let expected_drop = m.class(1).quantum.mean() - short.mean();
         assert!((full.mean() - z.mean() - expected_drop).abs() < 1e-10);
         assert!(z.mean() < full.mean());
+    }
+
+    #[test]
+    fn cache_returns_bitwise_identical_results() {
+        let m = model3();
+        let cache = VacationCache::new();
+        let quanta: Vec<PhaseType> = m.classes().iter().map(|c| c.quantum.clone()).collect();
+        let direct = compose_vacation(&m, 0, &quanta);
+        let first = cache.compose(&m, 0, &quanta);
+        let second = cache.compose(&m, 0, &quanta);
+        assert_eq!(cache.len(), 1, "second call must be a hit");
+        for z in [&first, &second] {
+            assert_eq!(z.alpha(), direct.alpha());
+            assert_eq!(
+                z.sub_generator().as_slice(),
+                direct.sub_generator().as_slice()
+            );
+        }
+        // A different class (or different quanta bits) is a different key.
+        cache.compose(&m, 1, &quanta);
+        assert_eq!(cache.len(), 2);
+        let mut shifted = quanta.clone();
+        shifted[1] = erlang(2, 0.9);
+        cache.compose(&m, 0, &shifted);
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Parallel warm-started evaluation of gang-scheduling scenario batches.
+//!
+//! Every figure in the paper (Figs. 2–5) is a *sweep*: the same model
+//! solved at dozens of nearby parameter points. This crate turns such a
+//! batch into a [`SweepRequest`] and evaluates it on a work-stealing pool
+//! of scoped worker threads ([`run_sweep`]), exploiting two independent
+//! levels of parallelism:
+//!
+//! 1. **across sweep points** — points are grouped into fixed-size
+//!    contiguous chunks along the sweep axis; workers steal whole chunks;
+//! 2. **across classes** — the `L` per-class QBD solves inside one
+//!    fixed-point pass are mutually independent and can run on their own
+//!    threads ([`gsched_core::SolverOptions::parallel_classes`], enabled
+//!    automatically when there are more workers than chunks).
+//!
+//! Within a chunk, points are solved left to right and each point
+//! *warm-starts* from its neighbour's converged state: the previous `R`
+//! matrix seeds the successive-substitution iteration for eq. (23) and the
+//! converged effective quanta seed the fixed point of Theorem 4.3.
+//! Vacation convolutions (Theorem 4.1) are memoized across the whole sweep
+//! in a [`gsched_core::VacationCache`].
+//!
+//! # Determinism
+//!
+//! The chunk layout depends only on the point count and
+//! [`SweepOptions::chunk_size`] — never on the worker count — and
+//! warm-start chaining never crosses a chunk boundary. Every memoized or
+//! warm-started computation is a deterministic function of its inputs, so
+//! a sweep's results are **bitwise identical** for any `jobs` value; see
+//! `points_and_parity` in the test suite and the `gsched sweep
+//! --parity-check` CLI flag.
+
+mod pool;
+mod report;
+mod request;
+
+pub use pool::{run_sweep, SweepOptions, DEFAULT_CHUNK_SIZE};
+pub use report::{PointReport, SweepReport, SweepStats};
+pub use request::{ScenarioBase, SweepAxis, SweepPoint, SweepRequest};

@@ -1,0 +1,372 @@
+//! The work-stealing evaluation pool.
+//!
+//! Points are split into fixed-size contiguous chunks along the sweep
+//! axis. Worker threads steal whole chunks off a shared atomic counter and
+//! solve each chunk's points left to right, warm-starting every point from
+//! its left neighbour's converged state. Because the chunk layout depends
+//! only on the point count and chunk size — never on the worker count —
+//! and warm chains never cross chunk boundaries, results are bitwise
+//! identical for any `jobs` value.
+
+use crate::report::{PointReport, SweepReport, SweepStats};
+use crate::request::SweepRequest;
+use gsched_core::{solve_warm, SolverOptions, VacationCache, WarmStart};
+use gsched_obs as obs;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Default points per work-stealing chunk. Four gives a ~75% warm-start
+/// rate on the paper's figure grids while still exposing enough chunks for
+/// the pool to balance.
+pub const DEFAULT_CHUNK_SIZE: usize = 4;
+
+/// Options for [`run_sweep`].
+///
+/// `#[non_exhaustive]`: start from `SweepOptions::default()` and adjust via
+/// the chainable `with_*` methods (or field assignment).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SweepOptions {
+    /// Worker threads; `0` (default) uses the machine's available
+    /// parallelism. The answer is identical for every value — only the
+    /// wall-clock time changes.
+    pub jobs: usize,
+    /// Warm-start each point from its chunk-neighbour's converged state
+    /// (default true).
+    pub warm_start: bool,
+    /// Points per work-stealing chunk; `0` (default) means
+    /// [`DEFAULT_CHUNK_SIZE`]. Changing this changes the warm-start
+    /// chains, and therefore the results within solver tolerance.
+    pub chunk_size: usize,
+    /// Options for each point's solve.
+    pub solver: SolverOptions,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            jobs: 0,
+            warm_start: true,
+            chunk_size: 0,
+            solver: SolverOptions::default(),
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Set the worker-thread count (`0` = auto).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Enable or disable warm starting.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm: bool) -> Self {
+        self.warm_start = warm;
+        self
+    }
+
+    /// Set the chunk size (`0` = default).
+    #[must_use]
+    pub fn with_chunk_size(mut self, size: usize) -> Self {
+        self.chunk_size = size;
+        self
+    }
+
+    /// Set the per-point solver options.
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverOptions) -> Self {
+        self.solver = solver;
+        self
+    }
+}
+
+fn effective_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Evaluate every point of `req` and collect the outcomes.
+///
+/// Per-point failures are recorded in the corresponding [`PointReport`]
+/// (with class and sweep-point context in the message) and never abort the
+/// rest of the sweep.
+pub fn run_sweep(req: &SweepRequest, opts: &SweepOptions) -> SweepReport {
+    let start = Instant::now();
+    let _span = obs::span(format!("engine.sweep.{}", req.base.label));
+    let n = req.points.len();
+    let chunk_size = if opts.chunk_size == 0 {
+        DEFAULT_CHUNK_SIZE
+    } else {
+        opts.chunk_size
+    };
+    let num_chunks = n.div_ceil(chunk_size);
+    let requested = effective_jobs(opts.jobs);
+    let jobs = requested.clamp(1, num_chunks.max(1));
+
+    let mut solver = opts.solver.clone();
+    // More workers than chunks: spend the spare cores inside each solve.
+    // Per-class parallelism is numerics-neutral, so parity is unaffected.
+    if requested > num_chunks && !solver.parallel_classes {
+        solver.parallel_classes = true;
+    }
+
+    if obs::enabled() {
+        obs::event(
+            "engine.sweep.start",
+            &[
+                ("label", obs::FieldValue::Str(req.base.label.clone())),
+                ("axis", obs::FieldValue::Str(req.axis.label())),
+                ("points", obs::FieldValue::U64(n as u64)),
+                ("chunks", obs::FieldValue::U64(num_chunks as u64)),
+                ("jobs", obs::FieldValue::U64(jobs as u64)),
+                ("chunk_size", obs::FieldValue::U64(chunk_size as u64)),
+            ],
+        );
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<PointReport>>> = Mutex::new(vec![None; n]);
+    let hits = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+    let cache = VacationCache::new();
+    let solver_ref = &solver;
+    let cache_ref = &cache;
+    let results_ref = &results;
+    let next_ref = &next;
+    let hits_ref = &hits;
+    let misses_ref = &misses;
+
+    crossbeam::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(move |_| loop {
+                let ci = next_ref.fetch_add(1, Ordering::Relaxed);
+                if ci >= num_chunks {
+                    break;
+                }
+                let lo = ci * chunk_size;
+                let hi = (lo + chunk_size).min(n);
+                let _chunk_span = obs::span(format!("engine.sweep.chunk{ci}"));
+                let mut carry: Option<WarmStart> = None;
+                for i in lo..hi {
+                    let pt = &req.points[i];
+                    let t0 = Instant::now();
+                    let warm_ref = if opts.warm_start {
+                        carry.as_ref()
+                    } else {
+                        None
+                    };
+                    let warm_started = warm_ref.is_some();
+                    let res = {
+                        let _pt_span = obs::span(format!("engine.sweep.point{i}"));
+                        solve_warm(&pt.model, solver_ref, warm_ref, Some(cache_ref))
+                    };
+                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    let report = match res {
+                        Ok(outcome) => {
+                            if warm_started {
+                                hits_ref.fetch_add(1, Ordering::Relaxed);
+                                obs::counter_add("engine.warm.hits", 1);
+                            } else {
+                                misses_ref.fetch_add(1, Ordering::Relaxed);
+                                obs::counter_add("engine.warm.misses", 1);
+                            }
+                            carry = Some(outcome.warm);
+                            PointReport {
+                                x: pt.x,
+                                solution: Some(outcome.solution),
+                                error: None,
+                                warm_started,
+                                wall_ms,
+                            }
+                        }
+                        Err(e) => {
+                            // Do not chain a warm start through a failure.
+                            carry = None;
+                            let msg = e.with_sweep_point(pt.x).to_string();
+                            if obs::enabled() {
+                                obs::event(
+                                    "engine.sweep.point_error",
+                                    &[
+                                        ("x", obs::FieldValue::F64(pt.x)),
+                                        ("error", obs::FieldValue::Str(msg.clone())),
+                                    ],
+                                );
+                            }
+                            PointReport {
+                                x: pt.x,
+                                solution: None,
+                                error: Some(msg),
+                                warm_started,
+                                wall_ms,
+                            }
+                        }
+                    };
+                    results_ref.lock()[i] = Some(report);
+                }
+            });
+        }
+    })
+    .expect("sweep worker threads join cleanly");
+
+    let points: Vec<PointReport> = results
+        .into_inner()
+        .into_iter()
+        .map(|p| p.expect("every sweep point is evaluated"))
+        .collect();
+    let stats = SweepStats {
+        warm_hits: hits.load(Ordering::Relaxed),
+        warm_misses: misses.load(Ordering::Relaxed),
+        jobs,
+        chunks: num_chunks,
+        parallel_classes: solver.parallel_classes,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    };
+    if obs::enabled() {
+        obs::gauge_set("engine.sweep.warm_hit_rate", stats.warm_hit_rate());
+        obs::gauge_set("engine.sweep.jobs", stats.jobs as f64);
+    }
+    SweepReport {
+        axis: req.axis.clone(),
+        label: req.base.label.clone(),
+        points,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ScenarioBase, SweepAxis, SweepPoint};
+    use gsched_core::{ClassParams, GangModel, SolverOptions};
+    use gsched_phase::{erlang, exponential};
+
+    /// Tiny two-class model, cheap enough for many debug-mode solves.
+    fn model(quantum_mean: f64, lambda: f64) -> GangModel {
+        let mk = || ClassParams {
+            partition_size: 2,
+            arrival: exponential(lambda),
+            service: exponential(1.0),
+            quantum: erlang(2, 2.0 / quantum_mean),
+            switch_overhead: exponential(100.0),
+        };
+        GangModel::new(2, vec![mk(), mk()]).unwrap()
+    }
+
+    fn request(n: usize, lambda: f64) -> SweepRequest {
+        let points = (0..n)
+            .map(|i| {
+                let x = 0.5 + 0.25 * i as f64;
+                SweepPoint {
+                    x,
+                    model: model(x, lambda),
+                }
+            })
+            .collect();
+        SweepRequest::new(
+            SweepAxis::QuantumMean,
+            ScenarioBase::labeled("test").with_param("lambda", lambda),
+            points,
+        )
+    }
+
+    fn response_bits(report: &SweepReport) -> Vec<Vec<u64>> {
+        report
+            .points
+            .iter()
+            .map(|p| p.mean_responses(2).into_iter().map(f64::to_bits).collect())
+            .collect()
+    }
+
+    #[test]
+    fn points_and_parity() {
+        let req = request(10, 0.15);
+        let seq = run_sweep(&req, &SweepOptions::default().with_jobs(1));
+        let par = run_sweep(&req, &SweepOptions::default().with_jobs(3));
+        assert_eq!(seq.points.len(), 10);
+        assert_eq!(seq.failures(), 0);
+        assert_eq!(response_bits(&seq), response_bits(&par));
+        assert_eq!(seq.stats.chunks, 3);
+        assert_eq!(par.stats.jobs, 3);
+    }
+
+    #[test]
+    fn warm_hit_accounting() {
+        let req = request(10, 0.15);
+        let warm = run_sweep(&req, &SweepOptions::default().with_jobs(1));
+        // 3 chunks of sizes 4+4+2: one cold point each, the rest warm.
+        assert_eq!(warm.stats.warm_misses, 3);
+        assert_eq!(warm.stats.warm_hits, 7);
+        assert!(warm.stats.warm_hit_rate() > 0.5);
+        let cold = run_sweep(
+            &req,
+            &SweepOptions::default().with_jobs(1).with_warm_start(false),
+        );
+        assert_eq!(cold.stats.warm_hits, 0);
+        assert_eq!(cold.stats.warm_misses, 10);
+        // Warm and cold sweeps converge to the same fixed point.
+        for (w, c) in warm.points.iter().zip(cold.points.iter()) {
+            let (wr, cr) = (
+                w.solution.as_ref().unwrap().classes[0].mean_response,
+                c.solution.as_ref().unwrap().classes[0].mean_response,
+            );
+            assert!((wr - cr).abs() / cr < 1e-4, "warm {wr} vs cold {cr}");
+        }
+    }
+
+    #[test]
+    fn failed_points_are_isolated() {
+        let mut req = request(6, 0.15);
+        // Overload the middle point and make instability a hard error.
+        req.points[2].model = model(1.0, 2.0);
+        let opts = SweepOptions::default().with_jobs(2).with_solver(
+            SolverOptions::builder()
+                .require_stable(true)
+                .build()
+                .unwrap(),
+        );
+        let report = run_sweep(&req, &opts);
+        assert_eq!(report.failures(), 1);
+        assert!(!report.points[2].is_ok());
+        let err = report.first_error().unwrap();
+        assert!(err.contains("unstable"), "{err}");
+        assert!(report
+            .points
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.is_ok() || i == 2));
+        assert!(report.points[2].mean_responses(2)[0].is_nan());
+    }
+
+    #[test]
+    fn empty_request() {
+        let req = SweepRequest::new(
+            SweepAxis::Custom("empty".into()),
+            ScenarioBase::labeled("empty"),
+            Vec::new(),
+        );
+        let report = run_sweep(&req, &SweepOptions::default());
+        assert!(report.points.is_empty());
+        assert_eq!(report.stats.warm_hits + report.stats.warm_misses, 0);
+    }
+
+    #[test]
+    fn custom_chunk_size_changes_chains() {
+        let req = request(6, 0.15);
+        let big = run_sweep(
+            &req,
+            &SweepOptions::default().with_jobs(1).with_chunk_size(6),
+        );
+        assert_eq!(big.stats.chunks, 1);
+        assert_eq!(big.stats.warm_misses, 1);
+        assert_eq!(big.stats.warm_hits, 5);
+    }
+}

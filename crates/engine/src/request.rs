@@ -1,0 +1,99 @@
+//! Typed description of a scenario batch: which axis is swept, from what
+//! base scenario, over which concrete points.
+
+use gsched_core::GangModel;
+
+/// The parameter axis a sweep moves along.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepAxis {
+    /// Mean of the per-class quantum distributions (Figs. 2–3).
+    QuantumMean,
+    /// Per-processor service rate of a designated class (Fig. 4).
+    ServiceRate,
+    /// Fraction of the cycle budget given to one class (Fig. 5).
+    CycleFraction {
+        /// The class whose share of the cycle is swept.
+        class: usize,
+    },
+    /// Any other axis; the string names it in reports and telemetry.
+    Custom(String),
+}
+
+impl SweepAxis {
+    /// Short label for reports and span names.
+    pub fn label(&self) -> String {
+        match self {
+            SweepAxis::QuantumMean => "quantum_mean".to_string(),
+            SweepAxis::ServiceRate => "service_rate".to_string(),
+            SweepAxis::CycleFraction { class } => format!("cycle_fraction_class{class}"),
+            SweepAxis::Custom(name) => name.clone(),
+        }
+    }
+}
+
+/// One evaluation point: the axis coordinate and the fully built model.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Coordinate along the sweep axis (e.g. the common quantum mean).
+    pub x: f64,
+    /// The model to solve at this point.
+    pub model: GangModel,
+}
+
+/// Fixed (non-swept) parameters of the scenario family, carried for
+/// labelling and provenance.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBase {
+    /// Human-readable scenario name (e.g. `"fig2"`).
+    pub label: String,
+    /// Named fixed parameters, e.g. `("lambda", 0.1)`.
+    pub params: Vec<(String, f64)>,
+}
+
+impl ScenarioBase {
+    /// A base with a label and no recorded parameters.
+    pub fn labeled(label: impl Into<String>) -> Self {
+        ScenarioBase {
+            label: label.into(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Append a named fixed parameter (chainable).
+    #[must_use]
+    pub fn with_param(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.params.push((name.into(), value));
+        self
+    }
+}
+
+/// A batch of scenarios to evaluate: `base` solved at every point along
+/// `axis`. Points should be ordered along the axis — warm starts chain
+/// between neighbouring points, and neighbours only help if they are
+/// actually close in parameter space.
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// The swept axis.
+    pub axis: SweepAxis,
+    /// The fixed part of the scenario family.
+    pub base: ScenarioBase,
+    /// The evaluation points, ordered along the axis.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepRequest {
+    /// Build a request from its parts.
+    pub fn new(axis: SweepAxis, base: ScenarioBase, points: Vec<SweepPoint>) -> Self {
+        SweepRequest { axis, base, points }
+    }
+
+    /// Number of evaluation points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the request holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}

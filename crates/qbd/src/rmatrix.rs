@@ -105,6 +105,70 @@ pub fn solve_r_successive(
     ))
 }
 
+/// Warm-started successive substitution: run the fixed point
+/// `R ← −(A₀ + R²A₂)·A₁⁻¹` from a caller-supplied initial iterate instead of
+/// from zero. Intended for continuation solves where `initial` is the
+/// converged `R` of a nearby parameter point: a few contractive steps then
+/// reach the new solution, much cheaper than a cold logarithmic reduction.
+///
+/// Unlike the cold start, convergence from an arbitrary nonnegative iterate
+/// is not guaranteed (the monotone-from-below argument does not apply), so
+/// the result is validated against the defining equation: `Err` is returned
+/// when the iteration stalls or the final residual exceeds `residual_tol`,
+/// and callers should fall back to a cold solve.
+pub fn solve_r_warm(
+    a0: &Matrix,
+    a1: &Matrix,
+    a2: &Matrix,
+    initial: &Matrix,
+    tol: f64,
+    max_iter: usize,
+    residual_tol: f64,
+) -> Result<Matrix> {
+    let d = a1.rows();
+    if initial.rows() != d || initial.cols() != d {
+        return Err(QbdError::Linalg(
+            gsched_linalg::LinalgError::DimensionMismatch {
+                op: "solve_r_warm initial iterate",
+                lhs: (initial.rows(), initial.cols()),
+                rhs: (d, d),
+            },
+        ));
+    }
+    let a1_lu = Lu::new(a1)?;
+    let mut r = initial.clone();
+    let mut last_diff = f64::INFINITY;
+    for iteration in 1..=max_iter {
+        let r2 = r.matmul(&r)?;
+        let mut num = r2.matmul(a2)?;
+        num += a0;
+        let next = a1_lu.solve_left_matrix(&num.scaled(-1.0))?;
+        last_diff = next.max_abs_diff(&r);
+        r = next;
+        if last_diff <= tol {
+            let residual = r_residual(a0, a1, a2, &r);
+            if residual > residual_tol || !r.is_nonnegative(1e-9) {
+                return Err(QbdError::Linalg(
+                    gsched_linalg::LinalgError::NoConvergence {
+                        method: "solve_r_warm",
+                        iterations: iteration,
+                        residual,
+                    },
+                ));
+            }
+            record_r_solve("warm_substitution", d, iteration, residual);
+            return Ok(r);
+        }
+    }
+    Err(QbdError::Linalg(
+        gsched_linalg::LinalgError::NoConvergence {
+            method: "solve_r_warm",
+            iterations: max_iter,
+            residual: last_diff,
+        },
+    ))
+}
+
 /// Logarithmic reduction for the first-passage matrix `G` (minimal solution
 /// of `A₂ + A₁G + A₀G² = 0`).
 pub fn solve_g_logarithmic_reduction(

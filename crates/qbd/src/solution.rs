@@ -1,7 +1,7 @@
 //! Boundary solve and the stationary solution object (Theorem 4.2, eq. 37).
 
 use crate::process::QbdProcess;
-use crate::rmatrix::{r_residual, solve_r, RSolverMethod};
+use crate::rmatrix::{r_residual, solve_r, solve_r_warm, RSolverMethod};
 use crate::stability::drift_condition;
 use crate::{QbdError, Result};
 use gsched_linalg::{solve_left_nullspace, spectral_radius, Lu, Matrix};
@@ -20,6 +20,17 @@ pub struct SolveOptions {
     /// §4.4 strong-connectivity check fails; if false, skip the check
     /// (useful when the caller has already verified it).
     pub check_irreducible: bool,
+    /// Warm-start iterate for `R`, typically the converged `R` of a nearby
+    /// parameter point (continuation solves along a sweep axis). When set
+    /// and dimension-compatible, a successive-substitution iteration is run
+    /// from it first; if that stalls or fails validation the solve falls
+    /// back to the cold `method` transparently. Hits and fallbacks are
+    /// counted under `qbd.rmatrix.warm_hits` / `qbd.rmatrix.warm_misses`.
+    pub initial_r: Option<Matrix>,
+    /// Iteration budget for the warm-started `R` attempt before falling
+    /// back to the cold solve. Kept small: a useful warm start converges in
+    /// a handful of contractive steps.
+    pub warm_max_iter: usize,
 }
 
 impl Default for SolveOptions {
@@ -29,6 +40,8 @@ impl Default for SolveOptions {
             tol: 1e-12,
             max_iter: 10_000,
             check_irreducible: true,
+            initial_r: None,
+            warm_max_iter: 200,
         }
     }
 }
@@ -48,6 +61,39 @@ pub struct QbdSolution {
 }
 
 impl QbdProcess {
+    /// Compute `R`, honouring a warm-start iterate when one is supplied.
+    ///
+    /// A dimension-compatible `opts.initial_r` triggers a bounded
+    /// successive-substitution attempt first; any failure (stall, residual
+    /// above tolerance, negative entries) falls back to the cold
+    /// `opts.method` solve so the result is always as trustworthy as a
+    /// cold solve.
+    fn solve_r_with_options(&self, opts: &SolveOptions) -> Result<Matrix> {
+        if let Some(r0) = &opts.initial_r {
+            let d = self.repeating_dim();
+            if r0.rows() == d && r0.cols() == d {
+                let budget = opts.warm_max_iter.min(opts.max_iter).max(1);
+                match solve_r_warm(&self.a0, &self.a1, &self.a2, r0, opts.tol, budget, 1e-8) {
+                    Ok(r) => {
+                        obs::counter_add("qbd.rmatrix.warm_hits", 1);
+                        return Ok(r);
+                    }
+                    Err(_) => obs::counter_add("qbd.rmatrix.warm_misses", 1),
+                }
+            } else {
+                obs::counter_add("qbd.rmatrix.warm_misses", 1);
+            }
+        }
+        solve_r(
+            &self.a0,
+            &self.a1,
+            &self.a2,
+            opts.method,
+            opts.tol,
+            opts.max_iter,
+        )
+    }
+
     /// Solve for the stationary distribution (Theorem 4.2).
     ///
     /// Steps: §4.4 irreducibility check → drift condition (Theorem 4.4) →
@@ -61,14 +107,7 @@ impl QbdProcess {
         if !drift.is_stable() {
             return Err(QbdError::Unstable(drift));
         }
-        let r = solve_r(
-            &self.a0,
-            &self.a1,
-            &self.a2,
-            opts.method,
-            opts.tol,
-            opts.max_iter,
-        )?;
+        let r = self.solve_r_with_options(opts)?;
         debug_assert!(
             r_residual(&self.a0, &self.a1, &self.a2, &r) < 1e-6,
             "R residual too large"
@@ -469,6 +508,50 @@ mod tests {
         let sol = q.solve(&SolveOptions::default()).unwrap();
         let series: f64 = (1..500).map(|n| n as f64 * sol.level_prob(n)).sum();
         assert!((sol.mean_level() - series).abs() < 1e-8);
+    }
+
+    #[test]
+    fn warm_start_reproduces_cold_solution() {
+        let rho: f64 = 0.6;
+        let q = mm1(rho, 1.0);
+        let cold = q.solve(&SolveOptions::default()).unwrap();
+        // Perturb the converged R slightly, as a neighbouring sweep point
+        // would, and re-solve warm.
+        let mut r0 = cold.r().clone();
+        r0[(0, 0)] += 1e-3;
+        let warm_opts = SolveOptions {
+            initial_r: Some(r0),
+            ..Default::default()
+        };
+        let warm = q.solve(&warm_opts).unwrap();
+        assert!((warm.r()[(0, 0)] - rho).abs() < 1e-10, "R should be rho");
+        assert!((warm.mean_level() - cold.mean_level()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn warm_start_bad_iterate_falls_back() {
+        let q = mm1(0.5, 1.0);
+        // Nonsensical warm start (wrong magnitude): the warm attempt must
+        // fail validation and the cold path must still deliver R = rho.
+        let r0 = Matrix::from_rows(&[&[50.0]]);
+        let opts = SolveOptions {
+            initial_r: Some(r0),
+            warm_max_iter: 5,
+            ..Default::default()
+        };
+        let sol = q.solve(&opts).unwrap();
+        assert!((sol.r()[(0, 0)] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn warm_start_wrong_dims_falls_back() {
+        let q = mm1(0.5, 1.0);
+        let opts = SolveOptions {
+            initial_r: Some(Matrix::zeros(2, 2)),
+            ..Default::default()
+        };
+        let sol = q.solve(&opts).unwrap();
+        assert!((sol.r()[(0, 0)] - 0.5).abs() < 1e-10);
     }
 
     #[test]

@@ -32,10 +32,7 @@ fn main() {
         ("exact-truncated", VacationMode::Exact),
     ];
     for (name, mode) in modes {
-        let opts = SolverOptions {
-            mode,
-            ..Default::default()
-        };
+        let opts = SolverOptions::builder().mode(mode).build().unwrap();
         match solve(&model, &opts) {
             Ok(sol) => {
                 let ns: Vec<String> = sol
@@ -72,10 +69,7 @@ fn main() {
     println!("\n# Ablation 3: fixed-point tolerance (lambda=0.5, quantum=1)");
     println!("tol,N0,iterations");
     for tol in [1e-2, 1e-4, 1e-6, 1e-8] {
-        let opts = SolverOptions {
-            fp_tol: tol,
-            ..Default::default()
-        };
+        let opts = SolverOptions::builder().fp_tol(tol).build().unwrap();
         match solve(&model, &opts) {
             Ok(sol) => println!(
                 "{tol:.0e},{:.6},{}",

@@ -27,10 +27,7 @@ fn main() {
         quantum_stages: 2,
         overhead_mean: 0.01,
     });
-    let opts = SolverOptions {
-        mode,
-        ..Default::default()
-    };
+    let opts = SolverOptions::builder().mode(mode).build().unwrap();
     let recorder = gsched_obs::install_memory();
     let result = solve(&model, &opts);
     gsched_obs::uninstall();

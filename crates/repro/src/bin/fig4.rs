@@ -7,20 +7,20 @@
 //!
 //! Run: `cargo run --release -p gsched-repro --bin fig4`
 
-use gsched_core::solver::SolverOptions;
+use gsched_engine::SweepOptions;
 use gsched_repro::{
     class_series, init_diagnostics, is_monotone_decreasing, print_csv, record_from_sweep,
-    report_checks, run_sweep, save_record,
+    report_checks, run_request, save_record,
 };
-use gsched_workload::figures::{default_service_rate_grid, service_rate_sweep};
+use gsched_workload::figures::{default_service_rate_grid, service_rate_sweep_request};
 use gsched_workload::spec::ShapeCheck;
 
 fn main() {
     init_diagnostics();
     let grid = default_service_rate_grid();
-    let points = service_rate_sweep(2, &grid);
+    let request = service_rate_sweep_request(2, &grid);
     eprintln!("fig4: service-rate sweep over {} points", grid.len());
-    let results = run_sweep(&points, &SolverOptions::default());
+    let results = run_request(&request, &SweepOptions::default());
     print_csv("service_rate", &results);
 
     let mut checks = Vec::new();

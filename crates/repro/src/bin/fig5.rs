@@ -9,12 +9,12 @@
 //!
 //! Run: `cargo run --release -p gsched-repro --bin fig5`
 
-use gsched_core::solver::SolverOptions;
+use gsched_engine::SweepOptions;
 use gsched_repro::{
-    init_diagnostics, is_monotone_decreasing, print_csv, report_checks, run_sweep, save_record,
+    init_diagnostics, is_monotone_decreasing, print_csv, report_checks, run_request, save_record,
     SweepResult,
 };
-use gsched_workload::figures::{cycle_fraction_sweep, default_fraction_grid};
+use gsched_workload::figures::{cycle_fraction_sweep_request, default_fraction_grid};
 use gsched_workload::spec::{ExperimentRecord, Series, ShapeCheck};
 
 const BUDGET: f64 = 4.0;
@@ -28,8 +28,8 @@ fn main() {
 
     for class in 0..4 {
         eprintln!("fig5: sweeping class {class}'s cycle fraction");
-        let points = cycle_fraction_sweep(class, BUDGET, 2, &grid);
-        let results = run_sweep(&points, &SolverOptions::default());
+        let request = cycle_fraction_sweep_request(class, BUDGET, 2, &grid);
+        let results = run_request(&request, &SweepOptions::default());
         // The plotted curve is the focal class's own N.
         let x: Vec<f64> = results.iter().map(|r| r.x).collect();
         let y: Vec<f64> = results.iter().map(|r| r.n[class]).collect();

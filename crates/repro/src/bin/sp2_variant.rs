@@ -10,12 +10,12 @@
 //! Run: `cargo run --release -p gsched-repro --bin sp2_variant`
 
 use gsched_sim::{GangPolicy, GangSim, SimConfig};
-use gsched_workload::figures::quantum_sweep;
+use gsched_workload::figures::quantum_sweep_request;
 
 fn main() {
     let quanta = [0.5, 1.0, 2.0, 4.0];
     let lambda = 0.6;
-    let points = quantum_sweep(lambda, 2, &quanta);
+    let points = quantum_sweep_request(lambda, 2, &quanta).points;
     println!("quantum,policy,N0,N1,N2,N3,total_N,utilization");
     let mut improved = 0usize;
     let mut total = 0usize;

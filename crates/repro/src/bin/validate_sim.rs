@@ -18,12 +18,12 @@
 
 use gsched_core::solver::{solve, SolverOptions};
 use gsched_sim::{GangPolicy, GangSim, SimConfig};
-use gsched_workload::figures::quantum_sweep;
+use gsched_workload::figures::quantum_sweep_request;
 
 fn main() {
     let quanta = [0.5, 1.0, 2.0, 4.0];
     let lambda = 0.4;
-    let points = quantum_sweep(lambda, 2, &quanta);
+    let points = quantum_sweep_request(lambda, 2, &quanta).points;
     println!("quantum,class,analytic_N,sim_N,sim_ci95,rel_gap");
     let mut worst: f64 = 0.0;
     let mut failures = 0;

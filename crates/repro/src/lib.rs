@@ -11,7 +11,8 @@
 //! value enables it except the conventional opt-outs `0`, `false`, and
 //! `off` (case-insensitive), which disable it like an unset variable.
 
-use gsched_core::solver::{solve, GangSolution, SolverOptions};
+use gsched_core::solver::{GangSolution, SolverOptions};
+use gsched_engine::{ScenarioBase, SweepAxis, SweepOptions, SweepReport, SweepRequest};
 use gsched_workload::figures::SweepPoint;
 use gsched_workload::spec::{ExperimentRecord, Series, ShapeCheck};
 use std::path::Path;
@@ -28,53 +29,45 @@ pub struct SweepResult {
     pub iterations: usize,
 }
 
-/// Solve the model at every sweep point, in parallel across points.
-pub fn run_sweep(points: &[SweepPoint], opts: &SolverOptions) -> Vec<SweepResult> {
-    let mut out: Vec<Option<SweepResult>> = vec![None; points.len()];
-    let chunks: Vec<(usize, &SweepPoint)> = points.iter().enumerate().collect();
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(points.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: std::sync::Mutex<&mut Vec<Option<SweepResult>>> = std::sync::Mutex::new(&mut out);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= chunks.len() {
-                    break;
-                }
-                let (idx, pt) = chunks[i];
-                let res = solve_point(pt, opts);
-                results.lock().unwrap()[idx] = Some(res);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-
-    out.into_iter()
-        .map(|r| r.expect("all points solved"))
-        .collect()
+/// Evaluate a [`SweepRequest`] on the `gsched-engine` pool and flatten the
+/// report into per-point [`SweepResult`] rows (failed points warn on
+/// stderr and yield `NaN` rows, as the figure CSVs expect).
+pub fn run_request(req: &SweepRequest, opts: &SweepOptions) -> Vec<SweepResult> {
+    report_to_results(req, &gsched_engine::run_sweep(req, opts))
 }
 
-fn solve_point(pt: &SweepPoint, opts: &SolverOptions) -> SweepResult {
-    match solve(&pt.model, opts) {
-        Ok(sol) => SweepResult {
-            x: pt.x,
-            n: sol.classes.iter().map(|c| c.mean_jobs).collect(),
-            iterations: sol.iterations,
-        },
-        Err(e) => {
-            eprintln!("warning: point x={} failed: {e}", pt.x);
-            SweepResult {
-                x: pt.x,
-                n: vec![f64::NAN; pt.model.num_classes()],
-                iterations: 0,
+/// Solve the model at every sweep point, in parallel across points with
+/// neighbour warm starting (see `gsched_engine::run_sweep`).
+pub fn run_sweep(points: &[SweepPoint], opts: &SolverOptions) -> Vec<SweepResult> {
+    let req = SweepRequest::new(
+        SweepAxis::Custom("points".to_string()),
+        ScenarioBase::labeled("repro"),
+        points.to_vec(),
+    );
+    run_request(&req, &SweepOptions::default().with_solver(opts.clone()))
+}
+
+fn report_to_results(req: &SweepRequest, report: &SweepReport) -> Vec<SweepResult> {
+    req.points
+        .iter()
+        .zip(report.points.iter())
+        .map(|(pt, res)| match &res.solution {
+            Some(sol) => SweepResult {
+                x: res.x,
+                n: n_vector(sol),
+                iterations: sol.iterations,
+            },
+            None => {
+                let msg = res.error.as_deref().unwrap_or("unknown error");
+                eprintln!("warning: point x={} failed: {msg}", res.x);
+                SweepResult {
+                    x: res.x,
+                    n: vec![f64::NAN; pt.model.num_classes()],
+                    iterations: 0,
+                }
             }
-        }
-    }
+        })
+        .collect()
 }
 
 /// Extract one class's series from sweep results.
@@ -221,18 +214,17 @@ pub fn n_vector(sol: &GangSolution) -> Vec<f64> {
 
 /// Shared driver for Figures 2 and 3 (they differ only in `λ = ρ`).
 pub fn run_quantum_figure(id: &str, lambda: f64) {
-    use gsched_core::solver::SolverOptions;
-    use gsched_workload::figures::{default_quantum_grid, quantum_sweep};
+    use gsched_workload::figures::{default_quantum_grid, quantum_sweep_request};
     use gsched_workload::spec::ShapeCheck;
 
     init_diagnostics();
     let grid = default_quantum_grid();
-    let points = quantum_sweep(lambda, 2, &grid);
+    let request = quantum_sweep_request(lambda, 2, &grid);
     eprintln!(
         "{id}: quantum sweep at rho = {lambda} over {} points",
         grid.len()
     );
-    let results = run_sweep(&points, &SolverOptions::default());
+    let results = run_request(&request, &SweepOptions::default());
     print_csv("quantum_mean", &results);
 
     let mut checks = Vec::new();
@@ -386,8 +378,8 @@ mod tests {
     #[test]
     fn sweep_runs_tiny_grid() {
         use gsched_core::solver::SolverOptions;
-        use gsched_workload::figures::quantum_sweep;
-        let pts = quantum_sweep(0.3, 2, &[0.5, 1.0]);
+        use gsched_workload::figures::quantum_sweep_request;
+        let pts = quantum_sweep_request(0.3, 2, &[0.5, 1.0]).points;
         let res = run_sweep(&pts, &SolverOptions::default());
         assert_eq!(res.len(), 2);
         for r in &res {

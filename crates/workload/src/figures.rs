@@ -1,21 +1,19 @@
-//! Parameter sweeps behind each figure of the paper's §5.
+//! Parameter sweeps behind each figure of the paper's §5, expressed as
+//! typed [`SweepRequest`]s for the `gsched-engine` evaluation pool.
+//!
+//! [`SweepPoint`], [`SweepRequest`] and friends are re-exported from
+//! `gsched_engine`, so downstream code can keep importing them from this
+//! module. The old `Vec<SweepPoint>`-returning free functions remain as
+//! thin deprecated wrappers for one release.
 
 use crate::{paper_model, paper_model_custom, paper_service_rates, PaperConfig, OVERHEAD_MEAN};
-use gsched_core::model::GangModel;
 
-/// One point of a figure sweep: the swept x-value and the model to solve.
-#[derive(Debug, Clone)]
-pub struct SweepPoint {
-    /// The x-axis value as plotted in the paper.
-    pub x: f64,
-    /// The model at this point.
-    pub model: GangModel,
-}
+pub use gsched_engine::{ScenarioBase, SweepAxis, SweepPoint, SweepRequest};
 
 /// Figure 2 (and Figure 3): mean jobs vs mean quantum length `1/γ` at a
 /// given utilization (`ρ = λ`). The paper sweeps quantum lengths up to 6.
-pub fn quantum_sweep(lambda: f64, quantum_stages: usize, points: &[f64]) -> Vec<SweepPoint> {
-    points
+pub fn quantum_sweep_request(lambda: f64, quantum_stages: usize, points: &[f64]) -> SweepRequest {
+    let pts = points
         .iter()
         .map(|&q| SweepPoint {
             x: q,
@@ -26,21 +24,19 @@ pub fn quantum_sweep(lambda: f64, quantum_stages: usize, points: &[f64]) -> Vec<
                 overhead_mean: OVERHEAD_MEAN,
             }),
         })
-        .collect()
-}
-
-/// The default x-grid for Figures 2–3 (0.02 … 6).
-pub fn default_quantum_grid() -> Vec<f64> {
-    let mut g = vec![0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75];
-    for i in 2..=12 {
-        g.push(i as f64 * 0.5);
-    }
-    g
+        .collect();
+    SweepRequest::new(
+        SweepAxis::QuantumMean,
+        ScenarioBase::labeled("quantum_sweep")
+            .with_param("lambda", lambda)
+            .with_param("quantum_stages", quantum_stages as f64),
+        pts,
+    )
 }
 
 /// Figure 4: mean jobs vs common service rate `μ`, quantum mean 5, `λ = 0.6`.
-pub fn service_rate_sweep(quantum_stages: usize, rates: &[f64]) -> Vec<SweepPoint> {
-    rates
+pub fn service_rate_sweep_request(quantum_stages: usize, rates: &[f64]) -> SweepRequest {
+    let pts = rates
         .iter()
         .map(|&mu| SweepPoint {
             x: mu,
@@ -52,26 +48,29 @@ pub fn service_rate_sweep(quantum_stages: usize, rates: &[f64]) -> Vec<SweepPoin
                 OVERHEAD_MEAN,
             ),
         })
-        .collect()
-}
-
-/// The default x-grid for Figure 4 (2 … 20).
-pub fn default_service_rate_grid() -> Vec<f64> {
-    (1..=10).map(|i| 2.0 * i as f64).collect()
+        .collect();
+    SweepRequest::new(
+        SweepAxis::ServiceRate,
+        ScenarioBase::labeled("service_rate_sweep")
+            .with_param("lambda", 0.6)
+            .with_param("quantum_mean", 5.0)
+            .with_param("quantum_stages", quantum_stages as f64),
+        pts,
+    )
 }
 
 /// Figure 5: mean jobs of class `class` vs the fraction of the timeplexing
 /// cycle's quantum budget devoted to that class. `λ = 0.6` (so `ρ = 0.6`
 /// under the normalized rates), total quantum budget `budget` split as
 /// `f · budget` for the focal class and `(1−f)·budget/3` for each other.
-pub fn cycle_fraction_sweep(
+pub fn cycle_fraction_sweep_request(
     class: usize,
     budget: f64,
     quantum_stages: usize,
     fractions: &[f64],
-) -> Vec<SweepPoint> {
+) -> SweepRequest {
     let mus = paper_service_rates();
-    fractions
+    let pts = fractions
         .iter()
         .map(|&f| {
             let mut quanta = [0.0; 4];
@@ -87,7 +86,104 @@ pub fn cycle_fraction_sweep(
                 model: paper_model_custom(0.6, &mus, &quanta, quantum_stages, OVERHEAD_MEAN),
             }
         })
-        .collect()
+        .collect();
+    SweepRequest::new(
+        SweepAxis::CycleFraction { class },
+        ScenarioBase::labeled("cycle_fraction_sweep")
+            .with_param("class", class as f64)
+            .with_param("budget", budget)
+            .with_param("quantum_stages", quantum_stages as f64),
+        pts,
+    )
+}
+
+/// The paper's figures as a canonical sweep catalog, shared by the figure
+/// binaries, `gsched sweep`, and `gsched bench`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure {
+    /// Mean jobs vs quantum length at `ρ = 0.4`.
+    Fig2,
+    /// Mean jobs vs quantum length at `ρ = 0.6`.
+    Fig3,
+    /// Mean jobs vs common service rate at quantum mean 5.
+    Fig4,
+    /// Mean jobs vs the focal class's share of the cycle budget.
+    Fig5,
+}
+
+impl Figure {
+    /// All figures, in paper order.
+    pub const ALL: [Figure; 4] = [Figure::Fig2, Figure::Fig3, Figure::Fig4, Figure::Fig5];
+
+    /// Canonical lowercase name (`"fig2"` …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Figure::Fig2 => "fig2",
+            Figure::Fig3 => "fig3",
+            Figure::Fig4 => "fig4",
+            Figure::Fig5 => "fig5",
+        }
+    }
+
+    /// Parse a figure name as accepted by `gsched sweep`.
+    pub fn from_name(name: &str) -> Option<Figure> {
+        match name.to_ascii_lowercase().as_str() {
+            "fig2" | "2" => Some(Figure::Fig2),
+            "fig3" | "3" => Some(Figure::Fig3),
+            "fig4" | "4" => Some(Figure::Fig4),
+            "fig5" | "5" => Some(Figure::Fig5),
+            _ => None,
+        }
+    }
+
+    /// The canonical sweep behind the figure. `quick` selects a small grid
+    /// for smoke tests and benches; the full grid matches the paper.
+    pub fn request(&self, quick: bool) -> SweepRequest {
+        let mut req = match self {
+            Figure::Fig2 => quantum_sweep_request(0.4, 2, &Self::quantum_grid(quick)),
+            Figure::Fig3 => quantum_sweep_request(0.6, 2, &Self::quantum_grid(quick)),
+            Figure::Fig4 => {
+                let grid: Vec<f64> = if quick {
+                    vec![4.0, 10.0]
+                } else {
+                    default_service_rate_grid()
+                };
+                service_rate_sweep_request(2, &grid)
+            }
+            Figure::Fig5 => {
+                let grid: Vec<f64> = if quick {
+                    vec![0.25, 0.5, 0.75]
+                } else {
+                    default_fraction_grid()
+                };
+                cycle_fraction_sweep_request(0, 4.0, 2, &grid)
+            }
+        };
+        req.base.label = self.name().to_string();
+        req
+    }
+
+    fn quantum_grid(quick: bool) -> Vec<f64> {
+        if quick {
+            vec![0.5, 1.0, 2.0, 3.0, 4.0]
+        } else {
+            default_quantum_grid()
+        }
+    }
+}
+
+/// The default x-grid for Figures 2–3 (0.02 … 6).
+pub fn default_quantum_grid() -> Vec<f64> {
+    let mut g = vec![0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75];
+    for i in 2..=12 {
+        g.push(i as f64 * 0.5);
+    }
+    g
+}
+
+/// The default x-grid for Figure 4 (2 … 20).
+pub fn default_service_rate_grid() -> Vec<f64> {
+    (1..=10).map(|i| 2.0 * i as f64).collect()
 }
 
 /// The default fraction grid for Figure 5 (0.1 … 0.9).
@@ -95,15 +191,50 @@ pub fn default_fraction_grid() -> Vec<f64> {
     (1..=9).map(|i| i as f64 / 10.0).collect()
 }
 
+/// Deprecated point-list form of [`quantum_sweep_request`].
+#[deprecated(since = "0.2.0", note = "use quantum_sweep_request or Figure::request")]
+pub fn quantum_sweep(lambda: f64, quantum_stages: usize, points: &[f64]) -> Vec<SweepPoint> {
+    quantum_sweep_request(lambda, quantum_stages, points).points
+}
+
+/// Deprecated point-list form of [`service_rate_sweep_request`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use service_rate_sweep_request or Figure::request"
+)]
+pub fn service_rate_sweep(quantum_stages: usize, rates: &[f64]) -> Vec<SweepPoint> {
+    service_rate_sweep_request(quantum_stages, rates).points
+}
+
+/// Deprecated point-list form of [`cycle_fraction_sweep_request`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use cycle_fraction_sweep_request or Figure::request"
+)]
+pub fn cycle_fraction_sweep(
+    class: usize,
+    budget: f64,
+    quantum_stages: usize,
+    fractions: &[f64],
+) -> Vec<SweepPoint> {
+    cycle_fraction_sweep_request(class, budget, quantum_stages, fractions).points
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn quantum_sweep_sets_quantum() {
-        let pts = quantum_sweep(0.4, 2, &[0.5, 1.0, 2.0]);
-        assert_eq!(pts.len(), 3);
-        for pt in &pts {
+    fn quantum_request_sets_quantum() {
+        let req = quantum_sweep_request(0.4, 2, &[0.5, 1.0, 2.0]);
+        assert_eq!(req.len(), 3);
+        assert_eq!(req.axis, SweepAxis::QuantumMean);
+        assert!(req
+            .base
+            .params
+            .iter()
+            .any(|(k, v)| k == "lambda" && *v == 0.4));
+        for pt in &req.points {
             for p in 0..4 {
                 assert!((pt.model.class(p).quantum.mean() - pt.x).abs() < 1e-9);
             }
@@ -112,9 +243,10 @@ mod tests {
     }
 
     #[test]
-    fn service_sweep_sets_common_mu() {
-        let pts = service_rate_sweep(2, &[2.0, 10.0]);
-        for pt in &pts {
+    fn service_request_sets_common_mu() {
+        let req = service_rate_sweep_request(2, &[2.0, 10.0]);
+        assert_eq!(req.axis, SweepAxis::ServiceRate);
+        for pt in &req.points {
             for p in 0..4 {
                 assert!((pt.model.class(p).service_rate() - pt.x).abs() < 1e-9);
                 assert!((pt.model.class(p).quantum.mean() - 5.0).abs() < 1e-9);
@@ -123,14 +255,44 @@ mod tests {
     }
 
     #[test]
-    fn fraction_sweep_budget_conserved() {
+    fn fraction_request_budget_conserved() {
         let budget = 4.0;
-        let pts = cycle_fraction_sweep(1, budget, 2, &[0.25, 0.5, 0.75]);
-        for pt in &pts {
+        let req = cycle_fraction_sweep_request(1, budget, 2, &[0.25, 0.5, 0.75]);
+        assert_eq!(req.axis, SweepAxis::CycleFraction { class: 1 });
+        for pt in &req.points {
             let total: f64 = (0..4).map(|p| pt.model.class(p).quantum.mean()).sum();
             assert!((total - budget).abs() < 1e-9, "total {total}");
             assert!((pt.model.class(1).quantum.mean() - pt.x * budget).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn deprecated_wrappers_match_requests() {
+        #[allow(deprecated)]
+        let pts = quantum_sweep(0.4, 2, &[1.0, 2.0]);
+        let req = quantum_sweep_request(0.4, 2, &[1.0, 2.0]);
+        assert_eq!(pts.len(), req.points.len());
+        for (a, b) in pts.iter().zip(req.points.iter()) {
+            assert_eq!(a.x, b.x);
+        }
+    }
+
+    #[test]
+    fn figure_catalog_is_consistent() {
+        for fig in Figure::ALL {
+            assert_eq!(Figure::from_name(fig.name()), Some(fig));
+            let quick = fig.request(true);
+            let full = fig.request(false);
+            assert_eq!(quick.base.label, fig.name());
+            assert!(quick.len() >= 2);
+            assert!(full.len() > quick.len());
+            for req in [&quick, &full] {
+                for w in req.points.windows(2) {
+                    assert!(w[0].x < w[1].x, "points ordered along the axis");
+                }
+            }
+        }
+        assert_eq!(Figure::from_name("fig9"), None);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Determinism and warm-start accuracy of the engine pool on the paper's
+//! figure grids (the `--quick` variants, to keep debug-mode runs cheap).
+//!
+//! * Parallel sweeps must be bitwise identical to sequential ones: the
+//!   chunk layout — and therefore every warm-start chain — depends only on
+//!   the point count, never on the worker count.
+//! * Warm-started solves must land on the cold-start fixed point: warm
+//!   starting changes the iteration path, not the answer, so the results
+//!   may differ only within the solver's fixed-point tolerance.
+
+use gsched_engine::{run_sweep, SweepOptions, SweepReport};
+use gsched_workload::figures::Figure;
+
+fn response_bits(report: &SweepReport, classes: usize) -> Vec<Vec<u64>> {
+    report
+        .points
+        .iter()
+        .map(|p| {
+            p.mean_responses(classes)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_sweeps_match_sequential_bitwise() {
+    for fig in Figure::ALL {
+        let req = fig.request(true);
+        let classes = req.points[0].model.num_classes();
+        let seq = run_sweep(&req, &SweepOptions::default().with_jobs(1));
+        let par = run_sweep(&req, &SweepOptions::default().with_jobs(3));
+        assert_eq!(seq.failures(), 0, "{} sequential", fig.name());
+        assert_eq!(par.failures(), 0, "{} parallel", fig.name());
+        assert_eq!(
+            response_bits(&seq, classes),
+            response_bits(&par, classes),
+            "{}: parallel sweep diverged from sequential",
+            fig.name()
+        );
+        assert_eq!(seq.stats.warm_hits, par.stats.warm_hits, "{}", fig.name());
+    }
+}
+
+#[test]
+fn warm_starts_converge_to_cold_answers() {
+    // Fig2 exercises the quantum axis (the warmest chains), Fig4 the
+    // service-rate axis; together they cover both sweep shapes cheaply.
+    for fig in [Figure::Fig2, Figure::Fig4] {
+        let req = fig.request(true);
+        let classes = req.points[0].model.num_classes();
+        let warm = run_sweep(&req, &SweepOptions::default().with_jobs(1));
+        let cold = run_sweep(
+            &req,
+            &SweepOptions::default().with_jobs(1).with_warm_start(false),
+        );
+        // Fig4's quick grid is 2 points (1 cold + 1 warm = exactly 50%);
+        // longer grids exceed it.
+        let min_rate = if req.len() > 2 { 0.5 } else { 0.49 };
+        assert!(
+            warm.stats.warm_hit_rate() >= min_rate,
+            "{}: hit rate {}",
+            fig.name(),
+            warm.stats.warm_hit_rate()
+        );
+        assert_eq!(cold.stats.warm_hits, 0);
+        for (w, c) in warm.points.iter().zip(cold.points.iter()) {
+            for (rw, rc) in w
+                .mean_responses(classes)
+                .iter()
+                .zip(c.mean_responses(classes).iter())
+            {
+                let rel = (rw - rc).abs() / rc.abs().max(1e-12);
+                assert!(
+                    rel < 1e-3,
+                    "{} x={}: warm {rw} vs cold {rc} (rel {rel:.3e})",
+                    fig.name(),
+                    w.x
+                );
+            }
+        }
+    }
+}

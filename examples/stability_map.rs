@@ -30,10 +30,10 @@ fn main() {
         });
         let ht = solve(
             &model,
-            &SolverOptions {
-                mode: VacationMode::HeavyTraffic,
-                ..Default::default()
-            },
+            &SolverOptions::builder()
+                .mode(VacationMode::HeavyTraffic)
+                .build()
+                .unwrap(),
         );
         let fp = solve(&model, &SolverOptions::default());
         let fmt = |r: &Result<gang_scheduling::solver::GangSolution, _>| match r {

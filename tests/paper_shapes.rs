@@ -2,7 +2,9 @@
 //! coarse grids (the full grids run in the `gsched-repro` binaries).
 
 use gang_scheduling::solver::{solve, SolverOptions};
-use gang_scheduling::workload::figures::{cycle_fraction_sweep, quantum_sweep, service_rate_sweep};
+use gang_scheduling::workload::figures::{
+    cycle_fraction_sweep_request, quantum_sweep_request, service_rate_sweep_request,
+};
 
 fn n_of(model: &gang_scheduling::model::GangModel, class: usize) -> f64 {
     solve(model, &SolverOptions::default()).unwrap().classes[class].mean_jobs
@@ -16,7 +18,7 @@ fn fig2_shape_u_curve_at_rho_04() {
     // tests/analysis_vs_simulation.rs and EXPERIMENTS.md).
     // The knee sits further left for the light narrow classes (class 3's
     // minimum is near q = 0.2), so probe two moderate quanta.
-    let pts = quantum_sweep(0.4, 2, &[0.05, 0.2, 0.75, 6.0]);
+    let pts = quantum_sweep_request(0.4, 2, &[0.05, 0.2, 0.75, 6.0]).points;
     for class in 0..4 {
         let n: Vec<f64> = pts.iter().map(|pt| n_of(&pt.model, class)).collect();
         let knee = n[1].min(n[2]);
@@ -46,7 +48,7 @@ fn fig2_shape_u_curve_at_rho_04() {
 #[test]
 fn fig2_class_ordering() {
     // With service ratios 0.5:1:2:4, class 0 dominates at every quantum.
-    let pts = quantum_sweep(0.4, 2, &[0.5, 2.0]);
+    let pts = quantum_sweep_request(0.4, 2, &[0.5, 2.0]).points;
     for pt in &pts {
         let sol = solve(&pt.model, &SolverOptions::default()).unwrap();
         for p in 0..3 {
@@ -67,8 +69,8 @@ fn fig3_heavier_load_amplifies_everything() {
     // steeper. Class 0 at rho=0.9 is saturated at short quanta (it needs
     // ~68% of the machine) — checked separately below.
     let quanta = [0.75, 4.0];
-    let light = quantum_sweep(0.4, 2, &quanta);
-    let heavy = quantum_sweep(0.9, 2, &quanta);
+    let light = quantum_sweep_request(0.4, 2, &quanta).points;
+    let heavy = quantum_sweep_request(0.9, 2, &quanta).points;
     let n_of_pt = |pt: &gang_scheduling::workload::figures::SweepPoint, class: usize| -> f64 {
         solve(&pt.model, &SolverOptions::default()).unwrap().classes[class].mean_jobs
     };
@@ -93,7 +95,7 @@ fn fig3_class0_saturation_crossover() {
     // At rho = 0.9 class 0 is unstable at short quanta and recovers at
     // long ones — the "worst-case quantum length" the paper's model is
     // meant to compute (§6).
-    let pts = quantum_sweep(0.9, 2, &[1.0, 6.0]);
+    let pts = quantum_sweep_request(0.9, 2, &[1.0, 6.0]).points;
     let short = solve(&pts[0].model, &SolverOptions::default()).unwrap();
     assert!(
         !short.classes[0].stable,
@@ -110,7 +112,7 @@ fn fig3_class0_saturation_crossover() {
 
 #[test]
 fn fig4_service_rate_diminishing_returns() {
-    let pts = service_rate_sweep(2, &[2.0, 4.0, 10.0, 20.0]);
+    let pts = service_rate_sweep_request(2, &[2.0, 4.0, 10.0, 20.0]).points;
     for class in 0..4 {
         let n: Vec<f64> = pts.iter().map(|pt| n_of(&pt.model, class)).collect();
         // Monotone decreasing…
@@ -130,7 +132,7 @@ fn fig4_service_rate_diminishing_returns() {
 #[test]
 fn fig5_own_fraction_monotone() {
     for class in [0usize, 3] {
-        let pts = cycle_fraction_sweep(class, 4.0, 2, &[0.2, 0.5, 0.8]);
+        let pts = cycle_fraction_sweep_request(class, 4.0, 2, &[0.2, 0.5, 0.8]).points;
         let n: Vec<f64> = pts.iter().map(|pt| n_of(&pt.model, class)).collect();
         for w in n.windows(2) {
             assert!(
