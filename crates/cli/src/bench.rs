@@ -13,7 +13,8 @@
 use gsched_core::model::GangModel;
 use gsched_engine::{run_sweep, SweepOptions, SweepRequest};
 use gsched_obs as obs;
-use gsched_sim::{GangPolicy, GangSim, SimConfig};
+use gsched_scenario::Scenario as ScenarioIr;
+use gsched_sim::{simulate, Policy, SimConfig};
 use gsched_workload::figures::Figure;
 use gsched_workload::{paper_model, PaperConfig};
 use serde::{Deserialize, Serialize};
@@ -104,12 +105,16 @@ impl BenchReport {
 enum Workload {
     /// Evaluate a figure sweep on the engine pool (warm-started).
     Sweep(SweepRequest),
-    /// One gang-simulator run to the given horizon.
-    Sim { model: GangModel, horizon: f64 },
+    /// One simulator run under `policy` to the given horizon.
+    Sim {
+        model: GangModel,
+        policy: Policy,
+        horizon: f64,
+    },
 }
 
 struct Scenario {
-    name: &'static str,
+    name: String,
     workload: Workload,
 }
 
@@ -124,12 +129,13 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
                 Figure::Fig3 => "fig3_quantum_sweep_rho06",
                 Figure::Fig4 => "fig4_service_rate_sweep",
                 Figure::Fig5 => "fig5_cycle_fraction_sweep",
-            },
+            }
+            .to_string(),
             workload: Workload::Sweep(fig.request(quick)),
         })
         .collect();
     out.push(Scenario {
-        name: "sim_gang_rho06",
+        name: "sim_gang_rho06".to_string(),
         workload: Workload::Sim {
             model: paper_model(&PaperConfig {
                 lambda: 0.6,
@@ -137,10 +143,32 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
                 quantum_stages: 2,
                 overhead_mean: 0.01,
             }),
+            policy: Policy::Gang,
             horizon: if quick { 2_000.0 } else { 20_000.0 },
         },
     });
     out
+}
+
+/// Bench workload for one scenario-IR entry (`--scenario`): its declared
+/// sweep when it has one, otherwise a single simulator run under its
+/// policy.
+fn ir_scenario(sc: &ScenarioIr, quick: bool) -> Result<Scenario, String> {
+    let workload = if sc.sweep.is_some() {
+        Workload::Sweep(sc.sweep_request(quick).map_err(|e| e.to_string())?)
+    } else {
+        let model = sc.build_model().map_err(|e| e.to_string())?;
+        let horizon = sc.sim_config(if quick { 0.1 } else { 1.0 }).horizon;
+        Workload::Sim {
+            model,
+            policy: sc.policy,
+            horizon,
+        }
+    };
+    Ok(Scenario {
+        name: sc.name.clone(),
+        workload,
+    })
 }
 
 /// `NaN`-free view of a histogram extreme for the JSON schema.
@@ -184,14 +212,18 @@ fn run_scenario(sc: &Scenario, reps: u64, jobs: usize) -> ScenarioResult {
                 let report = run_sweep(req, &SweepOptions::default().with_jobs(1));
                 points = report.points.len() as u64;
             }
-            Workload::Sim { model, horizon } => {
+            Workload::Sim {
+                model,
+                policy,
+                horizon,
+            } => {
                 let cfg = SimConfig {
                     horizon: *horizon,
                     warmup: horizon / 10.0,
                     seed: 7,
                     batches: 20,
                 };
-                let _ = GangSim::new(model, GangPolicy::SystemWide, cfg).run();
+                let _ = simulate(model, *policy, cfg);
                 points += 1;
             }
         }
@@ -221,7 +253,7 @@ fn run_scenario(sc: &Scenario, reps: u64, jobs: usize) -> ScenarioResult {
         Workload::Sim { .. } => "sim",
     };
     ScenarioResult {
-        name: sc.name.to_string(),
+        name: sc.name.clone(),
         kind: kind.to_string(),
         wall_ms: seq_ms,
         points,
@@ -239,9 +271,15 @@ fn run_scenario(sc: &Scenario, reps: u64, jobs: usize) -> ScenarioResult {
     }
 }
 
-/// Run the full scenario set. `jobs = 0` picks `min(4, cores)` for the
-/// parallel sweep pass.
-pub fn run_bench(label: &str, reps: u64, quick: bool, jobs: usize) -> BenchReport {
+/// Run the canonical scenario set, or just `only` when a `--scenario` was
+/// given. `jobs = 0` picks `min(4, cores)` for the parallel sweep pass.
+pub fn run_bench(
+    label: &str,
+    reps: u64,
+    quick: bool,
+    jobs: usize,
+    only: Option<&ScenarioIr>,
+) -> Result<BenchReport, String> {
     let reps = reps.max(1);
     let jobs = if jobs == 0 {
         std::thread::available_parallelism()
@@ -250,19 +288,23 @@ pub fn run_bench(label: &str, reps: u64, quick: bool, jobs: usize) -> BenchRepor
     } else {
         jobs
     };
+    let set = match only {
+        Some(sc) => vec![ir_scenario(sc, quick)?],
+        None => scenarios(quick),
+    };
     let mut results = Vec::new();
-    for sc in scenarios(quick) {
+    for sc in set {
         eprintln!("bench: running {} ({} reps)...", sc.name, reps);
         results.push(run_scenario(&sc, reps, jobs));
     }
-    BenchReport {
+    Ok(BenchReport {
         schema_version: BENCH_SCHEMA_VERSION,
         label: label.to_string(),
         reps,
         quick,
         jobs: jobs as u64,
         scenarios: results,
-    }
+    })
 }
 
 /// Outcome of comparing a run against a baseline.
@@ -455,7 +497,8 @@ mod tests {
 
     #[test]
     fn quick_scenarios_cover_fig2_to_fig5_and_sim() {
-        let names: Vec<&str> = scenarios(true).iter().map(|s| s.name).collect();
+        let set = scenarios(true);
+        let names: Vec<&str> = set.iter().map(|s| s.name.as_str()).collect();
         for want in ["fig2", "fig3", "fig4", "fig5", "sim_"] {
             assert!(
                 names.iter().any(|n| n.starts_with(want)),

@@ -1,25 +1,43 @@
 //! `gsched` — solve, simulate, and tune gang-scheduled parallel machines.
 //!
 //! ```text
-//! gsched solve     <model.json> [--mode ht|m2|m3|exact] [--json]
-//! gsched simulate  <model.json> [--policy gang|lend|rr|fcfs]
+//! gsched solve     <model.json | --scenario S> [--mode ht|m2|m3|exact] [--json]
+//! gsched simulate  <model.json | --scenario S> [--policy gang|lend|rr|fcfs]
 //!                               [--horizon T] [--warmup T] [--seed N] [--json]
-//! gsched sweep     [fig2|fig3|fig4|fig5|all] [--jobs N] [--quick]
+//! gsched sweep     [fig2|fig3|fig4|fig5|all | --scenario S] [--jobs N] [--quick]
 //!                  [--no-warm] [--parity-check] [--json]
+//! gsched validate  [<scenario>...] [--json]
+//! gsched xval      <scenario | all> [--points N] [--full]
+//!                  [--horizon-scale F] [--json]
 //! gsched tune      <model.json> [--lo Q] [--hi Q] [--objective total|max] [--json]
 //! gsched stability <model.json> [--class P] [--lo Q] [--hi Q]
-//! gsched doctor    <model.json> [--mode ht|m2|m3|exact] [--json]
-//! gsched bench     [--label L] [--reps N] [--jobs N] [--quick] [--out DIR]
-//!                  [--compare BENCH.json] [--threshold FRAC]
+//! gsched doctor    <model.json | --scenario S> [--mode ht|m2|m3|exact] [--json]
+//! gsched bench     [--scenario S] [--label L] [--reps N] [--jobs N] [--quick]
+//!                  [--out DIR] [--compare BENCH.json] [--threshold FRAC]
 //! gsched paper     [--rho R] [--quantum Q] [--json]
 //! gsched example-model
+//! gsched example-scenario
 //! ```
+//!
+//! A `--scenario S` (or a bare `<scenario>` argument to `validate`/`xval`)
+//! is either a registry name (`fig2` … `near_instability`; see
+//! `gsched-scenario`) or a path to a scenario JSON file. The same scenario
+//! drives the analytic solver, the engine sweeps, and the simulator — one
+//! description, every backend.
 //!
 //! `gsched sweep` evaluates the paper's figure sweeps on the
 //! `gsched-engine` work-stealing pool: `--jobs N` sets the worker count
 //! (0 = all cores), `--no-warm` disables neighbour warm starting, and
 //! `--parity-check` re-runs the sweep single-threaded and fails unless the
 //! parallel results match to 1e-10.
+//!
+//! `gsched validate` lints scenarios (schema, grids, solvability) and
+//! reports per-class stability with drift margins; it exits non-zero when
+//! any scenario has an error-level issue. With no arguments it validates
+//! the whole registry. `gsched xval` cross-validates the analytic solver
+//! against the discrete-event simulator from the same scenario and fails
+//! when any class's mean response disagrees beyond the scenario's declared
+//! tolerance.
 //!
 //! Every subcommand also accepts the diagnostics flags:
 //!
@@ -40,21 +58,22 @@
 //! `BENCH_<label>.json`; with `--compare` it exits non-zero when a scenario's
 //! wall time regresses beyond the threshold.
 //!
-//! Model files are JSON (see [`spec`]); `gsched example-model` prints a
-//! template.
+//! Model files are JSON (see `gsched_scenario::ModelSpec`); `gsched
+//! example-model` and `gsched example-scenario` print templates.
 
 mod bench;
-mod spec;
 
 use gsched_core::model::GangModel;
 use gsched_core::solver::{solve, GangSolution, SolverOptions, VacationMode};
 use gsched_core::tuning::{optimize_common_quantum, stability_threshold_quantum, Objective};
-use gsched_engine::{run_sweep, SweepOptions, SweepReport};
-use gsched_sim::baselines::{SpaceSharingSim, TimeSharingSim};
-use gsched_sim::{GangPolicy, GangSim, SimConfig, SimResult};
+use gsched_engine::{run_sweep, SweepOptions, SweepReport, SweepRequest};
+use gsched_scenario::{
+    cross_validate, registry, validate_report, LintLevel, ModelSpec, Policy, Scenario, XvalOptions,
+    XvalReport,
+};
+use gsched_sim::{simulate, SimConfig, SimResult};
 use gsched_workload::figures::Figure;
 use gsched_workload::{paper_model, PaperConfig};
-use spec::ModelSpec;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -79,6 +98,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "solve" => cmd_solve(rest),
         "simulate" => cmd_simulate(rest),
         "sweep" => cmd_sweep(rest),
+        "validate" => cmd_validate(rest),
+        "xval" => cmd_xval(rest),
         "tune" => cmd_tune(rest),
         "stability" => cmd_stability(rest),
         "doctor" => cmd_doctor(rest),
@@ -86,6 +107,11 @@ fn run(args: &[String]) -> Result<(), String> {
         "paper" => cmd_paper(rest),
         "example-model" => {
             println!("{}", example_model_json());
+            Ok(())
+        }
+        "example-scenario" => {
+            let sc = registry::lookup("fig2").expect("fig2 is registered");
+            println!("{}", sc.to_json());
             Ok(())
         }
         "--help" | "-h" | "help" => {
@@ -101,18 +127,23 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  gsched solve     <model.json> [--mode ht|m2|m3|exact] [--json]\n  \
-         gsched simulate  <model.json> [--policy gang|lend|rr|fcfs] [--horizon T] [--warmup T] [--seed N] [--json]\n  \
-         gsched sweep     [fig2|fig3|fig4|fig5|all] [--jobs N] [--quick] [--no-warm] [--parity-check] [--json]\n  \
+        "usage:\n  gsched solve     <model.json | --scenario S> [--mode ht|m2|m3|exact] [--json]\n  \
+         gsched simulate  <model.json | --scenario S> [--policy gang|lend|rr|fcfs] [--horizon T] [--warmup T] [--seed N] [--json]\n  \
+         gsched sweep     [fig2|fig3|fig4|fig5|all | --scenario S] [--jobs N] [--quick] [--no-warm] [--parity-check] [--json]\n  \
+         gsched validate  [<scenario>...] [--json]\n  \
+         gsched xval      <scenario | all> [--points N] [--full] [--horizon-scale F] [--json]\n  \
          gsched tune      <model.json> [--lo Q] [--hi Q] [--objective total|max] [--json]\n  \
          gsched stability <model.json> [--class P] [--lo Q] [--hi Q]\n  \
-         gsched doctor    <model.json> [--mode ht|m2|m3|exact] [--json]\n  \
-         gsched bench     [--label L] [--reps N] [--jobs N] [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC]\n  \
+         gsched doctor    <model.json | --scenario S> [--mode ht|m2|m3|exact] [--json]\n  \
+         gsched bench     [--scenario S] [--label L] [--reps N] [--jobs N] [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC]\n  \
          gsched paper     [--rho R] [--quantum Q] [--json]\n  \
-         gsched example-model\n\
+         gsched example-model\n  \
+         gsched example-scenario\n\
+         a scenario S is a registry name ({}) or a scenario JSON file.\n\
          diagnostics (any subcommand): --diag <path> writes a JSON metrics \
          snapshot; --trace <path> writes a Chrome Trace Event file \
-         (Perfetto); -v prints a report to stderr (-vv adds events)"
+         (Perfetto); -v prints a report to stderr (-vv adds events)",
+        registry::NAMES.join("|")
     );
 }
 
@@ -131,6 +162,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
             if name == "json"
                 || name == "percentiles"
                 || name == "quick"
+                || name == "full"
                 || name == "no-warm"
                 || name == "parity-check"
             {
@@ -223,6 +255,42 @@ impl Diagnostics {
 fn load_model(path: &str) -> Result<GangModel, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     ModelSpec::from_json(&text)?.build()
+}
+
+/// Resolve a `--scenario` argument: an existing path (or anything ending
+/// in `.json`) is parsed as a scenario file, anything else is looked up in
+/// the registry.
+fn load_scenario(arg: &str) -> Result<Scenario, String> {
+    if arg.ends_with(".json") || std::path::Path::new(arg).exists() {
+        let text = std::fs::read_to_string(arg).map_err(|e| format!("cannot read `{arg}`: {e}"))?;
+        Scenario::from_json(&text).map_err(|e| format!("`{arg}`: {e}"))
+    } else {
+        registry::lookup(arg).ok_or_else(|| {
+            format!(
+                "unknown scenario `{arg}` (registry: {})",
+                registry::NAMES.join(", ")
+            )
+        })
+    }
+}
+
+/// A subcommand's model source: either a positional `<model.json>` or
+/// `--scenario <name|file>`, never both.
+fn resolve_model(
+    cmd: &str,
+    pos: &[String],
+    flags: &HashMap<String, String>,
+) -> Result<GangModel, String> {
+    match (flags.get("scenario"), pos.first()) {
+        (Some(_), Some(_)) => Err(format!(
+            "{cmd}: give either <model.json> or --scenario, not both"
+        )),
+        (Some(arg), None) => load_scenario(arg)?.build_model().map_err(|e| e.to_string()),
+        (None, Some(path)) => load_model(path),
+        (None, None) => Err(format!(
+            "{cmd}: missing <model.json> (or --scenario <name|file>)"
+        )),
+    }
 }
 
 fn solver_options(flags: &HashMap<String, String>) -> Result<SolverOptions, String> {
@@ -331,8 +399,7 @@ fn json_f64(v: f64) -> String {
 
 fn cmd_solve(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
-    let path = pos.first().ok_or("solve: missing <model.json>")?;
-    let model = load_model(path)?;
+    let model = resolve_model("solve", &pos, &flags)?;
     let opts = solver_options(&flags)?;
     let diag = Diagnostics::from_flags(&flags);
     let sol = solve(&model, &opts).map_err(|e| e.to_string());
@@ -393,25 +460,44 @@ fn sim_json(r: &SimResult) -> String {
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
-    let path = pos.first().ok_or("simulate: missing <model.json>")?;
-    let model = load_model(path)?;
-    let horizon = flag_f64(&flags, "horizon", 200_000.0)?;
-    let warmup = flag_f64(&flags, "warmup", horizon / 10.0)?;
-    let seed = flag_f64(&flags, "seed", 1.0)? as u64;
-    let cfg = SimConfig {
-        horizon,
-        warmup,
-        seed,
-        batches: 20,
+    // A scenario supplies model, policy, and sim config in one place;
+    // explicit flags still override its choices.
+    let (model, mut cfg, mut policy) = match (flags.get("scenario"), pos.first()) {
+        (Some(_), Some(_)) => {
+            return Err("simulate: give either <model.json> or --scenario, not both".to_string())
+        }
+        (Some(arg), None) => {
+            let sc = load_scenario(arg)?;
+            let model = sc.build_model().map_err(|e| e.to_string())?;
+            (model, sc.sim_config(1.0), sc.policy)
+        }
+        (None, Some(path)) => {
+            let cfg = SimConfig {
+                horizon: 200_000.0,
+                warmup: 20_000.0,
+                seed: 1,
+                batches: 20,
+            };
+            (load_model(path)?, cfg, Policy::Gang)
+        }
+        (None, None) => {
+            return Err("simulate: missing <model.json> (or --scenario <name|file>)".to_string())
+        }
     };
+    if let Some(name) = flags.get("policy") {
+        policy = Policy::from_name(name)
+            .ok_or_else(|| format!("unknown --policy `{name}` (gang|lend|rr|fcfs)"))?;
+    }
+    cfg.horizon = flag_f64(&flags, "horizon", cfg.horizon)?;
+    let default_warmup = if flags.contains_key("horizon") {
+        cfg.horizon / 10.0
+    } else {
+        cfg.warmup
+    };
+    cfg.warmup = flag_f64(&flags, "warmup", default_warmup)?;
+    cfg.seed = flag_f64(&flags, "seed", cfg.seed as f64)? as u64;
     let diag = Diagnostics::from_flags(&flags);
-    let result = match flags.get("policy").map(|s| s.as_str()).unwrap_or("gang") {
-        "gang" => GangSim::new(&model, GangPolicy::SystemWide, cfg).run(),
-        "lend" => GangSim::new(&model, GangPolicy::PerPartition, cfg).run(),
-        "rr" => TimeSharingSim::new(&model, cfg).run(),
-        "fcfs" => SpaceSharingSim::new(&model, cfg).run(),
-        other => return Err(format!("unknown --policy `{other}` (gang|lend|rr|fcfs)")),
-    };
+    let result = simulate(&model, policy, cfg);
     diag.finish()?;
     if flags.contains_key("json") {
         println!("{}", sim_json(&result));
@@ -440,7 +526,7 @@ fn sweep_divergence(a: &SweepReport, b: &SweepReport, classes: usize) -> f64 {
     worst
 }
 
-fn sweep_report_json(fig: Figure, report: &SweepReport, classes: usize) -> String {
+fn sweep_report_json(name: &str, report: &SweepReport, classes: usize) -> String {
     let points: Vec<String> = report
         .points
         .iter()
@@ -468,7 +554,7 @@ fn sweep_report_json(fig: Figure, report: &SweepReport, classes: usize) -> Strin
         .collect();
     format!(
         r#"{{"figure":{},"axis":{},"jobs":{},"chunks":{},"warm_hits":{},"warm_misses":{},"warm_hit_rate":{},"wall_ms":{},"points":[{}]}}"#,
-        json_str(fig.name()),
+        json_str(name),
         json_str(&report.axis.label()),
         report.stats.jobs,
         report.stats.chunks,
@@ -480,10 +566,10 @@ fn sweep_report_json(fig: Figure, report: &SweepReport, classes: usize) -> Strin
     )
 }
 
-fn print_sweep_human(fig: Figure, report: &SweepReport, classes: usize) {
+fn print_sweep_human(name: &str, report: &SweepReport, classes: usize) {
     println!(
         "{}: {} points, {} jobs, {} chunks, warm hit rate {:.0}%, {:.1} ms",
-        fig.name(),
+        name,
         report.points.len(),
         report.stats.jobs,
         report.stats.chunks,
@@ -523,14 +609,27 @@ fn print_sweep_human(fig: Figure, report: &SweepReport, classes: usize) {
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
-    let which = pos.first().map(String::as_str).unwrap_or("all");
-    let figures: Vec<Figure> = if which == "all" {
-        Figure::ALL.to_vec()
-    } else {
-        vec![Figure::from_name(which)
-            .ok_or_else(|| format!("unknown figure `{which}` (fig2|fig3|fig4|fig5|all)"))?]
-    };
     let quick = flags.contains_key("quick");
+    let requests: Vec<(String, SweepRequest)> = if let Some(arg) = flags.get("scenario") {
+        if !pos.is_empty() {
+            return Err("sweep: give either a figure name or --scenario, not both".to_string());
+        }
+        let sc = load_scenario(arg)?;
+        let req = sc.sweep_request(quick).map_err(|e| e.to_string())?;
+        vec![(sc.name.clone(), req)]
+    } else {
+        let which = pos.first().map(String::as_str).unwrap_or("all");
+        let figures: Vec<Figure> = if which == "all" {
+            Figure::ALL.to_vec()
+        } else {
+            vec![Figure::from_name(which)
+                .ok_or_else(|| format!("unknown figure `{which}` (fig2|fig3|fig4|fig5|all)"))?]
+        };
+        figures
+            .into_iter()
+            .map(|fig| (fig.name().to_string(), fig.request(quick)))
+            .collect()
+    };
     let jobs = flag_f64(&flags, "jobs", 0.0)? as usize;
     let solver = solver_options(&flags)?;
     let opts = SweepOptions::default()
@@ -542,29 +641,27 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut json_reports = Vec::new();
     let mut failures = 0;
     let mut parity_errors = Vec::new();
-    for fig in figures {
-        let req = fig.request(quick);
+    for (name, req) in &requests {
         let classes = req
             .points
             .first()
             .map(|p| p.model.num_classes())
             .unwrap_or(0);
-        let report = run_sweep(&req, &opts);
+        let report = run_sweep(req, &opts);
         failures += report.failures();
         if parity {
-            let seq = run_sweep(&req, &opts.clone().with_jobs(1));
+            let seq = run_sweep(req, &opts.clone().with_jobs(1));
             let div = sweep_divergence(&report, &seq, classes);
             if div > 1e-10 {
                 parity_errors.push(format!(
-                    "{}: parallel vs sequential diverge by {div:.3e} (> 1e-10)",
-                    fig.name()
+                    "{name}: parallel vs sequential diverge by {div:.3e} (> 1e-10)"
                 ));
             }
         }
         if flags.contains_key("json") {
-            json_reports.push(sweep_report_json(fig, &report, classes));
+            json_reports.push(sweep_report_json(name, &report, classes));
         } else {
-            print_sweep_human(fig, &report, classes);
+            print_sweep_human(name, &report, classes);
         }
     }
     diag.finish()?;
@@ -578,6 +675,220 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     }
     if parity && !flags.contains_key("json") {
         println!("parity check passed (sequential vs parallel within 1e-10)");
+    }
+    Ok(())
+}
+
+fn validation_json(rep: &gsched_scenario::ValidationReport) -> String {
+    let issues: Vec<String> = rep
+        .issues
+        .iter()
+        .map(|i| {
+            let level = match i.level {
+                LintLevel::Error => "error",
+                LintLevel::Warning => "warning",
+            };
+            format!(
+                r#"{{"level":{},"message":{}}}"#,
+                json_str(level),
+                json_str(&i.message)
+            )
+        })
+        .collect();
+    let classes: Vec<String> = rep
+        .classes
+        .iter()
+        .map(|c| {
+            format!(
+                r#"{{"class":{},"utilization":{},"stable":{},"drift_margin":{}}}"#,
+                c.class,
+                json_f64(c.utilization),
+                c.stable,
+                json_f64(c.drift_margin)
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"name":{},"ok":{},"issues":[{}],"classes":[{}]}}"#,
+        json_str(&rep.name),
+        rep.ok(),
+        issues.join(","),
+        classes.join(",")
+    )
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let scenarios: Vec<Scenario> = if pos.is_empty() {
+        registry::all()
+    } else {
+        pos.iter()
+            .map(|arg| load_scenario(arg))
+            .collect::<Result<_, _>>()?
+    };
+    let solver = solver_options(&flags)?;
+    let diag = Diagnostics::from_flags(&flags);
+    let reports: Vec<gsched_scenario::ValidationReport> = scenarios
+        .iter()
+        .map(|sc| validate_report(sc, &solver))
+        .collect();
+    diag.finish()?;
+    let mut errors = 0;
+    if flags.contains_key("json") {
+        let items: Vec<String> = reports.iter().map(validation_json).collect();
+        println!("[{}]", items.join(","));
+        errors = reports.iter().filter(|r| !r.ok()).count();
+    } else {
+        for rep in &reports {
+            let verdict = if rep.ok() { "ok" } else { "FAILED" };
+            println!("{}: {verdict}", rep.name);
+            for c in &rep.classes {
+                println!(
+                    "  class {}: rho = {:.4}, stable = {}, drift margin = {:+.4}",
+                    c.class, c.utilization, c.stable, c.drift_margin
+                );
+            }
+            for issue in &rep.issues {
+                let tag = match issue.level {
+                    LintLevel::Error => "ERROR",
+                    LintLevel::Warning => "warn",
+                };
+                println!("  {tag}: {}", issue.message);
+            }
+            if !rep.ok() {
+                errors += 1;
+            }
+        }
+    }
+    if errors > 0 {
+        return Err(format!("{errors} scenario(s) failed validation"));
+    }
+    Ok(())
+}
+
+fn xval_json(rep: &XvalReport) -> String {
+    let points: Vec<String> = rep
+        .points
+        .iter()
+        .map(|p| {
+            let rows: Vec<String> = p
+                .rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        r#"{{"class":{},"analytic":{},"simulated":{},"sim_ci95":{},"gap":{},"tolerance":{},"pass":{}}}"#,
+                        r.class,
+                        json_f64(r.analytic),
+                        json_f64(r.simulated),
+                        json_f64(r.sim_ci95),
+                        json_f64(r.gap),
+                        json_f64(r.tolerance),
+                        r.pass
+                    )
+                })
+                .collect();
+            format!(
+                r#"{{"x":{},"skipped_unstable":{},"rows":[{}]}}"#,
+                p.x.map(json_f64).unwrap_or_else(|| "null".to_string()),
+                p.skipped_unstable,
+                rows.join(",")
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"scenario":{},"policy":{},"passed":{},"compared_points":{},"points":[{}]}}"#,
+        json_str(&rep.scenario),
+        json_str(&rep.policy),
+        rep.passed(),
+        rep.compared_points(),
+        points.join(",")
+    )
+}
+
+fn print_xval_human(rep: &XvalReport) {
+    println!(
+        "{} ({}): {} point(s) compared, {} failure(s)",
+        rep.scenario,
+        rep.policy,
+        rep.compared_points(),
+        rep.failures().len()
+    );
+    println!(
+        "{:>10} {:>5} {:>12} {:>12} {:>10} {:>10} {:>6}",
+        "x", "class", "analytic T", "sim T", "gap", "tol", "pass"
+    );
+    for p in &rep.points {
+        let x =
+            p.x.map(|x| format!("{x:.4}"))
+                .unwrap_or_else(|| "-".to_string());
+        if p.skipped_unstable {
+            println!("{x:>10} {:>5} analytically unstable; skipped", "-");
+            continue;
+        }
+        for r in &p.rows {
+            println!(
+                "{x:>10} {:>5} {:>12.4} {:>12.4} {:>10.4} {:>10.4} {:>6}",
+                r.class, r.analytic, r.simulated, r.gap, r.tolerance, r.pass
+            );
+        }
+    }
+}
+
+fn cmd_xval(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let which = pos
+        .first()
+        .ok_or("xval: missing <scenario> (registry name, file.json, or `all`)")?;
+    let scenarios: Vec<Scenario> = if which == "all" {
+        // Only analysis-comparable policies can be cross-validated.
+        registry::all()
+            .into_iter()
+            .filter(|sc| sc.policy.analysis_comparable())
+            .collect()
+    } else {
+        vec![load_scenario(which)?]
+    };
+    let opts = XvalOptions {
+        solver: solver_options(&flags)?,
+        max_points: flag_f64(&flags, "points", 2.0)? as usize,
+        quick: !flags.contains_key("full"),
+        horizon_scale: flag_f64(&flags, "horizon-scale", 1.0)?,
+    };
+    if !(opts.horizon_scale.is_finite() && opts.horizon_scale > 0.0) {
+        return Err("--horizon-scale must be positive".to_string());
+    }
+    let diag = Diagnostics::from_flags(&flags);
+    let mut reports = Vec::new();
+    let mut result = Ok(());
+    for sc in &scenarios {
+        match cross_validate(sc, &opts) {
+            Ok(rep) => reports.push(rep),
+            Err(e) => {
+                result = Err(format!("{}: {e}", sc.name));
+                break;
+            }
+        }
+    }
+    diag.finish()?;
+    result?;
+    let failed: Vec<&str> = reports
+        .iter()
+        .filter(|r| !r.passed())
+        .map(|r| r.scenario.as_str())
+        .collect();
+    if flags.contains_key("json") {
+        let items: Vec<String> = reports.iter().map(xval_json).collect();
+        println!("[{}]", items.join(","));
+    } else {
+        for rep in &reports {
+            print_xval_human(rep);
+        }
+    }
+    if !failed.is_empty() {
+        return Err(format!(
+            "analysis and simulation disagree beyond tolerance for: {}",
+            failed.join(", ")
+        ));
     }
     Ok(())
 }
@@ -661,8 +972,7 @@ fn json_str(s: &str) -> String {
 
 fn cmd_doctor(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
-    let path = pos.first().ok_or("doctor: missing <model.json>")?;
-    let model = load_model(path)?;
+    let model = resolve_model("doctor", &pos, &flags)?;
     let mut opts = solver_options(&flags)?;
     opts.collect_health = true;
     let defaults = gsched_core::HealthThresholds::default();
@@ -737,7 +1047,11 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
     let reps = flag_f64(&flags, "reps", if quick { 1.0 } else { 3.0 })? as u64;
     let jobs = flag_f64(&flags, "jobs", 0.0)? as usize;
-    let report = bench::run_bench(&label, reps, quick, jobs);
+    let only = flags
+        .get("scenario")
+        .map(|arg| load_scenario(arg))
+        .transpose()?;
+    let report = bench::run_bench(&label, reps, quick, jobs, only.as_ref())?;
     let dir = flags.get("out").map(String::as_str).unwrap_or(".");
     let out_path = format!("{dir}/BENCH_{label}.json");
     gsched_obs::write_atomic(&out_path, report.to_json().as_bytes())

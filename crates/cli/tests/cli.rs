@@ -452,6 +452,219 @@ fn bench_rejects_bad_label() {
 }
 
 #[test]
+fn solve_scenario_by_registry_name() {
+    let out = gsched()
+        .args(["solve", "--scenario", "ablation", "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let parsed: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert_eq!(parsed["all_stable"], serde_json::Value::Bool(true));
+    assert_eq!(parsed["classes"].as_array().unwrap().len(), 4);
+}
+
+#[test]
+fn simulate_scenario_uses_its_config() {
+    let out = gsched()
+        .args([
+            "simulate",
+            "--scenario",
+            "ablation",
+            "--horizon",
+            "5000",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let parsed: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert!(parsed["classes"][0]["completions"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn sweep_accepts_scenario_flag() {
+    let out = gsched()
+        .args(["sweep", "--scenario", "fig4", "--quick", "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let parsed: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    let reports = parsed.as_array().unwrap();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0]["figure"].as_str().unwrap(), "fig4");
+    for p in reports[0]["points"].as_array().unwrap() {
+        assert_eq!(p["ok"], serde_json::Value::Bool(true));
+    }
+}
+
+#[test]
+fn validate_registry_scenario_reports_stability() {
+    let out = gsched()
+        .args(["validate", "fig2", "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let parsed: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    let rep = &parsed.as_array().unwrap()[0];
+    assert_eq!(rep["name"].as_str().unwrap(), "fig2");
+    assert_eq!(rep["ok"], serde_json::Value::Bool(true));
+    let classes = rep["classes"].as_array().unwrap();
+    assert_eq!(classes.len(), 4);
+    for c in classes {
+        assert_eq!(c["stable"], serde_json::Value::Bool(true));
+        assert!(c["drift_margin"].as_f64().unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn validate_fails_on_unstable_scenario_file() {
+    let dir = tmpdir("validate-unstable");
+    let scenario = r#"{
+      "name": "overload",
+      "machine": {
+        "processors": 4,
+        "classes": [
+          {
+            "partition_size": 4,
+            "arrival": { "type": "exponential", "rate": 5.0 },
+            "service": { "type": "exponential", "rate": 1.0 },
+            "quantum": { "type": "erlang", "stages": 2, "rate": 1.0 },
+            "switch_overhead": { "type": "exponential", "rate": 100.0 }
+          }
+        ]
+      }
+    }"#;
+    let path = dir.join("overload.json");
+    std::fs::write(&path, scenario).unwrap();
+    let out = gsched().arg("validate").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("failed validation"), "{err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ERROR"), "{text}");
+}
+
+#[test]
+fn xval_scenario_within_tolerance() {
+    let out = gsched()
+        .args([
+            "xval",
+            "ablation",
+            "--points",
+            "1",
+            "--horizon-scale",
+            "0.2",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let parsed: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    let rep = &parsed.as_array().unwrap()[0];
+    assert_eq!(rep["scenario"].as_str().unwrap(), "ablation");
+    assert_eq!(rep["passed"], serde_json::Value::Bool(true));
+    assert!(rep["compared_points"].as_u64().unwrap() >= 1);
+    let rows = rep["points"][0]["rows"].as_array().unwrap();
+    assert_eq!(rows.len(), 4);
+    for r in rows {
+        assert_eq!(r["pass"], serde_json::Value::Bool(true));
+        assert!(r["analytic"].as_f64().unwrap() > 0.0);
+        assert!(r["simulated"].as_f64().unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn example_scenario_round_trips_through_solve_and_validate() {
+    let out = gsched().arg("example-scenario").output().unwrap();
+    assert!(out.status.success());
+    let dir = tmpdir("scenario-roundtrip");
+    let path = dir.join("scenario.json");
+    std::fs::write(&path, &out.stdout).unwrap();
+    let solved = gsched()
+        .arg("solve")
+        .args(["--scenario", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        solved.status.success(),
+        "{}",
+        String::from_utf8_lossy(&solved.stderr)
+    );
+    let validated = gsched().arg("validate").arg(&path).output().unwrap();
+    assert!(
+        validated.status.success(),
+        "{}",
+        String::from_utf8_lossy(&validated.stderr)
+    );
+}
+
+#[test]
+fn bench_scenario_flag_runs_one_scenario() {
+    let dir = tmpdir("bench-scenario");
+    let out = gsched()
+        .arg("bench")
+        .args([
+            "--quick",
+            "--scenario",
+            "ablation",
+            "--label",
+            "one",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(dir.join("BENCH_one.json")).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let scenarios = parsed["scenarios"].as_array().unwrap();
+    assert_eq!(scenarios.len(), 1);
+    assert_eq!(scenarios[0]["name"].as_str().unwrap(), "ablation");
+    assert_eq!(scenarios[0]["kind"].as_str().unwrap(), "sim");
+}
+
+#[test]
+fn scenario_lookup_rejects_unknown_name() {
+    let out = gsched()
+        .args(["solve", "--scenario", "no_such_scenario"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown scenario"), "{err}");
+    assert!(err.contains("fig2"), "should list registry names: {err}");
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let out = gsched()
         .arg("solve")

@@ -10,6 +10,8 @@ pub enum SweepAxis {
     QuantumMean,
     /// Per-processor service rate of a designated class (Fig. 4).
     ServiceRate,
+    /// Common per-class arrival rate `λ` (offered-load sweeps).
+    ArrivalRate,
     /// Fraction of the cycle budget given to one class (Fig. 5).
     CycleFraction {
         /// The class whose share of the cycle is swept.
@@ -25,6 +27,7 @@ impl SweepAxis {
         match self {
             SweepAxis::QuantumMean => "quantum_mean".to_string(),
             SweepAxis::ServiceRate => "service_rate".to_string(),
+            SweepAxis::ArrivalRate => "arrival_rate".to_string(),
             SweepAxis::CycleFraction { class } => format!("cycle_fraction_class{class}"),
             SweepAxis::Custom(name) => name.clone(),
         }

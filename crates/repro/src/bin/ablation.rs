@@ -1,5 +1,6 @@
 //! Ablation study over the solver's design choices (documented in
-//! DESIGN.md):
+//! DESIGN.md), run on the registry scenario `ablation` (λ = 0.5,
+//! quantum mean 1):
 //!
 //! 1. **Vacation mode** — heavy-traffic only (Thm 4.1) vs fixed point with
 //!    2-moment compression vs 3-moment compression vs the exact truncated
@@ -12,19 +13,14 @@
 //! Run: `cargo run --release -p gsched-repro --bin ablation`
 
 use gsched_core::solver::{solve, SolverOptions, VacationMode};
-use gsched_workload::{paper_model, PaperConfig};
+use gsched_scenario::{registry, DistSpec};
 
 fn main() {
-    let base = PaperConfig {
-        lambda: 0.5,
-        quantum_mean: 1.0,
-        quantum_stages: 2,
-        overhead_mean: 0.01,
-    };
+    let scenario = registry::lookup("ablation").expect("ablation is registered");
+    let model = scenario.build_model().expect("ablation scenario builds");
 
     println!("# Ablation 1: vacation mode (lambda=0.5, quantum=1)");
     println!("mode,N0,N1,N2,N3,iterations");
-    let model = paper_model(&base);
     let modes: Vec<(&str, VacationMode)> = vec![
         ("heavy-traffic", VacationMode::HeavyTraffic),
         ("moment-2", VacationMode::MomentMatched { moments: 2 }),
@@ -49,10 +45,16 @@ fn main() {
     println!("\n# Ablation 2: quantum Erlang stage count K (lambda=0.5, quantum=1)");
     println!("K,N0,N1,N2,N3");
     for k in [1usize, 2, 4, 8] {
-        let model = paper_model(&PaperConfig {
-            quantum_stages: k,
-            ..base.clone()
-        });
+        // `DistSpec::Erlang { stages, rate }` has overall mean 1/rate, so
+        // rate 1 keeps the quantum mean at 1 while varying the stage count.
+        let mut spec = scenario.machine.clone();
+        for class in &mut spec.classes {
+            class.quantum = DistSpec::Erlang {
+                stages: k,
+                rate: 1.0,
+            };
+        }
+        let model = spec.build().expect("stage-count variant builds");
         match solve(&model, &SolverOptions::default()) {
             Ok(sol) => {
                 let ns: Vec<String> = sol

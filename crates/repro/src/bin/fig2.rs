@@ -1,6 +1,9 @@
 //! Figure 2: mean number of jobs `N_p` versus mean quantum length `1/γ`
 //! for the 8-processor system at utilization `ρ = 0.4` (`λ_p = 0.4`).
 //!
+//! The sweep is the registry scenario `fig2` (see `gsched_scenario`), the
+//! same description `gsched sweep fig2` and `gsched xval fig2` run.
+//!
 //! Paper's description of the shape: as quantum lengths grow from zero the
 //! mean number of jobs first drops fast (context-switch overhead stops
 //! dominating), reaches a knee, then rises monotonically (exhaustive-service
@@ -10,5 +13,5 @@
 //! Run: `cargo run --release -p gsched-repro --bin fig2`
 
 fn main() {
-    gsched_repro::run_quantum_figure("fig2", 0.4);
+    gsched_repro::run_quantum_figure("fig2", "fig2");
 }

@@ -5,6 +5,9 @@
 //! rate starts increasing, then the rate of decrease becomes very low —
 //! diminishing returns past a point.
 //!
+//! The sweep is the registry scenario `fig4` (see `gsched_scenario`), the
+//! same description `gsched sweep fig4` and `gsched xval fig4` run.
+//!
 //! Run: `cargo run --release -p gsched-repro --bin fig4`
 
 use gsched_engine::SweepOptions;
@@ -12,14 +15,16 @@ use gsched_repro::{
     class_series, init_diagnostics, is_monotone_decreasing, print_csv, record_from_sweep,
     report_checks, run_request, save_record,
 };
-use gsched_workload::figures::{default_service_rate_grid, service_rate_sweep_request};
+use gsched_scenario::registry;
 use gsched_workload::spec::ShapeCheck;
 
 fn main() {
     init_diagnostics();
-    let grid = default_service_rate_grid();
-    let request = service_rate_sweep_request(2, &grid);
-    eprintln!("fig4: service-rate sweep over {} points", grid.len());
+    let scenario = registry::lookup("fig4").expect("fig4 is registered");
+    let request = scenario
+        .sweep_request(false)
+        .expect("registry grids are valid");
+    eprintln!("fig4: service-rate sweep over {} points", request.len());
     let results = run_request(&request, &SweepOptions::default());
     print_csv("service_rate", &results);
 
@@ -54,9 +59,15 @@ fn main() {
         "fig4",
         "Mean jobs vs mean service rate (paper Fig. 4)",
         vec![
-            ("lambda".to_string(), 0.6),
-            ("quantum_mean".to_string(), 5.0),
-            ("overhead_mean".to_string(), 0.01),
+            (
+                "lambda".to_string(),
+                scenario.param("lambda").unwrap_or(0.6),
+            ),
+            (
+                "quantum_mean".to_string(),
+                scenario.param("quantum_mean").unwrap_or(5.0),
+            ),
+            ("overhead_mean".to_string(), registry::OVERHEAD_MEAN),
         ],
         &results,
         checks,

@@ -7,6 +7,10 @@
 //! a total quantum budget of 4 and note results are similar for any
 //! specified cycle length, as the paper states.)
 //!
+//! The class-0 sweep is the registry scenario `fig5` (see
+//! `gsched_scenario`); the other classes reuse the same cycle-fraction
+//! family with the focal class changed.
+//!
 //! Run: `cargo run --release -p gsched-repro --bin fig5`
 
 use gsched_engine::SweepOptions;
@@ -14,21 +18,36 @@ use gsched_repro::{
     init_diagnostics, is_monotone_decreasing, print_csv, report_checks, run_request, save_record,
     SweepResult,
 };
-use gsched_workload::figures::{cycle_fraction_sweep_request, default_fraction_grid};
+use gsched_scenario::registry;
 use gsched_workload::spec::{ExperimentRecord, Series, ShapeCheck};
-
-const BUDGET: f64 = 4.0;
 
 fn main() {
     init_diagnostics();
-    let grid = default_fraction_grid();
+    let base = registry::lookup("fig5").expect("fig5 is registered");
+    let budget = base.param("budget").expect("fig5 carries a budget param");
+    let stages = base.param("quantum_stages").unwrap_or(2.0) as usize;
+    let grid = base.grid(false).to_vec();
     let mut series = Vec::new();
     let mut checks = Vec::new();
     let mut per_class_results: Vec<Vec<SweepResult>> = Vec::new();
 
     for class in 0..4 {
         eprintln!("fig5: sweeping class {class}'s cycle fraction");
-        let request = cycle_fraction_sweep_request(class, BUDGET, 2, &grid);
+        let scenario = if class == 0 {
+            base.clone()
+        } else {
+            registry::cycle_fraction_scenario(
+                &format!("fig5_class{class}"),
+                class,
+                budget,
+                stages,
+                grid.clone(),
+                None,
+            )
+        };
+        let request = scenario
+            .sweep_request(false)
+            .expect("registry grids are valid");
         let results = run_request(&request, &SweepOptions::default());
         // The plotted curve is the focal class's own N.
         let x: Vec<f64> = results.iter().map(|r| r.x).collect();
@@ -68,9 +87,9 @@ fn main() {
         id: "fig5".to_string(),
         description: "Mean jobs vs fraction of timeplexing cycle (paper Fig. 5)".to_string(),
         parameters: vec![
-            ("lambda".to_string(), 0.6),
-            ("quantum_budget".to_string(), BUDGET),
-            ("overhead_mean".to_string(), 0.01),
+            ("lambda".to_string(), base.param("lambda").unwrap_or(0.6)),
+            ("quantum_budget".to_string(), budget),
+            ("overhead_mean".to_string(), registry::OVERHEAD_MEAN),
         ],
         series,
         shape_checks: checks,

@@ -5,37 +5,30 @@
 //! class, it switches to the next class, while other partitions of that
 //! class may still be busy". This binary compares the analyzed policy
 //! (system-wide switching) against that variant (idle processors lent to
-//! later classes) by simulation on the paper's configuration.
+//! later classes) by simulation on the registry scenario `sp2` — the same
+//! machine, grid, and simulation config `gsched validate sp2` describes.
 //!
 //! Run: `cargo run --release -p gsched-repro --bin sp2_variant`
 
-use gsched_sim::{GangPolicy, GangSim, SimConfig};
-use gsched_workload::figures::quantum_sweep_request;
+use gsched_scenario::registry;
+use gsched_sim::{simulate, Policy};
 
 fn main() {
-    let quanta = [0.5, 1.0, 2.0, 4.0];
-    let lambda = 0.6;
-    let points = quantum_sweep_request(lambda, 2, &quanta).points;
+    let scenario = registry::lookup("sp2").expect("sp2 is registered");
+    // Longer horizon than cross-validation runs use, for tight CIs.
+    let cfg = scenario.sim_config(2.0);
+    let grid = scenario.grid(false).to_vec();
     println!("quantum,policy,N0,N1,N2,N3,total_N,utilization");
     let mut improved = 0usize;
     let mut total = 0usize;
-    for pt in &points {
+    for &q in &grid {
+        let model = scenario.model_at(q).expect("sp2 grid points build");
         let mut totals = Vec::new();
         for (name, policy) in [
-            ("system-wide", GangPolicy::SystemWide),
-            ("per-partition", GangPolicy::PerPartition),
+            ("system-wide", Policy::Gang),
+            ("per-partition", Policy::Lend),
         ] {
-            let r = GangSim::new(
-                &pt.model,
-                policy,
-                SimConfig {
-                    horizon: 300_000.0,
-                    warmup: 30_000.0,
-                    seed: 0xABCD,
-                    batches: 20,
-                },
-            )
-            .run();
+            let r = simulate(&model, policy, cfg.clone());
             let ns: Vec<String> = r
                 .classes
                 .iter()
@@ -44,8 +37,7 @@ fn main() {
             let tn: f64 = r.classes.iter().map(|c| c.mean_jobs).sum();
             totals.push(tn);
             println!(
-                "{:.1},{name},{},{tn:.3},{:.3}",
-                pt.x,
+                "{q:.1},{name},{},{tn:.3},{:.3}",
                 ns.join(","),
                 r.processor_utilization
             );

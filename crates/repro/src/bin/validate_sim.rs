@@ -1,67 +1,73 @@
 //! Cross-validation: analytic solver vs discrete-event simulation on the
-//! paper's Figure 2 configuration at several quantum lengths.
+//! registry scenario `fig2` (the paper's Figure 2 configuration) over its
+//! full quantum grid — the same harness `gsched xval fig2` runs.
 //!
 //! For each point, the analysis (fixed-point, moment-matched vacations) and
-//! the simulator (exact policy) must agree on each class's mean population
-//! within the simulation's confidence interval plus a model-approximation
-//! margin. The analysis treats each class's vacation as *independent* of the
-//! class's own state — the paper's simplification (§4.3 footnote 2, with the
-//! exact conditional treatment deferred to an extended version). Measured
-//! here, that approximation is optimistic by 10–25% on the paper's ρ = 0.4
+//! the simulator (exact policy) must agree on each class's mean response
+//! time within the simulation's confidence interval plus a
+//! model-approximation margin declared by the scenario's tolerance. The
+//! analysis treats each class's vacation as *independent* of the class's own
+//! state — the paper's simplification (§4.3 footnote 2, with the exact
+//! conditional treatment deferred to an extended version). Measured here,
+//! that approximation is optimistic by 10–25% on the paper's ρ = 0.4
 //! workload (it misses the positive correlation between a class's backlog
 //! and the length of its vacations), while preserving every qualitative
-//! shape; the tolerance below brackets that bias. Changing the vacation mode
-//! (2-moment, 3-moment, exact truncated) moves the answer by < 0.1%, so the
-//! gap is attributable to the independence assumption itself.
+//! shape; the scenario tolerance brackets that bias. Changing the vacation
+//! mode (2-moment, 3-moment, exact truncated) moves the answer by < 0.1%,
+//! so the gap is attributable to the independence assumption itself.
 //!
 //! Run: `cargo run --release -p gsched-repro --bin validate_sim`
 
-use gsched_core::solver::{solve, SolverOptions};
-use gsched_sim::{GangPolicy, GangSim, SimConfig};
-use gsched_workload::figures::quantum_sweep_request;
+use gsched_core::solver::SolverOptions;
+use gsched_scenario::{cross_validate, registry, XvalOptions};
 
 fn main() {
-    let quanta = [0.5, 1.0, 2.0, 4.0];
-    let lambda = 0.4;
-    let points = quantum_sweep_request(lambda, 2, &quanta).points;
-    println!("quantum,class,analytic_N,sim_N,sim_ci95,rel_gap");
+    let scenario = registry::lookup("fig2").expect("fig2 is registered");
+    let report = cross_validate(
+        &scenario,
+        &XvalOptions {
+            solver: SolverOptions::default(),
+            max_points: 0, // the whole grid
+            quick: true,
+            horizon_scale: 2.0, // longer runs than the default xval for tight CIs
+        },
+    )
+    .expect("fig2 cross-validates");
+
+    println!("quantum,class,analytic_T,sim_T,sim_ci95,gap,tolerance,pass");
     let mut worst: f64 = 0.0;
-    let mut failures = 0;
-    for pt in &points {
-        let ana = solve(&pt.model, &SolverOptions::default()).expect("analysis solves");
-        let sim = GangSim::new(
-            &pt.model,
-            GangPolicy::SystemWide,
-            SimConfig {
-                horizon: 400_000.0,
-                warmup: 40_000.0,
-                seed: 0xFEED + (pt.x * 100.0) as u64,
-                batches: 20,
-            },
-        )
-        .run();
-        for p in 0..4 {
-            let a = ana.classes[p].mean_jobs;
-            let s = sim.classes[p].mean_jobs;
-            let ci = sim.classes[p].mean_jobs_ci95;
-            let gap = (a - s).abs() / s.max(1e-9);
-            worst = worst.max(gap);
-            // Tolerance: CI plus the documented ~25% independence-
-            // approximation margin.
-            let tol = (3.0 * ci / s.max(1e-9)) + 0.30;
-            if gap > tol {
-                failures += 1;
-                eprintln!(
-                    "MISMATCH q={} class {p}: analytic {a:.3} vs sim {s:.3} (gap {gap:.3}, tol {tol:.3})",
-                    pt.x,
-                );
-            }
-            println!("{:.2},{p},{a:.4},{s:.4},{ci:.4},{gap:.4}", pt.x);
+    for pt in &report.points {
+        if pt.skipped_unstable {
+            continue;
+        }
+        let x = pt.x.expect("fig2 is a sweep scenario");
+        for row in &pt.rows {
+            worst = worst.max(row.gap / row.simulated.max(1e-9));
+            println!(
+                "{x:.2},{},{:.4},{:.4},{:.4},{:.4},{:.4},{}",
+                row.class,
+                row.analytic,
+                row.simulated,
+                row.sim_ci95,
+                row.gap,
+                row.tolerance,
+                row.pass
+            );
         }
     }
+    let failures = report.failures();
+    for row in &failures {
+        eprintln!(
+            "MISMATCH class {}: analytic {:.3} vs sim {:.3} (gap {:.3}, tol {:.3})",
+            row.class, row.analytic, row.simulated, row.gap, row.tolerance
+        );
+    }
     eprintln!("validate_sim: worst relative gap {worst:.3}");
-    if failures > 0 {
-        eprintln!("validate_sim: {failures} class-points outside tolerance");
+    if !report.passed() {
+        eprintln!(
+            "validate_sim: {} class-points outside tolerance",
+            failures.len()
+        );
         std::process::exit(1);
     }
     eprintln!("validate_sim: analysis and simulation agree at every point");

@@ -212,17 +212,23 @@ pub fn n_vector(sol: &GangSolution) -> Vec<f64> {
     sol.classes.iter().map(|c| c.mean_jobs).collect()
 }
 
-/// Shared driver for Figures 2 and 3 (they differ only in `λ = ρ`).
-pub fn run_quantum_figure(id: &str, lambda: f64) {
-    use gsched_workload::figures::{default_quantum_grid, quantum_sweep_request};
+/// Shared driver for Figures 2 and 3: run a registered quantum-sweep
+/// scenario (they differ only in `λ = ρ`) and record it under `id`.
+pub fn run_quantum_figure(id: &str, scenario_name: &str) {
+    use gsched_scenario::registry;
     use gsched_workload::spec::ShapeCheck;
 
     init_diagnostics();
-    let grid = default_quantum_grid();
-    let request = quantum_sweep_request(lambda, 2, &grid);
+    let scenario = registry::lookup(scenario_name).expect("quantum scenario is registered");
+    let lambda = scenario
+        .param("lambda")
+        .expect("quantum scenarios carry a lambda param");
+    let request = scenario
+        .sweep_request(false)
+        .expect("registry grids are valid");
     eprintln!(
-        "{id}: quantum sweep at rho = {lambda} over {} points",
-        grid.len()
+        "{id}: quantum sweep at rho = {lambda} over {} points (scenario `{scenario_name}`)",
+        request.len()
     );
     let results = run_request(&request, &SweepOptions::default());
     print_csv("quantum_mean", &results);
@@ -317,8 +323,14 @@ pub fn run_quantum_figure(id: &str, lambda: f64) {
         "Mean jobs vs mean quantum length (paper Fig. 2/3 family)",
         vec![
             ("lambda".to_string(), lambda),
-            ("overhead_mean".to_string(), 0.01),
-            ("quantum_stages".to_string(), 2.0),
+            (
+                "overhead_mean".to_string(),
+                gsched_scenario::registry::OVERHEAD_MEAN,
+            ),
+            (
+                "quantum_stages".to_string(),
+                scenario.param("quantum_stages").unwrap_or(2.0),
+            ),
         ],
         &results,
         checks,

@@ -1,0 +1,39 @@
+//! Canonical scenario layer: one typed experiment description — machine,
+//! policy, sweep axes, simulation parameters, tolerances — driving the
+//! analytic solver, the sweep engine, and the discrete-event simulator.
+//!
+//! The paper evaluates one gang-scheduling model through two lenses, the
+//! matrix-geometric analysis (§4) and a simulator (§5). This crate is the
+//! single source of truth for *what* gets evaluated:
+//!
+//! * [`DistSpec`] / [`ModelSpec`] — serializable distribution and machine
+//!   descriptions, materialized into validated `GangModel`s;
+//! * [`Scenario`] — the full IR with a validating builder and JSON
+//!   round-trip, turning into a [`gsched_engine::SweepRequest`], a
+//!   [`gsched_sim::SimConfig`] (with policy selection), or a single model;
+//! * [`registry`] — the named catalog: the paper's figures (`fig2`–`fig5`),
+//!   the SP2 variant, the ablation base point, and stress scenarios
+//!   (heavy traffic, high class count, skewed partitions, near
+//!   instability);
+//! * [`xval`] — the cross-validation harness comparing analysis and
+//!   simulation from the identical IR against declared tolerances;
+//! * [`validate_report`] — scenario linting with per-class stability and
+//!   drift margins (behind `gsched validate`).
+
+pub mod dist;
+pub mod model_spec;
+pub mod registry;
+pub mod scenario;
+pub mod xval;
+
+pub use dist::DistSpec;
+pub use model_spec::{ClassSpec, ModelSpec};
+pub use scenario::{
+    validate_report, AxisSpec, ClassStability, LintIssue, LintLevel, Scenario, ScenarioBuilder,
+    ScenarioError, SimSpec, SweepSpec, Tolerance, ValidationReport,
+};
+pub use xval::{cross_validate, XvalClassRow, XvalOptions, XvalPoint, XvalReport};
+
+// Re-exported so scenario consumers need not depend on gsched-sim directly
+// for policy selection.
+pub use gsched_sim::Policy;

@@ -1,0 +1,128 @@
+//! JSON machine specifications: the serializable counterpart of
+//! [`gsched_core::GangModel`].
+//!
+//! A model file looks like:
+//!
+//! ```json
+//! {
+//!   "processors": 8,
+//!   "classes": [
+//!     {
+//!       "partition_size": 8,
+//!       "arrival":  { "type": "exponential", "rate": 0.4 },
+//!       "service":  { "type": "exponential", "rate": 1.33 },
+//!       "quantum":  { "type": "erlang", "stages": 2, "rate": 1.0 },
+//!       "switch_overhead": { "type": "exponential", "rate": 100.0 }
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::dist::DistSpec;
+use gsched_core::model::{ClassParams, GangModel};
+use serde::{Deserialize, Serialize};
+
+/// One job class.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ClassSpec {
+    /// Processors per job, `g(p)`.
+    pub partition_size: usize,
+    /// Interarrival distribution.
+    pub arrival: DistSpec,
+    /// Service distribution.
+    pub service: DistSpec,
+    /// Quantum distribution.
+    pub quantum: DistSpec,
+    /// Context-switch overhead distribution.
+    pub switch_overhead: DistSpec,
+}
+
+/// A whole machine.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ModelSpec {
+    /// Processor count `P`.
+    pub processors: usize,
+    /// Job classes.
+    pub classes: Vec<ClassSpec>,
+}
+
+impl ModelSpec {
+    /// Parse from a JSON string.
+    pub fn from_json(text: &str) -> Result<ModelSpec, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid model JSON: {e}"))
+    }
+
+    /// Materialize into a validated [`GangModel`].
+    pub fn build(&self) -> Result<GangModel, String> {
+        let mut classes = Vec::with_capacity(self.classes.len());
+        for (p, c) in self.classes.iter().enumerate() {
+            let err = |field: &str, e: String| format!("class {p}, {field}: {e}");
+            classes.push(ClassParams {
+                partition_size: c.partition_size,
+                arrival: c.arrival.build().map_err(|e| err("arrival", e))?,
+                service: c.service.build().map_err(|e| err("service", e))?,
+                quantum: c.quantum.build().map_err(|e| err("quantum", e))?,
+                switch_overhead: c
+                    .switch_overhead
+                    .build()
+                    .map_err(|e| err("switch_overhead", e))?,
+            });
+        }
+        GangModel::new(self.processors, classes).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"{
+        "processors": 8,
+        "classes": [
+            {
+                "partition_size": 8,
+                "arrival": { "type": "exponential", "rate": 0.4 },
+                "service": { "type": "exponential", "rate": 1.328125 },
+                "quantum": { "type": "erlang", "stages": 2, "rate": 1.0 },
+                "switch_overhead": { "type": "exponential", "rate": 100.0 }
+            },
+            {
+                "partition_size": 2,
+                "arrival": { "type": "two_moment", "mean": 2.5, "scv": 2.0 },
+                "service": { "type": "hyperexponential", "probs": [0.4, 0.6], "rates": [1.0, 4.0] },
+                "quantum": { "type": "deterministic", "value": 1.0 },
+                "switch_overhead": { "type": "exponential", "rate": 100.0 }
+            }
+        ]
+    }"#;
+
+    #[test]
+    fn parse_and_build_example() {
+        let spec = ModelSpec::from_json(EXAMPLE).unwrap();
+        assert_eq!(spec.processors, 8);
+        assert_eq!(spec.classes.len(), 2);
+        let model = spec.build().unwrap();
+        assert_eq!(model.num_classes(), 2);
+        assert!((model.class(0).arrival_rate() - 0.4).abs() < 1e-12);
+        assert!((model.class(1).arrival.mean() - 2.5).abs() < 1e-9);
+        // Deterministic default stage count picked up.
+        assert!(model.class(1).quantum.scv() < 0.05);
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        assert!(ModelSpec::from_json("{").is_err());
+        assert!(ModelSpec::from_json(r#"{"processors":0,"classes":[]}"#)
+            .unwrap()
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = ModelSpec::from_json(EXAMPLE).unwrap();
+        let text = serde_json::to_string(&spec).unwrap();
+        let again = ModelSpec::from_json(&text).unwrap();
+        assert_eq!(spec, again);
+    }
+}

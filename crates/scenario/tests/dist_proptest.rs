@@ -1,0 +1,106 @@
+//! Property tests for [`gsched_scenario::DistSpec`]: any valid spec must
+//! materialize into a phase-type distribution whose numeric mean matches
+//! the spec's closed-form analytic mean, survive a JSON round trip
+//! unchanged, and rescale to an arbitrary positive target mean exactly.
+
+use gsched_scenario::DistSpec;
+use proptest::prelude::*;
+
+/// Assemble a valid specification of the chosen variant from independently
+/// drawn raw parameters. Covers every closed-form variant (raw `Ph` is
+/// exercised separately by unit tests).
+fn make_spec(
+    kind: usize,
+    stages: usize,
+    rates: &[f64],
+    weights: &[f64],
+    cont: &[f64],
+    mean: f64,
+    scv: f64,
+) -> DistSpec {
+    match kind {
+        0 => DistSpec::Exponential { rate: rates[0] },
+        1 => DistSpec::Erlang {
+            stages,
+            rate: rates[0],
+        },
+        2 => {
+            let total: f64 = weights.iter().sum();
+            DistSpec::Hyperexponential {
+                probs: weights.iter().map(|w| w / total).collect(),
+                rates: rates.to_vec(),
+            }
+        }
+        3 => DistSpec::Hypoexponential {
+            rates: rates.to_vec(),
+        },
+        4 => DistSpec::Coxian {
+            rates: rates.to_vec(),
+            cont: cont.to_vec(),
+        },
+        5 => DistSpec::Deterministic {
+            value: mean,
+            stages: stages + 3,
+        },
+        _ => DistSpec::TwoMoment { mean, scv },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn valid_spec_builds_with_analytic_mean(
+        kind in 0usize..7,
+        stages in 1usize..16,
+        rates in collection::vec(0.01f64..100.0, 4),
+        weights in collection::vec(0.05f64..1.0, 4),
+        cont in collection::vec(0.01f64..1.0, 3),
+        mean in 0.01f64..50.0,
+        scv in 0.05f64..5.0,
+    ) {
+        let spec = make_spec(kind, stages, &rates, &weights, &cont, mean, scv);
+        let analytic = spec.analytic_mean().expect("valid spec has a mean");
+        let built = spec.build().expect("valid spec builds").mean();
+        prop_assert!(
+            (analytic - built).abs() <= 1e-6 * built.max(1.0),
+            "{spec:?}: analytic {analytic} vs built {built}"
+        );
+    }
+
+    #[test]
+    fn valid_spec_roundtrips_through_json(
+        kind in 0usize..7,
+        stages in 1usize..16,
+        rates in collection::vec(0.01f64..100.0, 4),
+        weights in collection::vec(0.05f64..1.0, 4),
+        cont in collection::vec(0.01f64..1.0, 3),
+        mean in 0.01f64..50.0,
+        scv in 0.05f64..5.0,
+    ) {
+        let spec = make_spec(kind, stages, &rates, &weights, &cont, mean, scv);
+        let text = serde_json::to_string(&spec).expect("spec encodes");
+        let again: DistSpec = serde_json::from_str(&text).expect("spec decodes");
+        prop_assert!(spec == again, "{text} decoded as {again:?}");
+    }
+
+    #[test]
+    fn valid_spec_rescales_exactly(
+        kind in 0usize..7,
+        stages in 1usize..16,
+        rates in collection::vec(0.01f64..100.0, 4),
+        weights in collection::vec(0.05f64..1.0, 4),
+        cont in collection::vec(0.01f64..1.0, 3),
+        mean in 0.01f64..50.0,
+        scv in 0.05f64..5.0,
+        target in 0.01f64..50.0,
+    ) {
+        let spec = make_spec(kind, stages, &rates, &weights, &cont, mean, scv);
+        let scaled = spec.scaled_to_mean(target).expect("valid spec rescales");
+        let built = scaled.build().expect("scaled spec builds").mean();
+        prop_assert!(
+            (built - target).abs() <= 1e-6 * target.max(1.0),
+            "{spec:?} → {target}: built mean {built}"
+        );
+    }
+}

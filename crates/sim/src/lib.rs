@@ -21,10 +21,12 @@
 pub mod baselines;
 pub mod engine;
 pub mod gang;
+pub mod policy;
 pub mod quantiles;
 pub mod stats;
 
 pub use engine::{EventQueue, SimClock};
 pub use gang::{GangPolicy, GangSim};
+pub use policy::{simulate, Policy};
 pub use quantiles::{P2Quantile, ResponseQuantiles};
 pub use stats::{BatchMeans, SimConfig, SimResult, TimeAverage, Welford};

@@ -1,104 +1,70 @@
 //! Parameter sweeps behind each figure of the paper's §5, expressed as
 //! typed [`SweepRequest`]s for the `gsched-engine` evaluation pool.
 //!
-//! [`SweepPoint`], [`SweepRequest`] and friends are re-exported from
-//! `gsched_engine`, so downstream code can keep importing them from this
-//! module. The old `Vec<SweepPoint>`-returning free functions remain as
-//! thin deprecated wrappers for one release.
+//! The sweeps themselves are defined once in the scenario registry
+//! (`gsched_scenario::registry`); this module keeps the figure-facing API —
+//! the [`Figure`] catalog and the `*_sweep_request` builders — as thin
+//! views over those registry entries. [`SweepPoint`], [`SweepRequest`] and
+//! friends are re-exported from `gsched_engine`, so downstream code can
+//! keep importing them from this module.
 
-use crate::{paper_model, paper_model_custom, paper_service_rates, PaperConfig, OVERHEAD_MEAN};
+use gsched_scenario::registry;
 
 pub use gsched_engine::{ScenarioBase, SweepAxis, SweepPoint, SweepRequest};
+pub use gsched_scenario::registry::{
+    default_fraction_grid, default_quantum_grid, default_service_rate_grid,
+};
 
 /// Figure 2 (and Figure 3): mean jobs vs mean quantum length `1/γ` at a
 /// given utilization (`ρ = λ`). The paper sweeps quantum lengths up to 6.
+///
+/// `points` must be positive and strictly increasing (it becomes a
+/// scenario grid).
 pub fn quantum_sweep_request(lambda: f64, quantum_stages: usize, points: &[f64]) -> SweepRequest {
-    let pts = points
-        .iter()
-        .map(|&q| SweepPoint {
-            x: q,
-            model: paper_model(&PaperConfig {
-                lambda,
-                quantum_mean: q,
-                quantum_stages,
-                overhead_mean: OVERHEAD_MEAN,
-            }),
-        })
-        .collect();
-    SweepRequest::new(
-        SweepAxis::QuantumMean,
-        ScenarioBase::labeled("quantum_sweep")
-            .with_param("lambda", lambda)
-            .with_param("quantum_stages", quantum_stages as f64),
-        pts,
+    registry::quantum_scenario(
+        "quantum_sweep",
+        lambda,
+        quantum_stages,
+        points.to_vec(),
+        None,
     )
+    .sweep_request(false)
+    .expect("quantum sweep grid is valid")
 }
 
 /// Figure 4: mean jobs vs common service rate `μ`, quantum mean 5, `λ = 0.6`.
 pub fn service_rate_sweep_request(quantum_stages: usize, rates: &[f64]) -> SweepRequest {
-    let pts = rates
-        .iter()
-        .map(|&mu| SweepPoint {
-            x: mu,
-            model: paper_model_custom(
-                0.6,
-                &[mu, mu, mu, mu],
-                &[5.0, 5.0, 5.0, 5.0],
-                quantum_stages,
-                OVERHEAD_MEAN,
-            ),
-        })
-        .collect();
-    SweepRequest::new(
-        SweepAxis::ServiceRate,
-        ScenarioBase::labeled("service_rate_sweep")
-            .with_param("lambda", 0.6)
-            .with_param("quantum_mean", 5.0)
-            .with_param("quantum_stages", quantum_stages as f64),
-        pts,
-    )
+    registry::service_rate_scenario("service_rate_sweep", quantum_stages, rates.to_vec(), None)
+        .sweep_request(false)
+        .expect("service-rate sweep grid is valid")
 }
 
 /// Figure 5: mean jobs of class `class` vs the fraction of the timeplexing
 /// cycle's quantum budget devoted to that class. `λ = 0.6` (so `ρ = 0.6`
 /// under the normalized rates), total quantum budget `budget` split as
-/// `f · budget` for the focal class and `(1−f)·budget/3` for each other.
+/// `f · budget` for the focal class and `(1−f)·budget/(L−1)` for each
+/// other.
 pub fn cycle_fraction_sweep_request(
     class: usize,
     budget: f64,
     quantum_stages: usize,
     fractions: &[f64],
 ) -> SweepRequest {
-    let mus = paper_service_rates();
-    let pts = fractions
-        .iter()
-        .map(|&f| {
-            let mut quanta = [0.0; 4];
-            for (p, q) in quanta.iter_mut().enumerate() {
-                *q = if p == class {
-                    f * budget
-                } else {
-                    (1.0 - f) * budget / 3.0
-                };
-            }
-            SweepPoint {
-                x: f,
-                model: paper_model_custom(0.6, &mus, &quanta, quantum_stages, OVERHEAD_MEAN),
-            }
-        })
-        .collect();
-    SweepRequest::new(
-        SweepAxis::CycleFraction { class },
-        ScenarioBase::labeled("cycle_fraction_sweep")
-            .with_param("class", class as f64)
-            .with_param("budget", budget)
-            .with_param("quantum_stages", quantum_stages as f64),
-        pts,
+    registry::cycle_fraction_scenario(
+        "cycle_fraction_sweep",
+        class,
+        budget,
+        quantum_stages,
+        fractions.to_vec(),
+        None,
     )
+    .sweep_request(false)
+    .expect("cycle-fraction sweep grid is valid")
 }
 
 /// The paper's figures as a canonical sweep catalog, shared by the figure
-/// binaries, `gsched sweep`, and `gsched bench`.
+/// binaries, `gsched sweep`, and `gsched bench`. Each figure is a view
+/// over the registry scenario of the same name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Figure {
     /// Mean jobs vs quantum length at `ρ = 0.4`.
@@ -115,7 +81,8 @@ impl Figure {
     /// All figures, in paper order.
     pub const ALL: [Figure; 4] = [Figure::Fig2, Figure::Fig3, Figure::Fig4, Figure::Fig5];
 
-    /// Canonical lowercase name (`"fig2"` …).
+    /// Canonical lowercase name (`"fig2"` …), which is also the registry
+    /// scenario name.
     pub fn name(&self) -> &'static str {
         match self {
             Figure::Fig2 => "fig2",
@@ -136,88 +103,18 @@ impl Figure {
         }
     }
 
+    /// The registry scenario behind the figure.
+    pub fn scenario(&self) -> gsched_scenario::Scenario {
+        registry::lookup(self.name()).expect("figure scenarios are registered")
+    }
+
     /// The canonical sweep behind the figure. `quick` selects a small grid
     /// for smoke tests and benches; the full grid matches the paper.
     pub fn request(&self, quick: bool) -> SweepRequest {
-        let mut req = match self {
-            Figure::Fig2 => quantum_sweep_request(0.4, 2, &Self::quantum_grid(quick)),
-            Figure::Fig3 => quantum_sweep_request(0.6, 2, &Self::quantum_grid(quick)),
-            Figure::Fig4 => {
-                let grid: Vec<f64> = if quick {
-                    vec![4.0, 10.0]
-                } else {
-                    default_service_rate_grid()
-                };
-                service_rate_sweep_request(2, &grid)
-            }
-            Figure::Fig5 => {
-                let grid: Vec<f64> = if quick {
-                    vec![0.25, 0.5, 0.75]
-                } else {
-                    default_fraction_grid()
-                };
-                cycle_fraction_sweep_request(0, 4.0, 2, &grid)
-            }
-        };
-        req.base.label = self.name().to_string();
-        req
+        self.scenario()
+            .sweep_request(quick)
+            .expect("figure grids are valid")
     }
-
-    fn quantum_grid(quick: bool) -> Vec<f64> {
-        if quick {
-            vec![0.5, 1.0, 2.0, 3.0, 4.0]
-        } else {
-            default_quantum_grid()
-        }
-    }
-}
-
-/// The default x-grid for Figures 2–3 (0.02 … 6).
-pub fn default_quantum_grid() -> Vec<f64> {
-    let mut g = vec![0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75];
-    for i in 2..=12 {
-        g.push(i as f64 * 0.5);
-    }
-    g
-}
-
-/// The default x-grid for Figure 4 (2 … 20).
-pub fn default_service_rate_grid() -> Vec<f64> {
-    (1..=10).map(|i| 2.0 * i as f64).collect()
-}
-
-/// The default fraction grid for Figure 5 (0.1 … 0.9).
-pub fn default_fraction_grid() -> Vec<f64> {
-    (1..=9).map(|i| i as f64 / 10.0).collect()
-}
-
-/// Deprecated point-list form of [`quantum_sweep_request`].
-#[deprecated(since = "0.2.0", note = "use quantum_sweep_request or Figure::request")]
-pub fn quantum_sweep(lambda: f64, quantum_stages: usize, points: &[f64]) -> Vec<SweepPoint> {
-    quantum_sweep_request(lambda, quantum_stages, points).points
-}
-
-/// Deprecated point-list form of [`service_rate_sweep_request`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use service_rate_sweep_request or Figure::request"
-)]
-pub fn service_rate_sweep(quantum_stages: usize, rates: &[f64]) -> Vec<SweepPoint> {
-    service_rate_sweep_request(quantum_stages, rates).points
-}
-
-/// Deprecated point-list form of [`cycle_fraction_sweep_request`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use cycle_fraction_sweep_request or Figure::request"
-)]
-pub fn cycle_fraction_sweep(
-    class: usize,
-    budget: f64,
-    quantum_stages: usize,
-    fractions: &[f64],
-) -> Vec<SweepPoint> {
-    cycle_fraction_sweep_request(class, budget, quantum_stages, fractions).points
 }
 
 #[cfg(test)]
@@ -267,20 +164,10 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_wrappers_match_requests() {
-        #[allow(deprecated)]
-        let pts = quantum_sweep(0.4, 2, &[1.0, 2.0]);
-        let req = quantum_sweep_request(0.4, 2, &[1.0, 2.0]);
-        assert_eq!(pts.len(), req.points.len());
-        for (a, b) in pts.iter().zip(req.points.iter()) {
-            assert_eq!(a.x, b.x);
-        }
-    }
-
-    #[test]
     fn figure_catalog_is_consistent() {
         for fig in Figure::ALL {
             assert_eq!(Figure::from_name(fig.name()), Some(fig));
+            assert_eq!(fig.scenario().name, fig.name());
             let quick = fig.request(true);
             let full = fig.request(false);
             assert_eq!(quick.base.label, fig.name());

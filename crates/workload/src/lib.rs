@@ -22,34 +22,12 @@ pub mod spec;
 use gsched_core::model::{ClassParams, GangModel};
 use gsched_phase::{erlang, exponential};
 
-/// The paper's service-rate *ratios* `0.5 : 1 : 2 : 4`.
-pub const SERVICE_RATIOS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
-
-/// Partition sizes `g(p) = 2^{3−p}` for the 8-processor machine.
-pub const PARTITION_SIZES: [usize; 4] = [8, 4, 2, 1];
-
-/// Machine size used throughout §5.
-pub const PROCESSORS: usize = 8;
-
-/// Context-switch overhead mean used throughout §5.
-pub const OVERHEAD_MEAN: f64 = 0.01;
-
-/// Base service rates normalized so `Σ_p g(p)/μ_p = P`, which makes the
-/// total utilization equal the common per-class arrival rate.
-pub fn paper_service_rates() -> [f64; 4] {
-    // Σ g_p / (r_p s) = P  =>  s = (Σ g_p/r_p) / P = 21.25 / 8.
-    let s: f64 = PARTITION_SIZES
-        .iter()
-        .zip(SERVICE_RATIOS.iter())
-        .map(|(&g, &r)| g as f64 / r)
-        .sum::<f64>()
-        / PROCESSORS as f64;
-    let mut out = [0.0; 4];
-    for (o, &r) in out.iter_mut().zip(SERVICE_RATIOS.iter()) {
-        *o = r * s;
-    }
-    out
-}
+// The machine constants live in the scenario IR crate (the single source
+// of truth for experiment descriptions); re-exported here for the many
+// consumers that address them through the workload crate.
+pub use gsched_scenario::registry::{
+    paper_service_rates, OVERHEAD_MEAN, PARTITION_SIZES, PROCESSORS, SERVICE_RATIOS,
+};
 
 /// Options for building the paper's machine.
 #[derive(Debug, Clone)]

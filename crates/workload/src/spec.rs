@@ -4,18 +4,71 @@
 //! CSV they print, so EXPERIMENTS.md can reference a machine-readable
 //! provenance trail.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// One measured series (one curve of a figure).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+///
+/// `y` values may be non-finite (an unstable sweep point reports `NaN`
+/// mean jobs). Strict JSON has no encoding for those, so the hand-written
+/// codec below maps any non-finite `y` to `null` on the wire and decodes
+/// `null` back to `NaN`. The mapping is lossy for `±inf` (it comes back as
+/// `NaN`), which is fine for plots: both mean "no finite measurement".
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Curve label (e.g. `"class 0"`).
     pub label: String,
     /// X values.
     pub x: Vec<f64>,
-    /// Y values (`NaN`/`inf` encoded as `null` by serde_json callers should
-    /// map them before writing if strict JSON is required).
+    /// Y values (non-finite entries are serialized as `null`).
     pub y: Vec<f64>,
+}
+
+impl Serialize for Series {
+    fn to_value(&self) -> Value {
+        let y = self
+            .y
+            .iter()
+            .map(|&v| {
+                if v.is_finite() {
+                    Value::Number(v)
+                } else {
+                    Value::Null
+                }
+            })
+            .collect();
+        Value::Object(vec![
+            ("label".to_string(), self.label.to_value()),
+            ("x".to_string(), self.x.to_value()),
+            ("y".to_string(), Value::Array(y)),
+        ])
+    }
+}
+
+impl Deserialize for Series {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let label = value
+            .get("label")
+            .ok_or_else(|| Error::msg("Series: missing field `label`"))
+            .and_then(String::from_value)?;
+        let x = value
+            .get("x")
+            .ok_or_else(|| Error::msg("Series: missing field `x`"))
+            .and_then(Vec::<f64>::from_value)?;
+        let y = value
+            .get("y")
+            .and_then(Value::as_array)
+            .ok_or_else(|| Error::msg("Series: missing array field `y`"))?
+            .iter()
+            .map(|v| {
+                if v.is_null() {
+                    Ok(f64::NAN)
+                } else {
+                    f64::from_value(v)
+                }
+            })
+            .collect::<Result<Vec<f64>, Error>>()?;
+        Ok(Series { label, x, y })
+    }
 }
 
 /// A complete experiment record for one figure.
@@ -98,5 +151,45 @@ mod tests {
             ],
         };
         assert!(!rec.all_passed());
+    }
+
+    #[test]
+    fn series_encodes_non_finite_y_as_null() {
+        let series = Series {
+            label: "class 0".to_string(),
+            x: vec![1.0, 2.0, 3.0, 4.0],
+            y: vec![3.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY],
+        };
+        let json = serde_json::to_string(&series).expect("series encodes");
+        assert!(!json.to_ascii_lowercase().contains("nan"), "json: {json}");
+        assert!(!json.to_ascii_lowercase().contains("inf"), "json: {json}");
+        assert_eq!(json.matches("null").count(), 3, "json: {json}");
+
+        let back: Series = serde_json::from_str(&json).expect("series parses");
+        assert_eq!(back.label, series.label);
+        assert_eq!(back.x, series.x);
+        assert_eq!(back.y[0], 3.5);
+        // null decodes to NaN for every non-finite input (inf is lossy by
+        // design: see the Series docs).
+        assert!(back.y[1..].iter().all(|v| v.is_nan()), "y: {:?}", back.y);
+    }
+
+    #[test]
+    fn series_finite_round_trip_is_exact() {
+        let series = Series {
+            label: "µ sweep".to_string(),
+            x: vec![0.5, 1.5],
+            y: vec![0.125, 2.75],
+        };
+        let json = serde_json::to_string(&series).expect("series encodes");
+        let back: Series = serde_json::from_str(&json).expect("series parses");
+        assert_eq!(back, series);
+    }
+
+    #[test]
+    fn series_rejects_malformed_objects() {
+        assert!(serde_json::from_str::<Series>(r#"{"label":"a","x":[]}"#).is_err());
+        assert!(serde_json::from_str::<Series>(r#"{"label":"a","x":[],"y":1}"#).is_err());
+        assert!(serde_json::from_str::<Series>(r#"{"x":[],"y":[]}"#).is_err());
     }
 }

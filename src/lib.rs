@@ -17,6 +17,9 @@
 //! * [`sim`] — a discrete-event simulator of the policy, its SP2 variant,
 //!   and the classical time-/space-sharing baselines (`gsched-sim`);
 //! * [`workload`] — the paper's §5 evaluation scenarios (`gsched-workload`);
+//! * [`scenario`] — the typed scenario IR and named registry that drive the
+//!   solver, sweep engine, simulator, and cross-validation harness
+//!   (`gsched-scenario`);
 //! * [`linalg`] — the dense numeric kernels underneath (`gsched-linalg`).
 //!
 //! ## Quickstart
@@ -99,4 +102,12 @@ pub mod sim {
 /// `gsched-workload`).
 pub mod workload {
     pub use gsched_workload::*;
+}
+
+/// The canonical scenario layer: typed experiment descriptions, the named
+/// registry (`fig2`…`near_instability`), validation lints, and the
+/// analytic-vs-simulation cross-validation harness (re-export of
+/// `gsched-scenario`).
+pub mod scenario {
+    pub use gsched_scenario::*;
 }

@@ -9,6 +9,7 @@
 //! binary and EXPERIMENTS.md) — while preserving every qualitative shape,
 //! so these tests check agreement within that documented margin.
 
+use gang_scheduling::scenario::{cross_validate, registry, XvalOptions};
 use gang_scheduling::sim::{GangPolicy, GangSim, SimConfig};
 use gang_scheduling::solver::{solve, SolverOptions};
 use gang_scheduling::workload::{paper_model, PaperConfig};
@@ -88,6 +89,48 @@ fn simulation_sees_u_shape_too() {
         "moderate quantum {} should beat huge quantum {}",
         totals[1],
         totals[2]
+    );
+}
+
+#[test]
+fn every_registry_scenario_cross_validates() {
+    // The acceptance bar for the scenario layer: for every named scenario
+    // whose policy the analysis models (gang and its lending variant), the
+    // analytic mean response agrees with simulation within the tolerance
+    // the scenario itself declares. One representative grid point per
+    // scenario keeps the debug-mode runtime bounded; `gsched xval all`
+    // covers more points.
+    let opts = XvalOptions {
+        solver: SolverOptions::default(),
+        max_points: 1,
+        quick: true,
+        horizon_scale: 1.0,
+    };
+    let mut failed = Vec::new();
+    for scenario in registry::all() {
+        if !scenario.policy.analysis_comparable() {
+            continue;
+        }
+        let name = scenario.name.clone();
+        let report = cross_validate(&scenario, &opts)
+            .unwrap_or_else(|e| panic!("{name}: cross-validation errored: {e}"));
+        assert!(
+            report.compared_points() > 0,
+            "{name}: no stable grid point was compared"
+        );
+        if !report.passed() {
+            for row in report.failures() {
+                eprintln!(
+                    "{name} class {}: analytic {:.3} vs sim {:.3} (gap {:.3} > tol {:.3})",
+                    row.class, row.analytic, row.simulated, row.gap, row.tolerance
+                );
+            }
+            failed.push(name);
+        }
+    }
+    assert!(
+        failed.is_empty(),
+        "scenarios outside their declared tolerance: {failed:?}"
     );
 }
 
