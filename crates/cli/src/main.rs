@@ -15,6 +15,9 @@
 //! gsched bench     [--scenario S] [--label L] [--reps N] [--jobs N] [--quick]
 //!                  [--out DIR] [--compare BENCH.json] [--threshold FRAC]
 //! gsched paper     [--rho R] [--quantum Q] [--json]
+//! gsched serve     [--addr A] [--workers N] [--cache-cap N] [--deadline-ms N]
+//! gsched request   [<scenario>] [--addr A] [--op solve|sweep|stats|shutdown]
+//!                  [--quick] [--deadline-ms N] [--id ID] [--frame]
 //! gsched example-model
 //! gsched example-scenario
 //! ```
@@ -49,6 +52,14 @@
 //!   tables) to stderr after the run; `-vv` additionally prints every
 //!   structured event.
 //!
+//! `gsched serve` runs the long-lived solve server from `gsched-service`:
+//! scenario requests arrive as newline-delimited JSON over TCP, repeated
+//! questions are answered from a result cache, and SIGINT (or a
+//! `shutdown` frame) stops it cleanly. `gsched request` is the matching
+//! client; by default it prints just the `result` document, which is
+//! byte-identical to the corresponding `gsched solve --json` output. See
+//! the `gsched-service` crate docs for the wire protocol.
+//!
 //! `gsched doctor` solves the model and prints the per-class numerical-health
 //! table (drift slack, `sp(R)`, `R` residual, truncated tail mass) with WARN
 //! lines when a class is close to instability or under-resolved.
@@ -70,6 +81,15 @@ use gsched_engine::{run_sweep, SweepOptions, SweepReport, SweepRequest};
 use gsched_scenario::{
     cross_validate, registry, validate_report, LintLevel, ModelSpec, Policy, Scenario, XvalOptions,
     XvalReport,
+};
+use gsched_service::client::{control_frame, frame_for_name, frame_for_scenario, RequestSpec};
+// The render module is the single implementation of the solve/sweep JSON
+// documents, shared with the scenario server so served results are
+// byte-identical to local `--json` output.
+use gsched_service::render::{json_f64, json_str, solution_json, sweep_report_json};
+use gsched_service::{
+    error_frame, extract_result, frame_is_ok, Client, ErrorKind, Op, ServeOptions, Server,
+    ServiceError,
 };
 use gsched_sim::{simulate, SimConfig, SimResult};
 use gsched_workload::figures::Figure;
@@ -105,6 +125,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "doctor" => cmd_doctor(rest),
         "bench" => cmd_bench(rest),
         "paper" => cmd_paper(rest),
+        "serve" => cmd_serve(rest),
+        "request" => cmd_request(rest),
         "example-model" => {
             println!("{}", example_model_json());
             Ok(())
@@ -137,6 +159,8 @@ fn print_usage() {
          gsched doctor    <model.json | --scenario S> [--mode ht|m2|m3|exact] [--json]\n  \
          gsched bench     [--scenario S] [--label L] [--reps N] [--jobs N] [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC]\n  \
          gsched paper     [--rho R] [--quantum Q] [--json]\n  \
+         gsched serve     [--addr A] [--workers N] [--cache-cap N] [--deadline-ms N]\n  \
+         gsched request   [<scenario>] [--addr A] [--op solve|sweep|stats|shutdown] [--quick] [--deadline-ms N] [--id ID] [--frame]\n  \
          gsched example-model\n  \
          gsched example-scenario\n\
          a scenario S is a registry name ({}) or a scenario JSON file.\n\
@@ -165,6 +189,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
                 || name == "full"
                 || name == "no-warm"
                 || name == "parity-check"
+                || name == "frame"
             {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
@@ -348,55 +373,6 @@ fn print_solution_human(model: &GangModel, sol: &GangSolution) {
     }
 }
 
-fn solution_json(sol: &GangSolution) -> String {
-    // Hand-rolled JSON (the solution holds non-serde internals).
-    let classes: Vec<String> = sol
-        .classes
-        .iter()
-        .map(|c| {
-            {
-                let q = c
-                    .response_quantiles
-                    .map(|(a, b, d, e)| {
-                        format!(
-                            r#"[{},{},{},{}]"#,
-                            json_f64(a),
-                            json_f64(b),
-                            json_f64(d),
-                            json_f64(e)
-                        )
-                    })
-                    .unwrap_or_else(|| "null".to_string());
-                format!(
-                    r#"{{"stable":{},"mean_jobs":{},"mean_response":{},"skip_probability":{},"effective_quantum_mean":{},"vacation_mean":{},"response_quantiles":{}}}"#,
-                    c.stable,
-                    json_f64(c.mean_jobs),
-                    json_f64(c.mean_response),
-                    json_f64(c.skip_probability),
-                    json_f64(c.effective_quantum_mean),
-                    json_f64(c.vacation_mean),
-                    q,
-                )
-            }
-        })
-        .collect();
-    format!(
-        r#"{{"iterations":{},"converged":{},"all_stable":{},"classes":[{}]}}"#,
-        sol.iterations,
-        sol.converged,
-        sol.all_stable,
-        classes.join(",")
-    )
-}
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
 fn cmd_solve(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
     let model = resolve_model("solve", &pos, &flags)?;
@@ -524,46 +500,6 @@ fn sweep_divergence(a: &SweepReport, b: &SweepReport, classes: usize) -> f64 {
         }
     }
     worst
-}
-
-fn sweep_report_json(name: &str, report: &SweepReport, classes: usize) -> String {
-    let points: Vec<String> = report
-        .points
-        .iter()
-        .map(|p| {
-            let jobs: Vec<String> = p
-                .solution
-                .as_ref()
-                .map(|s| s.classes.iter().map(|c| json_f64(c.mean_jobs)).collect())
-                .unwrap_or_default();
-            let resp: Vec<String> = p
-                .mean_responses(classes)
-                .iter()
-                .map(|&v| json_f64(v))
-                .collect();
-            format!(
-                r#"{{"x":{},"ok":{},"warm_started":{},"mean_jobs":[{}],"mean_response":[{}],"error":{}}}"#,
-                json_f64(p.x),
-                p.is_ok(),
-                p.warm_started,
-                jobs.join(","),
-                resp.join(","),
-                p.error.as_deref().map(json_str).unwrap_or_else(|| "null".to_string()),
-            )
-        })
-        .collect();
-    format!(
-        r#"{{"figure":{},"axis":{},"jobs":{},"chunks":{},"warm_hits":{},"warm_misses":{},"warm_hit_rate":{},"wall_ms":{},"points":[{}]}}"#,
-        json_str(name),
-        json_str(&report.axis.label()),
-        report.stats.jobs,
-        report.stats.chunks,
-        report.stats.warm_hits,
-        report.stats.warm_misses,
-        json_f64(report.stats.warm_hit_rate()),
-        json_f64(report.stats.wall_ms),
-        points.join(",")
-    )
 }
 
 fn print_sweep_human(name: &str, report: &SweepReport, classes: usize) {
@@ -717,6 +653,19 @@ fn validation_json(rep: &gsched_scenario::ValidationReport) -> String {
     )
 }
 
+/// Fail a subcommand with a consistent non-zero exit; with `--json` the
+/// failure is also printed to stdout as a service-style error frame, so
+/// scripted callers parse one error schema for CLI and server alike.
+fn fail(flags: &HashMap<String, String>, kind: ErrorKind, message: String) -> Result<(), String> {
+    if flags.contains_key("json") {
+        println!(
+            "{}",
+            error_frame(None, &ServiceError::new(kind, message.clone()))
+        );
+    }
+    Err(message)
+}
+
 fn cmd_validate(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
     let scenarios: Vec<Scenario> = if pos.is_empty() {
@@ -761,7 +710,11 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         }
     }
     if errors > 0 {
-        return Err(format!("{errors} scenario(s) failed validation"));
+        return fail(
+            &flags,
+            ErrorKind::ValidationFailed,
+            format!("{errors} scenario(s) failed validation"),
+        );
     }
     Ok(())
 }
@@ -870,7 +823,9 @@ fn cmd_xval(args: &[String]) -> Result<(), String> {
         }
     }
     diag.finish()?;
-    result?;
+    if let Err(message) = result {
+        return fail(&flags, ErrorKind::SolveFailed, message);
+    }
     let failed: Vec<&str> = reports
         .iter()
         .filter(|r| !r.passed())
@@ -885,10 +840,14 @@ fn cmd_xval(args: &[String]) -> Result<(), String> {
         }
     }
     if !failed.is_empty() {
-        return Err(format!(
-            "analysis and simulation disagree beyond tolerance for: {}",
-            failed.join(", ")
-        ));
+        return fail(
+            &flags,
+            ErrorKind::ValidationFailed,
+            format!(
+                "analysis and simulation disagree beyond tolerance for: {}",
+                failed.join(", ")
+            ),
+        );
     }
     Ok(())
 }
@@ -952,22 +911,6 @@ fn cmd_stability(args: &[String]) -> Result<(), String> {
         None => println!("class {class} is unstable across [{lo}, {hi}]"),
     }
     Ok(())
-}
-
-/// Minimal JSON string escaping for hand-rolled output.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            _ => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 fn cmd_doctor(args: &[String]) -> Result<(), String> {
@@ -1134,6 +1077,104 @@ fn cmd_paper(args: &[String]) -> Result<(), String> {
         print_solution_human(&model, &sol);
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    if !pos.is_empty() {
+        return Err(format!("serve: unexpected argument `{}`", pos[0]));
+    }
+    let opts = ServeOptions {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7070".to_string()),
+        workers: flag_f64(&flags, "workers", 0.0)? as usize,
+        cache_capacity: flag_f64(&flags, "cache-cap", 256.0)? as usize,
+        default_deadline_ms: flag_f64(&flags, "deadline-ms", 30_000.0)? as u64,
+    };
+    let diag = Diagnostics::from_flags(&flags);
+    let server = Server::bind(&opts).map_err(|e| format!("cannot bind `{}`: {e}", opts.addr))?;
+    gsched_service::install_ctrl_c_handler();
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // Scripts (and the CI smoke test) parse this line for the bound port.
+    println!(
+        "listening on {addr} ({} workers, cache {} entries)",
+        server.worker_count(),
+        opts.cache_capacity
+    );
+    let result = server.run().map_err(|e| e.to_string());
+    diag.finish()?;
+    result
+}
+
+fn cmd_request(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let op = flags
+        .get("op")
+        .map(|s| {
+            Op::parse(s).ok_or_else(|| format!("unknown --op `{s}` (solve|sweep|stats|shutdown)"))
+        })
+        .transpose()?;
+    let deadline_ms = flags
+        .get("deadline-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("--deadline-ms expects a non-negative integer, got `{v}`"))
+        })
+        .transpose()?;
+    let spec = RequestSpec {
+        id: flags.get("id").cloned(),
+        op,
+        quick: flags.contains_key("quick"),
+        deadline_ms,
+    };
+    let effective_op = op.unwrap_or(Op::Solve);
+    let line = match (pos.first(), effective_op) {
+        (Some(arg), Op::Solve | Op::Sweep) => {
+            // A file is validated locally and sent inline; anything else
+            // is a registry name the server resolves itself.
+            if arg.ends_with(".json") || std::path::Path::new(arg).exists() {
+                frame_for_scenario(&load_scenario(arg)?, &spec)
+            } else {
+                frame_for_name(arg, &spec)
+            }
+        }
+        (None, Op::Stats | Op::Shutdown) => control_frame(effective_op, spec.id.as_deref()),
+        (Some(_), _) => {
+            return Err(format!(
+                "request: --op {} takes no scenario",
+                effective_op.as_str()
+            ))
+        }
+        (None, _) => {
+            return Err("request: missing <scenario> (registry name or file.json)".to_string())
+        }
+    };
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let reply = client.request_line(&line).map_err(|e| e.to_string())?;
+    if flags.contains_key("frame") {
+        // The whole response frame, for scripts that want `cached`/`id`.
+        println!("{reply}");
+    } else if frame_is_ok(&reply) {
+        // Just the result document: byte-identical to local `--json` output.
+        println!(
+            "{}",
+            extract_result(&reply).ok_or("malformed ok frame from server")?
+        );
+    } else {
+        println!("{reply}");
+    }
+    if frame_is_ok(&reply) {
+        Ok(())
+    } else {
+        Err("server replied with an error frame".to_string())
+    }
 }
 
 fn example_model_json() -> &'static str {

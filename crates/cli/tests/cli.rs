@@ -676,6 +676,168 @@ fn missing_file_fails_cleanly() {
     assert!(err.contains("cannot read"), "{err}");
 }
 
+/// Start `gsched serve` on an ephemeral port and parse the bound address
+/// from its "listening on ..." line.
+fn spawn_server(diag: Option<&std::path::Path>) -> (std::process::Child, String) {
+    use std::io::BufRead;
+    let mut cmd = gsched();
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped());
+    if let Some(path) = diag {
+        cmd.args(["--diag", path.to_str().unwrap()]);
+    }
+    let mut child = cmd.spawn().unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines.next().expect("server banner").unwrap();
+    let addr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+    (child, addr)
+}
+
+fn request(addr: &str, args: &[&str]) -> std::process::Output {
+    gsched()
+        .arg("request")
+        .args(args)
+        .args(["--addr", addr])
+        .output()
+        .unwrap()
+}
+
+#[test]
+fn serve_caches_repeat_requests_and_matches_local_solve() {
+    let dir = tmpdir("serve");
+    let diag_path = dir.join("serve_diag.json");
+    let (mut server, addr) = spawn_server(Some(&diag_path));
+
+    let first = request(&addr, &["fig2"]);
+    let second = request(&addr, &["fig2"]);
+    assert!(
+        first.status.success() && second.status.success(),
+        "{}\n{}",
+        String::from_utf8_lossy(&first.stderr),
+        String::from_utf8_lossy(&second.stderr)
+    );
+    // The cache replay must be byte-identical to the first answer...
+    assert_eq!(first.stdout, second.stdout);
+    // ...and both must match solving the same scenario locally.
+    let local = gsched()
+        .args(["solve", "--scenario", "fig2", "--json"])
+        .output()
+        .unwrap();
+    assert!(local.status.success());
+    assert_eq!(first.stdout, local.stdout, "served != local solve --json");
+
+    // The full second frame says it was a cache hit.
+    let framed = request(&addr, &["fig2", "--frame", "--id", "check"]);
+    assert!(framed.status.success());
+    let frame: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&framed.stdout).trim()).unwrap();
+    assert_eq!(frame["status"].as_str().unwrap(), "ok");
+    assert_eq!(frame["id"].as_str().unwrap(), "check");
+    assert_eq!(frame["cached"], serde_json::Value::Bool(true));
+
+    // Server-side stats agree: one miss (the first request), hits after.
+    let stats = request(&addr, &["--op", "stats"]);
+    assert!(stats.status.success());
+    let stats: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&stats.stdout).trim()).unwrap();
+    assert_eq!(stats["cache_misses"].as_u64(), Some(1));
+    assert_eq!(stats["cache_hits"].as_u64(), Some(2));
+
+    let bye = request(&addr, &["--op", "shutdown"]);
+    assert!(bye.status.success());
+    let status = server.wait().unwrap();
+    assert!(status.success(), "server exited {status:?}");
+
+    // The diagnostics snapshot shows exactly one miss and exactly one
+    // engine solve: cache hits never re-ran the solver.
+    let diag: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&diag_path).unwrap()).unwrap();
+    let counter = |name: &str| {
+        diag["counters"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c["name"].as_str() == Some(name))
+            .unwrap_or_else(|| panic!("missing counter {name}"))["value"]
+            .as_u64()
+            .unwrap()
+    };
+    assert_eq!(counter("service.cache.misses"), 1);
+    assert_eq!(counter("service.cache.hits"), 2);
+    assert_eq!(counter("core.solver.solves"), 1);
+}
+
+#[test]
+fn serve_returns_structured_errors_and_survives() {
+    let (mut server, addr) = spawn_server(None);
+    let bad = request(&addr, &["no_such_scenario"]);
+    assert!(!bad.status.success());
+    let frame: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&bad.stdout).trim()).unwrap();
+    assert_eq!(frame["status"].as_str().unwrap(), "error");
+    assert_eq!(frame["error"]["kind"].as_str().unwrap(), "unknown_scenario");
+    // The server is still alive and serving.
+    let ok = request(&addr, &["fig4"]);
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let bye = request(&addr, &["--op", "shutdown"]);
+    assert!(bye.status.success());
+    assert!(server.wait().unwrap().success());
+}
+
+#[test]
+fn validate_json_failure_emits_error_frame() {
+    let dir = tmpdir("validate-frame");
+    let scenario = r#"{
+      "name": "overload",
+      "machine": {
+        "processors": 4,
+        "classes": [
+          {
+            "partition_size": 4,
+            "arrival": { "type": "exponential", "rate": 5.0 },
+            "service": { "type": "exponential", "rate": 1.0 },
+            "quantum": { "type": "erlang", "stages": 2, "rate": 1.0 },
+            "switch_overhead": { "type": "exponential", "rate": 100.0 }
+          }
+        ]
+      }
+    }"#;
+    let path = dir.join("overload.json");
+    std::fs::write(&path, scenario).unwrap();
+    let out = gsched()
+        .arg("validate")
+        .arg(&path)
+        .arg("--json")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Last stdout line is a service-style error frame.
+    let frame: serde_json::Value =
+        serde_json::from_str(text.trim().lines().last().unwrap()).unwrap();
+    assert_eq!(frame["status"].as_str().unwrap(), "error");
+    assert_eq!(
+        frame["error"]["kind"].as_str().unwrap(),
+        "validation_failed"
+    );
+    assert!(frame["error"]["message"]
+        .as_str()
+        .unwrap()
+        .contains("failed validation"));
+}
+
 #[test]
 fn bad_flags_fail_cleanly() {
     let out = gsched().arg("frobnicate").output().unwrap();

@@ -1,0 +1,104 @@
+//! Cooperative cancellation for sweep evaluation.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between the party
+//! that may abort a sweep (a server noticing its client hung up, a
+//! deadline monitor) and the worker threads evaluating it. Workers never
+//! kill a solve mid-flight — they poll the token between points, so a
+//! cancelled sweep finishes the point it is on and marks every remaining
+//! point as cancelled. This keeps the engine free of unwinding across
+//! numerical code while still bounding the extra work after cancellation
+//! to one point per worker.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Rendered error message of a point skipped because its sweep was
+/// cancelled (also matched by the service to map points onto error frames).
+pub const CANCELLED_POINT_ERROR: &str = "cancelled before evaluation";
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Cancellation fires implicitly once this instant passes.
+    deadline: Option<Instant>,
+}
+
+/// Shared cancellation flag with an optional deadline.
+///
+/// Cloning shares the underlying flag; [`CancelToken::cancel`] is sticky
+/// (there is no un-cancel). The default token never cancels.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`Self::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that additionally reports cancelled once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent and thread-safe.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested or the deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+
+    /// The deadline, when one was set at construction.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn default_token_never_cancels() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(token.deadline().is_none());
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_shared() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn past_deadline_reads_cancelled() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(token.is_cancelled());
+        let future = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!future.is_cancelled());
+        future.cancel();
+        assert!(future.is_cancelled());
+    }
+}

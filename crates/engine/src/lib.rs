@@ -20,6 +20,15 @@
 //! Vacation convolutions (Theorem 4.1) are memoized across the whole sweep
 //! in a [`gsched_core::VacationCache`].
 //!
+//! # Cancellation
+//!
+//! Long sweeps can be abandoned cooperatively: attach a [`CancelToken`]
+//! (optionally carrying a deadline) via [`SweepOptions::with_cancel`] and
+//! the pool checks it *between* points — numerical code is never unwound
+//! mid-solve. Cancelled points report [`CANCELLED_POINT_ERROR`] and break
+//! the warm-start chain. The scenario server (`gsched-service`) uses this
+//! to honour per-request deadlines and client disconnects.
+//!
 //! # Determinism
 //!
 //! The chunk layout depends only on the point count and
@@ -30,10 +39,12 @@
 //! `points_and_parity` in the test suite and the `gsched sweep
 //! --parity-check` CLI flag.
 
+mod cancel;
 mod pool;
 mod report;
 mod request;
 
+pub use cancel::{CancelToken, CANCELLED_POINT_ERROR};
 pub use pool::{run_sweep, SweepOptions, DEFAULT_CHUNK_SIZE};
 pub use report::{PointReport, SweepReport, SweepStats};
 pub use request::{ScenarioBase, SweepAxis, SweepPoint, SweepRequest};

@@ -8,6 +8,7 @@
 //! and warm chains never cross chunk boundaries, results are bitwise
 //! identical for any `jobs` value.
 
+use crate::cancel::{CancelToken, CANCELLED_POINT_ERROR};
 use crate::report::{PointReport, SweepReport, SweepStats};
 use crate::request::SweepRequest;
 use gsched_core::{solve_warm, SolverOptions, VacationCache, WarmStart};
@@ -41,6 +42,10 @@ pub struct SweepOptions {
     pub chunk_size: usize,
     /// Options for each point's solve.
     pub solver: SolverOptions,
+    /// Cooperative cancellation: workers poll this token between points
+    /// and record every remaining point as a cancelled failure once it
+    /// fires (see [`CancelToken`]). `None` (default) never cancels.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SweepOptions {
@@ -50,6 +55,7 @@ impl Default for SweepOptions {
             warm_start: true,
             chunk_size: 0,
             solver: SolverOptions::default(),
+            cancel: None,
         }
     }
 }
@@ -80,6 +86,13 @@ impl SweepOptions {
     #[must_use]
     pub fn with_solver(mut self, solver: SolverOptions) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Attach a cancellation token (deadline and/or explicit cancel).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -158,6 +171,20 @@ pub fn run_sweep(req: &SweepRequest, opts: &SweepOptions) -> SweepReport {
                 let mut carry: Option<WarmStart> = None;
                 for i in lo..hi {
                     let pt = &req.points[i];
+                    if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                        // Finish bookkeeping for every remaining point but
+                        // never start another solve.
+                        carry = None;
+                        obs::counter_add("engine.sweep.cancelled_points", 1);
+                        results_ref.lock()[i] = Some(PointReport {
+                            x: pt.x,
+                            solution: None,
+                            error: Some(CANCELLED_POINT_ERROR.to_string()),
+                            warm_started: false,
+                            wall_ms: 0.0,
+                        });
+                        continue;
+                    }
                     let t0 = Instant::now();
                     let warm_ref = if opts.warm_start {
                         carry.as_ref()
@@ -356,6 +383,47 @@ mod tests {
         let report = run_sweep(&req, &SweepOptions::default());
         assert!(report.points.is_empty());
         assert_eq!(report.stats.warm_hits + report.stats.warm_misses, 0);
+    }
+
+    #[test]
+    fn pre_cancelled_sweep_solves_nothing() {
+        let req = request(8, 0.15);
+        let token = CancelToken::new();
+        token.cancel();
+        let report = run_sweep(
+            &req,
+            &SweepOptions::default().with_jobs(2).with_cancel(token),
+        );
+        assert_eq!(report.failures(), 8);
+        assert!(report
+            .points
+            .iter()
+            .all(|p| p.error.as_deref() == Some(CANCELLED_POINT_ERROR)));
+        assert_eq!(report.stats.warm_hits + report.stats.warm_misses, 0);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_sweep() {
+        let req = request(4, 0.15);
+        let token = CancelToken::with_deadline(std::time::Instant::now());
+        let report = run_sweep(
+            &req,
+            &SweepOptions::default().with_jobs(1).with_cancel(token),
+        );
+        assert_eq!(report.failures(), 4);
+    }
+
+    #[test]
+    fn unfired_token_changes_nothing() {
+        let req = request(6, 0.15);
+        let plain = run_sweep(&req, &SweepOptions::default().with_jobs(1));
+        let tokened = run_sweep(
+            &req,
+            &SweepOptions::default()
+                .with_jobs(1)
+                .with_cancel(CancelToken::new()),
+        );
+        assert_eq!(response_bits(&plain), response_bits(&tokened));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! * [`rmatrix`] — two solvers for `R`: classical successive substitution
 //!   and the quadratically convergent logarithmic-reduction algorithm of
 //!   Latouche–Ramaswami (the modern counterpart of the paper's reference
-//!   [23], MAGIC).
+//!   \[23\], MAGIC).
 //! * [`solution::QbdSolution`] — the stationary distribution with closed-form
 //!   level moments (the paper's eq. 37).
 //! * [`stability`] — the drift condition of Theorem 4.4.

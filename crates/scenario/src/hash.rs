@@ -1,0 +1,251 @@
+//! Canonical content hashing of scenarios.
+//!
+//! The solve service keys its result cache on a digest of the request's
+//! [`Scenario`]. Two requests that describe the same experiment must
+//! collide — regardless of how the JSON arrived on the wire — and any
+//! change to a model parameter must produce a different key. The digest is
+//! therefore computed over a *canonical encoding* of the scenario's JSON
+//! data model:
+//!
+//! * object keys are visited in sorted order, so field order (in a file,
+//!   or across serializer versions) never matters;
+//! * floats are normalized before hashing: `-0.0` hashes like `0.0` and
+//!   every NaN bit pattern hashes alike — then encoded via their IEEE-754
+//!   bits, so `1.0` and `1` (both `Value::Number(1.0)`) are identical and
+//!   no precision is lost to decimal formatting;
+//! * every value is prefixed with a type tag, so `"1"` (string) and `1`
+//!   (number) cannot collide structurally.
+//!
+//! The digest itself is 64-bit FNV-1a — tiny, dependency-free, and more
+//! than enough for cache keying (collisions only cost a wrong cache hit
+//! among a bounded working set, and the service compares canonical bytes
+//! only through this digest).
+
+use crate::scenario::Scenario;
+use serde_json::Value;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental 64-bit FNV-1a.
+#[derive(Debug, Clone)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Normalize a float for hashing: collapse `-0.0` into `0.0` and all NaN
+/// payloads into the one canonical NaN.
+fn normalize_f64(x: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else if x.is_nan() {
+        f64::NAN
+    } else {
+        x
+    }
+}
+
+fn hash_into(v: &Value, h: &mut Fnv1a) {
+    match v {
+        Value::Null => h.write(b"n"),
+        Value::Bool(false) => h.write(b"f"),
+        Value::Bool(true) => h.write(b"t"),
+        Value::Number(x) => {
+            h.write(b"d");
+            h.write(&normalize_f64(*x).to_bits().to_le_bytes());
+        }
+        Value::String(s) => {
+            h.write(b"s");
+            h.write(&(s.len() as u64).to_le_bytes());
+            h.write(s.as_bytes());
+        }
+        Value::Array(items) => {
+            h.write(b"a");
+            h.write(&(items.len() as u64).to_le_bytes());
+            for item in items {
+                hash_into(item, h);
+            }
+        }
+        Value::Object(pairs) => {
+            h.write(b"o");
+            h.write(&(pairs.len() as u64).to_le_bytes());
+            // Sorted key order makes the digest independent of field order.
+            let mut order: Vec<usize> = (0..pairs.len()).collect();
+            order.sort_by(|&a, &b| pairs[a].0.cmp(&pairs[b].0));
+            for i in order {
+                let (k, val) = &pairs[i];
+                h.write(&(k.len() as u64).to_le_bytes());
+                h.write(k.as_bytes());
+                hash_into(val, h);
+            }
+        }
+    }
+}
+
+/// Canonical 64-bit digest of a JSON value (sorted keys, normalized
+/// floats, type-tagged encoding).
+pub fn canonical_value_hash(v: &Value) -> u64 {
+    let mut h = Fnv1a::new();
+    hash_into(v, &mut h);
+    h.finish()
+}
+
+impl Scenario {
+    /// Canonical content hash of this scenario: a stable digest of the
+    /// scenario's JSON data model with sorted field order and normalized
+    /// floats. Equal scenarios — however their JSON was ordered or
+    /// round-tripped — hash equal; any change to a model field, grid,
+    /// policy, or tolerance changes the digest.
+    pub fn content_hash(&self) -> u64 {
+        let value = serde_json::to_value(self).expect("scenario serialization cannot fail");
+        canonical_value_hash(&value)
+    }
+
+    /// [`Self::content_hash`] rendered as 16 lowercase hex digits, for use
+    /// in logs, diagnostics, and wire frames.
+    pub fn content_hash_hex(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    fn obj(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    #[test]
+    fn key_order_does_not_matter() {
+        let a = obj(vec![
+            ("alpha", Value::Number(1.0)),
+            ("beta", Value::String("x".into())),
+            (
+                "nested",
+                obj(vec![
+                    ("p", Value::Number(2.0)),
+                    ("q", Value::Array(vec![Value::Bool(true), Value::Null])),
+                ]),
+            ),
+        ]);
+        let b = obj(vec![
+            (
+                "nested",
+                obj(vec![
+                    ("q", Value::Array(vec![Value::Bool(true), Value::Null])),
+                    ("p", Value::Number(2.0)),
+                ]),
+            ),
+            ("beta", Value::String("x".into())),
+            ("alpha", Value::Number(1.0)),
+        ]);
+        assert_eq!(canonical_value_hash(&a), canonical_value_hash(&b));
+    }
+
+    #[test]
+    fn array_order_does_matter() {
+        let a = Value::Array(vec![Value::Number(1.0), Value::Number(2.0)]);
+        let b = Value::Array(vec![Value::Number(2.0), Value::Number(1.0)]);
+        assert_ne!(canonical_value_hash(&a), canonical_value_hash(&b));
+    }
+
+    #[test]
+    fn value_kinds_do_not_collide() {
+        let num = obj(vec![("k", Value::Number(1.0))]);
+        let s = obj(vec![("k", Value::String("1".into()))]);
+        assert_ne!(canonical_value_hash(&num), canonical_value_hash(&s));
+    }
+
+    #[test]
+    fn floats_are_normalized() {
+        let pos = Value::Number(0.0);
+        let neg = Value::Number(-0.0);
+        assert_eq!(canonical_value_hash(&pos), canonical_value_hash(&neg));
+        let nan = Value::Number(f64::NAN);
+        assert_eq!(canonical_value_hash(&nan), canonical_value_hash(&nan));
+    }
+
+    #[test]
+    fn scenario_hash_survives_json_round_trip_with_reordered_keys() {
+        let sc = registry::lookup("fig2").unwrap();
+        let h = sc.content_hash();
+
+        // Round-trip through JSON: parse back and rehash.
+        let again = Scenario::from_json(&sc.to_json()).unwrap();
+        assert_eq!(h, again.content_hash());
+
+        // Reorder the top-level keys of the serialized form and rehash the
+        // raw value: still identical.
+        let value = serde_json::to_value(&sc).unwrap();
+        let Value::Object(mut pairs) = value.clone() else {
+            panic!("scenario serializes to an object");
+        };
+        pairs.reverse();
+        assert_eq!(
+            canonical_value_hash(&value),
+            canonical_value_hash(&Value::Object(pairs))
+        );
+    }
+
+    #[test]
+    fn scenario_hash_is_sensitive_to_every_model_field() {
+        let base = registry::lookup("fig2").unwrap();
+        let h = base.content_hash();
+
+        let mut renamed = base.clone();
+        renamed.name = "fig2_b".to_string();
+        assert_ne!(h, renamed.content_hash());
+
+        let mut more_procs = base.clone();
+        more_procs.machine.processors += 1;
+        assert_ne!(h, more_procs.content_hash());
+
+        let mut partition = base.clone();
+        partition.machine.classes[0].partition_size += 1;
+        assert_ne!(h, partition.content_hash());
+
+        let mut tolerance = base.clone();
+        tolerance.tolerance.rel += 0.01;
+        assert_ne!(h, tolerance.content_hash());
+
+        let mut seed = base.clone();
+        seed.sim.seed += 1;
+        assert_ne!(h, seed.content_hash());
+    }
+
+    #[test]
+    fn registry_hashes_are_pairwise_distinct() {
+        let hashes: Vec<u64> = registry::all().iter().map(Scenario::content_hash).collect();
+        for i in 0..hashes.len() {
+            for j in (i + 1)..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "{} vs {}", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn hex_form_is_16_digits() {
+        let sc = registry::lookup("fig2").unwrap();
+        let hex = sc.content_hash_hex();
+        assert_eq!(hex.len(), 16);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(u64::from_str_radix(&hex, 16).unwrap(), sc.content_hash());
+    }
+}

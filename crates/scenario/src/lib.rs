@@ -15,18 +15,24 @@
 //!   the SP2 variant, the ablation base point, and stress scenarios
 //!   (heavy traffic, high class count, skewed partitions, near
 //!   instability);
+//! * [`hash`] — a canonical 64-bit content hash over the scenario's JSON
+//!   form (order-insensitive, float-normalized), used by `gsched-service`
+//!   to key its result cache so that equivalent scenario documents —
+//!   however their keys are ordered — share one cache entry;
 //! * [`xval`] — the cross-validation harness comparing analysis and
 //!   simulation from the identical IR against declared tolerances;
 //! * [`validate_report`] — scenario linting with per-class stability and
 //!   drift margins (behind `gsched validate`).
 
 pub mod dist;
+pub mod hash;
 pub mod model_spec;
 pub mod registry;
 pub mod scenario;
 pub mod xval;
 
 pub use dist::DistSpec;
+pub use hash::canonical_value_hash;
 pub use model_spec::{ClassSpec, ModelSpec};
 pub use scenario::{
     validate_report, AxisSpec, ClassStability, LintIssue, LintLevel, Scenario, ScenarioBuilder,

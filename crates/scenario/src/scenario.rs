@@ -279,6 +279,35 @@ pub struct Scenario {
 
 impl Scenario {
     /// Start building a scenario around a machine.
+    ///
+    /// # Examples
+    ///
+    /// Build a scenario, validate it, and solve its model:
+    ///
+    /// ```
+    /// use gsched_scenario::{ModelSpec, Scenario};
+    ///
+    /// let machine = ModelSpec::from_json(
+    ///     r#"{
+    ///         "processors": 4,
+    ///         "classes": [{
+    ///             "partition_size": 4,
+    ///             "arrival": { "type": "exponential", "rate": 0.2 },
+    ///             "service": { "type": "exponential", "rate": 1.0 },
+    ///             "quantum": { "type": "erlang", "stages": 2, "rate": 1.0 },
+    ///             "switch_overhead": { "type": "exponential", "rate": 100.0 }
+    ///         }]
+    ///     }"#,
+    /// )?;
+    /// let scenario = Scenario::builder("demo", machine)
+    ///     .description("one 4-way class at light load")
+    ///     .build()?; // `build` runs full structural validation
+    ///
+    /// let model = scenario.build_model()?;
+    /// let solution = gsched_core::solve(&model, &Default::default())?;
+    /// assert!(solution.all_stable);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn builder(name: impl Into<String>, machine: ModelSpec) -> ScenarioBuilder {
         ScenarioBuilder {
             scenario: Scenario {

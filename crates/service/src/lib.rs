@@ -1,0 +1,99 @@
+//! Solve-as-a-service: a cached, concurrent scenario server.
+//!
+//! `gsched-service` turns the workspace's batch pipeline (scenario →
+//! engine → solver) into a long-running server: clients submit
+//! [`Scenario`](gsched_scenario::Scenario) requests over TCP and get
+//! rendered results back, with repeated questions answered from a sharded
+//! LRU cache keyed by the scenario's canonical
+//! [content hash](gsched_scenario::hash). The CLI front-ends are
+//! `gsched serve` and `gsched request`.
+//!
+//! Three guarantees shape the design:
+//!
+//! 1. **Byte identity** — a served result is byte-for-byte identical to
+//!    running `gsched solve --json` locally. The [`render`] module is the
+//!    single implementation of the result JSON (the CLI re-exports it),
+//!    the cache stores rendered text, and the frame layout lets clients
+//!    splice result bytes out verbatim ([`protocol::extract_result`]).
+//! 2. **Graceful degradation** — malformed frames, unknown scenarios,
+//!    solver failures, exceeded deadlines, and even worker panics become
+//!    structured error frames on the offending connection; the server
+//!    never dies with a request.
+//! 3. **Cooperative cancellation** — deadlines and client disconnects
+//!    fire an engine [`CancelToken`](gsched_engine::CancelToken), which
+//!    the sweep pool polls between points; numerical code is never
+//!    unwound from outside.
+//!
+//! # Wire protocol
+//!
+//! Newline-delimited JSON ("NDJSON") over TCP: one request frame per
+//! line, one response frame per line, answered in order. Any tool that
+//! can write a line and read a line is a client (`nc` works).
+//!
+//! ## Request frames
+//!
+//! ```json
+//! {"id":"r-1","op":"solve","scenario":"fig2"}
+//! {"op":"sweep","scenario":"fig3","quick":true,"deadline_ms":5000}
+//! {"op":"solve","scenario":{"name":"custom","machine":{...},"solver":{...}}}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! | field         | type                    | meaning                                            |
+//! |---------------|-------------------------|----------------------------------------------------|
+//! | `id`          | string, optional        | correlation id, echoed in the response             |
+//! | `op`          | string, default `solve` | `solve`, `sweep`, `stats`, or `shutdown`           |
+//! | `scenario`    | string or object        | registry name, or a full inline scenario document  |
+//! | `quick`       | bool, default `false`   | sweep only: use the reduced quick grid             |
+//! | `deadline_ms` | integer, optional       | per-request deadline; omitted = server default     |
+//!
+//! Unknown fields are rejected (`bad_request`) rather than ignored, so
+//! typos fail loudly. Inline scenarios are fully validated before any
+//! work is queued.
+//!
+//! ## Response frames
+//!
+//! Success (`result` is always the **last** field; for `op:"solve"` it is
+//! exactly the `gsched solve --json` document):
+//!
+//! ```json
+//! {"status":"ok","id":"r-1","op":"solve","cached":false,"result":{...}}
+//! ```
+//!
+//! Error:
+//!
+//! ```json
+//! {"status":"error","id":"r-1","error":{"kind":"unknown_scenario","message":"..."}}
+//! ```
+//!
+//! Error kinds: `bad_request`, `unknown_scenario`, `invalid_scenario`,
+//! `solve_failed`, `validation_failed`, `deadline_exceeded`, `cancelled`,
+//! `shutting_down`, `internal`. The same frame shape is emitted by
+//! `gsched validate --json` and `gsched xval --json` on failure
+//! (`validation_failed`), so scripted callers parse one error schema
+//! everywhere.
+//!
+//! # Observability
+//!
+//! With `gsched serve --diag`, the process emits a
+//! [`gsched-obs`](gsched_obs) snapshot on exit including
+//! `service.requests`, `service.cache.hits` / `service.cache.misses`,
+//! `service.errors`, the `service.queue.depth` gauge, and the
+//! `service.request.latency_ms` histogram, alongside the usual solver
+//! counters — `core.solver.solves` stays flat across cache hits, which is
+//! how the tests pin down that hits never re-solve.
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod render;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use client::Client;
+pub use protocol::{
+    error_frame, extract_result, frame_is_ok, ok_frame, parse_request, ErrorKind, Op, Request,
+    ScenarioRef, ServiceError,
+};
+pub use server::{install_ctrl_c_handler, ServeOptions, Server};

@@ -1,0 +1,344 @@
+//! Wire protocol: newline-delimited JSON frames.
+//!
+//! One request frame per line, one response frame per line, in order.
+//! See the crate-level docs for the full frame reference. The `result`
+//! field of an `ok` frame is always the **last** field, which lets
+//! clients splice the served result out of the frame byte-for-byte
+//! ([`extract_result`]) without a JSON round-trip that could perturb
+//! number formatting.
+
+use crate::render::json_str;
+use gsched_scenario::Scenario;
+use serde_json::Value;
+
+/// Operations a request frame may ask for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Solve the scenario's base model (default).
+    Solve,
+    /// Evaluate the scenario's sweep on the engine pool.
+    Sweep,
+    /// Report server counters; no scenario required.
+    Stats,
+    /// Ask the server to shut down cleanly; no scenario required.
+    Shutdown,
+}
+
+impl Op {
+    /// The wire name of this operation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Op::Solve => "solve",
+            Op::Sweep => "sweep",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<Op> {
+        match s {
+            "solve" => Some(Op::Solve),
+            "sweep" => Some(Op::Sweep),
+            "stats" => Some(Op::Stats),
+            "shutdown" => Some(Op::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// The scenario a request names: a registry name or an inline document.
+#[derive(Debug, Clone)]
+pub enum ScenarioRef {
+    /// Resolve against the server's registry.
+    Name(String),
+    /// A full scenario document, already parsed and validated.
+    Inline(Box<Scenario>),
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed back in the response.
+    pub id: Option<String>,
+    /// Requested operation.
+    pub op: Op,
+    /// The scenario to operate on (required for `solve`/`sweep`).
+    pub scenario: Option<ScenarioRef>,
+    /// For `sweep`: evaluate the reduced quick grid instead of the full one.
+    pub quick: bool,
+    /// Per-request deadline in milliseconds; `None` uses the server default.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Machine-readable error categories carried in error frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame was not valid JSON or missing required fields.
+    BadRequest,
+    /// A scenario name that the server's registry does not know.
+    UnknownScenario,
+    /// An inline scenario that failed schema validation.
+    InvalidScenario,
+    /// The solver rejected or failed on the model.
+    SolveFailed,
+    /// Validation or cross-validation reported failures (CLI `validate`
+    /// and `xval`; the server itself never emits this kind).
+    ValidationFailed,
+    /// The request exceeded its deadline.
+    DeadlineExceeded,
+    /// The client disconnected (or the server dropped) before completion.
+    Cancelled,
+    /// The server is shutting down and not accepting work.
+    ShuttingDown,
+    /// An unexpected internal failure; the server itself survives.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire name of this error kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::UnknownScenario => "unknown_scenario",
+            ErrorKind::InvalidScenario => "invalid_scenario",
+            ErrorKind::SolveFailed => "solve_failed",
+            ErrorKind::ValidationFailed => "validation_failed",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A structured error: the payload of an error frame.
+#[derive(Debug, Clone)]
+pub struct ServiceError {
+    /// Category for programmatic handling.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Build an error from its parts.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        ServiceError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parse one request line into a [`Request`].
+///
+/// Inline scenarios are fully validated here, so by the time a request
+/// reaches a worker its scenario is known-good.
+pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
+    let bad = |m: String| ServiceError::new(ErrorKind::BadRequest, m);
+    let value: Value =
+        serde_json::from_str(line).map_err(|e| bad(format!("request is not valid JSON: {e}")))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| bad("request frame must be a JSON object".to_string()))?;
+    for (key, _) in obj {
+        if !matches!(
+            key.as_str(),
+            "id" | "op" | "scenario" | "quick" | "deadline_ms"
+        ) {
+            return Err(bad(format!("unknown request field {key:?}")));
+        }
+    }
+    let id = match value.get("id") {
+        None | Some(Value::Null) => None,
+        Some(Value::String(s)) => Some(s.clone()),
+        Some(other) => return Err(bad(format!("id must be a string, got {}", other.kind()))),
+    };
+    let op = match value.get("op") {
+        None => Op::Solve,
+        Some(Value::String(s)) => Op::parse(s).ok_or_else(|| bad(format!("unknown op {s:?}")))?,
+        Some(other) => return Err(bad(format!("op must be a string, got {}", other.kind()))),
+    };
+    let scenario = match value.get("scenario") {
+        None | Some(Value::Null) => None,
+        Some(Value::String(name)) => Some(ScenarioRef::Name(name.clone())),
+        Some(inline @ Value::Object(_)) => {
+            let sc: Scenario = serde_json::from_value(inline.clone())
+                .map_err(|e| ServiceError::new(ErrorKind::InvalidScenario, e.to_string()))?;
+            sc.validate()
+                .map_err(|e| ServiceError::new(ErrorKind::InvalidScenario, e.to_string()))?;
+            Some(ScenarioRef::Inline(Box::new(sc)))
+        }
+        Some(other) => {
+            return Err(bad(format!(
+                "scenario must be a name or an object, got {}",
+                other.kind()
+            )))
+        }
+    };
+    let quick = match value.get("quick") {
+        None => false,
+        Some(Value::Bool(b)) => *b,
+        Some(other) => return Err(bad(format!("quick must be a bool, got {}", other.kind()))),
+    };
+    let deadline_ms = match value.get("deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| {
+            bad(format!(
+                "deadline_ms must be a non-negative integer, got {}",
+                v.kind()
+            ))
+        })?),
+    };
+    if matches!(op, Op::Solve | Op::Sweep) && scenario.is_none() {
+        return Err(bad(format!("op {:?} requires a scenario", op.as_str())));
+    }
+    Ok(Request {
+        id,
+        op,
+        scenario,
+        quick,
+        deadline_ms,
+    })
+}
+
+fn id_field(id: Option<&str>) -> String {
+    match id {
+        Some(id) => format!(r#""id":{},"#, json_str(id)),
+        None => String::new(),
+    }
+}
+
+/// Build an `ok` response frame (no trailing newline). `result` must be a
+/// complete JSON document; it is spliced in verbatim as the final field.
+pub fn ok_frame(id: Option<&str>, op: Op, cached: bool, result: &str) -> String {
+    format!(
+        r#"{{"status":"ok",{}"op":{},"cached":{},"result":{}}}"#,
+        id_field(id),
+        json_str(op.as_str()),
+        cached,
+        result
+    )
+}
+
+/// Build an error response frame (no trailing newline).
+pub fn error_frame(id: Option<&str>, error: &ServiceError) -> String {
+    format!(
+        r#"{{"status":"error",{}"error":{{"kind":{},"message":{}}}}}"#,
+        id_field(id),
+        json_str(error.kind.as_str()),
+        json_str(&error.message)
+    )
+}
+
+/// Splice the `result` document back out of an `ok` frame, byte-for-byte.
+///
+/// Relies on the frame contract that `result` is the final field; returns
+/// `None` for error frames or anything else.
+pub fn extract_result(frame: &str) -> Option<&str> {
+    let frame = frame.trim_end();
+    let start = frame.find(r#""result":"#)? + r#""result":"#.len();
+    let end = frame.len().checked_sub(1)?;
+    if !frame.ends_with('}') || start > end {
+        return None;
+    }
+    Some(&frame[start..end])
+}
+
+/// Whether a response frame reports success (`"status":"ok"`).
+pub fn frame_is_ok(frame: &str) -> bool {
+    serde_json::from_str::<Value>(frame)
+        .ok()
+        .and_then(|v| v.get("status").and_then(|s| s.as_str().map(String::from)))
+        .as_deref()
+        == Some("ok")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_solve_request() {
+        let req = parse_request(r#"{"scenario":"fig2"}"#).unwrap();
+        assert_eq!(req.op, Op::Solve);
+        assert!(matches!(req.scenario, Some(ScenarioRef::Name(ref n)) if n == "fig2"));
+        assert!(req.id.is_none());
+        assert!(!req.quick);
+        assert!(req.deadline_ms.is_none());
+    }
+
+    #[test]
+    fn full_request_round_trip() {
+        let req = parse_request(
+            r#"{"id":"r-1","op":"sweep","scenario":"fig3","quick":true,"deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id.as_deref(), Some("r-1"));
+        assert_eq!(req.op, Op::Sweep);
+        assert!(req.quick);
+        assert_eq!(req.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn stats_needs_no_scenario() {
+        let req = parse_request(r#"{"op":"stats"}"#).unwrap();
+        assert_eq!(req.op, Op::Stats);
+        assert!(req.scenario.is_none());
+    }
+
+    #[test]
+    fn bad_frames_are_rejected() {
+        for (line, expect) in [
+            ("not json", ErrorKind::BadRequest),
+            ("[1,2]", ErrorKind::BadRequest),
+            (r#"{"op":"dance"}"#, ErrorKind::BadRequest),
+            (r#"{"op":"solve"}"#, ErrorKind::BadRequest),
+            (r#"{"scenario":"fig2","zap":1}"#, ErrorKind::BadRequest),
+            (
+                r#"{"scenario":"fig2","deadline_ms":-3}"#,
+                ErrorKind::BadRequest,
+            ),
+            (r#"{"scenario":{"name":"x"}}"#, ErrorKind::InvalidScenario),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.kind, expect, "{line}");
+        }
+    }
+
+    #[test]
+    fn inline_scenario_is_validated() {
+        let sc = gsched_scenario::registry::lookup("fig2").unwrap();
+        let frame = format!(r#"{{"scenario":{}}}"#, serde_json::to_string(&sc).unwrap());
+        let req = parse_request(&frame).unwrap();
+        match req.scenario {
+            Some(ScenarioRef::Inline(parsed)) => assert_eq!(parsed.name, "fig2"),
+            other => panic!("expected inline scenario, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn result_extraction_is_exact() {
+        let result = r#"{"a":[1,2,{"b":null}],"c":0.30000000000000004}"#;
+        let frame = ok_frame(Some("x"), Op::Solve, true, result);
+        assert!(frame_is_ok(&frame));
+        assert_eq!(extract_result(&frame), Some(result));
+        assert_eq!(extract_result(&format!("{frame}\n")), Some(result));
+    }
+
+    #[test]
+    fn error_frames_have_no_result() {
+        let frame = error_frame(None, &ServiceError::new(ErrorKind::Cancelled, "gone"));
+        assert!(!frame_is_ok(&frame));
+        assert_eq!(extract_result(&frame), None);
+        let value: Value = serde_json::from_str(&frame).unwrap();
+        assert_eq!(
+            value
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(|k| k.as_str()),
+            Some("cancelled")
+        );
+    }
+}

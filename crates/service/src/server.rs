@@ -1,0 +1,588 @@
+//! The long-running solve server.
+//!
+//! A [`Server`] owns a `TcpListener`, a fixed pool of solver worker
+//! threads, and a sharded [`ResultCache`]. Connection threads parse
+//! request frames, serve cache hits immediately, and enqueue misses for
+//! the worker pool; workers solve, render, cache, and reply. All threads
+//! are scoped (`crossbeam::scope`) so `run` cannot return with work still
+//! borrowing the server.
+//!
+//! # Lifecycle and degradation
+//!
+//! * **Deadlines** — each request carries (or inherits) a deadline; the
+//!   engine's [`CancelToken`] enforces it between sweep points and the
+//!   worker checks it around whole solves. An exceeded deadline yields a
+//!   `deadline_exceeded` error frame; if the result happened to complete
+//!   it is still cached for the next caller.
+//! * **Client disconnects** — while a request is in flight its connection
+//!   thread polls the socket; a hangup cancels the token so workers stop
+//!   early instead of solving for nobody.
+//! * **Failures** — validation and solver errors (and even worker panics)
+//!   become structured error frames; the server itself never dies with a
+//!   request.
+//! * **Shutdown** — a `shutdown` frame, [`Server::request_shutdown`], or
+//!   SIGINT (when [`install_ctrl_c_handler`] was called) stops the accept
+//!   loop, drains queued jobs, joins every thread, and returns from `run`.
+
+use crate::cache::ResultCache;
+use crate::protocol::{
+    error_frame, ok_frame, parse_request, ErrorKind, Op, Request, ScenarioRef, ServiceError,
+};
+use crate::render;
+use gsched_core::{solve, SolverOptions};
+use gsched_engine::{run_sweep, CancelToken, SweepOptions};
+use gsched_obs as obs;
+use gsched_scenario::{registry, Scenario};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:7070` (port `0` picks a free port).
+    pub addr: String,
+    /// Solver worker threads; `0` uses the machine's available parallelism.
+    pub workers: usize,
+    /// Result-cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Default per-request deadline in milliseconds, applied when a
+    /// request does not carry `deadline_ms`; `0` means no default.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7070".to_string(),
+            workers: 0,
+            cache_capacity: 256,
+            default_deadline_ms: 30_000,
+        }
+    }
+}
+
+/// How often blocked threads re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Set by the SIGINT handler; observed by every running server.
+static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+/// Install a process-wide SIGINT (ctrl-c) handler that asks running
+/// servers to shut down cleanly. Safe to call more than once. On
+/// non-Unix platforms this is a no-op and SIGINT falls back to the
+/// platform default.
+pub fn install_ctrl_c_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_sigint(_signum: i32) {
+            SIGINT_RECEIVED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// One queued unit of solver work.
+struct Job {
+    scenario: Scenario,
+    op: Op,
+    quick: bool,
+    cache_key: u64,
+    cancel: CancelToken,
+    reply: mpsc::Sender<Result<std::sync::Arc<String>, ServiceError>>,
+}
+
+#[derive(Default)]
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    queue_depth: AtomicU64,
+}
+
+/// The solve server. See the module docs for the threading model.
+pub struct Server {
+    listener: TcpListener,
+    workers: usize,
+    default_deadline_ms: u64,
+    cache: ResultCache,
+    queue: JobQueue,
+    stats: Stats,
+    shutdown: AtomicBool,
+    started: Instant,
+    solver: SolverOptions,
+}
+
+impl Server {
+    /// Bind the listen socket and prepare (but do not start) the server.
+    pub fn bind(opts: &ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let workers = if opts.workers > 0 {
+            opts.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        Ok(Server {
+            listener,
+            workers,
+            default_deadline_ms: opts.default_deadline_ms,
+            cache: ResultCache::new(opts.cache_capacity),
+            queue: JobQueue::default(),
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            // The same defaults `gsched solve` uses, so served results are
+            // byte-identical to local solves.
+            solver: SolverOptions::default(),
+        })
+    }
+
+    /// The bound address (useful after binding port `0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Worker threads the pool will run.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Ask the server to stop: the accept loop closes, queued work drains,
+    /// and [`Server::run`] returns. Callable from any thread.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGINT_RECEIVED.load(Ordering::SeqCst)
+    }
+
+    /// Serve until shutdown is requested (frame, [`Server::request_shutdown`],
+    /// or SIGINT). Blocks the calling thread; workers and connection
+    /// handlers run on scoped threads and are all joined before this
+    /// returns.
+    pub fn run(&self) -> std::io::Result<()> {
+        let _span = obs::span("service.run");
+        crossbeam::scope(|s| {
+            for _ in 0..self.workers {
+                s.spawn(|_| self.worker_loop());
+            }
+            loop {
+                if self.shutting_down() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        obs::counter_add("service.connections", 1);
+                        s.spawn(move |_| self.handle_connection(stream));
+                    }
+                    Err(e)
+                        if e.kind() == IoErrorKind::WouldBlock
+                            || e.kind() == IoErrorKind::TimedOut =>
+                    {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    // Transient accept errors (e.g. aborted handshakes)
+                    // must not kill the server.
+                    Err(_) => std::thread::sleep(POLL_INTERVAL),
+                }
+            }
+            self.queue.ready.notify_all();
+        })
+        .expect("service threads join cleanly");
+        Ok(())
+    }
+
+    // ---- worker side ----
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut jobs = self.queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(job) = jobs.pop_front() {
+                        break Some(job);
+                    }
+                    if self.shutting_down() {
+                        break None;
+                    }
+                    let (guard, _) = self
+                        .queue
+                        .ready
+                        .wait_timeout(jobs, POLL_INTERVAL)
+                        .unwrap_or_else(|e| e.into_inner());
+                    jobs = guard;
+                }
+            };
+            let Some(job) = job else { return };
+            let depth = self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+            obs::gauge_set("service.queue.depth", depth as f64);
+            // A panic inside numerical code must degrade to an error
+            // frame, never take the whole server down.
+            let outcome =
+                catch_unwind(AssertUnwindSafe(|| self.process_job(&job))).unwrap_or_else(|_| {
+                    Err(ServiceError::new(
+                        ErrorKind::Internal,
+                        "worker panicked while processing the request",
+                    ))
+                });
+            // The requesting connection may be gone; that is fine.
+            let _ = job.reply.send(outcome);
+        }
+    }
+
+    fn process_job(&self, job: &Job) -> Result<std::sync::Arc<String>, ServiceError> {
+        if job.cancel.is_cancelled() {
+            return Err(cancel_error(&job.cancel));
+        }
+        let _span = obs::span(format!("service.{}", job.op.as_str()));
+        let rendered =
+            match job.op {
+                Op::Solve => {
+                    let model = job.scenario.build_model().map_err(|e| {
+                        ServiceError::new(ErrorKind::InvalidScenario, e.to_string())
+                    })?;
+                    let sol = solve(&model, &self.solver)
+                        .map_err(|e| ServiceError::new(ErrorKind::SolveFailed, e.to_string()))?;
+                    render::solution_json(&sol)
+                }
+                Op::Sweep => {
+                    let req = job.scenario.sweep_request(job.quick).map_err(|e| {
+                        ServiceError::new(ErrorKind::InvalidScenario, e.to_string())
+                    })?;
+                    let classes = job.scenario.machine.classes.len();
+                    // One core per request: concurrency comes from the worker
+                    // pool, cancellation from the shared token.
+                    let opts = SweepOptions::default()
+                        .with_jobs(1)
+                        .with_solver(self.solver.clone())
+                        .with_cancel(job.cancel.clone());
+                    let report = run_sweep(&req, &opts);
+                    if job.cancel.is_cancelled() {
+                        return Err(cancel_error(&job.cancel));
+                    }
+                    format!(
+                        "[{}]",
+                        render::sweep_report_json(&job.scenario.name, &report, classes)
+                    )
+                }
+                // Stats/shutdown never reach the queue.
+                Op::Stats | Op::Shutdown => {
+                    return Err(ServiceError::new(
+                        ErrorKind::Internal,
+                        "control operation routed to a worker",
+                    ))
+                }
+            };
+        let rendered = std::sync::Arc::new(rendered);
+        // Cache even when the deadline has passed: the work is done and
+        // the next caller should benefit.
+        self.cache.insert(job.cache_key, rendered.clone());
+        if job.cancel.is_cancelled() {
+            return Err(cancel_error(&job.cancel));
+        }
+        Ok(rendered)
+    }
+
+    // ---- connection side ----
+
+    fn handle_connection(&self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = stream;
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            if self.shutting_down() {
+                return;
+            }
+            match reader.read_until(b'\n', &mut buf) {
+                Ok(0) => return, // client closed
+                Ok(_) => {
+                    let line = String::from_utf8_lossy(&buf).into_owned();
+                    buf.clear();
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let Some(reply) = self.handle_request(&writer, line) else {
+                        return; // client vanished mid-request
+                    };
+                    if writer
+                        .write_all(reply.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                // Timeout with a partial line: the bytes read so far stay
+                // in `buf`; keep accumulating.
+                Err(e)
+                    if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Process one request line; `None` means the client disconnected and
+    /// no reply can be delivered.
+    fn handle_request(&self, stream: &TcpStream, line: &str) -> Option<String> {
+        let t0 = Instant::now();
+        let _span = obs::span("service.request");
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        obs::counter_add("service.requests", 1);
+        let req = match parse_request(line) {
+            Ok(req) => req,
+            Err(e) => return Some(self.error_reply(None, e)),
+        };
+        let id = req.id.clone();
+        match req.op {
+            Op::Stats => Some(ok_frame(
+                id.as_deref(),
+                Op::Stats,
+                false,
+                &self.stats_json(),
+            )),
+            Op::Shutdown => {
+                self.request_shutdown();
+                self.queue.ready.notify_all();
+                Some(ok_frame(
+                    id.as_deref(),
+                    Op::Shutdown,
+                    false,
+                    r#"{"stopping":true}"#,
+                ))
+            }
+            Op::Solve | Op::Sweep => {
+                if self.shutting_down() {
+                    return Some(self.error_reply(
+                        id,
+                        ServiceError::new(ErrorKind::ShuttingDown, "server is shutting down"),
+                    ));
+                }
+                let scenario = match resolve_scenario(req.scenario.as_ref()) {
+                    Ok(sc) => sc,
+                    Err(e) => return Some(self.error_reply(id, e)),
+                };
+                let key = cache_key(req.op, req.quick, scenario.content_hash());
+                if let Some(hit) = self.cache.get(key) {
+                    obs::counter_add("service.cache.hits", 1);
+                    obs::observe(
+                        "service.request.latency_ms",
+                        t0.elapsed().as_secs_f64() * 1e3,
+                    );
+                    return Some(ok_frame(id.as_deref(), req.op, true, &hit));
+                }
+                obs::counter_add("service.cache.misses", 1);
+                let outcome = self.dispatch_and_wait(stream, &req, scenario, key)?;
+                obs::observe(
+                    "service.request.latency_ms",
+                    t0.elapsed().as_secs_f64() * 1e3,
+                );
+                Some(match outcome {
+                    Ok(result) => ok_frame(id.as_deref(), req.op, false, &result),
+                    Err(e) => self.error_reply(id, e),
+                })
+            }
+        }
+    }
+
+    /// Enqueue a solver job and wait for its reply, watching for client
+    /// disconnects. `None` means the client is gone.
+    #[allow(clippy::type_complexity)]
+    fn dispatch_and_wait(
+        &self,
+        stream: &TcpStream,
+        req: &Request,
+        scenario: Scenario,
+        key: u64,
+    ) -> Option<Result<std::sync::Arc<String>, ServiceError>> {
+        let deadline_ms = req.deadline_ms.unwrap_or(self.default_deadline_ms);
+        let cancel = if deadline_ms > 0 {
+            CancelToken::with_deadline(Instant::now() + Duration::from_millis(deadline_ms))
+        } else {
+            CancelToken::new()
+        };
+        let (tx, rx) = mpsc::channel();
+        // Count the job before it becomes visible to workers, so their
+        // decrement can never underflow the gauge.
+        let depth = self.stats.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        obs::gauge_set("service.queue.depth", depth as f64);
+        {
+            let mut jobs = self.queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            jobs.push_back(Job {
+                scenario,
+                op: req.op,
+                quick: req.quick,
+                cache_key: key,
+                cancel: cancel.clone(),
+                reply: tx,
+            });
+        }
+        self.queue.ready.notify_one();
+        loop {
+            match rx.recv_timeout(POLL_INTERVAL) {
+                Ok(outcome) => return Some(outcome),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if client_gone(stream) {
+                        // Nobody is listening: stop the work, drop the job.
+                        cancel.cancel();
+                        obs::counter_add("service.cancelled_disconnects", 1);
+                        return None;
+                    }
+                    if self.shutting_down() {
+                        // Bound shutdown latency: abandon between points.
+                        cancel.cancel();
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Some(Err(ServiceError::new(
+                        ErrorKind::Internal,
+                        "worker pool dropped the request",
+                    )))
+                }
+            }
+        }
+    }
+
+    fn error_reply(&self, id: Option<String>, error: ServiceError) -> String {
+        self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        obs::counter_add("service.errors", 1);
+        error_frame(id.as_deref(), &error)
+    }
+
+    /// The `stats` result document.
+    fn stats_json(&self) -> String {
+        format!(
+            r#"{{"workers":{},"queue_depth":{},"requests":{},"errors":{},"cache_hits":{},"cache_misses":{},"cache_entries":{},"cache_capacity":{},"uptime_ms":{}}}"#,
+            self.workers,
+            self.stats.queue_depth.load(Ordering::Relaxed),
+            self.stats.requests.load(Ordering::Relaxed),
+            self.stats.errors.load(Ordering::Relaxed),
+            self.cache.hits(),
+            self.cache.misses(),
+            self.cache.len(),
+            self.cache.capacity(),
+            self.started.elapsed().as_millis()
+        )
+    }
+}
+
+/// Map a fired token to the right error: deadline if one was set and has
+/// passed, explicit cancellation otherwise.
+fn cancel_error(token: &CancelToken) -> ServiceError {
+    match token.deadline() {
+        Some(deadline) if Instant::now() >= deadline => {
+            ServiceError::new(ErrorKind::DeadlineExceeded, "request exceeded its deadline")
+        }
+        _ => ServiceError::new(ErrorKind::Cancelled, "request was cancelled"),
+    }
+}
+
+/// Resolve the request's scenario reference against the registry.
+fn resolve_scenario(sref: Option<&ScenarioRef>) -> Result<Scenario, ServiceError> {
+    match sref {
+        Some(ScenarioRef::Name(name)) => registry::lookup(name).ok_or_else(|| {
+            ServiceError::new(
+                ErrorKind::UnknownScenario,
+                format!(
+                    "unknown scenario {name:?} (registry: {})",
+                    registry::NAMES.join(", ")
+                ),
+            )
+        }),
+        Some(ScenarioRef::Inline(sc)) => Ok((**sc).clone()),
+        // parse_request guarantees a scenario for solve/sweep.
+        None => Err(ServiceError::new(ErrorKind::BadRequest, "missing scenario")),
+    }
+}
+
+/// Fold the operation and grid flavour into the scenario's content hash
+/// (splitmix64 finalizer, so shard selection sees well-mixed bits).
+fn cache_key(op: Op, quick: bool, content_hash: u64) -> u64 {
+    let tag: u64 = match (op, quick) {
+        (Op::Sweep, false) => 2,
+        (Op::Sweep, true) => 3,
+        _ => 1, // solve has no grid; quick is irrelevant
+    };
+    let mut x = content_hash ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// True when the peer of `stream` has hung up (without consuming data a
+/// pipelined client may already have sent).
+fn client_gone(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,  // orderly shutdown
+        Ok(_) => false, // next pipelined request waiting
+        Err(e) => !matches!(e.kind(), IoErrorKind::WouldBlock | IoErrorKind::TimedOut),
+    };
+    // Back to blocking mode; the configured read timeout still applies.
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_key_separates_ops_and_grids() {
+        let h = 0xDEADBEEFu64;
+        let solve = cache_key(Op::Solve, false, h);
+        assert_eq!(solve, cache_key(Op::Solve, true, h));
+        let sweep = cache_key(Op::Sweep, false, h);
+        let sweep_quick = cache_key(Op::Sweep, true, h);
+        assert_ne!(solve, sweep);
+        assert_ne!(sweep, sweep_quick);
+        assert_ne!(cache_key(Op::Solve, false, h + 1), solve);
+    }
+
+    #[test]
+    fn bind_on_port_zero_reports_addr() {
+        let server = Server::bind(&ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        assert_ne!(addr.port(), 0);
+        assert_eq!(server.worker_count(), 2);
+    }
+}

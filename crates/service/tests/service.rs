@@ -1,0 +1,227 @@
+//! End-to-end tests over a real TCP socket: server in a background
+//! thread, blocking client in the test, shutdown via protocol frame.
+
+use gsched_service::client::{control_frame, frame_for_name, frame_for_scenario, RequestSpec};
+use gsched_service::{extract_result, frame_is_ok, Client, Op, ServeOptions, Server};
+use serde_json::Value;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+struct TestServer {
+    server: Arc<Server>,
+    addr: String,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TestServer {
+    fn start(workers: usize, cache_capacity: usize) -> TestServer {
+        let server = Arc::new(
+            Server::bind(&ServeOptions {
+                addr: "127.0.0.1:0".to_string(),
+                workers,
+                cache_capacity,
+                default_deadline_ms: 30_000,
+            })
+            .expect("bind"),
+        );
+        let addr = server.local_addr().expect("addr").to_string();
+        let runner = Arc::clone(&server);
+        let thread = std::thread::spawn(move || {
+            runner.run().expect("server run");
+        });
+        TestServer {
+            server,
+            addr,
+            thread: Some(thread),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.addr).expect("connect")
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.server.request_shutdown();
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("server thread");
+        }
+    }
+}
+
+fn field<'v>(frame: &'v Value, name: &str) -> &'v Value {
+    frame
+        .get(name)
+        .unwrap_or_else(|| panic!("frame has {name}"))
+}
+
+#[test]
+fn repeat_request_is_served_from_cache_with_identical_bytes() {
+    let ts = TestServer::start(2, 64);
+    let mut client = ts.client();
+
+    let line = frame_for_name("fig2", &RequestSpec::default());
+    let first = client.request_line(&line).unwrap();
+    let second = client.request_line(&line).unwrap();
+
+    assert!(frame_is_ok(&first), "{first}");
+    assert!(frame_is_ok(&second), "{second}");
+    let first_doc: Value = serde_json::from_str(&first).unwrap();
+    let second_doc: Value = serde_json::from_str(&second).unwrap();
+    assert_eq!(field(&first_doc, "cached").as_bool(), Some(false));
+    assert_eq!(field(&second_doc, "cached").as_bool(), Some(true));
+
+    let first_result = extract_result(&first).expect("result in first frame");
+    let second_result = extract_result(&second).expect("result in second frame");
+    assert_eq!(first_result, second_result, "cache must replay exact bytes");
+    assert!(
+        first_result.starts_with(r#"{"iterations":"#),
+        "{first_result}"
+    );
+
+    let stats = client
+        .request_line(&control_frame(Op::Stats, None))
+        .unwrap();
+    let stats_doc: Value = serde_json::from_str(&stats).unwrap();
+    let result = field(&stats_doc, "result");
+    assert_eq!(field(result, "cache_hits").as_u64(), Some(1));
+    assert_eq!(field(result, "cache_misses").as_u64(), Some(1));
+    assert_eq!(field(result, "errors").as_u64(), Some(0));
+    assert_eq!(field(result, "requests").as_u64(), Some(3));
+}
+
+#[test]
+fn inline_scenario_hits_the_cache_entry_of_its_name() {
+    let ts = TestServer::start(2, 64);
+    let mut client = ts.client();
+
+    let by_name = client
+        .request_line(&frame_for_name("fig4", &RequestSpec::default()))
+        .unwrap();
+    assert!(frame_is_ok(&by_name), "{by_name}");
+
+    // The same scenario sent as a full inline document — and, thanks to
+    // the canonical content hash, even with its JSON keys in a different
+    // order — must land on the same cache entry.
+    let scenario = gsched_scenario::registry::lookup("fig4").unwrap();
+    let inline_line = frame_for_scenario(&scenario, &RequestSpec::default());
+    let reordered: Value = serde_json::from_str(&inline_line).unwrap();
+    let inline = client
+        .request_line(&serde_json::to_string(&reordered).unwrap())
+        .unwrap();
+    let inline_doc: Value = serde_json::from_str(&inline).unwrap();
+    assert_eq!(
+        field(&inline_doc, "cached").as_bool(),
+        Some(true),
+        "{inline}"
+    );
+    assert_eq!(extract_result(&by_name), extract_result(&inline));
+}
+
+#[test]
+fn structured_errors_keep_the_connection_and_server_alive() {
+    let ts = TestServer::start(1, 8);
+    let mut client = ts.client();
+
+    for (line, kind) in [
+        ("this is not json", "bad_request"),
+        (r#"{"op":"solve"}"#, "bad_request"),
+        (r#"{"scenario":"no_such_scenario"}"#, "unknown_scenario"),
+        (r#"{"scenario":"fig2","surprise":1}"#, "bad_request"),
+    ] {
+        let reply = client.request_line(line).unwrap();
+        assert!(!frame_is_ok(&reply), "{reply}");
+        let doc: Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(
+            field(field(&doc, "error"), "kind").as_str(),
+            Some(kind),
+            "{reply}"
+        );
+    }
+
+    // The same connection still serves good requests afterwards.
+    let ok = client
+        .request_line(&frame_for_name("fig2", &RequestSpec::default()))
+        .unwrap();
+    assert!(frame_is_ok(&ok), "{ok}");
+}
+
+#[test]
+fn expired_deadline_returns_deadline_exceeded() {
+    let ts = TestServer::start(1, 8);
+    let mut client = ts.client();
+    let spec = RequestSpec {
+        op: Some(Op::Sweep),
+        deadline_ms: Some(1),
+        ..RequestSpec::default()
+    };
+    let reply = client.request_line(&frame_for_name("fig3", &spec)).unwrap();
+    let doc: Value = serde_json::from_str(&reply).unwrap();
+    assert_eq!(
+        field(field(&doc, "error"), "kind").as_str(),
+        Some("deadline_exceeded"),
+        "{reply}"
+    );
+}
+
+#[test]
+fn request_ids_are_echoed_and_sweeps_render_reports() {
+    let ts = TestServer::start(2, 64);
+    let mut client = ts.client();
+    let spec = RequestSpec {
+        id: Some("sweep-7".to_string()),
+        op: Some(Op::Sweep),
+        quick: true,
+        ..RequestSpec::default()
+    };
+    let reply = client.request_line(&frame_for_name("fig2", &spec)).unwrap();
+    assert!(frame_is_ok(&reply), "{reply}");
+    let doc: Value = serde_json::from_str(&reply).unwrap();
+    assert_eq!(field(&doc, "id").as_str(), Some("sweep-7"));
+    assert_eq!(field(&doc, "op").as_str(), Some("sweep"));
+    let result = field(&doc, "result");
+    let reports = result.as_array().expect("sweep result is an array");
+    assert_eq!(reports.len(), 1);
+    assert_eq!(field(&reports[0], "figure").as_str(), Some("fig2"));
+    assert!(field(&reports[0], "points").as_array().is_some());
+}
+
+#[test]
+fn shutdown_frame_stops_the_server() {
+    let server = Arc::new(
+        Server::bind(&ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            cache_capacity: 8,
+            default_deadline_ms: 0,
+        })
+        .unwrap(),
+    );
+    let addr = server.local_addr().unwrap().to_string();
+    let runner = Arc::clone(&server);
+    let thread = std::thread::spawn(move || runner.run().unwrap());
+
+    let mut client = Client::connect(&addr).unwrap();
+    let reply = client
+        .request_line(&control_frame(Op::Shutdown, Some("bye")))
+        .unwrap();
+    assert!(frame_is_ok(&reply), "{reply}");
+    assert_eq!(extract_result(&reply), Some(r#"{"stopping":true}"#));
+
+    // run() must return on its own once the frame is processed.
+    thread.join().expect("server stopped cleanly");
+}
+
+#[test]
+fn zero_cache_capacity_disables_caching() {
+    let ts = TestServer::start(1, 0);
+    let mut client = ts.client();
+    let line = frame_for_name("fig2", &RequestSpec::default());
+    let first = client.request_line(&line).unwrap();
+    let second = client.request_line(&line).unwrap();
+    let second_doc: Value = serde_json::from_str(&second).unwrap();
+    assert_eq!(field(&second_doc, "cached").as_bool(), Some(false));
+    // Both solved fresh, still byte-identical (same solver, same render).
+    assert_eq!(extract_result(&first), extract_result(&second));
+}

@@ -1,7 +1,7 @@
 //! Discrete-event simulation of gang scheduling and baseline policies.
 //!
 //! The paper evaluates its analytic model numerically; this crate provides
-//! the experimental counterpart the authors ran on real systems [27]: an
+//! the experimental counterpart the authors ran on real systems \[27\]: an
 //! event-driven simulator of
 //!
 //! * the exact policy analyzed in the paper — system-wide timeplexing with
