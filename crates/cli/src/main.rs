@@ -16,8 +16,10 @@
 //!                  [--out DIR] [--compare BENCH.json] [--threshold FRAC]
 //! gsched paper     [--rho R] [--quantum Q] [--json]
 //! gsched serve     [--addr A] [--workers N] [--cache-cap N] [--deadline-ms N]
+//!                  [--metrics-addr A] [--access-log PATH] [--access-log-max-bytes N]
 //! gsched request   [<scenario>] [--addr A] [--op solve|sweep|stats|shutdown]
 //!                  [--quick] [--deadline-ms N] [--id ID] [--frame]
+//! gsched top       [--addr A] [--interval SECS] [--count N] [--once]
 //! gsched example-model
 //! gsched example-scenario
 //! ```
@@ -60,6 +62,13 @@
 //! byte-identical to the corresponding `gsched solve --json` output. See
 //! the `gsched-service` crate docs for the wire protocol.
 //!
+//! A running server is observable three ways: the `stats` verb returns the
+//! full telemetry report (per-op latency percentiles, queue/occupancy
+//! gauges, cache behaviour), `--metrics-addr` serves the same numbers as
+//! Prometheus text exposition over HTTP, and `--access-log` appends one
+//! NDJSON line per request. `gsched top` polls `stats` and renders a live
+//! terminal dashboard (`--once` prints a single pipeable snapshot).
+//!
 //! `gsched doctor` solves the model and prints the per-class numerical-health
 //! table (drift slack, `sp(R)`, `R` residual, truncated tail mass) with WARN
 //! lines when a class is close to instability or under-resolved.
@@ -73,6 +82,7 @@
 //! example-model` and `gsched example-scenario` print templates.
 
 mod bench;
+mod top;
 
 use gsched_core::model::GangModel;
 use gsched_core::solver::{solve, GangSolution, SolverOptions, VacationMode};
@@ -127,6 +137,10 @@ fn run(args: &[String]) -> Result<(), String> {
         "paper" => cmd_paper(rest),
         "serve" => cmd_serve(rest),
         "request" => cmd_request(rest),
+        "top" => {
+            let (pos, flags) = parse_flags(rest)?;
+            top::run(&pos, &flags)
+        }
         "example-model" => {
             println!("{}", example_model_json());
             Ok(())
@@ -159,8 +173,9 @@ fn print_usage() {
          gsched doctor    <model.json | --scenario S> [--mode ht|m2|m3|exact] [--json]\n  \
          gsched bench     [--scenario S] [--label L] [--reps N] [--jobs N] [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC]\n  \
          gsched paper     [--rho R] [--quantum Q] [--json]\n  \
-         gsched serve     [--addr A] [--workers N] [--cache-cap N] [--deadline-ms N]\n  \
+         gsched serve     [--addr A] [--workers N] [--cache-cap N] [--deadline-ms N] [--metrics-addr A] [--access-log PATH] [--access-log-max-bytes N]\n  \
          gsched request   [<scenario>] [--addr A] [--op solve|sweep|stats|shutdown] [--quick] [--deadline-ms N] [--id ID] [--frame]\n  \
+         gsched top       [--addr A] [--interval SECS] [--count N] [--once]\n  \
          gsched example-model\n  \
          gsched example-scenario\n\
          a scenario S is a registry name ({}) or a scenario JSON file.\n\
@@ -190,6 +205,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
                 || name == "no-warm"
                 || name == "parity-check"
                 || name == "frame"
+                || name == "once"
             {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
@@ -1092,6 +1108,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         workers: flag_f64(&flags, "workers", 0.0)? as usize,
         cache_capacity: flag_f64(&flags, "cache-cap", 256.0)? as usize,
         default_deadline_ms: flag_f64(&flags, "deadline-ms", 30_000.0)? as u64,
+        metrics_addr: flags.get("metrics-addr").cloned(),
+        access_log: flags.get("access-log").map(std::path::PathBuf::from),
+        access_log_max_bytes: flag_f64(
+            &flags,
+            "access-log-max-bytes",
+            ServeOptions::default().access_log_max_bytes as f64,
+        )? as u64,
     };
     let diag = Diagnostics::from_flags(&flags);
     let server = Server::bind(&opts).map_err(|e| format!("cannot bind `{}`: {e}", opts.addr))?;
@@ -1103,6 +1126,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         server.worker_count(),
         opts.cache_capacity
     );
+    if let Some(maddr) = server.metrics_local_addr() {
+        println!("metrics on http://{maddr}/metrics");
+    }
+    if let Some(path) = &opts.access_log {
+        println!("access log at {}", path.display());
+    }
     let result = server.run().map_err(|e| e.to_string());
     diag.finish()?;
     result

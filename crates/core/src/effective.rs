@@ -56,8 +56,8 @@ pub fn effective_quantum(
     }
     let truncated_mass = sol.tail_prob(cap + 1);
     if obs::enabled() {
-        obs::observe("core.effective.level_cap", cap as f64);
-        obs::observe("core.effective.truncated_mass", truncated_mass);
+        obs::observe(obs::names::CORE_EFFECTIVE_LEVEL_CAP, cap as f64);
+        obs::observe(obs::names::CORE_EFFECTIVE_TRUNCATED_MASS, truncated_mass);
     }
 
     // ---- Index the service states (i, a, cfg, k<m_q) for i in 1..=cap ----

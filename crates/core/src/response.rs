@@ -96,8 +96,8 @@ pub fn response_time_distribution(
     }
     let folded_mass = sol.tail_prob(cap + 1);
     if obs::enabled() {
-        obs::observe("core.response.ahead_cap", cap as f64);
-        obs::observe("core.response.folded_mass", folded_mass);
+        obs::observe(obs::names::CORE_RESPONSE_AHEAD_CAP, cap as f64);
+        obs::observe(obs::names::CORE_RESPONSE_FOLDED_MASS, folded_mass);
     }
 
     // ---- Enumerate tagged states ----

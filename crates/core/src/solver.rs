@@ -681,12 +681,12 @@ pub fn solve_warm(
         });
     }
     if obs::enabled() {
-        obs::counter_add("core.solver.solves", 1);
-        obs::counter_add("core.solver.fp_iterations", iterations as u64);
-        obs::gauge_set("core.solver.final_change", last_change);
+        obs::counter_add(obs::names::CORE_SOLVER_SOLVES, 1);
+        obs::counter_add(obs::names::CORE_SOLVER_FP_ITERATIONS, iterations as u64);
+        obs::gauge_set(obs::names::CORE_SOLVER_FINAL_CHANGE, last_change);
         for (p, class) in classes.iter().enumerate() {
             obs::observe(
-                "core.solver.effective_quantum_mean",
+                obs::names::CORE_SOLVER_EFFECTIVE_QUANTUM_MEAN,
                 class.effective_quantum_mean,
             );
             obs::event(

@@ -78,11 +78,11 @@ impl VacationCache {
     pub fn compose(&self, model: &GangModel, p: usize, quanta: &[PhaseType]) -> PhaseType {
         let key = vacation_key(model, p, quanta);
         if let Some(hit) = self.inner.lock().get(&key) {
-            obs::counter_add("core.vacation.cache_hits", 1);
+            obs::counter_add(obs::names::CORE_VACATION_CACHE_HITS, 1);
             return hit.clone();
         }
         let z = compose_vacation(model, p, quanta);
-        obs::counter_add("core.vacation.cache_misses", 1);
+        obs::counter_add(obs::names::CORE_VACATION_CACHE_MISSES, 1);
         self.inner.lock().insert(key, z.clone());
         z
     }

@@ -157,87 +157,94 @@ pub fn run_sweep(req: &SweepRequest, opts: &SweepOptions) -> SweepReport {
     let next_ref = &next;
     let hits_ref = &hits;
     let misses_ref = &misses;
+    // Worker threads inherit the caller's request context so every chunk
+    // and point span stays attributed to the service request (if any)
+    // driving this sweep.
+    let ctx = obs::current_context();
 
     crossbeam::scope(|s| {
         for _ in 0..jobs {
-            s.spawn(move |_| loop {
-                let ci = next_ref.fetch_add(1, Ordering::Relaxed);
-                if ci >= num_chunks {
-                    break;
-                }
-                let lo = ci * chunk_size;
-                let hi = (lo + chunk_size).min(n);
-                let _chunk_span = obs::span(format!("engine.sweep.chunk{ci}"));
-                let mut carry: Option<WarmStart> = None;
-                for i in lo..hi {
-                    let pt = &req.points[i];
-                    if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
-                        // Finish bookkeeping for every remaining point but
-                        // never start another solve.
-                        carry = None;
-                        obs::counter_add("engine.sweep.cancelled_points", 1);
-                        results_ref.lock()[i] = Some(PointReport {
-                            x: pt.x,
-                            solution: None,
-                            error: Some(CANCELLED_POINT_ERROR.to_string()),
-                            warm_started: false,
-                            wall_ms: 0.0,
-                        });
-                        continue;
+            s.spawn(move |_| {
+                let _ctx = obs::context_enter(ctx);
+                loop {
+                    let ci = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if ci >= num_chunks {
+                        break;
                     }
-                    let t0 = Instant::now();
-                    let warm_ref = if opts.warm_start {
-                        carry.as_ref()
-                    } else {
-                        None
-                    };
-                    let warm_started = warm_ref.is_some();
-                    let res = {
-                        let _pt_span = obs::span(format!("engine.sweep.point{i}"));
-                        solve_warm(&pt.model, solver_ref, warm_ref, Some(cache_ref))
-                    };
-                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-                    let report = match res {
-                        Ok(outcome) => {
-                            if warm_started {
-                                hits_ref.fetch_add(1, Ordering::Relaxed);
-                                obs::counter_add("engine.warm.hits", 1);
-                            } else {
-                                misses_ref.fetch_add(1, Ordering::Relaxed);
-                                obs::counter_add("engine.warm.misses", 1);
-                            }
-                            carry = Some(outcome.warm);
-                            PointReport {
-                                x: pt.x,
-                                solution: Some(outcome.solution),
-                                error: None,
-                                warm_started,
-                                wall_ms,
-                            }
-                        }
-                        Err(e) => {
-                            // Do not chain a warm start through a failure.
+                    let lo = ci * chunk_size;
+                    let hi = (lo + chunk_size).min(n);
+                    let _chunk_span = obs::span(format!("engine.sweep.chunk{ci}"));
+                    let mut carry: Option<WarmStart> = None;
+                    for i in lo..hi {
+                        let pt = &req.points[i];
+                        if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                            // Finish bookkeeping for every remaining point but
+                            // never start another solve.
                             carry = None;
-                            let msg = e.with_sweep_point(pt.x).to_string();
-                            if obs::enabled() {
-                                obs::event(
-                                    "engine.sweep.point_error",
-                                    &[
-                                        ("x", obs::FieldValue::F64(pt.x)),
-                                        ("error", obs::FieldValue::Str(msg.clone())),
-                                    ],
-                                );
-                            }
-                            PointReport {
+                            obs::counter_add(obs::names::ENGINE_SWEEP_CANCELLED_POINTS, 1);
+                            results_ref.lock()[i] = Some(PointReport {
                                 x: pt.x,
                                 solution: None,
-                                error: Some(msg),
-                                warm_started,
-                                wall_ms,
-                            }
+                                error: Some(CANCELLED_POINT_ERROR.to_string()),
+                                warm_started: false,
+                                wall_ms: 0.0,
+                            });
+                            continue;
                         }
-                    };
-                    results_ref.lock()[i] = Some(report);
+                        let t0 = Instant::now();
+                        let warm_ref = if opts.warm_start {
+                            carry.as_ref()
+                        } else {
+                            None
+                        };
+                        let warm_started = warm_ref.is_some();
+                        let res = {
+                            let _pt_span = obs::span(format!("engine.sweep.point{i}"));
+                            solve_warm(&pt.model, solver_ref, warm_ref, Some(cache_ref))
+                        };
+                        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                        let report = match res {
+                            Ok(outcome) => {
+                                if warm_started {
+                                    hits_ref.fetch_add(1, Ordering::Relaxed);
+                                    obs::counter_add(obs::names::ENGINE_WARM_HITS, 1);
+                                } else {
+                                    misses_ref.fetch_add(1, Ordering::Relaxed);
+                                    obs::counter_add(obs::names::ENGINE_WARM_MISSES, 1);
+                                }
+                                carry = Some(outcome.warm);
+                                PointReport {
+                                    x: pt.x,
+                                    solution: Some(outcome.solution),
+                                    error: None,
+                                    warm_started,
+                                    wall_ms,
+                                }
+                            }
+                            Err(e) => {
+                                // Do not chain a warm start through a failure.
+                                carry = None;
+                                let msg = e.with_sweep_point(pt.x).to_string();
+                                if obs::enabled() {
+                                    obs::event(
+                                        "engine.sweep.point_error",
+                                        &[
+                                            ("x", obs::FieldValue::F64(pt.x)),
+                                            ("error", obs::FieldValue::Str(msg.clone())),
+                                        ],
+                                    );
+                                }
+                                PointReport {
+                                    x: pt.x,
+                                    solution: None,
+                                    error: Some(msg),
+                                    warm_started,
+                                    wall_ms,
+                                }
+                            }
+                        };
+                        results_ref.lock()[i] = Some(report);
+                    }
                 }
             });
         }
@@ -258,8 +265,11 @@ pub fn run_sweep(req: &SweepRequest, opts: &SweepOptions) -> SweepReport {
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
     };
     if obs::enabled() {
-        obs::gauge_set("engine.sweep.warm_hit_rate", stats.warm_hit_rate());
-        obs::gauge_set("engine.sweep.jobs", stats.jobs as f64);
+        obs::gauge_set(
+            obs::names::ENGINE_SWEEP_WARM_HIT_RATE,
+            stats.warm_hit_rate(),
+        );
+        obs::gauge_set(obs::names::ENGINE_SWEEP_JOBS, stats.jobs as f64);
     }
     SweepReport {
         axis: req.axis.clone(),

@@ -1,0 +1,164 @@
+//! NDJSON access-log sink with atomic size-based rotation.
+//!
+//! A long-running server appends one JSON line per request. When the live
+//! file exceeds its size budget the accumulated lines are moved to a
+//! `<path>.1` sidecar via [`write_atomic`] — readers of the rotated file
+//! never observe a torn document — and the live file restarts empty. One
+//! rotation generation is kept; a second rotation atomically replaces the
+//! first, bounding disk use at roughly twice the budget.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use crate::fsio::write_atomic;
+
+/// Shared append-only NDJSON log; clone-free, lock-per-append. See the
+/// module docs for the rotation contract.
+pub struct AccessLog {
+    path: PathBuf,
+    max_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    file: File,
+    bytes: u64,
+}
+
+impl AccessLog {
+    /// Open (appending) or create the log at `path`. `max_bytes` is the
+    /// rotation threshold for the live file; `0` disables rotation.
+    pub fn open(path: impl Into<PathBuf>, max_bytes: u64) -> std::io::Result<AccessLog> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let bytes = file.metadata()?.len();
+        Ok(AccessLog {
+            path,
+            max_bytes,
+            inner: Mutex::new(Inner { file, bytes }),
+        })
+    }
+
+    /// Path of the live log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Path the previous generation is rotated to.
+    pub fn rotated_path(&self) -> PathBuf {
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(".1");
+        PathBuf::from(name)
+    }
+
+    /// Append one NDJSON line (the newline is added here; `line` must not
+    /// contain one), rotating first if the live file is over budget.
+    pub fn append(&self, line: &str) -> std::io::Result<()> {
+        debug_assert!(!line.contains('\n'), "access log lines are single-line");
+        let mut inner = self.inner.lock();
+        if self.max_bytes > 0
+            && inner.bytes > 0
+            && inner.bytes + line.len() as u64 + 1 > self.max_bytes
+        {
+            self.rotate(&mut inner)?;
+        }
+        inner.file.write_all(line.as_bytes())?;
+        inner.file.write_all(b"\n")?;
+        inner.file.flush()?;
+        inner.bytes += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// Move the live file's contents to `<path>.1` atomically and restart
+    /// the live file empty.
+    fn rotate(&self, inner: &mut Inner) -> std::io::Result<()> {
+        inner.file.flush()?;
+        let contents = std::fs::read(&self.path)?;
+        write_atomic(self.rotated_path(), &contents)?;
+        inner.file.set_len(0)?;
+        inner.bytes = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gsched-accesslog-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn appends_ndjson_lines() {
+        let path = tmpdir("append").join("access.ndjson");
+        let _ = std::fs::remove_file(&path);
+        let log = AccessLog::open(&path, 0).unwrap();
+        log.append(r#"{"request_id":"r-1"}"#).unwrap();
+        log.append(r#"{"request_id":"r-2"}"#).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("r-1"));
+        assert!(lines[1].contains("r-2"));
+    }
+
+    #[test]
+    fn reopening_appends_instead_of_truncating() {
+        let path = tmpdir("reopen").join("access.ndjson");
+        let _ = std::fs::remove_file(&path);
+        AccessLog::open(&path, 0)
+            .unwrap()
+            .append("{\"a\":1}")
+            .unwrap();
+        AccessLog::open(&path, 0)
+            .unwrap()
+            .append("{\"b\":2}")
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn rotation_moves_whole_lines_and_restarts_empty() {
+        let path = tmpdir("rotate").join("access.ndjson");
+        let _ = std::fs::remove_file(&path);
+        let log = AccessLog::open(&path, 64).unwrap();
+        let _ = std::fs::remove_file(log.rotated_path());
+        // ~21 bytes per line: the third append pushes past 64 and rotates.
+        for i in 0..6 {
+            log.append(&format!(r#"{{"request_id":"r-{i}"}}"#)).unwrap();
+        }
+        let rotated = std::fs::read_to_string(log.rotated_path()).unwrap();
+        let live = std::fs::read_to_string(&path).unwrap();
+        // Every line survives exactly once, in order, none torn.
+        let all: Vec<String> = rotated
+            .lines()
+            .chain(live.lines())
+            .map(str::to_string)
+            .collect();
+        assert_eq!(all.len(), 6, "rotated={rotated:?} live={live:?}");
+        for (i, line) in all.iter().enumerate() {
+            assert_eq!(line, &format!(r#"{{"request_id":"r-{i}"}}"#));
+        }
+        assert!(!live.is_empty(), "live file keeps post-rotation lines");
+    }
+
+    #[test]
+    fn zero_budget_never_rotates() {
+        let path = tmpdir("norotate").join("access.ndjson");
+        let _ = std::fs::remove_file(&path);
+        let log = AccessLog::open(&path, 0).unwrap();
+        for _ in 0..100 {
+            log.append("{\"x\":1}").unwrap();
+        }
+        assert!(!log.rotated_path().exists());
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 100);
+    }
+}

@@ -28,18 +28,31 @@
 //! * [`event`] — structured record with fields, tagged with the emitting
 //!   span path (fixed-point trajectories, per-class solve summaries).
 
+//! # Request contexts
+//!
+//! Serving paths additionally tag spans with a *request context*: a `u64`
+//! id entered with [`context_enter`] and carried across worker threads via
+//! [`current_context`]. Span intervals remember the context that was active
+//! when they opened, so the Chrome-trace export can label every span of one
+//! service request with its `request_id` ([`context_label`]) and an access
+//! log line ([`AccessLog`]) can point at its span tree.
+
+mod accesslog;
 mod fsio;
 mod histogram;
+pub mod names;
 mod recorder;
 mod report;
 mod snapshot;
 mod trace;
 
+pub use accesslog::AccessLog;
 pub use fsio::write_atomic;
-pub use histogram::LogHistogram;
+pub use histogram::{LogHistogram, WindowedHistogram};
 pub use recorder::{
-    counter_add, enabled, event, gauge_set, install, install_memory, installed_memory, observe,
-    span, thread_label, uninstall, FieldValue, MemoryRecorder, Recorder, SpanGuard,
+    context_enter, context_label, counter_add, current_context, enabled, event, gauge_set, install,
+    install_memory, installed_memory, observe, span, thread_label, uninstall, ContextGuard,
+    FieldValue, MemoryRecorder, Recorder, SpanGuard,
 };
 pub use snapshot::{
     EventSnapshot, HistogramSnapshot, MetricF64, MetricU64, Snapshot, SpanIntervalSnapshot,

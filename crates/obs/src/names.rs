@@ -1,0 +1,121 @@
+//! Canonical metric-name constants shared by recorder call sites and tests.
+//!
+//! Every counter/gauge/histogram name emitted by the workspace lives here
+//! as a `const`, so a rename is a compile error at every call site (and in
+//! every test that asserts on the metric) instead of a silently orphaned
+//! dashboard. Span *names* stay inline at their call sites — they are
+//! hierarchical paths assembled at runtime — but fixed metric families all
+//! route through this module.
+//!
+//! Names use `crate.component.operation` form, matching the crate that
+//! emits them. The Prometheus exposition in `gsched-service` derives its
+//! family names from its own constants, not these; these are the in-process
+//! (`--diag` snapshot) names.
+
+// ---- gsched-service ----
+
+/// Connections accepted by the solve server (counter).
+pub const SERVICE_CONNECTIONS: &str = "service.connections";
+/// Request frames received, valid or not (counter).
+pub const SERVICE_REQUESTS: &str = "service.requests";
+/// Requests answered with an error frame (counter).
+pub const SERVICE_ERRORS: &str = "service.errors";
+/// Result-cache hits (counter).
+pub const SERVICE_CACHE_HITS: &str = "service.cache.hits";
+/// Result-cache misses (counter).
+pub const SERVICE_CACHE_MISSES: &str = "service.cache.misses";
+/// Jobs currently queued for the worker pool (gauge).
+pub const SERVICE_QUEUE_DEPTH: &str = "service.queue.depth";
+/// End-to-end request latency, parse to reply, in milliseconds (histogram).
+pub const SERVICE_REQUEST_LATENCY_MS: &str = "service.request.latency_ms";
+/// Time a job waited in the queue before a worker picked it up, in
+/// milliseconds (histogram).
+pub const SERVICE_QUEUE_WAIT_MS: &str = "service.queue.wait_ms";
+/// Time a worker spent solving/rendering a job, in milliseconds (histogram).
+pub const SERVICE_SOLVE_MS: &str = "service.solve_ms";
+/// Requests cancelled because the client hung up mid-flight (counter).
+pub const SERVICE_CANCELLED_DISCONNECTS: &str = "service.cancelled_disconnects";
+
+// ---- gsched-engine ----
+
+/// Sweep points warm-started from a chunk neighbour (counter).
+pub const ENGINE_WARM_HITS: &str = "engine.warm.hits";
+/// Sweep points solved cold (counter).
+pub const ENGINE_WARM_MISSES: &str = "engine.warm.misses";
+/// Sweep points abandoned after a cancellation fired (counter).
+pub const ENGINE_SWEEP_CANCELLED_POINTS: &str = "engine.sweep.cancelled_points";
+/// Warm-start hit rate of the last sweep (gauge).
+pub const ENGINE_SWEEP_WARM_HIT_RATE: &str = "engine.sweep.warm_hit_rate";
+/// Worker threads of the last sweep (gauge).
+pub const ENGINE_SWEEP_JOBS: &str = "engine.sweep.jobs";
+
+// ---- gsched-qbd ----
+
+/// `R`-matrix iterations solved to convergence (counter).
+pub const QBD_RMATRIX_SOLVES: &str = "qbd.rmatrix.solves";
+/// Total `R`-matrix iterations across solves (counter).
+pub const QBD_RMATRIX_ITERATIONS: &str = "qbd.rmatrix.iterations";
+/// Iterations per individual `R` solve (histogram).
+pub const QBD_RMATRIX_ITERATIONS_PER_SOLVE: &str = "qbd.rmatrix.iterations_per_solve";
+/// Final `R` residual per solve (histogram).
+pub const QBD_RMATRIX_RESIDUAL: &str = "qbd.rmatrix.residual";
+/// Warm-started `R` solves that converged from the seed (counter).
+pub const QBD_RMATRIX_WARM_HITS: &str = "qbd.rmatrix.warm_hits";
+/// `R` solves that fell back to a cold start (counter).
+pub const QBD_RMATRIX_WARM_MISSES: &str = "qbd.rmatrix.warm_misses";
+/// Spectral radius of `R` per solve (histogram).
+pub const QBD_SPECTRAL_RADIUS: &str = "qbd.spectral_radius";
+/// Drift margin per solve (histogram).
+pub const QBD_DRIFT_MARGIN: &str = "qbd.drift_margin";
+
+// ---- gsched-core ----
+
+/// Completed fixed-point solves (counter).
+pub const CORE_SOLVER_SOLVES: &str = "core.solver.solves";
+/// Fixed-point iterations across solves (counter).
+pub const CORE_SOLVER_FP_ITERATIONS: &str = "core.solver.fp_iterations";
+/// Final fixed-point change of the last solve (gauge).
+pub const CORE_SOLVER_FINAL_CHANGE: &str = "core.solver.final_change";
+/// Per-class effective quantum mean at convergence (histogram).
+pub const CORE_SOLVER_EFFECTIVE_QUANTUM_MEAN: &str = "core.solver.effective_quantum_mean";
+/// Vacation-distribution cache hits (counter).
+pub const CORE_VACATION_CACHE_HITS: &str = "core.vacation.cache_hits";
+/// Vacation-distribution cache misses (counter).
+pub const CORE_VACATION_CACHE_MISSES: &str = "core.vacation.cache_misses";
+/// Level cap chosen for effective-quantum truncation (histogram).
+pub const CORE_EFFECTIVE_LEVEL_CAP: &str = "core.effective.level_cap";
+/// Probability mass beyond the truncation cap (histogram).
+pub const CORE_EFFECTIVE_TRUNCATED_MASS: &str = "core.effective.truncated_mass";
+/// Jobs-ahead cap of the response-time analysis (histogram).
+pub const CORE_RESPONSE_AHEAD_CAP: &str = "core.response.ahead_cap";
+/// Mass folded into the response-time cap (histogram).
+pub const CORE_RESPONSE_FOLDED_MASS: &str = "core.response.folded_mass";
+
+// ---- gsched-sim ----
+
+/// Completed simulation runs (counter).
+pub const SIM_RUNS: &str = "sim.runs";
+/// Events popped off the simulator's queue (counter).
+pub const SIM_EVENTS_PROCESSED: &str = "sim.events_processed";
+/// Timeplexing cycles completed (counter).
+pub const SIM_CYCLES_COMPLETED: &str = "sim.cycles_completed";
+/// Jobs completed after warmup (counter).
+pub const SIM_COMPLETIONS: &str = "sim.completions";
+/// Simulated time covered by measurement (gauge).
+pub const SIM_MEASURED_TIME: &str = "sim.measured_time";
+/// Simulator event throughput (gauge).
+pub const SIM_EVENT_RATE_PER_SEC: &str = "sim.event_rate_per_sec";
+
+/// Per-class simulator queue-length histogram name (`sim.classP.queue_len`).
+pub fn sim_queue_length(class: usize) -> String {
+    format!("sim.class{class}.queue_len")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn queue_length_names_are_stable() {
+        assert_eq!(super::sim_queue_length(0), "sim.class0.queue_len");
+        assert_eq!(super::sim_queue_length(7), "sim.class7.queue_len");
+    }
+}

@@ -1,6 +1,6 @@
 //! The global recorder, probe functions, and the in-memory implementation.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -52,9 +52,12 @@ pub trait Recorder: Send + Sync {
     /// Record a completed span occurrence for `path` (slash-joined).
     fn span_record(&self, path: &str, nanos: u64);
     /// Record one completed span *interval*: its start offset from the
-    /// process timing epoch, duration, and the recording thread. Default is
-    /// a no-op so aggregate-only recorders need not store intervals.
-    fn span_interval(&self, _path: &str, _start_nanos: u64, _dur_nanos: u64, _tid: u64) {}
+    /// process timing epoch, duration, the recording thread, and the
+    /// request context that was active when the span opened (`0` = none;
+    /// see [`context_enter`]). Default is a no-op so aggregate-only
+    /// recorders need not store intervals.
+    fn span_interval(&self, _path: &str, _start_nanos: u64, _dur_nanos: u64, _tid: u64, _ctx: u64) {
+    }
     /// Record a structured event, tagged with the emitting span `path`.
     fn event(&self, name: &str, span_path: &str, fields: &[(&str, FieldValue)]);
 }
@@ -96,6 +99,51 @@ static MEMORY: RwLock<Option<Arc<MemoryRecorder>>> = RwLock::new(None);
 thread_local! {
     /// Names of the spans currently open on this thread, outermost first.
     static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+
+    /// Request context active on this thread; `0` means "none".
+    static CONTEXT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The request context currently active on this thread (`0` = none).
+///
+/// Capture this before handing work to another thread, then restore it
+/// there with [`context_enter`], so spans recorded by pool workers stay
+/// attributed to the request that spawned them.
+pub fn current_context() -> u64 {
+    CONTEXT.with(|c| c.get())
+}
+
+/// Human-readable label for a request context, as it appears in access
+/// logs and Chrome-trace `args.request_id` (`r-17` for context `17`).
+pub fn context_label(ctx: u64) -> String {
+    format!("r-{ctx}")
+}
+
+/// Make `ctx` the active request context on this thread until the returned
+/// guard drops, which restores the previous context. Entering context `0`
+/// is a no-op guard (the ambient context is left untouched), so callers
+/// can propagate [`current_context`] unconditionally.
+pub fn context_enter(ctx: u64) -> ContextGuard {
+    if ctx == 0 {
+        return ContextGuard { prev: None };
+    }
+    let prev = CONTEXT.with(|c| c.replace(ctx));
+    ContextGuard { prev: Some(prev) }
+}
+
+/// RAII guard restoring the previous request context; see [`context_enter`].
+#[must_use = "the context stays active only until the guard drops"]
+pub struct ContextGuard {
+    /// Context to restore on drop; `None` for the inert guard.
+    prev: Option<u64>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev {
+            CONTEXT.with(|c| c.set(prev));
+        }
+    }
 }
 
 /// Whether a recorder is installed (probes are live).
@@ -170,12 +218,16 @@ pub fn event(name: &str, fields: &[(&str, FieldValue)]) {
 /// this thread. When no recorder is installed the guard is inert.
 pub fn span(name: impl Into<String>) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { start: None };
+        return SpanGuard {
+            start: None,
+            ctx: 0,
+        };
     }
     SPAN_STACK.with(|stack| stack.borrow_mut().push(name.into()));
     let now = Instant::now();
     SpanGuard {
         start: Some((now, now.duration_since(epoch()).as_nanos() as u64)),
+        ctx: current_context(),
     }
 }
 
@@ -184,6 +236,8 @@ pub fn span(name: impl Into<String>) -> SpanGuard {
 pub struct SpanGuard {
     /// `(start instant, start offset from the process epoch in ns)`.
     start: Option<(Instant, u64)>,
+    /// Request context captured when the span opened (`0` = none).
+    ctx: u64,
 }
 
 impl Drop for SpanGuard {
@@ -201,7 +255,7 @@ impl Drop for SpanGuard {
         let tid = thread_label();
         with_recorder(|r| {
             r.span_record(&path, nanos);
-            r.span_interval(&path, start_offset, nanos, tid);
+            r.span_interval(&path, start_offset, nanos, tid, self.ctx);
         });
     }
 }
@@ -351,7 +405,7 @@ impl Recorder for MemoryRecorder {
         stat.total_nanos += nanos;
     }
 
-    fn span_interval(&self, path: &str, start_nanos: u64, dur_nanos: u64, tid: u64) {
+    fn span_interval(&self, path: &str, start_nanos: u64, dur_nanos: u64, tid: u64, ctx: u64) {
         let mut registry = self.registry.lock();
         if registry.span_intervals.len() >= MAX_SPAN_INTERVALS {
             registry.span_intervals_dropped += 1;
@@ -362,6 +416,7 @@ impl Recorder for MemoryRecorder {
             start_nanos,
             dur_nanos,
             tid,
+            ctx,
         });
     }
 
@@ -433,6 +488,52 @@ mod tests {
             snapshot.histogram("shared.hist").unwrap().count,
             threads * per_thread
         );
+    }
+
+    #[test]
+    fn context_enter_nests_and_restores() {
+        assert_eq!(current_context(), 0);
+        {
+            let _a = context_enter(7);
+            assert_eq!(current_context(), 7);
+            {
+                let _b = context_enter(9);
+                assert_eq!(current_context(), 9);
+                // Entering context 0 is inert — the ambient context stays.
+                let _c = context_enter(0);
+                assert_eq!(current_context(), 9);
+            }
+            assert_eq!(current_context(), 7);
+        }
+        assert_eq!(current_context(), 0);
+        assert_eq!(context_label(17), "r-17");
+    }
+
+    #[test]
+    fn span_intervals_carry_the_open_context() {
+        let recorder = MemoryRecorder::new();
+        {
+            let _g = context_enter(42);
+            span_on(&recorder, "ctx.work");
+        }
+        span_on(&recorder, "ctx.free");
+        let snapshot = recorder.snapshot();
+        let by_path = |p: &str| {
+            snapshot
+                .span_intervals
+                .iter()
+                .find(|s| s.path == p)
+                .unwrap_or_else(|| panic!("no interval for {p}"))
+        };
+        assert_eq!(by_path("ctx.work").ctx, 42);
+        assert_eq!(by_path("ctx.free").ctx, 0);
+    }
+
+    /// Record one closed span directly against `recorder`, bypassing the
+    /// global installation (keeps parallel tests independent).
+    fn span_on(recorder: &MemoryRecorder, path: &str) {
+        recorder.span_record(path, 10);
+        recorder.span_interval(path, 0, 10, thread_label(), current_context());
     }
 
     #[test]

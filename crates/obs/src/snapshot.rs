@@ -1,6 +1,6 @@
 //! Exportable view of everything a recorder accumulated.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// A named `u64` counter value.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -21,7 +21,12 @@ pub struct MetricF64 {
 }
 
 /// Summary of one histogram: count, mean, extremes, and quantiles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written so the NaN statistics of an *empty*
+/// histogram (mean and quantiles of zero samples) appear as `null` on the
+/// wire and come back as NaN — the same convention `Series` uses for
+/// unstable sweep points. JSON output never contains a bare `NaN` token.
+#[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
     /// Metric name.
     pub name: String,
@@ -39,6 +44,67 @@ pub struct HistogramSnapshot {
     pub p90: f64,
     /// 99th percentile.
     pub p99: f64,
+}
+
+/// Non-finite statistics serialize as `null`, never `NaN`.
+fn stat_to_value(v: f64) -> Value {
+    if v.is_finite() {
+        Value::Number(v)
+    } else {
+        Value::Null
+    }
+}
+
+/// `null` (or an absent field) reads back as NaN; numbers read as-is.
+fn stat_from_value(v: Option<&Value>, key: &str) -> Result<f64, Error> {
+    match v {
+        None | Some(Value::Null) => Ok(f64::NAN),
+        Some(other) => f64::from_value(other)
+            .map_err(|e| Error::msg(format!("HistogramSnapshot field `{key}`: {e}"))),
+    }
+}
+
+impl Serialize for HistogramSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".to_string(), self.name.to_value()),
+            ("count".to_string(), self.count.to_value()),
+            ("mean".to_string(), stat_to_value(self.mean)),
+            ("min".to_string(), stat_to_value(self.min)),
+            ("max".to_string(), stat_to_value(self.max)),
+            ("p50".to_string(), stat_to_value(self.p50)),
+            ("p90".to_string(), stat_to_value(self.p90)),
+            ("p99".to_string(), stat_to_value(self.p99)),
+        ])
+    }
+}
+
+impl Deserialize for HistogramSnapshot {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let obj = value.as_object().ok_or_else(|| {
+            Error::msg(format!(
+                "expected object for `HistogramSnapshot`, got {}",
+                value.kind()
+            ))
+        })?;
+        let get = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let name = get("name")
+            .ok_or_else(|| Error::msg("HistogramSnapshot: missing field `name`"))
+            .and_then(String::from_value)?;
+        let count = get("count")
+            .ok_or_else(|| Error::msg("HistogramSnapshot: missing field `count`"))
+            .and_then(u64::from_value)?;
+        Ok(HistogramSnapshot {
+            name,
+            count,
+            mean: stat_from_value(get("mean"), "mean")?,
+            min: stat_from_value(get("min"), "min")?,
+            max: stat_from_value(get("max"), "max")?,
+            p50: stat_from_value(get("p50"), "p50")?,
+            p90: stat_from_value(get("p90"), "p90")?,
+            p99: stat_from_value(get("p99"), "p99")?,
+        })
+    }
 }
 
 /// Aggregate timing for one span path.
@@ -64,6 +130,10 @@ pub struct SpanIntervalSnapshot {
     pub dur_nanos: u64,
     /// Dense per-thread label (1-based, first-use order).
     pub tid: u64,
+    /// Request context active when the span opened; `0` means none
+    /// (absent in pre-context snapshots, hence the default).
+    #[serde(default = "u64::default")]
+    pub ctx: u64,
 }
 
 /// One structured event with its fields.
@@ -138,5 +208,65 @@ impl Snapshot {
     /// Parse a snapshot back from its JSON form.
     pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_histogram_snapshot() -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: "empty.hist".to_string(),
+            count: 0,
+            mean: f64::NAN,
+            min: 0.0,
+            max: 0.0,
+            p50: f64::NAN,
+            p90: f64::NAN,
+            p99: f64::NAN,
+        }
+    }
+
+    #[test]
+    fn empty_histogram_serializes_nan_as_null() {
+        let text = serde_json::to_string(&empty_histogram_snapshot()).unwrap();
+        assert!(!text.contains("NaN"), "no NaN token in wire output: {text}");
+        assert!(text.contains("\"p99\":null"), "null quantiles: {text}");
+        assert!(
+            text.contains("\"min\":0"),
+            "finite stats stay numbers: {text}"
+        );
+    }
+
+    #[test]
+    fn null_statistics_deserialize_as_nan() {
+        let text = serde_json::to_string(&empty_histogram_snapshot()).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.name, "empty.hist");
+        assert_eq!(back.count, 0);
+        assert!(back.mean.is_nan());
+        assert!(back.p50.is_nan());
+        assert!(back.p90.is_nan());
+        assert!(back.p99.is_nan());
+        assert_eq!(back.min, 0.0);
+    }
+
+    #[test]
+    fn span_interval_ctx_defaults_for_old_snapshots() {
+        // A pre-context interval (no `ctx` key) still parses, as ctx 0.
+        let old = r#"{"path":"a/b","start_nanos":5,"dur_nanos":10,"tid":1}"#;
+        let parsed: SpanIntervalSnapshot = serde_json::from_str(old).unwrap();
+        assert_eq!(parsed.ctx, 0);
+        let with_ctx = SpanIntervalSnapshot {
+            path: "a/b".to_string(),
+            start_nanos: 5,
+            dur_nanos: 10,
+            tid: 1,
+            ctx: 42,
+        };
+        let text = serde_json::to_string(&with_ctx).unwrap();
+        let back: SpanIntervalSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, with_ctx);
     }
 }

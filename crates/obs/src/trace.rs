@@ -61,6 +61,13 @@ impl Snapshot {
             ]));
         }
         for s in &self.span_intervals {
+            let mut args = vec![("path", Value::String(s.path.clone()))];
+            if s.ctx != 0 {
+                args.push((
+                    "request_id",
+                    Value::String(crate::recorder::context_label(s.ctx)),
+                ));
+            }
             events.push(obj(vec![
                 ("name", Value::String(leaf(&s.path).to_string())),
                 ("cat", Value::String("span".to_string())),
@@ -69,7 +76,7 @@ impl Snapshot {
                 ("dur", Value::Number(s.dur_nanos as f64 / 1e3)),
                 ("pid", Value::Number(1.0)),
                 ("tid", Value::Number(s.tid as f64)),
-                ("args", obj(vec![("path", Value::String(s.path.clone()))])),
+                ("args", obj(args)),
             ]));
         }
         let top = obj(vec![
@@ -157,6 +164,27 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e["ph"].as_str() == Some("M") && e["name"].as_str() == Some("thread_name")));
+    }
+
+    #[test]
+    fn trace_events_carry_request_ids() {
+        use crate::recorder::{MemoryRecorder, Recorder};
+        let recorder = MemoryRecorder::new();
+        recorder.span_interval("service.request/engine.sweep", 0, 1000, 1, 17);
+        recorder.span_interval("service.idle", 2000, 500, 1, 0);
+        let text = recorder.snapshot().to_chrome_trace();
+        let parsed: Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = parsed["traceEvents"].as_array().unwrap();
+        let tagged = events
+            .iter()
+            .find(|e| e["args"]["path"].as_str() == Some("service.request/engine.sweep"))
+            .unwrap();
+        assert_eq!(tagged["args"]["request_id"].as_str(), Some("r-17"));
+        let untagged = events
+            .iter()
+            .find(|e| e["args"]["path"].as_str() == Some("service.idle"))
+            .unwrap();
+        assert!(untagged["args"]["request_id"].is_null());
     }
 
     #[test]

@@ -54,10 +54,13 @@ fn record_r_solve(method: &'static str, dim: usize, iterations: usize, residual:
     if !obs::enabled() {
         return;
     }
-    obs::counter_add("qbd.rmatrix.solves", 1);
-    obs::counter_add("qbd.rmatrix.iterations", iterations as u64);
-    obs::observe("qbd.rmatrix.iterations_per_solve", iterations as f64);
-    obs::observe("qbd.rmatrix.residual", residual);
+    obs::counter_add(obs::names::QBD_RMATRIX_SOLVES, 1);
+    obs::counter_add(obs::names::QBD_RMATRIX_ITERATIONS, iterations as u64);
+    obs::observe(
+        obs::names::QBD_RMATRIX_ITERATIONS_PER_SOLVE,
+        iterations as f64,
+    );
+    obs::observe(obs::names::QBD_RMATRIX_RESIDUAL, residual);
     obs::event(
         "qbd.rmatrix.solve",
         &[

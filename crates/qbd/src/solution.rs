@@ -75,13 +75,13 @@ impl QbdProcess {
                 let budget = opts.warm_max_iter.min(opts.max_iter).max(1);
                 match solve_r_warm(&self.a0, &self.a1, &self.a2, r0, opts.tol, budget, 1e-8) {
                     Ok(r) => {
-                        obs::counter_add("qbd.rmatrix.warm_hits", 1);
+                        obs::counter_add(obs::names::QBD_RMATRIX_WARM_HITS, 1);
                         return Ok(r);
                     }
-                    Err(_) => obs::counter_add("qbd.rmatrix.warm_misses", 1),
+                    Err(_) => obs::counter_add(obs::names::QBD_RMATRIX_WARM_MISSES, 1),
                 }
             } else {
-                obs::counter_add("qbd.rmatrix.warm_misses", 1);
+                obs::counter_add(obs::names::QBD_RMATRIX_WARM_MISSES, 1);
             }
         }
         solve_r(
@@ -115,8 +115,8 @@ impl QbdProcess {
         let d = self.repeating_dim();
         let sp_r = spectral_radius(&r, 1e-12, 200_000).unwrap_or(1.0);
         if obs::enabled() {
-            obs::observe("qbd.spectral_radius", sp_r);
-            obs::observe("qbd.drift_margin", drift.margin());
+            obs::observe(obs::names::QBD_SPECTRAL_RADIUS, sp_r);
+            obs::observe(obs::names::QBD_DRIFT_MARGIN, drift.margin());
         }
         if sp_r >= 1.0 {
             return Err(QbdError::Unstable(drift));

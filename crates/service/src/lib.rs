@@ -76,19 +76,44 @@
 //!
 //! # Observability
 //!
-//! With `gsched serve --diag`, the process emits a
-//! [`gsched-obs`](gsched_obs) snapshot on exit including
-//! `service.requests`, `service.cache.hits` / `service.cache.misses`,
-//! `service.errors`, the `service.queue.depth` gauge, and the
-//! `service.request.latency_ms` histogram, alongside the usual solver
-//! counters — `core.solver.solves` stays flat across cache hits, which is
-//! how the tests pin down that hits never re-solve.
+//! Live telemetry is always on and exposed three ways (the repository's
+//! `docs/ARCHITECTURE.md` diagrams the request lifecycle):
+//!
+//! * **`{"op":"stats"}`** returns the full telemetry report: the flat
+//!   counters (`requests`, `errors`, `cache_hits`, `cache_misses`,
+//!   `queue_depth`, `uptime_ms`, …) plus `workers_busy`, `connections`,
+//!   `cache_hit_ratio`, `queue_wait_ms` / `solve_ms` histograms, and a
+//!   per-op `ops` object with cumulative and recent (last 60 s) latency
+//!   percentiles (p50/p90/p95/p99). Statistics of empty histograms are
+//!   `null`, never `NaN`.
+//! * **`--metrics-addr HOST:PORT`** serves Prometheus text exposition
+//!   (`GET /metrics`): `gsched_requests_total{op=…}`,
+//!   `gsched_request_latency_ms{op=…,quantile=…}` summaries,
+//!   `gsched_queue_depth`, cache counters, and friends.
+//! * **`--access-log PATH`** appends one NDJSON line per request —
+//!   `request_id`, client `id`, `op`, `scenario` + content hash, `cached`,
+//!   `queue_wait_ms`, `solve_ms`, `latency_ms`, `outcome` — rotating
+//!   atomically to `PATH.1` past `--access-log-max-bytes`.
+//!
+//! Every request is additionally assigned a trace context: with
+//! `gsched serve --diag`/`--trace`, all spans recorded while serving it —
+//! `service.request`, `service.solve`, the engine's sweep/point spans, and
+//! the qbd/core solver spans below them — carry the same `request_id`
+//! (`r-<n>`) that the access log records, and the Chrome-trace export
+//! tags each event with it (`args.request_id`). The `--diag` snapshot
+//! includes `service.requests`, `service.cache.hits` /
+//! `service.cache.misses`, `service.errors`, the `service.queue.depth`
+//! gauge, and the `service.request.latency_ms` / `service.queue.wait_ms` /
+//! `service.solve_ms` histograms, alongside the usual solver counters —
+//! `core.solver.solves` stays flat across cache hits, which is how the
+//! tests pin down that hits never re-solve.
 
 pub mod cache;
 pub mod client;
 pub mod protocol;
 pub mod render;
 pub mod server;
+mod telemetry;
 
 pub use cache::ResultCache;
 pub use client::Client;

@@ -29,12 +29,14 @@ use crate::protocol::{
     error_frame, ok_frame, parse_request, ErrorKind, Op, Request, ScenarioRef, ServiceError,
 };
 use crate::render;
+use crate::telemetry::{AccessRecord, ExternalStats, Telemetry};
 use gsched_core::{solve, SolverOptions};
 use gsched_engine::{run_sweep, CancelToken, SweepOptions};
 use gsched_obs as obs;
+use gsched_obs::AccessLog;
 use gsched_scenario::{registry, Scenario};
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
+use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -54,6 +56,15 @@ pub struct ServeOptions {
     /// Default per-request deadline in milliseconds, applied when a
     /// request does not carry `deadline_ms`; `0` means no default.
     pub default_deadline_ms: u64,
+    /// Bind an HTTP listener serving Prometheus text exposition at this
+    /// address (e.g. `127.0.0.1:9090`); `None` disables the scraper.
+    pub metrics_addr: Option<String>,
+    /// Write one NDJSON access-log line per request to this file; `None`
+    /// disables the log.
+    pub access_log: Option<std::path::PathBuf>,
+    /// Rotate the access log (atomically, to `<path>.1`) once the live
+    /// file exceeds this many bytes; `0` never rotates.
+    pub access_log_max_bytes: u64,
 }
 
 impl Default for ServeOptions {
@@ -63,6 +74,9 @@ impl Default for ServeOptions {
             workers: 0,
             cache_capacity: 256,
             default_deadline_ms: 30_000,
+            metrics_addr: None,
+            access_log: None,
+            access_log_max_bytes: 8 * 1024 * 1024,
         }
     }
 }
@@ -93,6 +107,11 @@ pub fn install_ctrl_c_handler() {
     }
 }
 
+/// Source of process-unique request context ids (`0` is reserved for
+/// "no context"). Process-wide, not per-server, so parallel test servers
+/// sharing the global recorder never collide.
+static NEXT_REQUEST_CTX: AtomicU64 = AtomicU64::new(1);
+
 /// One queued unit of solver work.
 struct Job {
     scenario: Scenario,
@@ -100,7 +119,21 @@ struct Job {
     quick: bool,
     cache_key: u64,
     cancel: CancelToken,
-    reply: mpsc::Sender<Result<std::sync::Arc<String>, ServiceError>>,
+    /// Request context of the originating connection; the worker re-enters
+    /// it so solver spans stay attributed to the request.
+    ctx: u64,
+    /// When the job entered the queue (queue-wait measurement).
+    enqueued: Instant,
+    reply: mpsc::Sender<JobOutcome>,
+}
+
+/// What a worker sends back for one job.
+struct JobOutcome {
+    result: Result<std::sync::Arc<String>, ServiceError>,
+    /// Milliseconds the job sat in the queue.
+    queue_wait_ms: f64,
+    /// Milliseconds the worker spent solving and rendering.
+    solve_ms: f64,
 }
 
 #[derive(Default)]
@@ -119,21 +152,36 @@ struct Stats {
 /// The solve server. See the module docs for the threading model.
 pub struct Server {
     listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
     workers: usize,
     default_deadline_ms: u64,
     cache: ResultCache,
     queue: JobQueue,
     stats: Stats,
+    telemetry: Telemetry,
+    access_log: Option<AccessLog>,
     shutdown: AtomicBool,
-    started: Instant,
     solver: SolverOptions,
 }
 
 impl Server {
-    /// Bind the listen socket and prepare (but do not start) the server.
+    /// Bind the listen socket (and the metrics socket, when configured)
+    /// and prepare (but do not start) the server.
     pub fn bind(opts: &ServeOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&opts.addr)?;
         listener.set_nonblocking(true)?;
+        let metrics_listener = match &opts.metrics_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let access_log = match &opts.access_log {
+            Some(path) => Some(AccessLog::open(path, opts.access_log_max_bytes)?),
+            None => None,
+        };
         let workers = if opts.workers > 0 {
             opts.workers
         } else {
@@ -143,13 +191,15 @@ impl Server {
         };
         Ok(Server {
             listener,
+            metrics_listener,
             workers,
             default_deadline_ms: opts.default_deadline_ms,
             cache: ResultCache::new(opts.cache_capacity),
             queue: JobQueue::default(),
             stats: Stats::default(),
+            telemetry: Telemetry::new(),
+            access_log,
             shutdown: AtomicBool::new(false),
-            started: Instant::now(),
             // The same defaults `gsched solve` uses, so served results are
             // byte-identical to local solves.
             solver: SolverOptions::default(),
@@ -159,6 +209,13 @@ impl Server {
     /// The bound address (useful after binding port `0`).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound metrics address, when `metrics_addr` was configured.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// Worker threads the pool will run.
@@ -186,13 +243,17 @@ impl Server {
             for _ in 0..self.workers {
                 s.spawn(|_| self.worker_loop());
             }
+            if self.metrics_listener.is_some() {
+                s.spawn(|_| self.metrics_loop());
+            }
             loop {
                 if self.shutting_down() {
                     break;
                 }
                 match self.listener.accept() {
                     Ok((stream, _)) => {
-                        obs::counter_add("service.connections", 1);
+                        obs::counter_add(obs::names::SERVICE_CONNECTIONS, 1);
+                        self.telemetry.record_connection();
                         s.spawn(move |_| self.handle_connection(stream));
                     }
                     Err(e)
@@ -235,18 +296,34 @@ impl Server {
             };
             let Some(job) = job else { return };
             let depth = self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
-            obs::gauge_set("service.queue.depth", depth as f64);
+            obs::gauge_set(obs::names::SERVICE_QUEUE_DEPTH, depth as f64);
+            let queue_wait_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+            self.telemetry.record_queue_wait(queue_wait_ms);
+            obs::observe(obs::names::SERVICE_QUEUE_WAIT_MS, queue_wait_ms);
+            let _busy = self.telemetry.worker_busy();
+            // Re-enter the originating request's context so every span the
+            // solve opens here (service.solve, engine.sweep.*, core/qbd
+            // internals) carries its request_id in the trace export.
+            let _ctx = obs::context_enter(job.ctx);
+            let t0 = Instant::now();
             // A panic inside numerical code must degrade to an error
             // frame, never take the whole server down.
-            let outcome =
+            let result =
                 catch_unwind(AssertUnwindSafe(|| self.process_job(&job))).unwrap_or_else(|_| {
                     Err(ServiceError::new(
                         ErrorKind::Internal,
                         "worker panicked while processing the request",
                     ))
                 });
+            let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
+            self.telemetry.record_solve(solve_ms);
+            obs::observe(obs::names::SERVICE_SOLVE_MS, solve_ms);
             // The requesting connection may be gone; that is fine.
-            let _ = job.reply.send(outcome);
+            let _ = job.reply.send(JobOutcome {
+                result,
+                queue_wait_ms,
+                solve_ms,
+            });
         }
     }
 
@@ -352,15 +429,52 @@ impl Server {
 
     /// Process one request line; `None` means the client disconnected and
     /// no reply can be delivered.
+    ///
+    /// Allocates the request's trace context (its `request_id`), times the
+    /// request end to end, updates per-op telemetry, and appends the
+    /// access-log line — for every outcome, including dropped clients.
     fn handle_request(&self, stream: &TcpStream, line: &str) -> Option<String> {
+        let ctx = NEXT_REQUEST_CTX.fetch_add(1, Ordering::Relaxed);
+        let _ctx_guard = obs::context_enter(ctx);
         let t0 = Instant::now();
         let _span = obs::span("service.request");
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        obs::counter_add("service.requests", 1);
+        obs::counter_add(obs::names::SERVICE_REQUESTS, 1);
+        let mut access = AccessRecord::new(ctx);
+        let reply = self.dispatch(stream, line, &mut access);
+        let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
+        access.latency_ms = latency_ms;
+        if reply.is_none() {
+            access.outcome = "dropped".to_string();
+        }
+        let errored = access.outcome.starts_with("error:");
+        self.telemetry
+            .record_request(access.op_idx(), latency_ms, errored);
+        obs::observe(obs::names::SERVICE_REQUEST_LATENCY_MS, latency_ms);
+        if let Some(log) = &self.access_log {
+            // Log failures must not take down request handling.
+            let _ = log.append(&access.to_json());
+        }
+        reply
+    }
+
+    /// The op dispatch behind [`Server::handle_request`], filling `access`
+    /// as facts about the request become known.
+    fn dispatch(
+        &self,
+        stream: &TcpStream,
+        line: &str,
+        access: &mut AccessRecord,
+    ) -> Option<String> {
         let req = match parse_request(line) {
             Ok(req) => req,
-            Err(e) => return Some(self.error_reply(None, e)),
+            Err(e) => {
+                access.outcome = format!("error:{}", e.kind.as_str());
+                return Some(self.error_reply(None, e));
+            }
         };
+        access.op = req.op.as_str();
+        access.client_id = req.id.clone();
         let id = req.id.clone();
         match req.op {
             Op::Stats => Some(ok_frame(
@@ -381,40 +495,44 @@ impl Server {
             }
             Op::Solve | Op::Sweep => {
                 if self.shutting_down() {
-                    return Some(self.error_reply(
-                        id,
-                        ServiceError::new(ErrorKind::ShuttingDown, "server is shutting down"),
-                    ));
+                    let e = ServiceError::new(ErrorKind::ShuttingDown, "server is shutting down");
+                    access.outcome = format!("error:{}", e.kind.as_str());
+                    return Some(self.error_reply(id, e));
                 }
                 let scenario = match resolve_scenario(req.scenario.as_ref()) {
                     Ok(sc) => sc,
-                    Err(e) => return Some(self.error_reply(id, e)),
+                    Err(e) => {
+                        access.outcome = format!("error:{}", e.kind.as_str());
+                        return Some(self.error_reply(id, e));
+                    }
                 };
-                let key = cache_key(req.op, req.quick, scenario.content_hash());
+                if !scenario.name.is_empty() {
+                    access.scenario = Some(scenario.name.clone());
+                }
+                let content_hash = scenario.content_hash();
+                access.scenario_hash = Some(content_hash);
+                let key = cache_key(req.op, req.quick, content_hash);
                 if let Some(hit) = self.cache.get(key) {
-                    obs::counter_add("service.cache.hits", 1);
-                    obs::observe(
-                        "service.request.latency_ms",
-                        t0.elapsed().as_secs_f64() * 1e3,
-                    );
+                    obs::counter_add(obs::names::SERVICE_CACHE_HITS, 1);
+                    access.cached = true;
                     return Some(ok_frame(id.as_deref(), req.op, true, &hit));
                 }
-                obs::counter_add("service.cache.misses", 1);
-                let outcome = self.dispatch_and_wait(stream, &req, scenario, key)?;
-                obs::observe(
-                    "service.request.latency_ms",
-                    t0.elapsed().as_secs_f64() * 1e3,
-                );
+                obs::counter_add(obs::names::SERVICE_CACHE_MISSES, 1);
+                let outcome = self.dispatch_and_wait(stream, &req, scenario, key, access)?;
                 Some(match outcome {
                     Ok(result) => ok_frame(id.as_deref(), req.op, false, &result),
-                    Err(e) => self.error_reply(id, e),
+                    Err(e) => {
+                        access.outcome = format!("error:{}", e.kind.as_str());
+                        self.error_reply(id, e)
+                    }
                 })
             }
         }
     }
 
     /// Enqueue a solver job and wait for its reply, watching for client
-    /// disconnects. `None` means the client is gone.
+    /// disconnects. `None` means the client is gone. Queue-wait and solve
+    /// times measured by the worker are copied into `access`.
     #[allow(clippy::type_complexity)]
     fn dispatch_and_wait(
         &self,
@@ -422,6 +540,7 @@ impl Server {
         req: &Request,
         scenario: Scenario,
         key: u64,
+        access: &mut AccessRecord,
     ) -> Option<Result<std::sync::Arc<String>, ServiceError>> {
         let deadline_ms = req.deadline_ms.unwrap_or(self.default_deadline_ms);
         let cancel = if deadline_ms > 0 {
@@ -433,7 +552,7 @@ impl Server {
         // Count the job before it becomes visible to workers, so their
         // decrement can never underflow the gauge.
         let depth = self.stats.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-        obs::gauge_set("service.queue.depth", depth as f64);
+        obs::gauge_set(obs::names::SERVICE_QUEUE_DEPTH, depth as f64);
         {
             let mut jobs = self.queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
             jobs.push_back(Job {
@@ -442,18 +561,24 @@ impl Server {
                 quick: req.quick,
                 cache_key: key,
                 cancel: cancel.clone(),
+                ctx: access.ctx,
+                enqueued: Instant::now(),
                 reply: tx,
             });
         }
         self.queue.ready.notify_one();
         loop {
             match rx.recv_timeout(POLL_INTERVAL) {
-                Ok(outcome) => return Some(outcome),
+                Ok(outcome) => {
+                    access.queue_wait_ms = Some(outcome.queue_wait_ms);
+                    access.solve_ms = Some(outcome.solve_ms);
+                    return Some(outcome.result);
+                }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     if client_gone(stream) {
                         // Nobody is listening: stop the work, drop the job.
                         cancel.cancel();
-                        obs::counter_add("service.cancelled_disconnects", 1);
+                        obs::counter_add(obs::names::SERVICE_CANCELLED_DISCONNECTS, 1);
                         return None;
                     }
                     if self.shutting_down() {
@@ -473,24 +598,97 @@ impl Server {
 
     fn error_reply(&self, id: Option<String>, error: ServiceError) -> String {
         self.stats.errors.fetch_add(1, Ordering::Relaxed);
-        obs::counter_add("service.errors", 1);
+        obs::counter_add(obs::names::SERVICE_ERRORS, 1);
         error_frame(id.as_deref(), &error)
     }
 
-    /// The `stats` result document.
+    /// Server-owned counters the telemetry reports fold in.
+    fn external_stats(&self) -> ExternalStats {
+        ExternalStats {
+            workers: self.workers,
+            queue_depth: self.stats.queue_depth.load(Ordering::Relaxed),
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_entries: self.cache.len(),
+            cache_capacity: self.cache.capacity(),
+        }
+    }
+
+    /// The `stats` result document (see [`Telemetry::stats_json`]).
     fn stats_json(&self) -> String {
-        format!(
-            r#"{{"workers":{},"queue_depth":{},"requests":{},"errors":{},"cache_hits":{},"cache_misses":{},"cache_entries":{},"cache_capacity":{},"uptime_ms":{}}}"#,
-            self.workers,
-            self.stats.queue_depth.load(Ordering::Relaxed),
-            self.stats.requests.load(Ordering::Relaxed),
-            self.stats.errors.load(Ordering::Relaxed),
-            self.cache.hits(),
-            self.cache.misses(),
-            self.cache.len(),
-            self.cache.capacity(),
-            self.started.elapsed().as_millis()
-        )
+        self.telemetry.stats_json(&self.external_stats())
+    }
+
+    // ---- metrics exposition side ----
+
+    /// Accept loop of the `--metrics-addr` listener. Each connection gets
+    /// one HTTP response and is closed; scrapers reconnect per scrape.
+    fn metrics_loop(&self) {
+        let listener = self
+            .metrics_listener
+            .as_ref()
+            .expect("metrics loop requires a bound listener");
+        loop {
+            if self.shutting_down() {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // A misbehaving scraper only loses its own response.
+                    let _ = self.serve_metrics_connection(stream);
+                }
+                Err(e)
+                    if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut =>
+                {
+                    std::thread::sleep(POLL_INTERVAL)
+                }
+                Err(_) => std::thread::sleep(POLL_INTERVAL),
+            }
+        }
+    }
+
+    /// Answer one HTTP request on the metrics socket with Prometheus text
+    /// exposition (`GET /metrics`, with `/` accepted as an alias).
+    fn serve_metrics_connection(&self, mut stream: TcpStream) -> std::io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+        let mut head = Vec::new();
+        let mut buf = [0u8; 1024];
+        // Read until the end of the request head; the body (none is
+        // expected for GET) is ignored.
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    head.extend_from_slice(&buf[..n]);
+                    if head.windows(4).any(|w| w == b"\r\n\r\n")
+                        || head.windows(2).any(|w| w == b"\n\n")
+                        || head.len() > 8192
+                    {
+                        break;
+                    }
+                }
+                Err(e)
+                    if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut =>
+                {
+                    break
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let head = String::from_utf8_lossy(&head);
+        let path = head.split_whitespace().nth(1).unwrap_or("/");
+        let (status, body) = if path == "/metrics" || path == "/" {
+            ("200 OK", self.telemetry.prometheus(&self.external_stats()))
+        } else {
+            ("404 Not Found", "not found\n".to_string())
+        };
+        let response = format!(
+            "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len(),
+        );
+        stream.write_all(response.as_bytes())
     }
 }
 

@@ -21,6 +21,7 @@ impl TestServer {
                 workers,
                 cache_capacity,
                 default_deadline_ms: 30_000,
+                ..ServeOptions::default()
             })
             .expect("bind"),
         );
@@ -195,6 +196,7 @@ fn shutdown_frame_stops_the_server() {
             workers: 1,
             cache_capacity: 8,
             default_deadline_ms: 0,
+            ..ServeOptions::default()
         })
         .unwrap(),
     );

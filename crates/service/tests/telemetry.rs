@@ -1,0 +1,359 @@
+//! Telemetry integration tests: the expanded `stats` report under real
+//! concurrent traffic, the Prometheus scrape endpoint, and the link
+//! between access-log `request_id`s and exported span trees.
+
+use gsched_service::client::{control_frame, frame_for_name, RequestSpec};
+use gsched_service::{Client, Op, ServeOptions, Server};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+struct TestServer {
+    server: Arc<Server>,
+    addr: String,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TestServer {
+    fn start(opts: ServeOptions) -> TestServer {
+        let server = Arc::new(Server::bind(&opts).expect("bind"));
+        let addr = server.local_addr().expect("addr").to_string();
+        let runner = Arc::clone(&server);
+        let thread = std::thread::spawn(move || {
+            runner.run().expect("server run");
+        });
+        TestServer {
+            server,
+            addr,
+            thread: Some(thread),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.addr).expect("connect")
+    }
+
+    /// Shut down and join, so the access log is complete before reading it.
+    fn stop(mut self) {
+        self.server.request_shutdown();
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("server thread");
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.server.request_shutdown();
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("server thread");
+        }
+    }
+}
+
+/// A process-unique scratch path (the container runs tests in parallel).
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "gsched-telemetry-{}-{tag}.ndjson",
+        std::process::id()
+    ))
+}
+
+fn opts_with(access_log: Option<PathBuf>, metrics: bool) -> ServeOptions {
+    ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache_capacity: 64,
+        default_deadline_ms: 30_000,
+        metrics_addr: metrics.then(|| "127.0.0.1:0".to_string()),
+        access_log,
+        ..ServeOptions::default()
+    }
+}
+
+fn read_ndjson(path: &PathBuf) -> Vec<Value> {
+    let text = std::fs::read_to_string(path).expect("access log exists");
+    text.lines()
+        .map(|line| serde_json::from_str(line).unwrap_or_else(|e| panic!("bad line {line}: {e}")))
+        .collect()
+}
+
+fn stats_doc(client: &mut Client) -> Value {
+    let reply = client
+        .request_line(&control_frame(Op::Stats, None))
+        .expect("stats reply");
+    let frame: Value = serde_json::from_str(&reply).expect("stats frame parses");
+    assert_eq!(frame["status"].as_str(), Some("ok"), "{reply}");
+    frame["result"].clone()
+}
+
+/// Drive concurrent solve traffic with deterministic cache behaviour (each
+/// thread owns one scenario, so per-thread repeats are guaranteed hits),
+/// then check the stats report and the access log agree with each other.
+#[test]
+fn stats_and_access_log_agree_under_concurrent_traffic() {
+    let log_path = temp_path("stats");
+    let _ = std::fs::remove_file(&log_path);
+    let ts = TestServer::start(opts_with(Some(log_path.clone()), false));
+
+    let mut handles = Vec::new();
+    for name in ["fig2", "fig4"] {
+        let addr = ts.addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            for _ in 0..3 {
+                let reply = client
+                    .request_line(&frame_for_name(name, &RequestSpec::default()))
+                    .expect("solve reply");
+                let doc: Value = serde_json::from_str(&reply).unwrap();
+                assert_eq!(doc["status"].as_str(), Some("ok"), "{reply}");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("traffic thread");
+    }
+
+    let mut client = ts.client();
+    let first = stats_doc(&mut client);
+    let second = stats_doc(&mut client);
+
+    // Two scenarios, three requests each: one miss + two hits per scenario.
+    assert_eq!(first["cache_hits"].as_u64(), Some(4), "{first}");
+    assert_eq!(first["cache_misses"].as_u64(), Some(2), "{first}");
+    assert_eq!(first["errors"].as_u64(), Some(0), "{first}");
+    // 6 solves + the stats request being answered.
+    assert_eq!(first["requests"].as_u64(), Some(7), "{first}");
+    let ratio = first["cache_hit_ratio"].as_f64().expect("ratio defined");
+    assert!((ratio - 4.0 / 6.0).abs() < 1e-12, "ratio={ratio}");
+
+    // Per-op breakdown: all six solves, with live percentiles.
+    let solve = &first["ops"]["solve"];
+    assert_eq!(solve["requests"].as_u64(), Some(6), "{first}");
+    assert_eq!(solve["errors"].as_u64(), Some(0));
+    assert_eq!(solve["latency_ms"]["count"].as_u64(), Some(6));
+    let p50 = solve["latency_ms"]["p50"].as_f64().expect("p50 non-null");
+    let p95 = solve["latency_ms"]["p95"].as_f64().expect("p95 non-null");
+    let p99 = solve["latency_ms"]["p99"].as_f64().expect("p99 non-null");
+    assert!(
+        p50 > 0.0 && p95 >= p50 && p99 >= p95,
+        "p50={p50} p95={p95} p99={p99}"
+    );
+    assert_eq!(solve["recent_latency_ms"]["count"].as_u64(), Some(6));
+
+    // Only the two misses reached the worker pool.
+    assert_eq!(first["queue_wait_ms"]["count"].as_u64(), Some(2), "{first}");
+    assert_eq!(first["solve_ms"]["count"].as_u64(), Some(2), "{first}");
+    assert!(first["solve_ms"]["p50"].as_f64().expect("solve p50") > 0.0);
+    assert_eq!(first["queue_depth"].as_u64(), Some(0));
+    assert_eq!(first["workers"].as_u64(), Some(2));
+    assert_eq!(first["workers_busy"].as_u64(), Some(0));
+    // Two traffic connections plus this stats client.
+    assert_eq!(first["connections"].as_u64(), Some(3));
+
+    // Counters are monotone between polls; the sweep op stayed untouched
+    // and its empty percentiles stay null (never NaN).
+    assert_eq!(second["requests"].as_u64(), Some(8));
+    assert!(second["uptime_ms"].as_u64() >= first["uptime_ms"].as_u64());
+    // Per-op telemetry is recorded after the reply renders, so a stats
+    // report never includes the request that produced it: the second poll
+    // sees exactly the first one.
+    assert_eq!(second["ops"]["stats"]["requests"].as_u64(), Some(1));
+    assert_eq!(
+        second["ops"]["sweep"]["latency_ms"]["count"].as_u64(),
+        Some(0)
+    );
+    assert!(
+        second["ops"]["sweep"]["latency_ms"]["p95"].is_null(),
+        "{second}"
+    );
+
+    ts.stop();
+
+    // The access log tells the same story, one line per request.
+    let lines = read_ndjson(&log_path);
+    let solves: Vec<&Value> = lines
+        .iter()
+        .filter(|l| l["op"].as_str() == Some("solve"))
+        .collect();
+    assert_eq!(solves.len(), 6, "one access line per solve");
+    assert_eq!(
+        solves
+            .iter()
+            .filter(|l| l["cached"].as_bool() == Some(true))
+            .count(),
+        4
+    );
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l["op"].as_str() == Some("stats"))
+            .count(),
+        2
+    );
+    let mut ids: Vec<&str> = lines
+        .iter()
+        .map(|l| l["request_id"].as_str().expect("request_id present"))
+        .collect();
+    assert!(ids.iter().all(|id| {
+        id.strip_prefix("r-")
+            .is_some_and(|n| n.parse::<u64>().is_ok())
+    }));
+    ids.sort_unstable();
+    let unique = ids.len();
+    ids.dedup();
+    assert_eq!(ids.len(), unique, "request ids are unique");
+    for line in &solves {
+        assert_eq!(line["outcome"].as_str(), Some("ok"), "{line}");
+        assert!(line["scenario_hash"].as_str().is_some(), "{line}");
+        let cached = line["cached"].as_bool().unwrap();
+        // Misses went through the queue and a worker; hits never did.
+        assert_eq!(line["queue_wait_ms"].is_null(), cached, "{line}");
+        assert_eq!(line["solve_ms"].is_null(), cached, "{line}");
+        assert!(line["latency_ms"].as_f64().unwrap() > 0.0);
+    }
+    let _ = std::fs::remove_file(&log_path);
+}
+
+/// One raw HTTP exchange against the metrics socket.
+fn scrape(addr: &std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
+        .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    (head.to_string(), body.to_string())
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_text() {
+    let ts = TestServer::start(opts_with(None, true));
+    let metrics_addr = ts.server.metrics_local_addr().expect("metrics bound");
+
+    let mut client = ts.client();
+    let reply = client
+        .request_line(&frame_for_name("fig2", &RequestSpec::default()))
+        .unwrap();
+    assert!(reply.contains(r#""status":"ok""#), "{reply}");
+
+    let (head, body) = scrape(&metrics_addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "exposition content type: {head}"
+    );
+    assert!(!body.contains("NaN"), "{body}");
+    for family in [
+        "gsched_uptime_seconds",
+        "gsched_workers",
+        "gsched_workers_busy",
+        "gsched_queue_depth",
+        "gsched_connections_total",
+        "gsched_requests_total",
+        "gsched_errors_total",
+        "gsched_cache_hits_total",
+        "gsched_cache_misses_total",
+        "gsched_cache_entries",
+        "gsched_cache_capacity",
+        "gsched_cache_hit_ratio",
+        "gsched_request_latency_ms",
+        "gsched_queue_wait_ms",
+        "gsched_solve_ms",
+    ] {
+        assert!(
+            body.contains(&format!("# TYPE {family} ")),
+            "missing family {family}:\n{body}"
+        );
+    }
+    assert!(
+        body.contains(r#"gsched_requests_total{op="solve"} 1"#),
+        "{body}"
+    );
+    assert!(body.contains("gsched_cache_misses_total 1"), "{body}");
+    assert!(
+        body.contains(r#"gsched_request_latency_ms{op="solve",quantile="0.5"}"#),
+        "{body}"
+    );
+    // Every sample line ends in a value Prometheus can parse.
+    for line in body.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "-Inf",
+            "bad sample value in {line:?}"
+        );
+    }
+
+    let (head, _) = scrape(&metrics_addr, "/no-such-path");
+    assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+    ts.stop();
+}
+
+/// The `request_id` written to the access log is the same context label the
+/// span tree carries, all the way into the Chrome-trace export.
+#[test]
+fn access_log_request_ids_match_exported_span_trees() {
+    let recorder = gsched_obs::install_memory();
+    let log_path = temp_path("trace");
+    let _ = std::fs::remove_file(&log_path);
+    let ts = TestServer::start(opts_with(Some(log_path.clone()), false));
+    let mut client = ts.client();
+    let reply = client
+        .request_line(&frame_for_name("fig2", &RequestSpec::default()))
+        .unwrap();
+    assert!(reply.contains(r#""status":"ok""#), "{reply}");
+    drop(client);
+    ts.stop();
+    gsched_obs::uninstall();
+
+    let lines = read_ndjson(&log_path);
+    let solve_line = lines
+        .iter()
+        .find(|l| l["op"].as_str() == Some("solve"))
+        .expect("solve line logged");
+    let request_id = solve_line["request_id"]
+        .as_str()
+        .expect("request_id")
+        .to_string();
+
+    // Other tests in this binary share the global recorder; filter to the
+    // spans carrying exactly this request's context.
+    let snapshot = recorder.snapshot();
+    let ours: Vec<_> = snapshot
+        .span_intervals
+        .iter()
+        .filter(|s| s.ctx != 0 && gsched_obs::context_label(s.ctx) == request_id)
+        .collect();
+    assert!(
+        ours.iter().any(|s| s.path == "service.request"),
+        "connection-side span tagged: {ours:?}"
+    );
+    assert!(
+        ours.iter().any(|s| s.path.starts_with("service.solve")),
+        "worker-side span tree tagged: {ours:?}"
+    );
+
+    let trace: Value = serde_json::from_str(&snapshot.to_chrome_trace()).expect("valid trace");
+    let tagged: Vec<&Value> = trace["traceEvents"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|e| e["args"]["request_id"].as_str() == Some(&request_id))
+        .collect();
+    assert!(
+        tagged
+            .iter()
+            .any(|e| e["args"]["path"].as_str() == Some("service.request")),
+        "trace export carries the request id"
+    );
+    let _ = std::fs::remove_file(&log_path);
+}

@@ -153,7 +153,7 @@ impl<'a> State<'a> {
             spin_count: 0,
             spin_time: -1.0,
             cycles_completed: 0,
-            queue_len_metric: (0..l).map(|p| format!("sim.class{p}.queue_len")).collect(),
+            queue_len_metric: (0..l).map(obs::names::sim_queue_length).collect(),
             cfg,
         }
     }
@@ -235,17 +235,20 @@ impl<'a> State<'a> {
         let busy_avg = self.busy_ta.average(end);
         let switch_avg = self.switch_ta.average(end);
         if obs::enabled() {
-            obs::counter_add("sim.runs", 1);
-            obs::counter_add("sim.events_processed", self.events.popped());
-            obs::counter_add("sim.cycles_completed", self.cycles_completed);
+            obs::counter_add(obs::names::SIM_RUNS, 1);
+            obs::counter_add(obs::names::SIM_EVENTS_PROCESSED, self.events.popped());
+            obs::counter_add(obs::names::SIM_CYCLES_COMPLETED, self.cycles_completed);
             obs::counter_add(
-                "sim.completions",
+                obs::names::SIM_COMPLETIONS,
                 self.completions_after_warmup.iter().sum(),
             );
-            obs::gauge_set("sim.measured_time", measured);
+            obs::gauge_set(obs::names::SIM_MEASURED_TIME, measured);
             let secs = wall_start.elapsed().as_secs_f64();
             if secs > 0.0 {
-                obs::gauge_set("sim.event_rate_per_sec", self.events.popped() as f64 / secs);
+                obs::gauge_set(
+                    obs::names::SIM_EVENT_RATE_PER_SEC,
+                    self.events.popped() as f64 / secs,
+                );
             }
         }
         SimResult {
