@@ -12,6 +12,7 @@
 
 use gsched_core::model::GangModel;
 use gsched_engine::{run_sweep, SweepOptions, SweepRequest};
+use gsched_linalg::WorkCounters;
 use gsched_obs as obs;
 use gsched_scenario::Scenario as ScenarioIr;
 use gsched_sim::{simulate, Policy, SimConfig};
@@ -25,7 +26,26 @@ use std::time::Instant;
 /// v2: solver scenarios run through the `gsched-engine` sweep pool; adds
 /// the top-level `jobs` field and the per-scenario `warm_hits`,
 /// `warm_misses`, and `parallel_speedup` fields.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+///
+/// v3: adds the per-scenario dense-kernel work counters (`matmul_calls`,
+/// `matmul_flops`, `lu_factorizations`, `lu_flops`, `triangular_solves`,
+/// `triangular_flops`) and the `phases` self-time breakdown. The new
+/// fields default when absent so a v2 file parses far enough to be
+/// rejected with a clean version message.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
+
+/// Self-time attribution for one canonical span name within a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Canonical span name (`core.class*`, `qbd.solve_r`, ...).
+    pub span: String,
+    /// Completed span occurrences.
+    pub count: u64,
+    /// Self time in milliseconds (cumulative minus direct children).
+    pub self_ms: f64,
+    /// Cumulative time in milliseconds.
+    pub cum_ms: f64,
+}
 
 /// Telemetry for one benchmark scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,6 +82,28 @@ pub struct ScenarioResult {
     /// Sequential median wall time divided by the parallel median
     /// (`None` for sim scenarios or when the run is sequential-only).
     pub parallel_speedup: Option<f64>,
+    /// Matrix products performed during the last sequential repetition.
+    #[serde(default = "u64::default")]
+    pub matmul_calls: u64,
+    /// Nominal matmul flops (`2·m·n·k` per product).
+    #[serde(default = "u64::default")]
+    pub matmul_flops: u64,
+    /// LU factorizations performed.
+    #[serde(default = "u64::default")]
+    pub lu_factorizations: u64,
+    /// Nominal LU flops (`2n³/3` per factorization).
+    #[serde(default = "u64::default")]
+    pub lu_flops: u64,
+    /// Forward+backward substitution pairs performed.
+    #[serde(default = "u64::default")]
+    pub triangular_solves: u64,
+    /// Nominal substitution flops (`2n²` per pair).
+    #[serde(default = "u64::default")]
+    pub triangular_flops: u64,
+    /// Self-time breakdown by canonical span name, sorted by descending
+    /// self time (empty for sim scenarios, which record no solver spans).
+    #[serde(default = "Vec::new")]
+    pub phases: Vec<PhaseBreakdown>,
 }
 
 /// A full benchmark run: schema version, label, and per-scenario telemetry.
@@ -200,9 +242,11 @@ fn median(mut xs: Vec<f64>) -> f64 {
 fn run_scenario(sc: &Scenario, reps: u64, jobs: usize) -> ScenarioResult {
     let mut wall_ms = Vec::with_capacity(reps as usize);
     let mut last_snap = None;
+    let mut work = WorkCounters::default();
     let mut points = 0u64;
     for _ in 0..reps {
         let recorder = obs::install_memory();
+        let base = WorkCounters::snapshot();
         let start = Instant::now();
         points = 0;
         match &sc.workload {
@@ -228,6 +272,7 @@ fn run_scenario(sc: &Scenario, reps: u64, jobs: usize) -> ScenarioResult {
             }
         }
         wall_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        work = base.delta_since();
         obs::uninstall();
         last_snap = Some(recorder.snapshot());
     }
@@ -268,7 +313,38 @@ fn run_scenario(sc: &Scenario, reps: u64, jobs: usize) -> ScenarioResult {
         warm_hits: snap.counter("engine.warm.hits").unwrap_or(0),
         warm_misses: snap.counter("engine.warm.misses").unwrap_or(0),
         parallel_speedup,
+        matmul_calls: work.matmul_calls,
+        matmul_flops: work.matmul_flops,
+        lu_factorizations: work.lu_factorizations,
+        lu_flops: work.lu_flops,
+        triangular_solves: work.triangular_solves,
+        triangular_flops: work.triangular_flops,
+        phases: phase_breakdown(&snap),
     }
+}
+
+/// Collapse a snapshot's span tree into the per-canonical-name self-time
+/// rows stored in the report (also the raw phase table of `gsched
+/// profile`).
+pub fn phase_breakdown(snap: &obs::Snapshot) -> Vec<PhaseBreakdown> {
+    let att = snap.attribution();
+    att.by_name()
+        .into_iter()
+        .map(|(span, count, self_nanos)| {
+            let cum_nanos: u64 = att
+                .rows
+                .iter()
+                .filter(|r| obs::canonical_span_name(&r.name) == span)
+                .map(|r| r.cum_nanos)
+                .sum();
+            PhaseBreakdown {
+                span,
+                count,
+                self_ms: self_nanos as f64 / 1e6,
+                cum_ms: cum_nanos as f64 / 1e6,
+            }
+        })
+        .collect()
 }
 
 /// Run the canonical scenario set, or just `only` when a `--scenario` was
@@ -396,6 +472,18 @@ mod tests {
             warm_hits: 9,
             warm_misses: 3,
             parallel_speedup: Some(1.8),
+            matmul_calls: 5_000,
+            matmul_flops: 9_000_000,
+            lu_factorizations: 40,
+            lu_flops: 120_000,
+            triangular_solves: 800,
+            triangular_flops: 64_000,
+            phases: vec![PhaseBreakdown {
+                span: "qbd.solve_r".to_string(),
+                count: 12,
+                self_ms: 6.5,
+                cum_ms: 6.5,
+            }],
         }
     }
 
@@ -459,6 +547,33 @@ mod tests {
         assert_eq!(back.scenarios[0].warm_hits, 9);
         assert_eq!(back.scenarios[0].warm_misses, 3);
         assert_eq!(back.scenarios[0].parallel_speedup, Some(1.8));
+    }
+
+    #[test]
+    fn v3_work_counters_round_trip_and_default() {
+        let report = sample_report(10.0);
+        let text = report.to_json();
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back.scenarios[0].matmul_flops, 9_000_000);
+        assert_eq!(back.scenarios[0].phases.len(), 1);
+        assert_eq!(back.scenarios[0].phases[0].span, "qbd.solve_r");
+        // A v2-shaped document (no work counters) still parses far enough
+        // for the version check to reject it cleanly.
+        let mut old = report.clone();
+        old.schema_version = 2;
+        let v2ish = old
+            .to_json()
+            .lines()
+            .filter(|l| {
+                !(l.contains("matmul")
+                    || l.contains("lu_fact")
+                    || l.contains("lu_flops")
+                    || l.contains("triangular"))
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = BenchReport::from_json(&v2ish).unwrap_err();
+        assert!(err.contains("schema version 2"), "{err}");
     }
 
     #[test]

@@ -11,9 +11,15 @@
 //!                  [--horizon-scale F] [--json]
 //! gsched tune      <model.json> [--lo Q] [--hi Q] [--objective total|max] [--json]
 //! gsched stability <model.json> [--class P] [--lo Q] [--hi Q]
-//! gsched doctor    <model.json | --scenario S> [--mode ht|m2|m3|exact] [--json]
+//! gsched doctor    <model.json | --scenario S> [--mode ht|m2|m3|exact]
+//!                  [--convergence] [--json]
+//! gsched profile   <scenario | --sweep fig2..fig5|all> [--quick] [--json]
+//!                  [--trace PATH]
 //! gsched bench     [--scenario S] [--label L] [--reps N] [--jobs N] [--quick]
 //!                  [--out DIR] [--compare BENCH.json] [--threshold FRAC]
+//!                  [--history PATH] [--no-history]
+//! gsched bench trend [--history PATH] [--metric M1,M2] [--window N]
+//!                  [--threshold FRAC] [--gate] [--json]
 //! gsched paper     [--rho R] [--quantum Q] [--json]
 //! gsched serve     [--addr A] [--workers N] [--cache-cap N] [--deadline-ms N]
 //!                  [--metrics-addr A] [--access-log PATH] [--access-log-max-bytes N]
@@ -72,17 +78,32 @@
 //! `gsched doctor` solves the model and prints the per-class numerical-health
 //! table (drift slack, `sp(R)`, `R` residual, truncated tail mass) with WARN
 //! lines when a class is close to instability or under-resolved.
+//! `--convergence` adds the per-class convergence section (R-solve counts,
+//! method, residual decay rate, stagnation warnings); `--json` always
+//! includes it.
+//!
+//! `gsched profile` runs a scenario's workload single-threaded under the
+//! instrumentation layer and prints a phase table (self time per solver
+//! phase, attributing ≥90% of wall time), the dense-kernel work counters
+//! with achieved GFLOP/s, and the convergence report. `--trace PATH` also
+//! writes the Chrome Trace Event timeline of the same run.
 //!
 //! `gsched bench` runs the canonical Figure 2–5 solver sweeps plus a
 //! simulator workload and writes schema-versioned telemetry to
 //! `BENCH_<label>.json`; with `--compare` it exits non-zero when a scenario's
-//! wall time regresses beyond the threshold.
+//! wall time regresses beyond the threshold. Each run also appends one row
+//! to the NDJSON history (`results/bench_history.ndjson` by default;
+//! `--no-history` skips), and `gsched bench trend` compares the newest row
+//! against the trailing window — `--gate` turns that into a CI failure.
 //!
 //! Model files are JSON (see `gsched_scenario::ModelSpec`); `gsched
 //! example-model` and `gsched example-scenario` print templates.
 
 mod bench;
+mod convergence;
+mod profile;
 mod top;
+mod trend;
 
 use gsched_core::model::GangModel;
 use gsched_core::solver::{solve, GangSolution, SolverOptions, VacationMode};
@@ -133,7 +154,11 @@ fn run(args: &[String]) -> Result<(), String> {
         "tune" => cmd_tune(rest),
         "stability" => cmd_stability(rest),
         "doctor" => cmd_doctor(rest),
-        "bench" => cmd_bench(rest),
+        "profile" => profile::run(rest),
+        "bench" => match rest.first().map(String::as_str) {
+            Some("trend") => trend::run(&rest[1..]),
+            _ => cmd_bench(rest),
+        },
         "paper" => cmd_paper(rest),
         "serve" => cmd_serve(rest),
         "request" => cmd_request(rest),
@@ -170,8 +195,10 @@ fn print_usage() {
          gsched xval      <scenario | all> [--points N] [--full] [--horizon-scale F] [--json]\n  \
          gsched tune      <model.json> [--lo Q] [--hi Q] [--objective total|max] [--json]\n  \
          gsched stability <model.json> [--class P] [--lo Q] [--hi Q]\n  \
-         gsched doctor    <model.json | --scenario S> [--mode ht|m2|m3|exact] [--json]\n  \
-         gsched bench     [--scenario S] [--label L] [--reps N] [--jobs N] [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC]\n  \
+         gsched doctor    <model.json | --scenario S> [--mode ht|m2|m3|exact] [--convergence] [--json]\n  \
+         gsched profile   <scenario | --sweep fig2..fig5|all> [--quick] [--json] [--trace PATH]\n  \
+         gsched bench     [--scenario S] [--label L] [--reps N] [--jobs N] [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC] [--history PATH] [--no-history]\n  \
+         gsched bench trend [--history PATH] [--metric M1,M2] [--window N] [--threshold FRAC] [--gate] [--json]\n  \
          gsched paper     [--rho R] [--quantum Q] [--json]\n  \
          gsched serve     [--addr A] [--workers N] [--cache-cap N] [--deadline-ms N] [--metrics-addr A] [--access-log PATH] [--access-log-max-bytes N]\n  \
          gsched request   [<scenario>] [--addr A] [--op solve|sweep|stats|shutdown] [--quick] [--deadline-ms N] [--id ID] [--frame]\n  \
@@ -206,6 +233,9 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
                 || name == "parity-check"
                 || name == "frame"
                 || name == "once"
+                || name == "gate"
+                || name == "convergence"
+                || name == "no-history"
             {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
@@ -261,6 +291,23 @@ impl Diagnostics {
             trace_path,
             verbosity,
         }
+    }
+
+    /// Like [`Diagnostics::from_flags`], but guarantee a recorder is
+    /// installed — for commands that analyze the snapshot themselves
+    /// (e.g. `doctor --convergence`) regardless of the `--diag` flags.
+    fn from_flags_recording(flags: &HashMap<String, String>) -> Self {
+        let mut diag = Diagnostics::from_flags(flags);
+        if diag.recorder.is_none() {
+            diag.recorder = Some(gsched_obs::install_memory());
+        }
+        diag
+    }
+
+    /// Snapshot the recorder without stopping it (recording continues
+    /// until [`Diagnostics::finish`]).
+    fn snapshot(&self) -> Option<gsched_obs::Snapshot> {
+        self.recorder.as_ref().map(|r| r.snapshot())
     }
 
     /// Stop recording and emit the snapshot (JSON file, trace file, and/or
@@ -941,8 +988,20 @@ fn cmd_doctor(args: &[String]) -> Result<(), String> {
         r_residual: flag_f64(&flags, "warn-residual", defaults.r_residual)?,
         truncated_mass: flag_f64(&flags, "warn-trunc", defaults.truncated_mass)?,
     };
-    let diag = Diagnostics::from_flags(&flags);
+    // Convergence analysis needs the R-solve event stream, so those paths
+    // always record; `--json` includes the section unconditionally.
+    let want_convergence = flags.contains_key("convergence") || flags.contains_key("json");
+    let diag = if want_convergence {
+        Diagnostics::from_flags_recording(&flags)
+    } else {
+        Diagnostics::from_flags(&flags)
+    };
     let sol = solve(&model, &opts).map_err(|e| e.to_string());
+    let conv = if want_convergence {
+        diag.snapshot().map(|s| convergence::analyze(&s))
+    } else {
+        None
+    };
     diag.finish()?;
     let sol = sol?;
     let health = sol.health.as_ref().expect("collect_health was set");
@@ -967,12 +1026,17 @@ fn cmd_doctor(args: &[String]) -> Result<(), String> {
             .iter()
             .map(|w| json_str(w))
             .collect();
+        let convergence_json = conv
+            .as_ref()
+            .map(|c| serde_json::to_string(c).expect("convergence report serializes"))
+            .unwrap_or_else(|| "null".to_string());
         println!(
-            r#"{{"all_stable":{},"converged":{},"classes":[{}],"warnings":[{}]}}"#,
+            r#"{{"all_stable":{},"converged":{},"classes":[{}],"warnings":[{}],"convergence":{}}}"#,
             sol.all_stable,
             sol.converged,
             classes.join(","),
-            warnings.join(",")
+            warnings.join(","),
+            convergence_json
         );
     } else {
         println!(
@@ -982,6 +1046,10 @@ fn cmd_doctor(args: &[String]) -> Result<(), String> {
             sol.all_stable
         );
         print!("{}", health.render(&thresholds));
+        if let Some(c) = &conv {
+            println!("convergence:");
+            print!("{}", c.render());
+        }
     }
     Ok(())
 }
@@ -1045,6 +1113,14 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         );
     }
     println!("wrote {out_path}");
+    if !flags.contains_key("no-history") {
+        let history_path = flags
+            .get("history")
+            .map(String::as_str)
+            .unwrap_or(trend::DEFAULT_HISTORY_PATH);
+        trend::append_history(history_path, &report)?;
+        println!("appended history row to {history_path}");
+    }
     if let Some(baseline_path) = flags.get("compare") {
         let text = std::fs::read_to_string(baseline_path)
             .map_err(|e| format!("cannot read `{baseline_path}`: {e}"))?;

@@ -259,6 +259,7 @@ fn bench_quick_writes_schema_versioned_report() {
         .arg("bench")
         .args([
             "--quick",
+            "--no-history",
             "--label",
             "smoke",
             "--out",
@@ -273,7 +274,7 @@ fn bench_quick_writes_schema_versioned_report() {
     );
     let text = std::fs::read_to_string(dir.join("BENCH_smoke.json")).unwrap();
     let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
-    assert_eq!(parsed["schema_version"].as_f64().unwrap(), 2.0);
+    assert_eq!(parsed["schema_version"].as_f64().unwrap(), 3.0);
     assert_eq!(parsed["label"].as_str().unwrap(), "smoke");
     assert!(parsed["jobs"].as_u64().unwrap() >= 1);
     let scenarios = parsed["scenarios"].as_array().unwrap();
@@ -316,7 +317,14 @@ fn bench_compare_gates_on_injected_regression() {
     // First run produces the baseline.
     let out = gsched()
         .arg("bench")
-        .args(["--quick", "--label", "base", "--out", dir.to_str().unwrap()])
+        .args([
+            "--quick",
+            "--no-history",
+            "--label",
+            "base",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(
@@ -344,6 +352,7 @@ fn bench_compare_gates_on_injected_regression() {
         .arg("bench")
         .args([
             "--quick",
+            "--no-history",
             "--label",
             "gate",
             "--out",
@@ -367,6 +376,7 @@ fn bench_compare_gates_on_injected_regression() {
         .arg("bench")
         .args([
             "--quick",
+            "--no-history",
             "--label",
             "selfcheck",
             "--out",
@@ -630,6 +640,7 @@ fn bench_scenario_flag_runs_one_scenario() {
         .arg("bench")
         .args([
             "--quick",
+            "--no-history",
             "--scenario",
             "ablation",
             "--label",
@@ -851,4 +862,163 @@ fn bad_flags_fail_cleanly() {
         .output()
         .unwrap();
     assert!(!out.status.success());
+}
+
+#[test]
+fn profile_quick_json_attributes_wall_time() {
+    let out = gsched()
+        .arg("profile")
+        .arg("fig2")
+        .args(["--quick", "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let parsed: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    assert_eq!(parsed["profile_schema_version"].as_f64().unwrap(), 1.0);
+    // The headline invariant: span attribution accounts for >= 90% of wall time.
+    let fraction = parsed["attributed_fraction"].as_f64().unwrap();
+    assert!(fraction >= 0.9, "attributed_fraction {fraction} < 0.9");
+    // Kernel counters are live: the solve must do real matmul and LU work.
+    let kernels = parsed["kernels"].as_array().unwrap();
+    let flops_of = |name: &str| -> f64 {
+        kernels
+            .iter()
+            .find(|k| k["kernel"].as_str().unwrap() == name)
+            .map(|k| k["flops"].as_f64().unwrap())
+            .unwrap()
+    };
+    assert!(flops_of("matmul") > 0.0);
+    assert!(flops_of("lu_factorization") > 0.0);
+    // Phase table includes the R-iteration span and convergence has classes.
+    let phases = parsed["phases"].as_array().unwrap();
+    assert!(phases
+        .iter()
+        .any(|p| p["span"].as_str().unwrap() == "qbd.solve_r"));
+    assert!(!parsed["convergence"]["classes"]
+        .as_array()
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn doctor_convergence_reports_per_class_r_solves() {
+    let out = gsched()
+        .arg("doctor")
+        .args(["--scenario", "fig2", "--convergence"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("convergence:"), "{text}");
+    assert!(text.contains("fixed point:"), "{text}");
+
+    let out = gsched()
+        .arg("doctor")
+        .args(["--scenario", "fig2", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let parsed: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim()).unwrap();
+    let classes = parsed["convergence"]["classes"].as_array().unwrap();
+    assert!(!classes.is_empty());
+    assert!(classes[0]["r_solves"].as_f64().unwrap() > 0.0);
+    assert!(classes[0]["r_method"].as_str().is_some());
+}
+
+#[test]
+fn bench_history_append_and_trend_gate() {
+    let dir = tmpdir("trend");
+    let history = dir.join("h.ndjson");
+    for label in ["first", "second"] {
+        let out = gsched()
+            .arg("bench")
+            .args([
+                "--quick",
+                "--scenario",
+                "fig2",
+                "--label",
+                label,
+                "--out",
+                dir.to_str().unwrap(),
+                "--history",
+                history.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).contains("appended history row"));
+    }
+    assert_eq!(
+        std::fs::read_to_string(&history).unwrap().lines().count(),
+        2
+    );
+
+    // Deterministic work metrics are identical across the two runs, so the
+    // gate must pass.
+    let out = gsched()
+        .arg("bench")
+        .arg("trend")
+        .args([
+            "--history",
+            history.to_str().unwrap(),
+            "--metric",
+            "fp_iterations,rmatrix_iterations,matmul_flops",
+            "--gate",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("trend gate passed"));
+
+    // Inflate fp_iterations in a doctored third row; the gate must now fail.
+    let text = std::fs::read_to_string(&history).unwrap();
+    let last = text.lines().last().unwrap();
+    let key = "\"fp_iterations\":";
+    let at = last.find(key).unwrap() + key.len();
+    let digits: String = last[at..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    let value: u64 = digits.parse().unwrap();
+    let doctored = last.replacen(
+        &format!("{key}{digits}"),
+        &format!("{key}{}", value * 10),
+        1,
+    );
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&history)
+        .unwrap();
+    writeln!(file, "{doctored}").unwrap();
+
+    let out = gsched()
+        .arg("bench")
+        .arg("trend")
+        .args([
+            "--history",
+            history.to_str().unwrap(),
+            "--metric",
+            "fp_iterations",
+            "--gate",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fp_iterations"), "{stderr}");
 }

@@ -372,11 +372,17 @@ fn solve_one_class(
     // Named per class so qbd events fired inside carry the class in their
     // span path (e.g. `core.solve/core.class1/qbd.solve`).
     let _class_span = obs::span(format!("core.class{p}"));
-    let vac = match cache {
-        Some(c) => c.compose(model, p, quanta),
-        None => compose_vacation(model, p, quanta),
+    let vac = {
+        let _vac_span = obs::span("core.vacation");
+        match cache {
+            Some(c) => c.compose(model, p, quanta),
+            None => compose_vacation(model, p, quanta),
+        }
     };
-    let chain = build_class_chain(model, p, &vac)?;
+    let chain = {
+        let _gen_span = obs::span("core.generator");
+        build_class_chain(model, p, &vac)?
+    };
     let qbd_opts;
     let qbd_ref = match initial_r {
         Some(r0) => {
@@ -541,6 +547,7 @@ pub fn solve_warm(
         }
 
         // ---- Update effective quanta for the next iteration ----
+        let _eff_span = obs::span("core.effective");
         let theta = opts.damping.clamp(1e-3, 1.0);
         for p in 0..l {
             let raw = match &last_pass[p] {
@@ -574,6 +581,7 @@ pub fn solve_warm(
     }
 
     // ---- Assemble the final report ----
+    let measures_span = obs::span("core.measures");
     let mut classes = Vec::with_capacity(l);
     let mut health_classes = Vec::with_capacity(if opts.collect_health { l } else { 0 });
     let mut all_stable = true;
@@ -655,6 +663,7 @@ pub fn solve_warm(
             }
         }
     }
+    drop(measures_span);
     let mean_cycle: f64 = classes
         .iter()
         .enumerate()

@@ -15,9 +15,15 @@
 //!   matrix (stability checks on the rate matrix `R`).
 //! * [`stationary`]: solving `x M = 0`, `x e = 1` systems that arise for
 //!   stationary probability vectors and QBD boundary equations.
+//! * [`counters`]: process-global work counters (kernel calls and nominal
+//!   flops) behind the `gsched_obs::enabled()` guard, feeding the
+//!   `gsched profile` GFLOP/s attribution.
 //!
-//! All computations are `f64`. The crate is deliberately dependency-free.
+//! All computations are `f64`. The crate's only dependency is the
+//! workspace instrumentation layer `gsched-obs`, used solely as the on/off
+//! guard for the work counters.
 
+pub mod counters;
 pub mod kron;
 pub mod lu;
 pub mod matrix;
@@ -25,6 +31,7 @@ pub mod spectral;
 pub mod stationary;
 pub mod vecops;
 
+pub use counters::WorkCounters;
 pub use kron::{kron_product, kron_sum};
 pub use lu::Lu;
 pub use matrix::Matrix;

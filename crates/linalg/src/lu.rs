@@ -73,6 +73,7 @@ impl Lu {
                 }
             }
         }
+        crate::counters::record_lu_factorization(n);
         Ok(Lu { lu, piv, sign })
     }
 
@@ -103,6 +104,7 @@ impl Lu {
                 rhs: (b.len(), 1),
             });
         }
+        crate::counters::record_triangular_solve(n);
         let mut x = b.to_vec();
         // Apply permutation.
         for k in 0..n {
@@ -155,6 +157,7 @@ impl Lu {
                 rhs: (n, n),
             });
         }
+        crate::counters::record_triangular_solve(n);
         // Solve Uᵀ y = b (forward, Uᵀ lower-triangular with diag of U)...
         let mut y = b.to_vec();
         for i in 0..n {

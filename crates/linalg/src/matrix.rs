@@ -164,6 +164,7 @@ impl Matrix {
                 rhs: rhs.shape(),
             });
         }
+        crate::counters::record_matmul(self.rows, rhs.cols, self.cols);
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         // i-k-j loop order: streams through rhs rows, friendly to row-major.
         for i in 0..self.rows {

@@ -1,0 +1,314 @@
+//! Self-time attribution over the aggregated span tree.
+//!
+//! A [`SpanSnapshot`] records *cumulative* time: everything that happened
+//! while the span was open, including all nested spans. Attribution turns
+//! those aggregates into *self* time — cumulative minus the cumulative time
+//! of direct children — which is the quantity a profiler wants: summing
+//! self time over every path in one span tree reproduces the tree's total
+//! wall time exactly once, with no double counting.
+//!
+//! Two snapshot realities the math has to absorb:
+//!
+//! * **Open parents.** A span is only recorded when its guard drops, so a
+//!   parent still open at snapshot time is missing from `spans` while its
+//!   completed children are present. Such children become roots of their
+//!   own subtrees; no self time is invented for the absent parent.
+//! * **Aggregation across threads.** Paths only nest when spans open on the
+//!   same thread, and the same path may aggregate occurrences from many
+//!   threads. A parent's recorded total can therefore be *smaller* than
+//!   the sum of its children (some child occurrences belong to parent
+//!   occurrences that never closed); self time clamps at zero instead of
+//!   going negative.
+
+use crate::snapshot::{Snapshot, SpanSnapshot};
+
+/// Self vs. cumulative timing for one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionRow {
+    /// Slash-joined span path, e.g. `core.solve/core.class1/qbd.solve`.
+    pub path: String,
+    /// Last path segment (the span's own name).
+    pub name: String,
+    /// Nesting depth (number of `/` separators).
+    pub depth: usize,
+    /// Completed occurrences.
+    pub count: u64,
+    /// Cumulative time across completions, in nanoseconds.
+    pub cum_nanos: u64,
+    /// Cumulative minus direct children's cumulative, clamped at zero.
+    pub self_nanos: u64,
+}
+
+/// The attribution table for a snapshot: one row per span path, sorted by
+/// path (so a depth-first walk of the tree).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribution {
+    /// One row per recorded span path, sorted by path.
+    pub rows: Vec<AttributionRow>,
+}
+
+impl Attribution {
+    /// Sum of self time across all paths, in nanoseconds. For a
+    /// single-threaded workload whose root spans all completed, this equals
+    /// the total time covered by spans — the numerator of an "attributed
+    /// fraction of wall time".
+    pub fn total_self_nanos(&self) -> u64 {
+        self.rows.iter().map(|r| r.self_nanos).sum()
+    }
+
+    /// Aggregate self time by canonical span name (trailing digit runs
+    /// collapsed to `*`, so `core.class0`/`core.class1` merge into
+    /// `core.class*`). Returns `(name, count, self_nanos)` tuples sorted by
+    /// descending self time — the phase table of `gsched profile`.
+    pub fn by_name(&self) -> Vec<(String, u64, u64)> {
+        let mut agg: Vec<(String, u64, u64)> = Vec::new();
+        for row in &self.rows {
+            let name = canonical_span_name(&row.name);
+            match agg.iter_mut().find(|(n, _, _)| *n == name) {
+                Some(entry) => {
+                    entry.1 += row.count;
+                    entry.2 += row.self_nanos;
+                }
+                None => agg.push((name, row.count, row.self_nanos)),
+            }
+        }
+        agg.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        agg
+    }
+
+    /// Row for an exact path, if present.
+    pub fn row(&self, path: &str) -> Option<&AttributionRow> {
+        self.rows.iter().find(|r| r.path == path)
+    }
+}
+
+/// Collapse a trailing digit run into `*`: `core.class12` → `core.class*`,
+/// `engine.sweep.point3` → `engine.sweep.point*`. Names without a trailing
+/// digit are returned unchanged.
+pub fn canonical_span_name(name: &str) -> String {
+    let trimmed = name.trim_end_matches(|c: char| c.is_ascii_digit());
+    if trimmed.len() == name.len() || trimmed.is_empty() {
+        name.to_string()
+    } else {
+        format!("{trimmed}*")
+    }
+}
+
+/// True when `child` is a direct child path of `parent` (extends it by
+/// exactly one `/`-separated segment).
+fn is_direct_child(parent: &str, child: &str) -> bool {
+    child.len() > parent.len() + 1
+        && child.as_bytes()[parent.len()] == b'/'
+        && child.starts_with(parent)
+        && !child[parent.len() + 1..].contains('/')
+}
+
+fn attribution_rows(spans: &[SpanSnapshot]) -> Vec<AttributionRow> {
+    let mut rows: Vec<AttributionRow> = spans
+        .iter()
+        .map(|s| {
+            let children_nanos: u64 = spans
+                .iter()
+                .filter(|c| is_direct_child(&s.path, &c.path))
+                .map(|c| c.total_nanos)
+                .sum();
+            let name = s.path.rsplit('/').next().unwrap_or(&s.path).to_string();
+            AttributionRow {
+                path: s.path.clone(),
+                name,
+                depth: s.path.matches('/').count(),
+                count: s.count,
+                cum_nanos: s.total_nanos,
+                self_nanos: s.total_nanos.saturating_sub(children_nanos),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| a.path.cmp(&b.path));
+    rows
+}
+
+impl Snapshot {
+    /// Compute per-path self-time attribution over the recorded span
+    /// aggregates. See the [module docs](crate::attribution) for the exact
+    /// semantics around open parents and cross-thread aggregation.
+    pub fn attribution(&self) -> Attribution {
+        Attribution {
+            rows: attribution_rows(&self.spans),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(path: &str, count: u64, total_nanos: u64) -> SpanSnapshot {
+        SpanSnapshot {
+            path: path.to_string(),
+            count,
+            total_nanos,
+        }
+    }
+
+    fn snapshot_with(spans: Vec<SpanSnapshot>) -> Snapshot {
+        Snapshot {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            spans,
+            span_intervals: Vec::new(),
+            span_intervals_dropped: 0,
+            events: Vec::new(),
+            events_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn nested_self_times_partition_the_root() {
+        let snap = snapshot_with(vec![
+            span("a", 1, 100),
+            span("a/b", 2, 60),
+            span("a/b/c", 4, 10),
+            span("a/d", 1, 20),
+        ]);
+        let att = snap.attribution();
+        assert_eq!(att.row("a").unwrap().self_nanos, 20); // 100 - 60 - 20
+        assert_eq!(att.row("a/b").unwrap().self_nanos, 50); // 60 - 10
+        assert_eq!(att.row("a/b/c").unwrap().self_nanos, 10);
+        assert_eq!(att.row("a/d").unwrap().self_nanos, 20);
+        // Self times over the whole tree sum back to the root's wall time.
+        assert_eq!(att.total_self_nanos(), 100);
+        assert_eq!(att.row("a/b/c").unwrap().depth, 2);
+    }
+
+    #[test]
+    fn grandchildren_do_not_deduct_twice() {
+        // Only *direct* children deduct from a path; a/b/c must not also
+        // subtract from a.
+        let snap = snapshot_with(vec![
+            span("a", 1, 100),
+            span("a/b", 1, 90),
+            span("a/b/c", 1, 80),
+        ]);
+        let att = snap.attribution();
+        assert_eq!(att.row("a").unwrap().self_nanos, 10);
+        assert_eq!(att.row("a/b").unwrap().self_nanos, 10);
+        assert_eq!(att.row("a/b/c").unwrap().self_nanos, 80);
+        assert_eq!(att.total_self_nanos(), 100);
+    }
+
+    #[test]
+    fn sibling_prefix_names_are_not_children() {
+        // `a/bc` shares the byte prefix `a/b` but is a sibling of `a/b`,
+        // not a child.
+        let snap = snapshot_with(vec![
+            span("a", 1, 100),
+            span("a/b", 1, 30),
+            span("a/bc", 1, 40),
+        ]);
+        let att = snap.attribution();
+        assert_eq!(att.row("a").unwrap().self_nanos, 30);
+        assert_eq!(att.row("a/b").unwrap().self_nanos, 30);
+        assert_eq!(att.row("a/bc").unwrap().self_nanos, 40);
+    }
+
+    #[test]
+    fn open_parent_leaves_children_as_roots() {
+        // The parent `a` never closed before the snapshot, so only its
+        // children appear. They keep their full self time and the total
+        // stays below the (hypothetical) wall time.
+        let snap = snapshot_with(vec![span("a/b", 3, 60), span("a/b/c", 3, 15)]);
+        let att = snap.attribution();
+        assert!(att.row("a").is_none());
+        assert_eq!(att.row("a/b").unwrap().self_nanos, 45);
+        assert_eq!(att.row("a/b/c").unwrap().self_nanos, 15);
+        assert_eq!(att.total_self_nanos(), 60);
+    }
+
+    #[test]
+    fn zero_duration_spans_attribute_zero() {
+        let snap = snapshot_with(vec![span("a", 1, 50), span("a/z", 10, 0)]);
+        let att = snap.attribution();
+        assert_eq!(att.row("a/z").unwrap().self_nanos, 0);
+        assert_eq!(att.row("a/z").unwrap().count, 10);
+        assert_eq!(att.row("a").unwrap().self_nanos, 50);
+    }
+
+    #[test]
+    fn overfull_children_clamp_self_at_zero() {
+        // Cross-thread aggregation: one parent occurrence closed (10 ns)
+        // but children from a still-open occurrence also aggregated under
+        // the same path, exceeding the parent's recorded total.
+        let snap = snapshot_with(vec![span("p", 1, 10), span("p/q", 3, 25)]);
+        let att = snap.attribution();
+        assert_eq!(att.row("p").unwrap().self_nanos, 0);
+        assert_eq!(att.row("p/q").unwrap().self_nanos, 25);
+        // Total never underflows or double counts.
+        assert_eq!(att.total_self_nanos(), 25);
+    }
+
+    #[test]
+    fn multi_thread_interleavings_stay_within_recorded_wall() {
+        // Record real spans from two threads through the recorder: each
+        // thread builds its own `root/worker` nesting; aggregation merges
+        // the paths. Per-tree consistency must hold: Σ self == Σ root
+        // cumulative, and every subtree's children sum ≤ its cumulative.
+        let _lock = crate::recorder::TEST_RECORDER_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let rec = crate::install_memory();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _root = crate::span("root");
+                    for _ in 0..3 {
+                        let _inner = crate::span("inner");
+                        std::hint::black_box(());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        crate::uninstall();
+        let snap = rec.snapshot();
+        let att = snap.attribution();
+        let root = att.row("root").expect("both roots completed");
+        assert_eq!(root.count, 2);
+        let inner = att.row("root/inner").expect("nested spans recorded");
+        assert_eq!(inner.count, 6);
+        assert!(inner.cum_nanos <= root.cum_nanos);
+        assert_eq!(
+            att.total_self_nanos(),
+            root.cum_nanos,
+            "self times partition the recorded root wall time"
+        );
+    }
+
+    #[test]
+    fn by_name_merges_numbered_siblings() {
+        let snap = snapshot_with(vec![
+            span("s", 1, 100),
+            span("s/core.class0", 2, 30),
+            span("s/core.class1", 2, 50),
+        ]);
+        let by = snap.attribution().by_name();
+        let classes = by
+            .iter()
+            .find(|(n, _, _)| n == "core.class*")
+            .expect("merged row");
+        assert_eq!(classes.1, 4);
+        assert_eq!(classes.2, 80);
+        // Sorted by descending self time: merged classes (80) before s (20).
+        assert_eq!(by[0].0, "core.class*");
+    }
+
+    #[test]
+    fn canonical_name_edge_cases() {
+        assert_eq!(canonical_span_name("core.class12"), "core.class*");
+        assert_eq!(canonical_span_name("qbd.solve_r"), "qbd.solve_r");
+        assert_eq!(canonical_span_name("123"), "123");
+        assert_eq!(canonical_span_name(""), "");
+    }
+}

@@ -38,6 +38,7 @@
 //! log line ([`AccessLog`]) can point at its span tree.
 
 mod accesslog;
+pub mod attribution;
 mod fsio;
 mod histogram;
 pub mod names;
@@ -47,7 +48,8 @@ mod snapshot;
 mod trace;
 
 pub use accesslog::AccessLog;
-pub use fsio::write_atomic;
+pub use attribution::{canonical_span_name, Attribution, AttributionRow};
+pub use fsio::{append_line_atomic, write_atomic};
 pub use histogram::{LogHistogram, WindowedHistogram};
 pub use recorder::{
     context_enter, context_label, counter_add, current_context, enabled, event, gauge_set, install,

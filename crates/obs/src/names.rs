@@ -111,11 +111,128 @@ pub fn sim_queue_length(class: usize) -> String {
     format!("sim.class{class}.queue_len")
 }
 
+/// Every exported metric-name constant, for hygiene checks and discovery
+/// tooling. A constant added above without a row here fails the
+/// `all_registry_is_complete`-style tests downstream — keep them in sync.
+pub const ALL: &[&str] = &[
+    SERVICE_CONNECTIONS,
+    SERVICE_REQUESTS,
+    SERVICE_ERRORS,
+    SERVICE_CACHE_HITS,
+    SERVICE_CACHE_MISSES,
+    SERVICE_QUEUE_DEPTH,
+    SERVICE_REQUEST_LATENCY_MS,
+    SERVICE_QUEUE_WAIT_MS,
+    SERVICE_SOLVE_MS,
+    SERVICE_CANCELLED_DISCONNECTS,
+    ENGINE_WARM_HITS,
+    ENGINE_WARM_MISSES,
+    ENGINE_SWEEP_CANCELLED_POINTS,
+    ENGINE_SWEEP_WARM_HIT_RATE,
+    ENGINE_SWEEP_JOBS,
+    QBD_RMATRIX_SOLVES,
+    QBD_RMATRIX_ITERATIONS,
+    QBD_RMATRIX_ITERATIONS_PER_SOLVE,
+    QBD_RMATRIX_RESIDUAL,
+    QBD_RMATRIX_WARM_HITS,
+    QBD_RMATRIX_WARM_MISSES,
+    QBD_SPECTRAL_RADIUS,
+    QBD_DRIFT_MARGIN,
+    CORE_SOLVER_SOLVES,
+    CORE_SOLVER_FP_ITERATIONS,
+    CORE_SOLVER_FINAL_CHANGE,
+    CORE_SOLVER_EFFECTIVE_QUANTUM_MEAN,
+    CORE_VACATION_CACHE_HITS,
+    CORE_VACATION_CACHE_MISSES,
+    CORE_EFFECTIVE_LEVEL_CAP,
+    CORE_EFFECTIVE_TRUNCATED_MASS,
+    CORE_RESPONSE_AHEAD_CAP,
+    CORE_RESPONSE_FOLDED_MASS,
+    SIM_RUNS,
+    SIM_EVENTS_PROCESSED,
+    SIM_CYCLES_COMPLETED,
+    SIM_COMPLETIONS,
+    SIM_MEASURED_TIME,
+    SIM_EVENT_RATE_PER_SEC,
+];
+
+/// Crate prefixes metric names are allowed to start with.
+pub const CRATE_PREFIXES: &[&str] = &["service", "engine", "qbd", "core", "sim"];
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn queue_length_names_are_stable() {
-        assert_eq!(super::sim_queue_length(0), "sim.class0.queue_len");
-        assert_eq!(super::sim_queue_length(7), "sim.class7.queue_len");
+        assert_eq!(sim_queue_length(0), "sim.class0.queue_len");
+        assert_eq!(sim_queue_length(7), "sim.class7.queue_len");
+    }
+
+    /// True when `name` matches the documented `crate.component.operation`
+    /// form: 2–4 dot-separated segments of `[a-z0-9_]`, first segment a
+    /// known crate prefix.
+    fn well_formed(name: &str) -> bool {
+        let segments: Vec<&str> = name.split('.').collect();
+        if !(2..=4).contains(&segments.len()) {
+            return false;
+        }
+        if !CRATE_PREFIXES.contains(&segments[0]) {
+            return false;
+        }
+        segments.iter().all(|s| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+    }
+
+    #[test]
+    fn all_names_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(*name), "duplicate metric name `{name}`");
+        }
+    }
+
+    #[test]
+    fn all_names_are_well_formed() {
+        for name in ALL {
+            assert!(
+                well_formed(name),
+                "metric name `{name}` violates crate.component.operation form"
+            );
+        }
+        // Generated per-class names follow the same convention.
+        assert!(well_formed(&sim_queue_length(3)));
+    }
+
+    /// `ALL` must list every `pub const NAME: &str` declared in this file —
+    /// counted from the source text, so adding a constant without
+    /// registering it is a test failure, not a silent omission.
+    #[test]
+    fn all_registry_is_complete() {
+        let declared = include_str!("names.rs")
+            .lines()
+            .filter(|l| l.trim_start().starts_with("pub const ") && l.contains(": &str ="))
+            .count();
+        assert_eq!(
+            declared,
+            ALL.len(),
+            "a `pub const ...: &str` in names.rs is missing from ALL (or vice versa)"
+        );
+    }
+
+    #[test]
+    fn well_formed_rejects_bad_shapes() {
+        for bad in [
+            "engine",               // no component
+            "Engine.warm.hits",     // uppercase
+            "engine..hits",         // empty segment
+            "unknown.warm.hits",    // unknown crate prefix
+            "engine.warm.hits.a.b", // too deep
+        ] {
+            assert!(!well_formed(bad), "`{bad}` should be rejected");
+        }
     }
 }

@@ -172,6 +172,11 @@ pub fn installed_memory() -> Option<Arc<MemoryRecorder>> {
     MEMORY.read().clone()
 }
 
+/// Serializes tests that install/uninstall the process-global recorder, so
+/// one test's `uninstall` cannot silence another test's probes mid-run.
+#[cfg(test)]
+pub(crate) static TEST_RECORDER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Remove the installed recorder; probes return to no-ops.
 pub fn uninstall() {
     ENABLED.store(false, Ordering::Release);

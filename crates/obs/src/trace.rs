@@ -107,6 +107,9 @@ mod tests {
     /// same way the spans did.
     #[test]
     fn trace_export_is_valid_and_nested() {
+        let _lock = crate::recorder::TEST_RECORDER_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let recorder = install_memory();
         {
             let _outer = span("outer");

@@ -50,7 +50,17 @@ pub fn solve_r(
 }
 
 /// Emit the per-solve instrumentation shared by both `R` algorithms.
-fn record_r_solve(method: &'static str, dim: usize, iterations: usize, residual: f64) {
+///
+/// `residuals` is the per-iteration convergence trace (one entry per
+/// iteration, in order); it is only collected while a recorder is
+/// installed, so an empty slice just omits the field's content.
+fn record_r_solve(
+    method: &'static str,
+    dim: usize,
+    iterations: usize,
+    residual: f64,
+    residuals: &[f64],
+) {
     if !obs::enabled() {
         return;
     }
@@ -68,6 +78,7 @@ fn record_r_solve(method: &'static str, dim: usize, iterations: usize, residual:
             ("dim", obs::FieldValue::U64(dim as u64)),
             ("iterations", obs::FieldValue::U64(iterations as u64)),
             ("residual", obs::FieldValue::F64(residual)),
+            ("residuals", obs::FieldValue::F64s(residuals.to_vec())),
         ],
     );
 }
@@ -85,6 +96,8 @@ pub fn solve_r_successive(
     let a1_lu = Lu::new(a1)?;
     let mut r = Matrix::zeros(d, d);
     let mut last_diff = f64::INFINITY;
+    let trace = obs::enabled();
+    let mut residuals = Vec::new();
     for iteration in 1..=max_iter {
         // numerator = A0 + R^2 A2
         let r2 = r.matmul(&r)?;
@@ -94,8 +107,17 @@ pub fn solve_r_successive(
         let next = a1_lu.solve_left_matrix(&num.scaled(-1.0))?;
         last_diff = next.max_abs_diff(&r);
         r = next;
+        if trace {
+            residuals.push(last_diff);
+        }
         if last_diff <= tol {
-            record_r_solve("successive_substitution", d, iteration, last_diff);
+            record_r_solve(
+                "successive_substitution",
+                d,
+                iteration,
+                last_diff,
+                &residuals,
+            );
             return Ok(r);
         }
     }
@@ -141,6 +163,8 @@ pub fn solve_r_warm(
     let a1_lu = Lu::new(a1)?;
     let mut r = initial.clone();
     let mut last_diff = f64::INFINITY;
+    let trace = obs::enabled();
+    let mut residuals = Vec::new();
     for iteration in 1..=max_iter {
         let r2 = r.matmul(&r)?;
         let mut num = r2.matmul(a2)?;
@@ -148,6 +172,9 @@ pub fn solve_r_warm(
         let next = a1_lu.solve_left_matrix(&num.scaled(-1.0))?;
         last_diff = next.max_abs_diff(&r);
         r = next;
+        if trace {
+            residuals.push(last_diff);
+        }
         if last_diff <= tol {
             let residual = r_residual(a0, a1, a2, &r);
             if residual > residual_tol || !r.is_nonnegative(1e-9) {
@@ -159,7 +186,7 @@ pub fn solve_r_warm(
                     },
                 ));
             }
-            record_r_solve("warm_substitution", d, iteration, residual);
+            record_r_solve("warm_substitution", d, iteration, residual, &residuals);
             return Ok(r);
         }
     }
@@ -190,6 +217,8 @@ pub fn solve_g_logarithmic_reduction(
     let mut t = h.clone();
 
     let mut residual = f64::INFINITY;
+    let trace = obs::enabled();
+    let mut residuals = Vec::new();
     for iteration in 1..=max_iter {
         // U = H·L + L·H ; H ← (I−U)⁻¹H² ; L ← (I−U)⁻¹L²
         let hl = h.matmul(&l)?;
@@ -215,8 +244,11 @@ pub fn solve_g_logarithmic_reduction(
             .fold(0.0_f64, |m, &s| m.max((1.0 - s).abs()));
         let correction = tl.max_abs();
         residual = defect.min(correction);
+        if trace {
+            residuals.push(residual);
+        }
         if correction <= tol || defect <= tol {
-            record_r_solve("logarithmic_reduction", d, iteration, residual);
+            record_r_solve("logarithmic_reduction", d, iteration, residual, &residuals);
             return Ok(g);
         }
     }
