@@ -32,6 +32,10 @@ use std::time::Instant;
 /// `triangular_flops`) and the `phases` self-time breakdown. The new
 /// fields default when absent so a v2 file parses far enough to be
 /// rejected with a clean version message.
+///
+/// v3 also carries the optional `gsched loadtest` fields (`requests`,
+/// `request_errors`, `shed`, `cached_hits`, `p50_ms`, `p99_ms`, `rps`);
+/// they default when absent, so earlier v3 files keep parsing.
 pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Self-time attribution for one canonical span name within a scenario.
@@ -104,6 +108,29 @@ pub struct ScenarioResult {
     /// self time (empty for sim scenarios, which record no solver spans).
     #[serde(default = "Vec::new")]
     pub phases: Vec<PhaseBreakdown>,
+    /// Replies received during a `gsched loadtest` run (`0` elsewhere).
+    #[serde(default = "u64::default")]
+    pub requests: u64,
+    /// Error replies during a load test, including the expected errors
+    /// from cancel traffic (`0` elsewhere).
+    #[serde(default = "u64::default")]
+    pub request_errors: u64,
+    /// `overloaded` (shed) replies during a load test (`0` elsewhere).
+    #[serde(default = "u64::default")]
+    pub shed: u64,
+    /// Cache-hit replies (`"cached":true`) during a load test.
+    #[serde(default = "u64::default")]
+    pub cached_hits: u64,
+    /// Median request latency over the load test (`None` outside one).
+    #[serde(default = "Option::default")]
+    pub p50_ms: Option<f64>,
+    /// 99th-percentile request latency (`None` outside a load test).
+    #[serde(default = "Option::default")]
+    pub p99_ms: Option<f64>,
+    /// Completed replies per wall-clock second (`None` outside a load
+    /// test).
+    #[serde(default = "Option::default")]
+    pub rps: Option<f64>,
 }
 
 /// A full benchmark run: schema version, label, and per-scenario telemetry.
@@ -320,6 +347,13 @@ fn run_scenario(sc: &Scenario, reps: u64, jobs: usize) -> ScenarioResult {
         triangular_solves: work.triangular_solves,
         triangular_flops: work.triangular_flops,
         phases: phase_breakdown(&snap),
+        requests: 0,
+        request_errors: 0,
+        shed: 0,
+        cached_hits: 0,
+        p50_ms: None,
+        p99_ms: None,
+        rps: None,
     }
 }
 
@@ -484,6 +518,13 @@ mod tests {
                 self_ms: 6.5,
                 cum_ms: 6.5,
             }],
+            requests: 0,
+            request_errors: 0,
+            shed: 0,
+            cached_hits: 0,
+            p50_ms: None,
+            p99_ms: None,
+            rps: None,
         }
     }
 
@@ -574,6 +615,47 @@ mod tests {
             .join("\n");
         let err = BenchReport::from_json(&v2ish).unwrap_err();
         assert!(err.contains("schema version 2"), "{err}");
+    }
+
+    #[test]
+    fn loadtest_fields_default_when_absent() {
+        // A v3 file written before the loadtest fields existed still
+        // parses, with the load metrics defaulting to zero/None.
+        let report = sample_report(10.0);
+        let mut v: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
+        let load_keys = [
+            "requests",
+            "request_errors",
+            "shed",
+            "cached_hits",
+            "p50_ms",
+            "p99_ms",
+            "rps",
+        ];
+        let serde_json::Value::Object(top) = &mut v else {
+            panic!("report is not an object");
+        };
+        let scenarios = &mut top
+            .iter_mut()
+            .find(|(k, _)| k == "scenarios")
+            .expect("scenarios key")
+            .1;
+        let serde_json::Value::Array(rows) = scenarios else {
+            panic!("scenarios is not an array");
+        };
+        for row in rows {
+            let serde_json::Value::Object(fields) = row else {
+                panic!("scenario row is not an object");
+            };
+            let before = fields.len();
+            fields.retain(|(k, _)| !load_keys.contains(&k.as_str()));
+            assert_eq!(before - fields.len(), load_keys.len());
+        }
+        let back = BenchReport::from_json(&v.to_string()).unwrap();
+        assert_eq!(back.scenarios[0].requests, 0);
+        assert_eq!(back.scenarios[0].shed, 0);
+        assert_eq!(back.scenarios[0].p99_ms, None);
+        assert_eq!(back.scenarios[0].rps, None);
     }
 
     #[test]

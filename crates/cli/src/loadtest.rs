@@ -1,0 +1,493 @@
+//! `gsched loadtest` — drive a solve server with mixed concurrent
+//! traffic and record latency/throughput into the bench schema.
+//!
+//! The harness spins up `--clients` threads, each holding one TCP
+//! connection, and replays a deterministic script that mixes the four
+//! traffic shapes the server's concurrency control exists for:
+//!
+//! * **hit** — every client re-solves `fig2`, so the first wave
+//!   coalesces onto one engine solve and later waves are cache hits;
+//! * **miss** — each client walks its own rotation of registry
+//!   scenarios, populating the cache;
+//! * **duplicate** — all clients solve `fig3` in the same wave,
+//!   exercising singleflight under contention;
+//! * **cancel** (skipped with `--quick`) — a full `fig3_heavy` sweep
+//!   with a 1 ms deadline, whose `deadline_exceeded` reply is the
+//!   *expected* outcome and whose departure must cancel the flight.
+//!
+//! Without `--addr` the harness self-hosts: it binds an in-process
+//! server on an ephemeral port, runs the load, and shuts it down again,
+//! capturing the solver work counters for deterministic trend gating.
+//! With `--addr` it drives a live server (the CI smoke test does this)
+//! and records client-side observations only.
+//!
+//! Results land in the `BENCH_<label>.json` schema (kind `"loadtest"`,
+//! scenario `loadtest_mixed`) and append one row to the bench history,
+//! so `gsched bench trend --metric requests,request_errors,shed --gate`
+//! gates load behaviour the same way solver work metrics are gated.
+
+use crate::bench::{self, BenchReport, ScenarioResult, BENCH_SCHEMA_VERSION};
+use crate::trend;
+use gsched_obs as obs;
+use gsched_service::client::{control_frame, frame_for_name, RequestSpec};
+use gsched_service::{frame_is_ok, Client, Op, ServeConfig, Server};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Scenario name under which load results are recorded in the bench
+/// history (the trend compare key).
+pub const SCENARIO_NAME: &str = "loadtest_mixed";
+
+/// Registry scenarios the miss traffic rotates through. Kept to the
+/// cheaper entries so a debug-build self-hosted run stays fast.
+const MISS_ROTATION: &[&str] = &["fig4", "fig5", "sp2", "ablation"];
+
+/// What one reply turned out to be.
+enum Outcome {
+    Ok {
+        cached: bool,
+    },
+    /// An error reply that the script predicted (cancel traffic).
+    Expected,
+    /// An `overloaded` reply — counted, fatal only with
+    /// `--expect-no-shed`.
+    Shed,
+    Unexpected(String),
+}
+
+/// One scripted request: the frame to send and whether an error reply
+/// is the predicted outcome (cancel traffic).
+struct Step {
+    frame: String,
+    expect_error: bool,
+}
+
+/// The deterministic per-client script. `quick` drops the cancel
+/// category, leaving only traffic that must succeed.
+fn client_script(client: usize, per_client: usize, quick: bool) -> Vec<Step> {
+    let categories = if quick { 3 } else { 4 };
+    let solve = |name: &str| {
+        frame_for_name(
+            name,
+            &RequestSpec {
+                deadline_ms: Some(120_000),
+                ..RequestSpec::default()
+            },
+        )
+    };
+    (0..per_client)
+        .map(|j| match j % categories {
+            0 => Step {
+                frame: solve("fig2"),
+                expect_error: false,
+            },
+            1 => Step {
+                frame: solve(MISS_ROTATION[(client + j) % MISS_ROTATION.len()]),
+                expect_error: false,
+            },
+            2 => Step {
+                frame: solve("fig3"),
+                expect_error: false,
+            },
+            _ => Step {
+                frame: frame_for_name(
+                    "fig3_heavy",
+                    &RequestSpec {
+                        op: Some(Op::Sweep),
+                        deadline_ms: Some(1),
+                        ..RequestSpec::default()
+                    },
+                ),
+                expect_error: true,
+            },
+        })
+        .collect()
+}
+
+fn classify(reply: &str, expect_error: bool) -> Outcome {
+    if frame_is_ok(reply) {
+        return Outcome::Ok {
+            cached: reply.contains(r#""cached":true"#),
+        };
+    }
+    if reply.contains(r#""kind":"overloaded""#) {
+        return Outcome::Shed;
+    }
+    if expect_error
+        && (reply.contains(r#""kind":"deadline_exceeded""#)
+            || reply.contains(r#""kind":"cancelled""#))
+    {
+        return Outcome::Expected;
+    }
+    Outcome::Unexpected(reply.to_string())
+}
+
+/// Client-side tallies across every thread.
+struct LoadTally {
+    ok: u64,
+    cached: u64,
+    expected_errors: u64,
+    shed: u64,
+    unexpected: Vec<String>,
+    latencies_ms: Vec<f64>,
+    wall_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((sorted.len() as f64 * p).floor() as usize).min(sorted.len() - 1);
+    Some(sorted[idx])
+}
+
+/// Run the scripted load against `addr` and collect the tallies.
+fn drive(addr: &str, clients: usize, per_client: usize, quick: bool) -> Result<LoadTally, String> {
+    let barrier = Barrier::new(clients);
+    let start = Instant::now();
+    let per_thread: Vec<Vec<(f64, Outcome)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                let barrier = &barrier;
+                s.spawn(move || -> Result<Vec<(f64, Outcome)>, String> {
+                    // Reach the barrier even when the connect fails, so a
+                    // refused connection can't strand the other clients.
+                    let connected = Client::connect(addr)
+                        .map_err(|e| format!("cannot connect to `{addr}`: {e}"));
+                    let script = client_script(i, per_client, quick);
+                    barrier.wait();
+                    let mut client = connected?;
+                    let mut out = Vec::with_capacity(script.len());
+                    for step in script {
+                        let sent = Instant::now();
+                        let reply = client
+                            .request_line(&step.frame)
+                            .map_err(|e| format!("client {i}: {e}"))?;
+                        let latency = sent.elapsed().as_secs_f64() * 1e3;
+                        out.push((latency, classify(&reply, step.expect_error)));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut tally = LoadTally {
+        ok: 0,
+        cached: 0,
+        expected_errors: 0,
+        shed: 0,
+        unexpected: Vec::new(),
+        latencies_ms: Vec::new(),
+        wall_ms,
+    };
+    for (latency, outcome) in per_thread.into_iter().flatten() {
+        tally.latencies_ms.push(latency);
+        match outcome {
+            Outcome::Ok { cached } => {
+                tally.ok += 1;
+                tally.cached += u64::from(cached);
+            }
+            Outcome::Expected => tally.expected_errors += 1,
+            Outcome::Shed => tally.shed += 1,
+            Outcome::Unexpected(reply) => tally.unexpected.push(reply),
+        }
+    }
+    tally
+        .latencies_ms
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Ok(tally)
+}
+
+/// Entry point for `gsched loadtest`.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = crate::parse_flags(args)?;
+    if !pos.is_empty() {
+        return Err(format!("loadtest: unexpected argument `{}`", pos[0]));
+    }
+    let quick = flags.contains_key("quick");
+    let clients =
+        (crate::flag_f64(&flags, "clients", if quick { 3.0 } else { 4.0 })? as usize).max(1);
+    let per_client =
+        (crate::flag_f64(&flags, "requests", if quick { 6.0 } else { 8.0 })? as usize).max(1);
+    let label = flags.get("label").cloned().unwrap_or_else(|| {
+        if quick {
+            "loadtest_quick".to_string()
+        } else {
+            "loadtest".to_string()
+        }
+    });
+    if !label
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(format!(
+            "--label `{label}` must be alphanumeric (plus `_` and `-`); it names the output file"
+        ));
+    }
+
+    // External mode drives a live server; self-hosted mode binds one
+    // in-process and captures its solver telemetry.
+    let external = flags.get("addr").cloned();
+    let mut recorder = None;
+    let (addr, hosted) = match &external {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            recorder = Some(obs::install_memory());
+            let config = ServeConfig::builder()
+                .addr("127.0.0.1:0")
+                .workers(crate::flag_f64(&flags, "workers", 2.0)? as usize)
+                .cache_capacity(256)
+                .queue_limit(crate::flag_f64(&flags, "queue-limit", 0.0)? as usize)
+                .build()
+                .map_err(|e| format!("loadtest: {}", e.message))?;
+            let server =
+                Server::bind(&config).map_err(|e| format!("cannot bind `{}`: {e}", config.addr))?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?.to_string();
+            (addr, Some(server))
+        }
+    };
+    let tally = if let Some(server) = &hosted {
+        let result = std::thread::scope(|s| {
+            let running = s.spawn(|| server.run());
+            let tally = drive(&addr, clients, per_client, quick);
+            // Stop the in-process server whether or not the load
+            // succeeded, so the scope always joins.
+            if let Ok(mut client) = Client::connect(&addr) {
+                let _ = client.request_line(&control_frame(Op::Shutdown, None));
+            }
+            running.join().expect("server thread panicked").ok();
+            tally
+        });
+        if recorder.is_some() {
+            obs::uninstall();
+        }
+        result?
+    } else {
+        drive(&addr, clients, per_client, quick)?
+    };
+
+    if !tally.unexpected.is_empty() {
+        return Err(format!(
+            "loadtest: {} unexpected error repl(y/ies); first: {}",
+            tally.unexpected.len(),
+            tally.unexpected[0]
+        ));
+    }
+    if flags.contains_key("expect-no-shed") && tally.shed > 0 {
+        return Err(format!(
+            "loadtest: {} request(s) shed at a load that must not shed",
+            tally.shed
+        ));
+    }
+
+    let total = tally.ok + tally.expected_errors + tally.shed;
+    let wall_secs = tally.wall_ms / 1e3;
+    let rps = if wall_secs > 0.0 {
+        Some(total as f64 / wall_secs)
+    } else {
+        None
+    };
+    let snap = recorder.map(|r| r.snapshot());
+    let counter = |name: &str| snap.as_ref().and_then(|s| s.counter(name)).unwrap_or(0);
+    let scenario = ScenarioResult {
+        name: SCENARIO_NAME.to_string(),
+        kind: "loadtest".to_string(),
+        wall_ms: tally.wall_ms,
+        points: tally.ok,
+        fp_iterations: counter("core.solver.fp_iterations"),
+        rmatrix_solves: counter("qbd.rmatrix.solves"),
+        rmatrix_iterations: counter("qbd.rmatrix.iterations"),
+        max_r_residual: None,
+        max_spectral_radius: None,
+        min_drift_margin: None,
+        sim_events: 0,
+        sim_event_rate: None,
+        warm_hits: counter("engine.warm.hits"),
+        warm_misses: counter("engine.warm.misses"),
+        parallel_speedup: None,
+        matmul_calls: 0,
+        matmul_flops: 0,
+        lu_factorizations: 0,
+        lu_flops: 0,
+        triangular_solves: 0,
+        triangular_flops: 0,
+        phases: snap
+            .as_ref()
+            .map(bench::phase_breakdown)
+            .unwrap_or_default(),
+        requests: total,
+        request_errors: tally.expected_errors,
+        shed: tally.shed,
+        cached_hits: tally.cached,
+        p50_ms: percentile(&tally.latencies_ms, 0.50),
+        p99_ms: percentile(&tally.latencies_ms, 0.99),
+        rps,
+    };
+    let report = BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        label: label.clone(),
+        reps: 1,
+        quick,
+        jobs: clients as u64,
+        scenarios: vec![scenario],
+    };
+
+    if flags.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        let s = &report.scenarios[0];
+        println!(
+            "loadtest: {clients} clients x {per_client} requests against {addr}{}",
+            if hosted.is_some() {
+                " (self-hosted)"
+            } else {
+                ""
+            }
+        );
+        println!(
+            "replies   {} ok ({} cached), {} expected error(s), {} shed",
+            s.points, s.cached_hits, s.request_errors, s.shed
+        );
+        println!(
+            "latency   p50 {:.1} ms, p99 {:.1} ms",
+            s.p50_ms.unwrap_or(0.0),
+            s.p99_ms.unwrap_or(0.0)
+        );
+        println!(
+            "throughput {:.1} req/s over {:.2} s",
+            s.rps.unwrap_or(0.0),
+            wall_secs
+        );
+    }
+    let dir = flags.get("out").map(String::as_str).unwrap_or(".");
+    let out_path = format!("{dir}/BENCH_{label}.json");
+    gsched_obs::write_atomic(&out_path, report.to_json().as_bytes())
+        .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    println!("wrote {out_path}");
+    if !flags.contains_key("no-history") {
+        let history_path = flags
+            .get("history")
+            .map(String::as_str)
+            .unwrap_or(trend::DEFAULT_HISTORY_PATH);
+        trend::append_history(history_path, &report)?;
+        println!("appended history row to {history_path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic_and_mix_categories() {
+        let a = client_script(1, 8, false);
+        let b = client_script(1, 8, false);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.frame, y.frame);
+            assert_eq!(x.expect_error, y.expect_error);
+        }
+        // Full scripts carry cancel traffic; quick scripts never do.
+        assert!(a.iter().any(|s| s.expect_error));
+        assert!(client_script(1, 8, true).iter().all(|s| !s.expect_error));
+        // Cancel steps ask for a sweep with a 1 ms deadline.
+        let cancel = a.iter().find(|s| s.expect_error).unwrap();
+        assert!(cancel.frame.contains(r#""op":"sweep""#), "{}", cancel.frame);
+        assert!(
+            cancel.frame.contains(r#""deadline_ms":1"#),
+            "{}",
+            cancel.frame
+        );
+    }
+
+    #[test]
+    fn classify_separates_reply_shapes() {
+        assert!(matches!(
+            classify(r#"{"status":"ok","cached":true,"result":{}}"#, false),
+            Outcome::Ok { cached: true }
+        ));
+        assert!(matches!(
+            classify(
+                r#"{"status":"error","error":{"kind":"overloaded","message":"full"}}"#,
+                false
+            ),
+            Outcome::Shed
+        ));
+        assert!(matches!(
+            classify(
+                r#"{"status":"error","error":{"kind":"deadline_exceeded","message":"late"}}"#,
+                true
+            ),
+            Outcome::Expected
+        ));
+        // The same deadline error is NOT acceptable on traffic that was
+        // supposed to succeed.
+        assert!(matches!(
+            classify(
+                r#"{"status":"error","error":{"kind":"deadline_exceeded","message":"late"}}"#,
+                false
+            ),
+            Outcome::Unexpected(_)
+        ));
+    }
+
+    #[test]
+    fn percentiles_use_sorted_order() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&xs, 0.50), Some(6.0));
+        assert_eq!(percentile(&xs, 0.99), Some(10.0));
+        assert_eq!(percentile(&[], 0.50), None);
+    }
+
+    /// End-to-end: a quick self-hosted run completes every scripted
+    /// request with zero shed and records latency percentiles.
+    #[test]
+    fn self_hosted_quick_loadtest_completes() {
+        let dir = std::env::temp_dir().join(format!("gsched-loadtest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let history = dir.join("history.ndjson");
+        let _ = std::fs::remove_file(&history);
+        let args: Vec<String> = [
+            "--quick",
+            "--clients",
+            "2",
+            "--requests",
+            "3",
+            "--expect-no-shed",
+            "--label",
+            "unit",
+            "--out",
+            dir.to_str().unwrap(),
+            "--history",
+            history.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        run(&args).unwrap();
+        let text = std::fs::read_to_string(dir.join("BENCH_unit.json")).unwrap();
+        let report = BenchReport::from_json(&text).unwrap();
+        assert_eq!(report.scenarios.len(), 1);
+        let s = &report.scenarios[0];
+        assert_eq!(s.name, SCENARIO_NAME);
+        assert_eq!(s.kind, "loadtest");
+        assert_eq!(s.requests, 6);
+        assert_eq!(s.points, 6, "every quick request must succeed");
+        assert_eq!(s.request_errors, 0);
+        assert_eq!(s.shed, 0);
+        assert!(s.p50_ms.unwrap() > 0.0);
+        assert!(s.p99_ms.unwrap() >= s.p50_ms.unwrap());
+        assert!(s.rps.unwrap() > 0.0);
+        // The self-hosted server's solver telemetry was captured.
+        assert!(s.fp_iterations > 0, "expected captured solver work");
+        // One history row appended and parseable.
+        let (rows, skipped) = trend::load_history(history.to_str().unwrap()).unwrap();
+        assert_eq!((rows.len(), skipped), (1, 0));
+    }
+}

@@ -21,10 +21,14 @@
 //! gsched bench trend [--history PATH] [--metric M1,M2] [--window N]
 //!                  [--threshold FRAC] [--gate] [--json]
 //! gsched paper     [--rho R] [--quantum Q] [--json]
-//! gsched serve     [--addr A] [--workers N] [--cache-cap N] [--deadline-ms N]
+//! gsched serve     [--addr A] [--workers N] [--cache-cap N] [--cache-path PATH]
+//!                  [--deadline-ms N] [--queue-limit N] [--batch-max N]
 //!                  [--metrics-addr A] [--access-log PATH] [--access-log-max-bytes N]
 //! gsched request   [<scenario>] [--addr A] [--op solve|sweep|stats|shutdown]
-//!                  [--quick] [--deadline-ms N] [--id ID] [--frame]
+//!                  [--proto 1|2] [--quick] [--deadline-ms N] [--id ID] [--frame]
+//! gsched loadtest  [--addr A] [--clients N] [--requests N] [--quick]
+//!                  [--label L] [--out DIR] [--history PATH] [--no-history]
+//!                  [--expect-no-shed] [--json]
 //! gsched top       [--addr A] [--interval SECS] [--count N] [--once]
 //! gsched example-model
 //! gsched example-scenario
@@ -63,10 +67,18 @@
 //! `gsched serve` runs the long-lived solve server from `gsched-service`:
 //! scenario requests arrive as newline-delimited JSON over TCP, repeated
 //! questions are answered from a result cache, and SIGINT (or a
-//! `shutdown` frame) stops it cleanly. `gsched request` is the matching
-//! client; by default it prints just the `result` document, which is
-//! byte-identical to the corresponding `gsched solve --json` output. See
-//! the `gsched-service` crate docs for the wire protocol.
+//! `shutdown` frame) stops it cleanly. Under concurrent traffic the
+//! server coalesces identical in-flight requests (singleflight), batches
+//! compatible queued sweeps, and — with `--queue-limit` — sheds overflow
+//! with `overloaded` errors; `--cache-path` makes the result cache
+//! persistent across restarts. `gsched request` is the matching client;
+//! by default it speaks protocol v2 (`--proto 1` sends legacy frames) and
+//! prints just the `result` document, which is byte-identical to the
+//! corresponding `gsched solve --json` output. See the `gsched-service`
+//! crate docs for the wire protocol. `gsched loadtest` drives a server —
+//! self-hosted, or a live one via `--addr` — with mixed concurrent
+//! hit/miss/duplicate/cancel traffic and records p50/p99 latency and
+//! throughput into the bench schema and history.
 //!
 //! A running server is observable three ways: the `stats` verb returns the
 //! full telemetry report (per-op latency percentiles, queue/occupancy
@@ -101,6 +113,7 @@
 
 mod bench;
 mod convergence;
+mod loadtest;
 mod profile;
 mod top;
 mod trend;
@@ -113,13 +126,13 @@ use gsched_scenario::{
     cross_validate, registry, validate_report, LintLevel, ModelSpec, Policy, Scenario, XvalOptions,
     XvalReport,
 };
-use gsched_service::client::{control_frame, frame_for_name, frame_for_scenario, RequestSpec};
+use gsched_service::client::{control_frame_for, frame_for_name, frame_for_scenario, RequestSpec};
 // The render module is the single implementation of the solve/sweep JSON
 // documents, shared with the scenario server so served results are
 // byte-identical to local `--json` output.
 use gsched_service::render::{json_f64, json_str, solution_json, sweep_report_json};
 use gsched_service::{
-    error_frame, extract_result, frame_is_ok, Client, ErrorKind, Op, ServeOptions, Server,
+    error_frame, extract_result, frame_is_ok, Client, ErrorKind, Op, ServeConfig, Server,
     ServiceError,
 };
 use gsched_sim::{simulate, SimConfig, SimResult};
@@ -162,6 +175,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "paper" => cmd_paper(rest),
         "serve" => cmd_serve(rest),
         "request" => cmd_request(rest),
+        "loadtest" => loadtest::run(rest),
         "top" => {
             let (pos, flags) = parse_flags(rest)?;
             top::run(&pos, &flags)
@@ -200,8 +214,9 @@ fn print_usage() {
          gsched bench     [--scenario S] [--label L] [--reps N] [--jobs N] [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC] [--history PATH] [--no-history]\n  \
          gsched bench trend [--history PATH] [--metric M1,M2] [--window N] [--threshold FRAC] [--gate] [--json]\n  \
          gsched paper     [--rho R] [--quantum Q] [--json]\n  \
-         gsched serve     [--addr A] [--workers N] [--cache-cap N] [--deadline-ms N] [--metrics-addr A] [--access-log PATH] [--access-log-max-bytes N]\n  \
-         gsched request   [<scenario>] [--addr A] [--op solve|sweep|stats|shutdown] [--quick] [--deadline-ms N] [--id ID] [--frame]\n  \
+         gsched serve     [--addr A] [--workers N] [--cache-cap N] [--cache-path PATH] [--deadline-ms N] [--queue-limit N] [--batch-max N] [--metrics-addr A] [--access-log PATH] [--access-log-max-bytes N]\n  \
+         gsched request   [<scenario>] [--addr A] [--op solve|sweep|stats|shutdown] [--proto 1|2] [--quick] [--deadline-ms N] [--id ID] [--frame]\n  \
+         gsched loadtest  [--addr A] [--clients N] [--requests N] [--quick] [--label L] [--out DIR] [--history PATH] [--no-history] [--expect-no-shed] [--json]\n  \
          gsched top       [--addr A] [--interval SECS] [--count N] [--once]\n  \
          gsched example-model\n  \
          gsched example-scenario\n\
@@ -236,6 +251,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
                 || name == "gate"
                 || name == "convergence"
                 || name == "no-history"
+                || name == "expect-no-shed"
             {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
@@ -1176,22 +1192,36 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if !pos.is_empty() {
         return Err(format!("serve: unexpected argument `{}`", pos[0]));
     }
-    let opts = ServeOptions {
-        addr: flags
-            .get("addr")
-            .cloned()
-            .unwrap_or_else(|| "127.0.0.1:7070".to_string()),
-        workers: flag_f64(&flags, "workers", 0.0)? as usize,
-        cache_capacity: flag_f64(&flags, "cache-cap", 256.0)? as usize,
-        default_deadline_ms: flag_f64(&flags, "deadline-ms", 30_000.0)? as u64,
-        metrics_addr: flags.get("metrics-addr").cloned(),
-        access_log: flags.get("access-log").map(std::path::PathBuf::from),
-        access_log_max_bytes: flag_f64(
+    let defaults = ServeConfig::default();
+    let mut builder = ServeConfig::builder()
+        .addr(
+            flags
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7070".to_string()),
+        )
+        .workers(flag_f64(&flags, "workers", 0.0)? as usize)
+        .cache_capacity(flag_f64(&flags, "cache-cap", 256.0)? as usize)
+        .default_deadline_ms(flag_f64(&flags, "deadline-ms", 30_000.0)? as u64)
+        .queue_limit(flag_f64(&flags, "queue-limit", defaults.queue_limit as f64)? as usize)
+        .batch_max(flag_f64(&flags, "batch-max", defaults.batch_max as f64)? as usize)
+        .access_log_max_bytes(flag_f64(
             &flags,
             "access-log-max-bytes",
-            ServeOptions::default().access_log_max_bytes as f64,
-        )? as u64,
-    };
+            defaults.access_log_max_bytes as f64,
+        )? as u64);
+    if let Some(path) = flags.get("cache-path") {
+        builder = builder.cache_path(path);
+    }
+    if let Some(addr) = flags.get("metrics-addr") {
+        builder = builder.metrics_addr(addr);
+    }
+    if let Some(path) = flags.get("access-log") {
+        builder = builder.access_log(path);
+    }
+    let opts = builder
+        .build()
+        .map_err(|e| format!("serve: {}", e.message))?;
     let diag = Diagnostics::from_flags(&flags);
     let server = Server::bind(&opts).map_err(|e| format!("cannot bind `{}`: {e}", opts.addr))?;
     gsched_service::install_ctrl_c_handler();
@@ -1207,6 +1237,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(path) = &opts.access_log {
         println!("access log at {}", path.display());
+    }
+    if let Some(path) = &opts.cache_path {
+        // The warm-restart smoke test greps for "entries replayed".
+        println!(
+            "persistent cache at {} ({} entries replayed)",
+            path.display(),
+            server.cache_replayed()
+        );
     }
     let result = server.run().map_err(|e| e.to_string());
     diag.finish()?;
@@ -1232,7 +1270,14 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
                 .map_err(|_| format!("--deadline-ms expects a non-negative integer, got `{v}`"))
         })
         .transpose()?;
+    let proto = match flags.get("proto").map(String::as_str) {
+        None => RequestSpec::default().proto,
+        Some("1") => 1,
+        Some("2") => 2,
+        Some(v) => return Err(format!("--proto expects 1 or 2, got `{v}`")),
+    };
     let spec = RequestSpec {
+        proto,
         id: flags.get("id").cloned(),
         op,
         quick: flags.contains_key("quick"),
@@ -1249,7 +1294,12 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
                 frame_for_name(arg, &spec)
             }
         }
-        (None, Op::Stats | Op::Shutdown) => control_frame(effective_op, spec.id.as_deref()),
+        (None, Op::Stats | Op::Shutdown) => control_frame_for(&RequestSpec {
+            proto,
+            id: spec.id.clone(),
+            op: Some(effective_op),
+            ..RequestSpec::default()
+        }),
         (Some(_), _) => {
             return Err(format!(
                 "request: --op {} takes no scenario",

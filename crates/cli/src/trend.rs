@@ -95,7 +95,8 @@ pub fn load_history(path: &str) -> Result<(Vec<HistoryRow>, usize), String> {
     Ok((rows, skipped))
 }
 
-/// Metrics `trend` can track, extracted per scenario.
+/// Metrics `trend` can track, extracted per scenario. The last six are
+/// recorded by `gsched loadtest` rows only.
 pub const METRICS: &[&str] = &[
     "wall_ms",
     "fp_iterations",
@@ -105,20 +106,35 @@ pub const METRICS: &[&str] = &[
     "lu_flops",
     "triangular_flops",
     "sim_events",
+    "requests",
+    "request_errors",
+    "shed",
+    "rps",
+    "p50_ms",
+    "p99_ms",
 ];
 
+/// The metric's value in one scenario row, or `None` when the row does
+/// not record it (e.g. `p99_ms` on a solver scenario). Unknown metric
+/// names are caught by [`analyze`] against [`METRICS`].
 fn metric_value(s: &ScenarioResult, metric: &str) -> Option<f64> {
-    Some(match metric {
-        "wall_ms" => s.wall_ms,
-        "fp_iterations" => s.fp_iterations as f64,
-        "rmatrix_solves" => s.rmatrix_solves as f64,
-        "rmatrix_iterations" => s.rmatrix_iterations as f64,
-        "matmul_flops" => s.matmul_flops as f64,
-        "lu_flops" => s.lu_flops as f64,
-        "triangular_flops" => s.triangular_flops as f64,
-        "sim_events" => s.sim_events as f64,
-        _ => return None,
-    })
+    match metric {
+        "wall_ms" => Some(s.wall_ms),
+        "fp_iterations" => Some(s.fp_iterations as f64),
+        "rmatrix_solves" => Some(s.rmatrix_solves as f64),
+        "rmatrix_iterations" => Some(s.rmatrix_iterations as f64),
+        "matmul_flops" => Some(s.matmul_flops as f64),
+        "lu_flops" => Some(s.lu_flops as f64),
+        "triangular_flops" => Some(s.triangular_flops as f64),
+        "sim_events" => Some(s.sim_events as f64),
+        "requests" => Some(s.requests as f64),
+        "request_errors" => Some(s.request_errors as f64),
+        "shed" => Some(s.shed as f64),
+        "rps" => s.rps,
+        "p50_ms" => s.p50_ms,
+        "p99_ms" => s.p99_ms,
+        _ => None,
+    }
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -177,13 +193,20 @@ pub fn analyze(
     let tail: Vec<&HistoryRow> = prior.iter().rev().take(window).copied().collect();
     let mut lines = Vec::new();
     let mut regressions = Vec::new();
+    for metric in metrics {
+        if !METRICS.contains(&metric.as_str()) {
+            return Err(format!(
+                "unknown metric `{metric}` (known: {})",
+                METRICS.join(", ")
+            ));
+        }
+    }
     for cur in &latest.report.scenarios {
         for metric in metrics {
+            // Rows that don't record the metric (a solver row asked for
+            // `p99_ms`, say) are skipped, not an error.
             let Some(latest_v) = metric_value(cur, metric) else {
-                return Err(format!(
-                    "unknown metric `{metric}` (known: {})",
-                    METRICS.join(", ")
-                ));
+                continue;
             };
             let history: Vec<f64> = tail
                 .iter()
@@ -339,6 +362,13 @@ mod tests {
             triangular_solves: 50,
             triangular_flops: 2_000,
             phases: Vec::new(),
+            requests: 0,
+            request_errors: 0,
+            shed: 0,
+            cached_hits: 0,
+            p50_ms: None,
+            p99_ms: None,
+            rps: None,
         }
     }
 
@@ -418,6 +448,41 @@ mod tests {
         let rows = vec![row(10.0, 40, true), row(10.0, 40, true)];
         let err = analyze(&rows, &["warp_factor".to_string()], 5, 0.25).unwrap_err();
         assert!(err.contains("unknown metric"), "{err}");
+    }
+
+    fn load_row(requests: u64, p99: f64) -> HistoryRow {
+        let mut r = row(10.0, 40, true);
+        let s = &mut r.report.scenarios[0];
+        s.name = "loadtest_mixed".to_string();
+        s.kind = "loadtest".to_string();
+        s.requests = requests;
+        s.p99_ms = Some(p99);
+        s.rps = Some(30.0);
+        r
+    }
+
+    #[test]
+    fn absent_metrics_are_skipped_not_errors() {
+        // Solver rows record no p99_ms; asking for it yields no
+        // comparisons rather than an error.
+        let rows = vec![row(10.0, 40, true), row(10.0, 40, true)];
+        let rep = analyze(&rows, &["p99_ms".to_string()], 5, 0.25).unwrap();
+        assert!(rep.lines.is_empty());
+        assert!(rep.regressions.is_empty());
+    }
+
+    #[test]
+    fn loadtest_counters_gate_like_work_metrics() {
+        let rows = vec![load_row(18, 10.0), load_row(18, 11.0), load_row(40, 10.5)];
+        let rep = analyze(
+            &rows,
+            &["requests".to_string(), "p99_ms".to_string()],
+            5,
+            0.25,
+        )
+        .unwrap();
+        assert_eq!(rep.regressions.len(), 1, "{:?}", rep.regressions);
+        assert!(rep.regressions[0].contains("loadtest_mixed/requests"));
     }
 
     #[test]

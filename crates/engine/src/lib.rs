@@ -45,6 +45,6 @@ mod report;
 mod request;
 
 pub use cancel::{CancelToken, CANCELLED_POINT_ERROR};
-pub use pool::{run_sweep, SweepOptions, DEFAULT_CHUNK_SIZE};
+pub use pool::{run_batch, run_sweep, BatchItem, SweepOptions, DEFAULT_CHUNK_SIZE};
 pub use report::{PointReport, SweepReport, SweepStats};
 pub use request::{ScenarioBase, SweepAxis, SweepPoint, SweepRequest};

@@ -7,6 +7,14 @@
 //! only on the point count and chunk size — never on the worker count —
 //! and warm chains never cross chunk boundaries, results are bitwise
 //! identical for any `jobs` value.
+//!
+//! [`run_batch`] evaluates several requests on one shared pool: each
+//! request is chunked exactly as [`run_sweep`] would chunk it alone, the
+//! chunks of all requests feed one work queue, and a single
+//! [`VacationCache`] is shared across the batch so repeated distribution
+//! constructions amortize across clients. Warm chains still never cross
+//! chunk (hence request) boundaries, so every request's results are
+//! bitwise identical to a standalone `run_sweep`.
 
 use crate::cancel::{CancelToken, CANCELLED_POINT_ERROR};
 use crate::report::{PointReport, SweepReport, SweepStats};
@@ -107,6 +115,96 @@ fn effective_jobs(requested: usize) -> usize {
     }
 }
 
+/// Everything a chunk solve needs about its request, shared between
+/// [`run_sweep`] and [`run_batch`] so a batched request solves through the
+/// same code path (and therefore the same bytes) as a standalone sweep.
+struct ChunkScope<'a> {
+    req: &'a SweepRequest,
+    solver: &'a SolverOptions,
+    warm_start: bool,
+    cache: &'a VacationCache,
+    results: &'a Mutex<Vec<Option<PointReport>>>,
+    hits: &'a AtomicU64,
+    misses: &'a AtomicU64,
+}
+
+/// Solve points `lo..hi` left to right, warm-chaining within the chunk.
+/// `cancelled` is polled before every point; once it reports true the
+/// remaining points are recorded as cancelled failures without solving.
+fn solve_chunk(scope: &ChunkScope<'_>, lo: usize, hi: usize, cancelled: &dyn Fn() -> bool) {
+    let mut carry: Option<WarmStart> = None;
+    for i in lo..hi {
+        let pt = &scope.req.points[i];
+        if cancelled() {
+            // Finish bookkeeping for every remaining point but
+            // never start another solve.
+            carry = None;
+            obs::counter_add(obs::names::ENGINE_SWEEP_CANCELLED_POINTS, 1);
+            scope.results.lock()[i] = Some(PointReport {
+                x: pt.x,
+                solution: None,
+                error: Some(CANCELLED_POINT_ERROR.to_string()),
+                warm_started: false,
+                wall_ms: 0.0,
+            });
+            continue;
+        }
+        let t0 = Instant::now();
+        let warm_ref = if scope.warm_start {
+            carry.as_ref()
+        } else {
+            None
+        };
+        let warm_started = warm_ref.is_some();
+        let res = {
+            let _pt_span = obs::span(format!("engine.sweep.point{i}"));
+            solve_warm(&pt.model, scope.solver, warm_ref, Some(scope.cache))
+        };
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let report = match res {
+            Ok(outcome) => {
+                if warm_started {
+                    scope.hits.fetch_add(1, Ordering::Relaxed);
+                    obs::counter_add(obs::names::ENGINE_WARM_HITS, 1);
+                } else {
+                    scope.misses.fetch_add(1, Ordering::Relaxed);
+                    obs::counter_add(obs::names::ENGINE_WARM_MISSES, 1);
+                }
+                carry = Some(outcome.warm);
+                PointReport {
+                    x: pt.x,
+                    solution: Some(outcome.solution),
+                    error: None,
+                    warm_started,
+                    wall_ms,
+                }
+            }
+            Err(e) => {
+                // Do not chain a warm start through a failure.
+                carry = None;
+                let msg = e.with_sweep_point(pt.x).to_string();
+                if obs::enabled() {
+                    obs::event(
+                        "engine.sweep.point_error",
+                        &[
+                            ("x", obs::FieldValue::F64(pt.x)),
+                            ("error", obs::FieldValue::Str(msg.clone())),
+                        ],
+                    );
+                }
+                PointReport {
+                    x: pt.x,
+                    solution: None,
+                    error: Some(msg),
+                    warm_started,
+                    wall_ms,
+                }
+            }
+        };
+        scope.results.lock()[i] = Some(report);
+    }
+}
+
 /// Evaluate every point of `req` and collect the outcomes.
 ///
 /// Per-point failures are recorded in the corresponding [`PointReport`]
@@ -151,12 +249,18 @@ pub fn run_sweep(req: &SweepRequest, opts: &SweepOptions) -> SweepReport {
     let hits = AtomicU64::new(0);
     let misses = AtomicU64::new(0);
     let cache = VacationCache::new();
-    let solver_ref = &solver;
-    let cache_ref = &cache;
-    let results_ref = &results;
+    let scope = ChunkScope {
+        req,
+        solver: &solver,
+        warm_start: opts.warm_start,
+        cache: &cache,
+        results: &results,
+        hits: &hits,
+        misses: &misses,
+    };
+    let scope_ref = &scope;
     let next_ref = &next;
-    let hits_ref = &hits;
-    let misses_ref = &misses;
+    let cancelled = move || opts.cancel.as_ref().is_some_and(|c| c.is_cancelled());
     // Worker threads inherit the caller's request context so every chunk
     // and point span stays attributed to the service request (if any)
     // driving this sweep.
@@ -174,77 +278,7 @@ pub fn run_sweep(req: &SweepRequest, opts: &SweepOptions) -> SweepReport {
                     let lo = ci * chunk_size;
                     let hi = (lo + chunk_size).min(n);
                     let _chunk_span = obs::span(format!("engine.sweep.chunk{ci}"));
-                    let mut carry: Option<WarmStart> = None;
-                    for i in lo..hi {
-                        let pt = &req.points[i];
-                        if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
-                            // Finish bookkeeping for every remaining point but
-                            // never start another solve.
-                            carry = None;
-                            obs::counter_add(obs::names::ENGINE_SWEEP_CANCELLED_POINTS, 1);
-                            results_ref.lock()[i] = Some(PointReport {
-                                x: pt.x,
-                                solution: None,
-                                error: Some(CANCELLED_POINT_ERROR.to_string()),
-                                warm_started: false,
-                                wall_ms: 0.0,
-                            });
-                            continue;
-                        }
-                        let t0 = Instant::now();
-                        let warm_ref = if opts.warm_start {
-                            carry.as_ref()
-                        } else {
-                            None
-                        };
-                        let warm_started = warm_ref.is_some();
-                        let res = {
-                            let _pt_span = obs::span(format!("engine.sweep.point{i}"));
-                            solve_warm(&pt.model, solver_ref, warm_ref, Some(cache_ref))
-                        };
-                        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-                        let report = match res {
-                            Ok(outcome) => {
-                                if warm_started {
-                                    hits_ref.fetch_add(1, Ordering::Relaxed);
-                                    obs::counter_add(obs::names::ENGINE_WARM_HITS, 1);
-                                } else {
-                                    misses_ref.fetch_add(1, Ordering::Relaxed);
-                                    obs::counter_add(obs::names::ENGINE_WARM_MISSES, 1);
-                                }
-                                carry = Some(outcome.warm);
-                                PointReport {
-                                    x: pt.x,
-                                    solution: Some(outcome.solution),
-                                    error: None,
-                                    warm_started,
-                                    wall_ms,
-                                }
-                            }
-                            Err(e) => {
-                                // Do not chain a warm start through a failure.
-                                carry = None;
-                                let msg = e.with_sweep_point(pt.x).to_string();
-                                if obs::enabled() {
-                                    obs::event(
-                                        "engine.sweep.point_error",
-                                        &[
-                                            ("x", obs::FieldValue::F64(pt.x)),
-                                            ("error", obs::FieldValue::Str(msg.clone())),
-                                        ],
-                                    );
-                                }
-                                PointReport {
-                                    x: pt.x,
-                                    solution: None,
-                                    error: Some(msg),
-                                    warm_started,
-                                    wall_ms,
-                                }
-                            }
-                        };
-                        results_ref.lock()[i] = Some(report);
-                    }
+                    solve_chunk(scope_ref, lo, hi, &cancelled);
                 }
             });
         }
@@ -277,6 +311,195 @@ pub fn run_sweep(req: &SweepRequest, opts: &SweepOptions) -> SweepReport {
         points,
         stats,
     }
+}
+
+/// One request in a [`run_batch`] call: the sweep itself plus its private
+/// cancellation token and observability context.
+#[derive(Debug)]
+pub struct BatchItem<'a> {
+    /// The sweep to evaluate.
+    pub request: &'a SweepRequest,
+    /// Cancels only this item's remaining points; the batch-wide
+    /// `SweepOptions::cancel` (if any) cancels every item.
+    pub cancel: Option<CancelToken>,
+    /// Request context (`gsched_obs::current_context`) to attribute this
+    /// item's chunk and point spans to; `0` inherits the batch caller's.
+    pub ctx: u64,
+}
+
+impl<'a> BatchItem<'a> {
+    /// An item with no private cancellation and inherited context.
+    pub fn new(request: &'a SweepRequest) -> Self {
+        BatchItem {
+            request,
+            cancel: None,
+            ctx: 0,
+        }
+    }
+
+    /// Attach a private cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attribute this item's spans to a request context.
+    #[must_use]
+    pub fn with_ctx(mut self, ctx: u64) -> Self {
+        self.ctx = ctx;
+        self
+    }
+}
+
+/// Evaluate several sweep requests on one shared worker pool.
+///
+/// Each request is chunked exactly as [`run_sweep`] would chunk it alone
+/// and its points solve through the same code path, so every report is
+/// **bitwise identical** to the standalone sweep — the batch only shares
+/// the pool and one [`VacationCache`], and memoized vacation constructions
+/// are value-deterministic. Reports come back in item order. A cancelled
+/// item never stops its batch-mates; per-item tokens compose with the
+/// batch-wide `opts.cancel`.
+///
+/// `opts.jobs` sizes the shared pool (0 = auto), clamped to the total
+/// chunk count across the batch. Each report's `stats.jobs` records the
+/// shared pool size and `stats.wall_ms` the whole batch's wall time (items
+/// interleave on the pool, so per-item wall is not meaningful).
+pub fn run_batch(items: &[BatchItem<'_>], opts: &SweepOptions) -> Vec<SweepReport> {
+    let start = Instant::now();
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let _span = obs::span("engine.batch");
+    let chunk_size = if opts.chunk_size == 0 {
+        DEFAULT_CHUNK_SIZE
+    } else {
+        opts.chunk_size
+    };
+    // Flatten every item's chunk layout into one work list. The layout per
+    // item depends only on its point count and the chunk size — identical
+    // to what run_sweep would produce.
+    struct Task {
+        item: usize,
+        ci: usize,
+        lo: usize,
+        hi: usize,
+    }
+    let mut tasks: Vec<Task> = Vec::new();
+    for (item, b) in items.iter().enumerate() {
+        let n = b.request.points.len();
+        for ci in 0..n.div_ceil(chunk_size) {
+            let lo = ci * chunk_size;
+            tasks.push(Task {
+                item,
+                ci,
+                lo,
+                hi: (lo + chunk_size).min(n),
+            });
+        }
+    }
+    let total_chunks = tasks.len();
+    let requested = effective_jobs(opts.jobs);
+    let jobs = requested.clamp(1, total_chunks.max(1));
+    let mut solver = opts.solver.clone();
+    if requested > total_chunks && !solver.parallel_classes {
+        solver.parallel_classes = true;
+    }
+
+    let total_points: usize = items.iter().map(|b| b.request.points.len()).sum();
+    obs::counter_add(obs::names::ENGINE_BATCH_REQUESTS, items.len() as u64);
+    if obs::enabled() {
+        obs::event(
+            "engine.batch.start",
+            &[
+                ("items", obs::FieldValue::U64(items.len() as u64)),
+                ("points", obs::FieldValue::U64(total_points as u64)),
+                ("chunks", obs::FieldValue::U64(total_chunks as u64)),
+                ("jobs", obs::FieldValue::U64(jobs as u64)),
+            ],
+        );
+    }
+
+    let cache = VacationCache::new();
+    let results: Vec<Mutex<Vec<Option<PointReport>>>> = items
+        .iter()
+        .map(|b| Mutex::new(vec![None; b.request.points.len()]))
+        .collect();
+    let hits: Vec<AtomicU64> = (0..items.len()).map(|_| AtomicU64::new(0)).collect();
+    let misses: Vec<AtomicU64> = (0..items.len()).map(|_| AtomicU64::new(0)).collect();
+    let next = AtomicUsize::new(0);
+
+    let tasks_ref = &tasks;
+    let next_ref = &next;
+    let cache_ref = &cache;
+    let solver_ref = &solver;
+    let results_ref = &results;
+    let hits_ref = &hits;
+    let misses_ref = &misses;
+    let caller_ctx = obs::current_context();
+
+    crossbeam::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(move |_| {
+                loop {
+                    let ti = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if ti >= tasks_ref.len() {
+                        break;
+                    }
+                    let task = &tasks_ref[ti];
+                    let b = &items[task.item];
+                    // Chunk and point spans attribute to the item's own
+                    // request, not whichever request triggered the batch.
+                    let ctx = if b.ctx != 0 { b.ctx } else { caller_ctx };
+                    let _ctx = obs::context_enter(ctx);
+                    let scope = ChunkScope {
+                        req: b.request,
+                        solver: solver_ref,
+                        warm_start: opts.warm_start,
+                        cache: cache_ref,
+                        results: &results_ref[task.item],
+                        hits: &hits_ref[task.item],
+                        misses: &misses_ref[task.item],
+                    };
+                    let cancelled = || {
+                        opts.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+                            || b.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+                    };
+                    let _chunk_span = obs::span(format!("engine.sweep.chunk{}", task.ci));
+                    solve_chunk(&scope, task.lo, task.hi, &cancelled);
+                }
+            });
+        }
+    })
+    .expect("batch worker threads join cleanly");
+
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    results
+        .into_iter()
+        .zip(items)
+        .enumerate()
+        .map(|(i, (res, b))| {
+            let points: Vec<PointReport> = res
+                .into_inner()
+                .into_iter()
+                .map(|p| p.expect("every batched point is evaluated"))
+                .collect();
+            SweepReport {
+                axis: b.request.axis.clone(),
+                label: b.request.base.label.clone(),
+                points,
+                stats: SweepStats {
+                    warm_hits: hits[i].load(Ordering::Relaxed),
+                    warm_misses: misses[i].load(Ordering::Relaxed),
+                    jobs,
+                    chunks: b.request.points.len().div_ceil(chunk_size),
+                    parallel_classes: solver.parallel_classes,
+                    wall_ms,
+                },
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -434,6 +657,46 @@ mod tests {
                 .with_cancel(CancelToken::new()),
         );
         assert_eq!(response_bits(&plain), response_bits(&tokened));
+    }
+
+    #[test]
+    fn batched_requests_are_bitwise_identical_to_standalone() {
+        let reqs = [request(10, 0.15), request(6, 0.25), request(3, 0.1)];
+        let solo_opts = SweepOptions::default().with_jobs(1);
+        let solos: Vec<SweepReport> = reqs.iter().map(|r| run_sweep(r, &solo_opts)).collect();
+        let items: Vec<BatchItem> = reqs.iter().map(BatchItem::new).collect();
+        let batched = run_batch(&items, &SweepOptions::default().with_jobs(3));
+        assert_eq!(batched.len(), 3);
+        for (solo, batch) in solos.iter().zip(batched.iter()) {
+            assert_eq!(response_bits(solo), response_bits(batch));
+            assert_eq!(solo.stats.warm_hits, batch.stats.warm_hits);
+            assert_eq!(solo.stats.warm_misses, batch.stats.warm_misses);
+            assert_eq!(solo.stats.chunks, batch.stats.chunks);
+            assert_eq!(solo.label, batch.label);
+        }
+    }
+
+    #[test]
+    fn batch_cancellation_is_per_item() {
+        let reqs = [request(4, 0.15), request(4, 0.15)];
+        let token = CancelToken::new();
+        token.cancel();
+        let items = vec![
+            BatchItem::new(&reqs[0]),
+            BatchItem::new(&reqs[1]).with_cancel(token),
+        ];
+        let reports = run_batch(&items, &SweepOptions::default().with_jobs(1));
+        assert_eq!(reports[0].failures(), 0, "uncancelled item completes");
+        assert_eq!(reports[1].failures(), 4, "cancelled item solves nothing");
+        assert!(reports[1]
+            .points
+            .iter()
+            .all(|p| p.error.as_deref() == Some(CANCELLED_POINT_ERROR)));
+    }
+
+    #[test]
+    fn empty_batch_returns_nothing() {
+        assert!(run_batch(&[], &SweepOptions::default()).is_empty());
     }
 
     #[test]

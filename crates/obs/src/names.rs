@@ -35,6 +35,14 @@ pub const SERVICE_QUEUE_WAIT_MS: &str = "service.queue.wait_ms";
 pub const SERVICE_SOLVE_MS: &str = "service.solve_ms";
 /// Requests cancelled because the client hung up mid-flight (counter).
 pub const SERVICE_CANCELLED_DISCONNECTS: &str = "service.cancelled_disconnects";
+/// Requests shed by admission control because the queue was full (counter).
+pub const SERVICE_SHED: &str = "service.shed";
+/// Requests coalesced onto an already in-flight identical solve (counter).
+pub const SERVICE_SINGLEFLIGHT_COALESCED: &str = "service.singleflight.coalesced";
+/// Queued sweep jobs merged into an engine batch behind a leader (counter).
+pub const SERVICE_BATCH_MERGED: &str = "service.batch.merged";
+/// Cache entries replayed from the persistent segment at startup (gauge).
+pub const SERVICE_CACHE_REPLAYED: &str = "service.cache.replayed";
 
 // ---- gsched-engine ----
 
@@ -48,6 +56,8 @@ pub const ENGINE_SWEEP_CANCELLED_POINTS: &str = "engine.sweep.cancelled_points";
 pub const ENGINE_SWEEP_WARM_HIT_RATE: &str = "engine.sweep.warm_hit_rate";
 /// Worker threads of the last sweep (gauge).
 pub const ENGINE_SWEEP_JOBS: &str = "engine.sweep.jobs";
+/// Sweep requests evaluated through the shared batch pool (counter).
+pub const ENGINE_BATCH_REQUESTS: &str = "engine.batch.requests";
 
 // ---- gsched-qbd ----
 
@@ -125,11 +135,16 @@ pub const ALL: &[&str] = &[
     SERVICE_QUEUE_WAIT_MS,
     SERVICE_SOLVE_MS,
     SERVICE_CANCELLED_DISCONNECTS,
+    SERVICE_SHED,
+    SERVICE_SINGLEFLIGHT_COALESCED,
+    SERVICE_BATCH_MERGED,
+    SERVICE_CACHE_REPLAYED,
     ENGINE_WARM_HITS,
     ENGINE_WARM_MISSES,
     ENGINE_SWEEP_CANCELLED_POINTS,
     ENGINE_SWEEP_WARM_HIT_RATE,
     ENGINE_SWEEP_JOBS,
+    ENGINE_BATCH_REQUESTS,
     QBD_RMATRIX_SOLVES,
     QBD_RMATRIX_ITERATIONS,
     QBD_RMATRIX_ITERATIONS_PER_SOLVE,

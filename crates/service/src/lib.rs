@@ -24,24 +24,40 @@
 //!    the sweep pool polls between points; numerical code is never
 //!    unwound from outside.
 //!
+//! Under concurrent traffic the server additionally **coalesces**
+//! identical cache misses onto one in-flight solve (singleflight),
+//! **batches** queued sweeps through the engine's shared batch pool, and
+//! **sheds** load with `overloaded` errors once the bounded queue is
+//! full — see [`server`] for the mechanics. With a persistent cache path
+//! configured, results survive restarts: the cache is replayed from an
+//! append-only segment file at bind time.
+//!
 //! # Wire protocol
 //!
 //! Newline-delimited JSON ("NDJSON") over TCP: one request frame per
 //! line, one response frame per line, answered in order. Any tool that
 //! can write a line and read a line is a client (`nc` works).
 //!
+//! Two protocol versions are live. **v2** (current) adds an explicit
+//! `proto` field to requests and responses; **v1** (legacy, the default
+//! when `proto` is absent) keeps the original frame layout. Requests are
+//! answered *in kind*: a v1 request gets byte-identical v1 frames, a v2
+//! request gets v2 frames. Everything else — field meanings, error
+//! schema, the `result`-last splice contract — is shared.
+//!
 //! ## Request frames
 //!
 //! ```json
-//! {"id":"r-1","op":"solve","scenario":"fig2"}
+//! {"proto":2,"id":"r-1","op":"solve","scenario":"fig2"}
 //! {"op":"sweep","scenario":"fig3","quick":true,"deadline_ms":5000}
 //! {"op":"solve","scenario":{"name":"custom","machine":{...},"solver":{...}}}
-//! {"op":"stats"}
+//! {"proto":2,"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! | field         | type                    | meaning                                            |
 //! |---------------|-------------------------|----------------------------------------------------|
+//! | `proto`       | integer, default `1`    | protocol version (`1` or `2`); replies match it    |
 //! | `id`          | string, optional        | correlation id, echoed in the response             |
 //! | `op`          | string, default `solve` | `solve`, `sweep`, `stats`, or `shutdown`           |
 //! | `scenario`    | string or object        | registry name, or a full inline scenario document  |
@@ -55,24 +71,26 @@
 //! ## Response frames
 //!
 //! Success (`result` is always the **last** field; for `op:"solve"` it is
-//! exactly the `gsched solve --json` document):
+//! exactly the `gsched solve --json` document). v2 frames carry `proto`
+//! right after `status`; v1 frames omit it:
 //!
 //! ```json
+//! {"status":"ok","proto":2,"id":"r-1","op":"solve","cached":false,"result":{...}}
 //! {"status":"ok","id":"r-1","op":"solve","cached":false,"result":{...}}
 //! ```
 //!
 //! Error:
 //!
 //! ```json
-//! {"status":"error","id":"r-1","error":{"kind":"unknown_scenario","message":"..."}}
+//! {"status":"error","proto":2,"id":"r-1","error":{"kind":"unknown_scenario","message":"..."}}
 //! ```
 //!
 //! Error kinds: `bad_request`, `unknown_scenario`, `invalid_scenario`,
 //! `solve_failed`, `validation_failed`, `deadline_exceeded`, `cancelled`,
-//! `shutting_down`, `internal`. The same frame shape is emitted by
-//! `gsched validate --json` and `gsched xval --json` on failure
-//! (`validation_failed`), so scripted callers parse one error schema
-//! everywhere.
+//! `overloaded`, `shutting_down`, `internal`. The same frame shape is
+//! emitted by `gsched validate --json` and `gsched xval --json` on
+//! failure (`validation_failed`), so scripted callers parse one error
+//! schema everywhere.
 //!
 //! # Observability
 //!
@@ -115,10 +133,10 @@ pub mod render;
 pub mod server;
 mod telemetry;
 
-pub use cache::ResultCache;
+pub use cache::{CacheStats, CacheStore, MemoryLru, PersistentLru};
 pub use client::Client;
 pub use protocol::{
     error_frame, extract_result, frame_is_ok, ok_frame, parse_request, ErrorKind, Op, Request,
-    ScenarioRef, ServiceError,
+    Response, ResponseBody, ScenarioRef, ServiceError, PROTO_VERSION,
 };
-pub use server::{install_ctrl_c_handler, ServeOptions, Server};
+pub use server::{install_ctrl_c_handler, ServeConfig, ServeConfigBuilder, Server};

@@ -6,10 +6,22 @@
 //! clients splice the served result out of the frame byte-for-byte
 //! ([`extract_result`]) without a JSON round-trip that could perturb
 //! number formatting.
+//!
+//! Two protocol versions share the wire. A request that carries
+//! `"proto":2` is a v2 frame and is answered with a `"proto":2` response;
+//! a request without the field is v1 and is answered with the original
+//! frame layout, byte-for-byte what pre-v2 servers produced. Responses are
+//! built through the typed [`Response`]/[`ResponseBody`] pair; the
+//! [`ok_frame`]/[`error_frame`] free functions remain as v1-rendering
+//! conveniences for CLI error output and tests.
 
 use crate::render::json_str;
 use gsched_scenario::Scenario;
 use serde_json::Value;
+use std::sync::Arc;
+
+/// The newest protocol version this crate speaks.
+pub const PROTO_VERSION: u8 = 2;
 
 /// Operations a request frame may ask for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +71,9 @@ pub enum ScenarioRef {
 /// A parsed request frame.
 #[derive(Debug, Clone)]
 pub struct Request {
+    /// Protocol version of the frame: `1` when the `proto` field is absent,
+    /// `2` when the client sent `"proto":2`. Responses answer in kind.
+    pub proto: u8,
     /// Client-chosen correlation id, echoed back in the response.
     pub id: Option<String>,
     /// Requested operation.
@@ -91,6 +106,8 @@ pub enum ErrorKind {
     Cancelled,
     /// The server is shutting down and not accepting work.
     ShuttingDown,
+    /// Admission control shed the request: the job queue was full.
+    Overloaded,
     /// An unexpected internal failure; the server itself survives.
     Internal,
 }
@@ -107,6 +124,7 @@ impl ErrorKind {
             ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::Cancelled => "cancelled",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Overloaded => "overloaded",
             ErrorKind::Internal => "internal",
         }
     }
@@ -145,11 +163,23 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
     for (key, _) in obj {
         if !matches!(
             key.as_str(),
-            "id" | "op" | "scenario" | "quick" | "deadline_ms"
+            "proto" | "id" | "op" | "scenario" | "quick" | "deadline_ms"
         ) {
             return Err(bad(format!("unknown request field {key:?}")));
         }
     }
+    let proto = match value.get("proto") {
+        None => 1,
+        Some(v) => match v.as_u64() {
+            Some(p @ 1..=2) => p as u8,
+            Some(p) => {
+                return Err(bad(format!(
+                    "unsupported proto {p} (this server speaks 1-2)"
+                )))
+            }
+            None => return Err(bad(format!("proto must be an integer, got {}", v.kind()))),
+        },
+    };
     let id = match value.get("id") {
         None | Some(Value::Null) => None,
         Some(Value::String(s)) => Some(s.clone()),
@@ -195,6 +225,7 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
         return Err(bad(format!("op {:?} requires a scenario", op.as_str())));
     }
     Ok(Request {
+        proto,
         id,
         op,
         scenario,
@@ -210,26 +241,105 @@ fn id_field(id: Option<&str>) -> String {
     }
 }
 
-/// Build an `ok` response frame (no trailing newline). `result` must be a
-/// complete JSON document; it is spliced in verbatim as the final field.
-pub fn ok_frame(id: Option<&str>, op: Op, cached: bool, result: &str) -> String {
-    format!(
-        r#"{{"status":"ok",{}"op":{},"cached":{},"result":{}}}"#,
-        id_field(id),
-        json_str(op.as_str()),
-        cached,
-        result
-    )
+/// The payload of a response frame: a served result or a structured error.
+#[derive(Debug, Clone)]
+pub enum ResponseBody {
+    /// A successfully served result document (complete JSON, spliced into
+    /// the frame verbatim as the final field).
+    Ok {
+        /// The operation that produced the result.
+        op: Op,
+        /// Whether the result came out of the cache without a solve.
+        cached: bool,
+        /// The rendered result document; shared so cache entries and
+        /// coalesced waiters render without copying the payload.
+        result: Arc<String>,
+    },
+    /// A structured error.
+    Err(ServiceError),
 }
 
-/// Build an error response frame (no trailing newline).
-pub fn error_frame(id: Option<&str>, error: &ServiceError) -> String {
-    format!(
-        r#"{{"status":"error",{}"error":{{"kind":{},"message":{}}}}}"#,
-        id_field(id),
-        json_str(error.kind.as_str()),
-        json_str(&error.message)
+/// A typed response frame: protocol version, correlation id, and body.
+///
+/// [`Response::render`] produces the wire bytes. A `proto == 1` response
+/// renders the original pre-v2 frame layout byte-for-byte; `proto >= 2`
+/// adds `"proto":2` directly after `status`. In both versions `result`
+/// stays the **last** field, so [`extract_result`] works unchanged.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Protocol version to render (`1` or `2`); answer a request in kind.
+    pub proto: u8,
+    /// Correlation id echoed from the request, if any.
+    pub id: Option<String>,
+    /// The response payload.
+    pub body: ResponseBody,
+}
+
+impl Response {
+    /// Build a success response.
+    pub fn ok(proto: u8, id: Option<String>, op: Op, cached: bool, result: Arc<String>) -> Self {
+        Response {
+            proto,
+            id,
+            body: ResponseBody::Ok { op, cached, result },
+        }
+    }
+
+    /// Build an error response.
+    pub fn error(proto: u8, id: Option<String>, error: ServiceError) -> Self {
+        Response {
+            proto,
+            id,
+            body: ResponseBody::Err(error),
+        }
+    }
+
+    /// Render the wire frame (no trailing newline).
+    pub fn render(&self) -> String {
+        let proto = if self.proto >= 2 {
+            format!(r#""proto":{},"#, PROTO_VERSION)
+        } else {
+            String::new()
+        };
+        let id = id_field(self.id.as_deref());
+        match &self.body {
+            ResponseBody::Ok { op, cached, result } => format!(
+                r#"{{"status":"ok",{}{}"op":{},"cached":{},"result":{}}}"#,
+                proto,
+                id,
+                json_str(op.as_str()),
+                cached,
+                result
+            ),
+            ResponseBody::Err(error) => format!(
+                r#"{{"status":"error",{}{}"error":{{"kind":{},"message":{}}}}}"#,
+                proto,
+                id,
+                json_str(error.kind.as_str()),
+                json_str(&error.message)
+            ),
+        }
+    }
+}
+
+/// Build a v1 `ok` response frame (no trailing newline). `result` must be a
+/// complete JSON document; it is spliced in verbatim as the final field.
+/// Convenience over [`Response`] for tests and v1-only call sites.
+pub fn ok_frame(id: Option<&str>, op: Op, cached: bool, result: &str) -> String {
+    Response::ok(
+        1,
+        id.map(String::from),
+        op,
+        cached,
+        Arc::new(result.to_string()),
     )
+    .render()
+}
+
+/// Build a v1 error response frame (no trailing newline). This is the
+/// error shape `gsched validate --json` and `gsched xval --json` reuse.
+pub fn error_frame(id: Option<&str>, error: &ServiceError) -> String {
+    Response::error(1, id.map(String::from), error.clone()).render()
 }
 
 /// Splice the `result` document back out of an `ok` frame, byte-for-byte.
@@ -267,6 +377,79 @@ mod tests {
         assert!(req.id.is_none());
         assert!(!req.quick);
         assert!(req.deadline_ms.is_none());
+        assert_eq!(req.proto, 1, "absent proto field means a v1 frame");
+    }
+
+    #[test]
+    fn proto_field_parses_and_bounds() {
+        assert_eq!(
+            parse_request(r#"{"proto":2,"scenario":"fig2"}"#)
+                .unwrap()
+                .proto,
+            2
+        );
+        assert_eq!(
+            parse_request(r#"{"proto":1,"scenario":"fig2"}"#)
+                .unwrap()
+                .proto,
+            1
+        );
+        for bad in [
+            r#"{"proto":3,"scenario":"fig2"}"#,
+            r#"{"proto":0,"scenario":"fig2"}"#,
+            r#"{"proto":"2","scenario":"fig2"}"#,
+            r#"{"proto":-1,"scenario":"fig2"}"#,
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn v2_frames_carry_proto_and_keep_result_last() {
+        let result = r#"{"iterations":3}"#;
+        let ok = Response::ok(
+            2,
+            Some("r-9".into()),
+            Op::Solve,
+            false,
+            Arc::new(result.to_string()),
+        )
+        .render();
+        assert_eq!(
+            ok,
+            r#"{"status":"ok","proto":2,"id":"r-9","op":"solve","cached":false,"result":{"iterations":3}}"#
+        );
+        assert_eq!(extract_result(&ok), Some(result));
+        let err = Response::error(
+            2,
+            None,
+            ServiceError::new(ErrorKind::Overloaded, "queue full"),
+        )
+        .render();
+        assert_eq!(
+            err,
+            r#"{"status":"error","proto":2,"error":{"kind":"overloaded","message":"queue full"}}"#
+        );
+        assert!(!frame_is_ok(&err));
+    }
+
+    #[test]
+    fn v1_render_matches_legacy_free_functions() {
+        let result = r#"{"x":1}"#;
+        let typed = Response::ok(
+            1,
+            Some("a".into()),
+            Op::Sweep,
+            true,
+            Arc::new(result.to_string()),
+        )
+        .render();
+        assert_eq!(typed, ok_frame(Some("a"), Op::Sweep, true, result));
+        let e = ServiceError::new(ErrorKind::Cancelled, "gone");
+        let typed = Response::error(1, None, e.clone()).render();
+        assert_eq!(typed, error_frame(None, &e));
+        assert!(!typed.contains("proto"), "v1 frames must not grow fields");
     }
 
     #[test]

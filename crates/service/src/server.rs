@@ -1,83 +1,238 @@
 //! The long-running solve server.
 //!
 //! A [`Server`] owns a `TcpListener`, a fixed pool of solver worker
-//! threads, and a sharded [`ResultCache`]. Connection threads parse
+//! threads, and a shared [`CacheStore`]. Connection threads parse
 //! request frames, serve cache hits immediately, and enqueue misses for
-//! the worker pool; workers solve, render, cache, and reply. All threads
-//! are scoped (`crossbeam::scope`) so `run` cannot return with work still
-//! borrowing the server.
+//! the worker pool; workers solve, render, cache, and publish. All
+//! threads are scoped (`crossbeam::scope`) so `run` cannot return with
+//! work still borrowing the server.
+//!
+//! # Concurrency control
+//!
+//! Three mechanisms keep the server healthy under concurrent traffic:
+//!
+//! * **Singleflight** — cache misses for the same cache key (operation +
+//!   grid flavour + scenario content hash) coalesce onto one in-flight
+//!   solve: the first requester (the *leader*) enqueues the job, later
+//!   identical requests join as *waiters* on the same `FlightSlot` and
+//!   all share the published result. The solve is cancelled only when
+//!   the **last** waiter departs; one impatient client never kills work
+//!   another client is still waiting for.
+//! * **Request batching** — when several sweep jobs are queued, a worker
+//!   drains up to `batch_max` of them into a single engine
+//!   [`run_batch`] call: one shared thread pool and one shared vacation
+//!   cache amortize warm-start state across clients. Per-request point
+//!   results are bitwise identical to standalone evaluation (only the
+//!   run-dependent `stats.jobs`/`wall_ms` fields reflect the batch).
+//! * **Admission control** — when `queue_limit` is set, requests that
+//!   would push the queue past the limit are shed with an `overloaded`
+//!   error frame instead of being allowed to grow the queue without
+//!   bound. Shed counts and the configured limit are exported through
+//!   `stats` and `/metrics`.
 //!
 //! # Lifecycle and degradation
 //!
-//! * **Deadlines** — each request carries (or inherits) a deadline; the
-//!   engine's [`CancelToken`] enforces it between sweep points and the
-//!   worker checks it around whole solves. An exceeded deadline yields a
-//!   `deadline_exceeded` error frame; if the result happened to complete
-//!   it is still cached for the next caller.
+//! * **Deadlines** — each waiter enforces its own deadline while blocked
+//!   on a flight; an exceeded deadline yields a `deadline_exceeded`
+//!   error frame and the waiter departs (cancelling the solve only if it
+//!   was the last one). A result that completes anyway is still cached
+//!   for the next caller.
 //! * **Client disconnects** — while a request is in flight its connection
-//!   thread polls the socket; a hangup cancels the token so workers stop
-//!   early instead of solving for nobody.
+//!   thread polls the socket; a hangup departs the flight, and the last
+//!   departure cancels the token so workers stop early instead of
+//!   solving for nobody.
 //! * **Failures** — validation and solver errors (and even worker panics)
 //!   become structured error frames; the server itself never dies with a
 //!   request.
 //! * **Shutdown** — a `shutdown` frame, [`Server::request_shutdown`], or
 //!   SIGINT (when [`install_ctrl_c_handler`] was called) stops the accept
 //!   loop, drains queued jobs, joins every thread, and returns from `run`.
+//!
+//! # Persistence
+//!
+//! With `cache_path` configured the result cache is a
+//! [`PersistentLru`]: every insert is appended to an NDJSON segment file
+//! and replayed on the next [`Server::bind`], so a restarted server
+//! answers previously solved scenarios from cache without re-solving.
 
-use crate::cache::ResultCache;
-use crate::protocol::{
-    error_frame, ok_frame, parse_request, ErrorKind, Op, Request, ScenarioRef, ServiceError,
-};
+use crate::cache::{CacheStore, MemoryLru, PersistentLru};
+use crate::protocol::{parse_request, ErrorKind, Op, Request, Response, ScenarioRef, ServiceError};
 use crate::render;
 use crate::telemetry::{AccessRecord, ExternalStats, Telemetry};
 use gsched_core::{solve, SolverOptions};
-use gsched_engine::{run_sweep, CancelToken, SweepOptions};
+use gsched_engine::{run_batch, run_sweep, BatchItem, CancelToken, SweepOptions};
 use gsched_obs as obs;
 use gsched_obs::AccessLog;
 use gsched_scenario::{registry, Scenario};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Configuration for [`Server::bind`].
+/// Validated configuration for [`Server::bind`].
+///
+/// Construct via [`ServeConfig::builder`]; `Default` gives the same
+/// values the builder starts from. Marked non-exhaustive so new knobs
+/// can be added without breaking builder users.
 #[derive(Debug, Clone)]
-pub struct ServeOptions {
+#[non_exhaustive]
+pub struct ServeConfig {
     /// Listen address, e.g. `127.0.0.1:7070` (port `0` picks a free port).
     pub addr: String,
     /// Solver worker threads; `0` uses the machine's available parallelism.
     pub workers: usize,
     /// Result-cache capacity in entries; `0` disables caching.
     pub cache_capacity: usize,
+    /// Persist the result cache to this NDJSON segment file and replay it
+    /// on startup; `None` keeps the cache in memory only.
+    pub cache_path: Option<PathBuf>,
     /// Default per-request deadline in milliseconds, applied when a
     /// request does not carry `deadline_ms`; `0` means no default.
     pub default_deadline_ms: u64,
+    /// Shed requests once this many jobs are queued (`overloaded` error
+    /// frames); `0` leaves the queue unbounded.
+    pub queue_limit: usize,
+    /// Most queued sweep jobs a worker merges into one engine batch;
+    /// `1` disables batching.
+    pub batch_max: usize,
     /// Bind an HTTP listener serving Prometheus text exposition at this
     /// address (e.g. `127.0.0.1:9090`); `None` disables the scraper.
     pub metrics_addr: Option<String>,
     /// Write one NDJSON access-log line per request to this file; `None`
     /// disables the log.
-    pub access_log: Option<std::path::PathBuf>,
+    pub access_log: Option<PathBuf>,
     /// Rotate the access log (atomically, to `<path>.1`) once the live
     /// file exceeds this many bytes; `0` never rotates.
     pub access_log_max_bytes: u64,
 }
 
-impl Default for ServeOptions {
+impl Default for ServeConfig {
     fn default() -> Self {
-        ServeOptions {
+        ServeConfig {
             addr: "127.0.0.1:7070".to_string(),
             workers: 0,
             cache_capacity: 256,
+            cache_path: None,
             default_deadline_ms: 30_000,
+            queue_limit: 0,
+            batch_max: 8,
             metrics_addr: None,
             access_log: None,
             access_log_max_bytes: 8 * 1024 * 1024,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Start from the defaults and override selectively.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ServeConfig`] with validation at `build` time.
+///
+/// Mirrors `SolverOptions::builder()`: setters chain, and every
+/// misconfiguration is reported as a [`ServiceError`] of kind
+/// `bad_request` — the same error shape the wire protocol uses — so CLI
+/// flags and programmatic configuration fail identically.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Listen address (`host:port`; port `0` picks a free port).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Solver worker threads; `0` uses available parallelism.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Result-cache capacity in entries; `0` disables caching.
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.config.cache_capacity = entries;
+        self
+    }
+
+    /// Persist the cache to this segment file and replay it on startup.
+    pub fn cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.cache_path = Some(path.into());
+        self
+    }
+
+    /// Default per-request deadline in milliseconds; `0` disables.
+    pub fn default_deadline_ms(mut self, ms: u64) -> Self {
+        self.config.default_deadline_ms = ms;
+        self
+    }
+
+    /// Shed requests once this many jobs are queued; `0` = unbounded.
+    pub fn queue_limit(mut self, limit: usize) -> Self {
+        self.config.queue_limit = limit;
+        self
+    }
+
+    /// Most queued sweeps merged into one engine batch; `1` disables.
+    pub fn batch_max(mut self, max: usize) -> Self {
+        self.config.batch_max = max;
+        self
+    }
+
+    /// Serve Prometheus text exposition on this address.
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Append one NDJSON access-log line per request to this file.
+    pub fn access_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.access_log = Some(path.into());
+        self
+    }
+
+    /// Rotate the access log past this many bytes; `0` never rotates.
+    pub fn access_log_max_bytes(mut self, bytes: u64) -> Self {
+        self.config.access_log_max_bytes = bytes;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ServeConfig, ServiceError> {
+        let bad = |msg: String| ServiceError::new(ErrorKind::BadRequest, msg);
+        let c = self.config;
+        if c.addr.is_empty() {
+            return Err(bad("listen address must not be empty".to_string()));
+        }
+        if let Some(addr) = &c.metrics_addr {
+            if addr.is_empty() {
+                return Err(bad("metrics address must not be empty".to_string()));
+            }
+        }
+        if c.batch_max == 0 {
+            return Err(bad(
+                "batch_max must be at least 1 (1 disables batching)".to_string()
+            ));
+        }
+        if c.cache_path.is_some() && c.cache_capacity == 0 {
+            return Err(bad(
+                "cache_path requires a non-zero cache capacity (persistence with \
+                 caching disabled would never store anything)"
+                    .to_string(),
+            ));
+        }
+        Ok(c)
     }
 }
 
@@ -112,28 +267,61 @@ pub fn install_ctrl_c_handler() {
 /// sharing the global recorder never collide.
 static NEXT_REQUEST_CTX: AtomicU64 = AtomicU64::new(1);
 
-/// One queued unit of solver work.
+/// What a flight publishes for all of its waiters.
+struct FlightResult {
+    result: Result<Arc<String>, ServiceError>,
+    /// Milliseconds the job sat in the queue (`None` if it never queued,
+    /// e.g. a shed request).
+    queue_wait_ms: Option<f64>,
+    /// Milliseconds the worker spent solving and rendering.
+    solve_ms: Option<f64>,
+}
+
+/// The rendezvous between one in-flight solve and every connection
+/// waiting on it.
+///
+/// Created by the flight's leader, shared through the server's in-flight
+/// map, published exactly once (by a worker, or by the leader on a shed).
+struct FlightSlot {
+    /// Cancels the underlying solve. Fired when the *last* waiter
+    /// departs, or to bound shutdown latency — never by one waiter's
+    /// deadline while others still want the result.
+    cancel: CancelToken,
+    /// Connections currently waiting. Only mutated under the in-flight
+    /// map lock, so join/depart decisions are race-free.
+    waiters: AtomicU64,
+    /// Set once the outcome is published (lock-free fast check).
+    done: AtomicBool,
+    /// The published outcome; waiters block on `ready` until it is set.
+    outcome: Mutex<Option<FlightResult>>,
+    ready: Condvar,
+}
+
+impl FlightSlot {
+    fn new() -> Self {
+        FlightSlot {
+            cancel: CancelToken::new(),
+            waiters: AtomicU64::new(1),
+            done: AtomicBool::new(false),
+            outcome: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// One queued unit of solver work (the leader's half of a flight).
 struct Job {
     scenario: Scenario,
     op: Op,
     quick: bool,
     cache_key: u64,
     cancel: CancelToken,
-    /// Request context of the originating connection; the worker re-enters
-    /// it so solver spans stay attributed to the request.
+    /// Request context of the flight's leader; the worker re-enters it so
+    /// solver spans stay attributed to that request.
     ctx: u64,
     /// When the job entered the queue (queue-wait measurement).
     enqueued: Instant,
-    reply: mpsc::Sender<JobOutcome>,
-}
-
-/// What a worker sends back for one job.
-struct JobOutcome {
-    result: Result<std::sync::Arc<String>, ServiceError>,
-    /// Milliseconds the job sat in the queue.
-    queue_wait_ms: f64,
-    /// Milliseconds the worker spent solving and rendering.
-    solve_ms: f64,
+    reply: Arc<FlightSlot>,
 }
 
 #[derive(Default)]
@@ -147,6 +335,9 @@ struct Stats {
     requests: AtomicU64,
     errors: AtomicU64,
     queue_depth: AtomicU64,
+    shed: AtomicU64,
+    coalesced: AtomicU64,
+    batch_merged: AtomicU64,
 }
 
 /// The solve server. See the module docs for the threading model.
@@ -155,8 +346,14 @@ pub struct Server {
     metrics_listener: Option<TcpListener>,
     workers: usize,
     default_deadline_ms: u64,
-    cache: ResultCache,
+    queue_limit: usize,
+    batch_max: usize,
+    cache: Box<dyn CacheStore>,
+    /// Entries replayed from the persistent segment at bind time.
+    cache_replayed: u64,
     queue: JobQueue,
+    /// In-flight solves by cache key; the singleflight map.
+    inflight: Mutex<HashMap<u64, Arc<FlightSlot>>>,
     stats: Stats,
     telemetry: Telemetry,
     access_log: Option<AccessLog>,
@@ -167,7 +364,30 @@ pub struct Server {
 impl Server {
     /// Bind the listen socket (and the metrics socket, when configured)
     /// and prepare (but do not start) the server.
-    pub fn bind(opts: &ServeOptions) -> std::io::Result<Server> {
+    ///
+    /// With `cache_path` set, the persistent segment is replayed here —
+    /// a restarted server comes up warm.
+    pub fn bind(opts: &ServeConfig) -> std::io::Result<Server> {
+        let (cache, replayed): (Box<dyn CacheStore>, u64) = match &opts.cache_path {
+            Some(path) => {
+                let store = PersistentLru::open(path, opts.cache_capacity)?;
+                let replayed = store.replayed() as u64;
+                (Box::new(store), replayed)
+            }
+            None => (Box::new(MemoryLru::new(opts.cache_capacity)), 0),
+        };
+        Self::bind_with_store(opts, cache, replayed)
+    }
+
+    /// [`Server::bind`] with a caller-provided cache store.
+    ///
+    /// This is the seam tests use to inject failing or instrumented
+    /// stores; `replayed` is reported as `cache_replayed` in stats.
+    pub fn bind_with_store(
+        opts: &ServeConfig,
+        cache: Box<dyn CacheStore>,
+        replayed: u64,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&opts.addr)?;
         listener.set_nonblocking(true)?;
         let metrics_listener = match &opts.metrics_addr {
@@ -189,13 +409,18 @@ impl Server {
                 .map(|n| n.get())
                 .unwrap_or(1)
         };
+        obs::gauge_set(obs::names::SERVICE_CACHE_REPLAYED, replayed as f64);
         Ok(Server {
             listener,
             metrics_listener,
             workers,
             default_deadline_ms: opts.default_deadline_ms,
-            cache: ResultCache::new(opts.cache_capacity),
+            queue_limit: opts.queue_limit,
+            batch_max: opts.batch_max,
+            cache,
+            cache_replayed: replayed,
             queue: JobQueue::default(),
+            inflight: Mutex::new(HashMap::new()),
             stats: Stats::default(),
             telemetry: Telemetry::new(),
             access_log,
@@ -221,6 +446,11 @@ impl Server {
     /// Worker threads the pool will run.
     pub fn worker_count(&self) -> usize {
         self.workers
+    }
+
+    /// Entries replayed from the persistent segment at bind time.
+    pub fn cache_replayed(&self) -> u64 {
+        self.cache_replayed
     }
 
     /// Ask the server to stop: the accept loop closes, queued work drains,
@@ -275,59 +505,132 @@ impl Server {
 
     // ---- worker side ----
 
-    fn worker_loop(&self) {
+    /// Pop the next job, draining compatible queued sweeps behind it into
+    /// one batch. `None` means shutdown with an empty queue.
+    fn next_batch(&self) -> Option<Vec<Job>> {
+        let mut jobs = self.queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            let job = {
-                let mut jobs = self.queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
-                loop {
-                    if let Some(job) = jobs.pop_front() {
-                        break Some(job);
+            if let Some(first) = jobs.pop_front() {
+                let mut batch = vec![first];
+                if batch[0].op == Op::Sweep && self.batch_max > 1 {
+                    // Pull further sweeps from anywhere in the queue;
+                    // non-sweep jobs keep their relative order.
+                    let mut i = 0;
+                    while i < jobs.len() && batch.len() < self.batch_max {
+                        if jobs[i].op == Op::Sweep {
+                            if let Some(job) = jobs.remove(i) {
+                                batch.push(job);
+                            }
+                        } else {
+                            i += 1;
+                        }
                     }
-                    if self.shutting_down() {
-                        break None;
-                    }
-                    let (guard, _) = self
-                        .queue
-                        .ready
-                        .wait_timeout(jobs, POLL_INTERVAL)
-                        .unwrap_or_else(|e| e.into_inner());
-                    jobs = guard;
                 }
-            };
-            let Some(job) = job else { return };
-            let depth = self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
-            obs::gauge_set(obs::names::SERVICE_QUEUE_DEPTH, depth as f64);
-            let queue_wait_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
-            self.telemetry.record_queue_wait(queue_wait_ms);
-            obs::observe(obs::names::SERVICE_QUEUE_WAIT_MS, queue_wait_ms);
-            let _busy = self.telemetry.worker_busy();
-            // Re-enter the originating request's context so every span the
-            // solve opens here (service.solve, engine.sweep.*, core/qbd
-            // internals) carries its request_id in the trace export.
-            let _ctx = obs::context_enter(job.ctx);
-            let t0 = Instant::now();
-            // A panic inside numerical code must degrade to an error
-            // frame, never take the whole server down.
-            let result =
-                catch_unwind(AssertUnwindSafe(|| self.process_job(&job))).unwrap_or_else(|_| {
-                    Err(ServiceError::new(
-                        ErrorKind::Internal,
-                        "worker panicked while processing the request",
-                    ))
-                });
-            let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
-            self.telemetry.record_solve(solve_ms);
-            obs::observe(obs::names::SERVICE_SOLVE_MS, solve_ms);
-            // The requesting connection may be gone; that is fine.
-            let _ = job.reply.send(JobOutcome {
-                result,
-                queue_wait_ms,
-                solve_ms,
-            });
+                return Some(batch);
+            }
+            if self.shutting_down() {
+                return None;
+            }
+            let (guard, _) = self
+                .queue
+                .ready
+                .wait_timeout(jobs, POLL_INTERVAL)
+                .unwrap_or_else(|e| e.into_inner());
+            jobs = guard;
         }
     }
 
-    fn process_job(&self, job: &Job) -> Result<std::sync::Arc<String>, ServiceError> {
+    fn worker_loop(&self) {
+        loop {
+            let Some(batch) = self.next_batch() else {
+                return;
+            };
+            let mut queue_waits = Vec::with_capacity(batch.len());
+            for job in &batch {
+                let depth = self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                obs::gauge_set(obs::names::SERVICE_QUEUE_DEPTH, depth as f64);
+                let queue_wait_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+                self.telemetry.record_queue_wait(queue_wait_ms);
+                obs::observe(obs::names::SERVICE_QUEUE_WAIT_MS, queue_wait_ms);
+                queue_waits.push(queue_wait_ms);
+            }
+            if batch.len() > 1 {
+                let merged = (batch.len() - 1) as u64;
+                self.stats.batch_merged.fetch_add(merged, Ordering::Relaxed);
+                obs::counter_add(obs::names::SERVICE_BATCH_MERGED, merged);
+            }
+            let _busy = self.telemetry.worker_busy();
+            let t0 = Instant::now();
+            // A panic inside numerical code must degrade to error frames,
+            // never take the whole server down.
+            let results: Vec<Result<Arc<String>, ServiceError>> = if batch.len() == 1 {
+                let job = &batch[0];
+                // Re-enter the originating request's context so every span
+                // the solve opens here (service.solve, engine.sweep.*,
+                // core/qbd internals) carries its request_id in the trace
+                // export.
+                let _ctx = obs::context_enter(job.ctx);
+                vec![
+                    catch_unwind(AssertUnwindSafe(|| self.process_job(job))).unwrap_or_else(|_| {
+                        Err(ServiceError::new(
+                            ErrorKind::Internal,
+                            "worker panicked while processing the request",
+                        ))
+                    }),
+                ]
+            } else {
+                catch_unwind(AssertUnwindSafe(|| self.process_batch(&batch))).unwrap_or_else(|_| {
+                    batch
+                        .iter()
+                        .map(|_| {
+                            Err(ServiceError::new(
+                                ErrorKind::Internal,
+                                "worker panicked while processing the batch",
+                            ))
+                        })
+                        .collect()
+                })
+            };
+            // Batched jobs all report the batch wall clock: the work was
+            // genuinely shared and no finer attribution exists.
+            let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
+            for ((job, result), queue_wait_ms) in batch.iter().zip(results).zip(queue_waits) {
+                self.telemetry.record_solve(solve_ms);
+                obs::observe(obs::names::SERVICE_SOLVE_MS, solve_ms);
+                self.publish(
+                    job.cache_key,
+                    &job.reply,
+                    FlightResult {
+                        result,
+                        queue_wait_ms: Some(queue_wait_ms),
+                        solve_ms: Some(solve_ms),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Publish a flight's outcome to every waiter and retire the flight.
+    ///
+    /// The map entry is removed only if it still points at this slot — a
+    /// fresh flight for the same key (created after every earlier waiter
+    /// departed) must not be disturbed.
+    fn publish(&self, key: u64, slot: &Arc<FlightSlot>, outcome: FlightResult) {
+        {
+            let mut published = slot.outcome.lock().unwrap_or_else(|e| e.into_inner());
+            *published = Some(outcome);
+        }
+        slot.done.store(true, Ordering::SeqCst);
+        slot.ready.notify_all();
+        let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = map.get(&key) {
+            if Arc::ptr_eq(entry, slot) {
+                map.remove(&key);
+            }
+        }
+    }
+
+    fn process_job(&self, job: &Job) -> Result<Arc<String>, ServiceError> {
         if job.cancel.is_cancelled() {
             return Err(cancel_error(&job.cancel));
         }
@@ -370,7 +673,7 @@ impl Server {
                     ))
                 }
             };
-        let rendered = std::sync::Arc::new(rendered);
+        let rendered = Arc::new(rendered);
         // Cache even when the deadline has passed: the work is done and
         // the next caller should benefit.
         self.cache.insert(job.cache_key, rendered.clone());
@@ -378,6 +681,62 @@ impl Server {
             return Err(cancel_error(&job.cancel));
         }
         Ok(rendered)
+    }
+
+    /// Evaluate a drained batch of sweep jobs through the engine's shared
+    /// batch pool. Per-job failures (validation, cancellation) degrade to
+    /// per-job error outcomes; the rest still batch.
+    fn process_batch(&self, jobs: &[Job]) -> Vec<Result<Arc<String>, ServiceError>> {
+        let _span = obs::span("service.sweep");
+        let mut out: Vec<Result<Arc<String>, ServiceError>> = jobs
+            .iter()
+            .map(|_| {
+                Err(ServiceError::new(
+                    ErrorKind::Internal,
+                    "batch slot was not filled",
+                ))
+            })
+            .collect();
+        let mut requests = Vec::with_capacity(jobs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            if job.cancel.is_cancelled() {
+                out[i] = Err(cancel_error(&job.cancel));
+                continue;
+            }
+            match job.scenario.sweep_request(job.quick) {
+                Ok(req) => requests.push((i, req)),
+                Err(e) => {
+                    out[i] = Err(ServiceError::new(ErrorKind::InvalidScenario, e.to_string()))
+                }
+            }
+        }
+        let items: Vec<BatchItem<'_>> = requests
+            .iter()
+            .map(|(i, req)| {
+                BatchItem::new(req)
+                    .with_cancel(jobs[*i].cancel.clone())
+                    .with_ctx(jobs[*i].ctx)
+            })
+            .collect();
+        let opts = SweepOptions::default()
+            .with_jobs(items.len())
+            .with_solver(self.solver.clone());
+        let reports = run_batch(&items, &opts);
+        for ((i, _), report) in requests.iter().zip(reports) {
+            let job = &jobs[*i];
+            if job.cancel.is_cancelled() {
+                out[*i] = Err(cancel_error(&job.cancel));
+                continue;
+            }
+            let classes = job.scenario.machine.classes.len();
+            let rendered = Arc::new(format!(
+                "[{}]",
+                render::sweep_report_json(&job.scenario.name, &report, classes)
+            ));
+            self.cache.insert(job.cache_key, rendered.clone());
+            out[*i] = Ok(rendered);
+        }
+        out
     }
 
     // ---- connection side ----
@@ -460,6 +819,11 @@ impl Server {
 
     /// The op dispatch behind [`Server::handle_request`], filling `access`
     /// as facts about the request become known.
+    ///
+    /// Every reply is rendered at the request's own protocol version:
+    /// v1 requests get the legacy frame layout, v2 requests get frames
+    /// carrying `proto`. Unparseable requests (version unknowable) are
+    /// answered in v1, which every client understands.
     fn dispatch(
         &self,
         stream: &TcpStream,
@@ -470,40 +834,41 @@ impl Server {
             Ok(req) => req,
             Err(e) => {
                 access.outcome = format!("error:{}", e.kind.as_str());
-                return Some(self.error_reply(None, e));
+                return Some(self.error_reply(1, None, e));
             }
         };
         access.op = req.op.as_str();
         access.client_id = req.id.clone();
         let id = req.id.clone();
         match req.op {
-            Op::Stats => Some(ok_frame(
-                id.as_deref(),
-                Op::Stats,
-                false,
-                &self.stats_json(),
-            )),
+            Op::Stats => Some(
+                Response::ok(req.proto, id, Op::Stats, false, Arc::new(self.stats_json())).render(),
+            ),
             Op::Shutdown => {
                 self.request_shutdown();
                 self.queue.ready.notify_all();
-                Some(ok_frame(
-                    id.as_deref(),
-                    Op::Shutdown,
-                    false,
-                    r#"{"stopping":true}"#,
-                ))
+                Some(
+                    Response::ok(
+                        req.proto,
+                        id,
+                        Op::Shutdown,
+                        false,
+                        Arc::new(r#"{"stopping":true}"#.to_string()),
+                    )
+                    .render(),
+                )
             }
             Op::Solve | Op::Sweep => {
                 if self.shutting_down() {
                     let e = ServiceError::new(ErrorKind::ShuttingDown, "server is shutting down");
                     access.outcome = format!("error:{}", e.kind.as_str());
-                    return Some(self.error_reply(id, e));
+                    return Some(self.error_reply(req.proto, id, e));
                 }
                 let scenario = match resolve_scenario(req.scenario.as_ref()) {
                     Ok(sc) => sc,
                     Err(e) => {
                         access.outcome = format!("error:{}", e.kind.as_str());
-                        return Some(self.error_reply(id, e));
+                        return Some(self.error_reply(req.proto, id, e));
                     }
                 };
                 if !scenario.name.is_empty() {
@@ -515,24 +880,25 @@ impl Server {
                 if let Some(hit) = self.cache.get(key) {
                     obs::counter_add(obs::names::SERVICE_CACHE_HITS, 1);
                     access.cached = true;
-                    return Some(ok_frame(id.as_deref(), req.op, true, &hit));
+                    return Some(Response::ok(req.proto, id, req.op, true, hit).render());
                 }
                 obs::counter_add(obs::names::SERVICE_CACHE_MISSES, 1);
                 let outcome = self.dispatch_and_wait(stream, &req, scenario, key, access)?;
                 Some(match outcome {
-                    Ok(result) => ok_frame(id.as_deref(), req.op, false, &result),
+                    Ok(result) => Response::ok(req.proto, id, req.op, false, result).render(),
                     Err(e) => {
                         access.outcome = format!("error:{}", e.kind.as_str());
-                        self.error_reply(id, e)
+                        self.error_reply(req.proto, id, e)
                     }
                 })
             }
         }
     }
 
-    /// Enqueue a solver job and wait for its reply, watching for client
-    /// disconnects. `None` means the client is gone. Queue-wait and solve
-    /// times measured by the worker are copied into `access`.
+    /// Join (or lead) the singleflight for `key` and wait for its result,
+    /// watching for client disconnects. `None` means the client is gone.
+    /// Queue-wait and solve times measured by the worker are copied into
+    /// `access`.
     #[allow(clippy::type_complexity)]
     fn dispatch_and_wait(
         &self,
@@ -541,78 +907,182 @@ impl Server {
         scenario: Scenario,
         key: u64,
         access: &mut AccessRecord,
-    ) -> Option<Result<std::sync::Arc<String>, ServiceError>> {
+    ) -> Option<Result<Arc<String>, ServiceError>> {
         let deadline_ms = req.deadline_ms.unwrap_or(self.default_deadline_ms);
-        let cancel = if deadline_ms > 0 {
-            CancelToken::with_deadline(Instant::now() + Duration::from_millis(deadline_ms))
-        } else {
-            CancelToken::new()
+        let deadline =
+            (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
+        // Join an identical in-flight solve, or lead a new one.
+        let (slot, leader) = {
+            let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match map.get(&key) {
+                Some(existing) => {
+                    existing.waiters.fetch_add(1, Ordering::SeqCst);
+                    (existing.clone(), false)
+                }
+                None => {
+                    let slot = Arc::new(FlightSlot::new());
+                    map.insert(key, slot.clone());
+                    (slot, true)
+                }
+            }
         };
-        let (tx, rx) = mpsc::channel();
+        if leader {
+            if let Err(e) = self.try_enqueue(req, scenario, key, &slot, access.ctx) {
+                // Publish the shed to the slot (not just this caller) so
+                // followers that raced in behind us see the same outcome.
+                self.publish(
+                    key,
+                    &slot,
+                    FlightResult {
+                        result: Err(e),
+                        queue_wait_ms: None,
+                        solve_ms: None,
+                    },
+                );
+            }
+        } else {
+            self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            obs::counter_add(obs::names::SERVICE_SINGLEFLIGHT_COALESCED, 1);
+        }
+        self.wait_for_flight(stream, &slot, key, deadline, access)
+    }
+
+    /// Enqueue the leader's job, shedding instead when the queue is at
+    /// its configured limit. Admission is decided under the queue lock so
+    /// the limit is exact.
+    fn try_enqueue(
+        &self,
+        req: &Request,
+        scenario: Scenario,
+        key: u64,
+        slot: &Arc<FlightSlot>,
+        ctx: u64,
+    ) -> Result<(), ServiceError> {
+        let mut jobs = self.queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        if self.queue_limit > 0 && jobs.len() >= self.queue_limit {
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            obs::counter_add(obs::names::SERVICE_SHED, 1);
+            return Err(ServiceError::new(
+                ErrorKind::Overloaded,
+                format!(
+                    "queue is full ({} of {} jobs); retry later",
+                    jobs.len(),
+                    self.queue_limit
+                ),
+            ));
+        }
         // Count the job before it becomes visible to workers, so their
         // decrement can never underflow the gauge.
         let depth = self.stats.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         obs::gauge_set(obs::names::SERVICE_QUEUE_DEPTH, depth as f64);
-        {
-            let mut jobs = self.queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
-            jobs.push_back(Job {
-                scenario,
-                op: req.op,
-                quick: req.quick,
-                cache_key: key,
-                cancel: cancel.clone(),
-                ctx: access.ctx,
-                enqueued: Instant::now(),
-                reply: tx,
-            });
-        }
+        jobs.push_back(Job {
+            scenario,
+            op: req.op,
+            quick: req.quick,
+            cache_key: key,
+            cancel: slot.cancel.clone(),
+            ctx,
+            enqueued: Instant::now(),
+            reply: slot.clone(),
+        });
+        drop(jobs);
         self.queue.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block on a flight until its outcome is published, this waiter's
+    /// own deadline passes, or the client hangs up. Departing waiters
+    /// cancel the solve only when they are the last one still interested.
+    fn wait_for_flight(
+        &self,
+        stream: &TcpStream,
+        slot: &Arc<FlightSlot>,
+        key: u64,
+        deadline: Option<Instant>,
+        access: &mut AccessRecord,
+    ) -> Option<Result<Arc<String>, ServiceError>> {
+        let mut outcome = slot.outcome.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            match rx.recv_timeout(POLL_INTERVAL) {
-                Ok(outcome) => {
-                    access.queue_wait_ms = Some(outcome.queue_wait_ms);
-                    access.solve_ms = Some(outcome.solve_ms);
-                    return Some(outcome.result);
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    if client_gone(stream) {
-                        // Nobody is listening: stop the work, drop the job.
-                        cancel.cancel();
-                        obs::counter_add(obs::names::SERVICE_CANCELLED_DISCONNECTS, 1);
-                        return None;
-                    }
-                    if self.shutting_down() {
-                        // Bound shutdown latency: abandon between points.
-                        cancel.cancel();
-                    }
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
+            if let Some(published) = outcome.as_ref() {
+                access.queue_wait_ms = published.queue_wait_ms;
+                access.solve_ms = published.solve_ms;
+                return Some(published.result.clone());
+            }
+            let (guard, _) = slot
+                .ready
+                .wait_timeout(outcome, POLL_INTERVAL)
+                .unwrap_or_else(|e| e.into_inner());
+            outcome = guard;
+            if outcome.is_some() {
+                continue;
+            }
+            if client_gone(stream) {
+                // Nobody is listening on this connection; leave the
+                // flight (the solve continues if others still wait).
+                drop(outcome);
+                self.depart(key, slot);
+                obs::counter_add(obs::names::SERVICE_CANCELLED_DISCONNECTS, 1);
+                return None;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    drop(outcome);
+                    self.depart(key, slot);
                     return Some(Err(ServiceError::new(
-                        ErrorKind::Internal,
-                        "worker pool dropped the request",
-                    )))
+                        ErrorKind::DeadlineExceeded,
+                        "request exceeded its deadline",
+                    )));
+                }
+            }
+            if self.shutting_down() {
+                // Bound shutdown latency: abandon between points. The
+                // worker still publishes (a cancelled error), so waiters
+                // drain normally.
+                slot.cancel.cancel();
+            }
+        }
+    }
+
+    /// Remove one waiter from a flight. The last waiter to leave an
+    /// unfinished flight cancels the solve and retires the map entry so a
+    /// later identical request starts fresh.
+    fn depart(&self, key: u64, slot: &Arc<FlightSlot>) {
+        let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.waiters.fetch_sub(1, Ordering::SeqCst) == 1 {
+            if !slot.done.load(Ordering::SeqCst) {
+                slot.cancel.cancel();
+            }
+            if let Some(entry) = map.get(&key) {
+                if Arc::ptr_eq(entry, slot) {
+                    map.remove(&key);
                 }
             }
         }
     }
 
-    fn error_reply(&self, id: Option<String>, error: ServiceError) -> String {
+    fn error_reply(&self, proto: u8, id: Option<String>, error: ServiceError) -> String {
         self.stats.errors.fetch_add(1, Ordering::Relaxed);
         obs::counter_add(obs::names::SERVICE_ERRORS, 1);
-        error_frame(id.as_deref(), &error)
+        Response::error(proto, id, error).render()
     }
 
     /// Server-owned counters the telemetry reports fold in.
     fn external_stats(&self) -> ExternalStats {
+        let cache = self.cache.stats();
         ExternalStats {
             workers: self.workers,
             queue_depth: self.stats.queue_depth.load(Ordering::Relaxed),
+            queue_limit: self.queue_limit,
             requests: self.stats.requests.load(Ordering::Relaxed),
             errors: self.stats.errors.load(Ordering::Relaxed),
-            cache_hits: self.cache.hits(),
-            cache_misses: self.cache.misses(),
-            cache_entries: self.cache.len(),
-            cache_capacity: self.cache.capacity(),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            batch_merged: self.stats.batch_merged.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_entries: cache.entries,
+            cache_capacity: cache.capacity,
+            cache_replayed: self.cache_replayed,
         }
     }
 
@@ -773,14 +1243,65 @@ mod tests {
 
     #[test]
     fn bind_on_port_zero_reports_addr() {
-        let server = Server::bind(&ServeOptions {
-            addr: "127.0.0.1:0".to_string(),
-            workers: 2,
-            ..ServeOptions::default()
-        })
-        .unwrap();
+        let config = ServeConfig::builder()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .build()
+            .unwrap();
+        let server = Server::bind(&config).unwrap();
         let addr = server.local_addr().unwrap();
         assert_ne!(addr.port(), 0);
         assert_eq!(server.worker_count(), 2);
+        assert_eq!(server.cache_replayed(), 0);
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = ServeConfig::builder().build().unwrap();
+        let defaults = ServeConfig::default();
+        assert_eq!(built.addr, defaults.addr);
+        assert_eq!(built.cache_capacity, defaults.cache_capacity);
+        assert_eq!(built.queue_limit, defaults.queue_limit);
+        assert_eq!(built.batch_max, defaults.batch_max);
+    }
+
+    #[test]
+    fn builder_rejects_misconfiguration_with_bad_request() {
+        let cases = [
+            ServeConfig::builder().addr(""),
+            ServeConfig::builder().metrics_addr(""),
+            ServeConfig::builder().batch_max(0),
+            ServeConfig::builder()
+                .cache_path("/tmp/seg")
+                .cache_capacity(0),
+        ];
+        for builder in cases {
+            let err = builder.build().unwrap_err();
+            assert_eq!(err.kind, ErrorKind::BadRequest, "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn builder_accepts_full_configuration() {
+        let config = ServeConfig::builder()
+            .addr("127.0.0.1:0")
+            .workers(4)
+            .cache_capacity(64)
+            .cache_path("/tmp/gsched-cache.ndjson")
+            .default_deadline_ms(5_000)
+            .queue_limit(32)
+            .batch_max(4)
+            .metrics_addr("127.0.0.1:0")
+            .access_log("/tmp/access.ndjson")
+            .access_log_max_bytes(1024)
+            .build()
+            .unwrap();
+        assert_eq!(config.workers, 4);
+        assert_eq!(config.queue_limit, 32);
+        assert_eq!(config.batch_max, 4);
+        assert_eq!(
+            config.cache_path.as_deref(),
+            Some(std::path::Path::new("/tmp/gsched-cache.ndjson"))
+        );
     }
 }

@@ -83,6 +83,16 @@ pub(crate) struct ExternalStats {
     pub cache_misses: u64,
     pub cache_entries: usize,
     pub cache_capacity: usize,
+    /// Admission-control queue bound (0 = unbounded).
+    pub queue_limit: usize,
+    /// Requests shed because the queue was full.
+    pub shed: u64,
+    /// Requests coalesced onto an in-flight identical solve.
+    pub coalesced: u64,
+    /// Sweep jobs merged into engine batches behind a leader job.
+    pub batch_merged: u64,
+    /// Cache entries replayed from the persistent segment at startup.
+    pub cache_replayed: u64,
 }
 
 impl ExternalStats {
@@ -182,7 +192,8 @@ impl Telemetry {
             concat!(
                 r#"{{"workers":{},"queue_depth":{},"requests":{},"errors":{},"#,
                 r#""cache_hits":{},"cache_misses":{},"cache_entries":{},"cache_capacity":{},"#,
-                r#""uptime_ms":{},"#,
+                r#""queue_limit":{},"shed":{},"coalesced":{},"batch_merged":{},"#,
+                r#""cache_replayed":{},"uptime_ms":{},"#,
                 r#""workers_busy":{},"connections":{},"cache_hit_ratio":{},"#,
                 r#""queue_wait_ms":{},"solve_ms":{},"ops":{{{}}}}}"#
             ),
@@ -194,6 +205,11 @@ impl Telemetry {
             ext.cache_misses,
             ext.cache_entries,
             ext.cache_capacity,
+            ext.queue_limit,
+            ext.shed,
+            ext.coalesced,
+            ext.batch_merged,
+            ext.cache_replayed,
             self.uptime_ms(),
             self.workers_busy_now(),
             self.connections.load(Ordering::Relaxed),
@@ -234,6 +250,30 @@ impl Telemetry {
             "gsched_queue_depth",
             "Jobs queued for the worker pool.",
             ext.queue_depth as f64,
+        );
+        gauge(
+            &mut out,
+            "gsched_queue_limit",
+            "Admission-control queue bound (0 = unbounded).",
+            ext.queue_limit as f64,
+        );
+        counter(
+            &mut out,
+            "gsched_shed_total",
+            "Requests shed because the queue was full.",
+            ext.shed,
+        );
+        counter(
+            &mut out,
+            "gsched_coalesced_total",
+            "Requests coalesced onto an in-flight identical solve.",
+            ext.coalesced,
+        );
+        counter(
+            &mut out,
+            "gsched_batch_merged_total",
+            "Sweep jobs merged into engine batches behind a leader job.",
+            ext.batch_merged,
         );
         counter(
             &mut out,
@@ -292,6 +332,12 @@ impl Telemetry {
             "gsched_cache_capacity",
             "Result-cache capacity.",
             ext.cache_capacity as f64,
+        );
+        gauge(
+            &mut out,
+            "gsched_cache_replayed",
+            "Cache entries replayed from the persistent segment at startup.",
+            ext.cache_replayed as f64,
         );
         let ratio = ext.cache_hit_ratio();
         if ratio.is_finite() {
@@ -522,6 +568,11 @@ mod tests {
             cache_misses: 0,
             cache_entries: 0,
             cache_capacity: 256,
+            queue_limit: 0,
+            shed: 0,
+            coalesced: 0,
+            batch_merged: 0,
+            cache_replayed: 0,
         }
     }
 
@@ -536,6 +587,11 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&text).unwrap();
         assert_eq!(v["workers"].as_f64(), Some(2.0));
         assert!(v["ops"]["solve"]["latency_ms"]["p50"].is_null());
+        assert_eq!(v["shed"].as_u64(), Some(0));
+        assert_eq!(v["coalesced"].as_u64(), Some(0));
+        assert_eq!(v["batch_merged"].as_u64(), Some(0));
+        assert_eq!(v["queue_limit"].as_u64(), Some(0));
+        assert_eq!(v["cache_replayed"].as_u64(), Some(0));
     }
 
     #[test]
@@ -583,6 +639,11 @@ mod tests {
             "gsched_cache_hits_total",
             "gsched_cache_misses_total",
             "gsched_cache_hit_ratio",
+            "gsched_cache_replayed",
+            "gsched_queue_limit",
+            "gsched_shed_total",
+            "gsched_coalesced_total",
+            "gsched_batch_merged_total",
             "gsched_request_latency_ms",
             "gsched_queue_wait_ms",
             "gsched_solve_ms",

@@ -2,9 +2,12 @@
 //! thread, blocking client in the test, shutdown via protocol frame.
 
 use gsched_service::client::{control_frame, frame_for_name, frame_for_scenario, RequestSpec};
-use gsched_service::{extract_result, frame_is_ok, Client, Op, ServeOptions, Server};
+use gsched_service::{
+    extract_result, frame_is_ok, CacheStats, CacheStore, Client, Op, ServeConfig, Server,
+};
 use serde_json::Value;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
 use std::thread::JoinHandle;
 
 struct TestServer {
@@ -15,16 +18,22 @@ struct TestServer {
 
 impl TestServer {
     fn start(workers: usize, cache_capacity: usize) -> TestServer {
-        let server = Arc::new(
-            Server::bind(&ServeOptions {
-                addr: "127.0.0.1:0".to_string(),
-                workers,
-                cache_capacity,
-                default_deadline_ms: 30_000,
-                ..ServeOptions::default()
-            })
-            .expect("bind"),
-        );
+        let config = ServeConfig::builder()
+            .addr("127.0.0.1:0")
+            .workers(workers)
+            .cache_capacity(cache_capacity)
+            .default_deadline_ms(30_000)
+            .build()
+            .expect("valid test config");
+        Self::start_bound(Server::bind(&config).expect("bind"))
+    }
+
+    fn start_with(config: ServeConfig) -> TestServer {
+        Self::start_bound(Server::bind(&config).expect("bind"))
+    }
+
+    fn start_bound(server: Server) -> TestServer {
+        let server = Arc::new(server);
         let addr = server.local_addr().expect("addr").to_string();
         let runner = Arc::clone(&server);
         let thread = std::thread::spawn(move || {
@@ -39,6 +48,13 @@ impl TestServer {
 
     fn client(&self) -> Client {
         Client::connect(&self.addr).expect("connect")
+    }
+
+    fn stop(mut self) {
+        self.server.request_shutdown();
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("server thread");
+        }
     }
 }
 
@@ -55,6 +71,23 @@ fn field<'v>(frame: &'v Value, name: &str) -> &'v Value {
     frame
         .get(name)
         .unwrap_or_else(|| panic!("frame has {name}"))
+}
+
+fn stats_doc(client: &mut Client) -> Value {
+    let reply = client
+        .request_line(&control_frame(Op::Stats, None))
+        .expect("stats reply");
+    let frame: Value = serde_json::from_str(&reply).expect("stats frame parses");
+    assert_eq!(frame["status"].as_str(), Some("ok"), "{reply}");
+    frame["result"].clone()
+}
+
+/// A process-unique scratch path (the container runs tests in parallel).
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "gsched-service-{}-{tag}.ndjson",
+        std::process::id()
+    ))
 }
 
 #[test]
@@ -90,6 +123,11 @@ fn repeat_request_is_served_from_cache_with_identical_bytes() {
     assert_eq!(field(result, "cache_misses").as_u64(), Some(1));
     assert_eq!(field(result, "errors").as_u64(), Some(0));
     assert_eq!(field(result, "requests").as_u64(), Some(3));
+    // No concurrency pressure in this test: nothing coalesced, batched,
+    // shed, or replayed.
+    assert_eq!(field(result, "coalesced").as_u64(), Some(0));
+    assert_eq!(field(result, "shed").as_u64(), Some(0));
+    assert_eq!(field(result, "cache_replayed").as_u64(), Some(0));
 }
 
 #[test]
@@ -130,6 +168,7 @@ fn structured_errors_keep_the_connection_and_server_alive() {
         (r#"{"op":"solve"}"#, "bad_request"),
         (r#"{"scenario":"no_such_scenario"}"#, "unknown_scenario"),
         (r#"{"scenario":"fig2","surprise":1}"#, "bad_request"),
+        (r#"{"proto":3,"scenario":"fig2"}"#, "bad_request"),
     ] {
         let reply = client.request_line(line).unwrap();
         assert!(!frame_is_ok(&reply), "{reply}");
@@ -146,6 +185,279 @@ fn structured_errors_keep_the_connection_and_server_alive() {
         .request_line(&frame_for_name("fig2", &RequestSpec::default()))
         .unwrap();
     assert!(frame_is_ok(&ok), "{ok}");
+}
+
+/// Requests are answered in the protocol version they speak: v2 frames
+/// carry `proto` right after `status`, v1 frames keep the legacy layout
+/// byte-for-byte — and both splice out identical result documents.
+#[test]
+fn protocol_versions_are_answered_in_kind() {
+    let ts = TestServer::start(1, 8);
+    let mut client = ts.client();
+
+    let v2 = client
+        .request_line(&frame_for_name("fig2", &RequestSpec::default()))
+        .unwrap();
+    assert!(
+        v2.starts_with(r#"{"status":"ok","proto":2,"#),
+        "v2 reply carries proto: {v2}"
+    );
+
+    let v1_spec = RequestSpec {
+        proto: 1,
+        id: Some("legacy".to_string()),
+        ..RequestSpec::default()
+    };
+    let v1 = client
+        .request_line(&frame_for_name("fig2", &v1_spec))
+        .unwrap();
+    assert!(
+        v1.starts_with(r#"{"status":"ok","id":"legacy","op":"solve""#),
+        "v1 reply keeps the legacy layout: {v1}"
+    );
+    let v1_doc: Value = serde_json::from_str(&v1).unwrap();
+    assert!(v1_doc.get("proto").is_none(), "{v1}");
+
+    assert_eq!(
+        extract_result(&v1),
+        extract_result(&v2),
+        "both versions serve identical result bytes"
+    );
+
+    // v1 errors keep the legacy error frame shape, too.
+    let bad = client.request_line("this is not json").unwrap();
+    let bad_doc: Value = serde_json::from_str(&bad).unwrap();
+    assert!(bad_doc.get("proto").is_none(), "{bad}");
+}
+
+/// M identical concurrent cache misses must run exactly one engine
+/// solve: the leader enqueues, the rest coalesce onto the same flight,
+/// and everyone shares the published bytes.
+#[test]
+fn singleflight_coalesces_identical_concurrent_misses() {
+    const M: usize = 4;
+    let ts = TestServer::start(2, 64);
+    let barrier = Arc::new(Barrier::new(M));
+    let mut handles = Vec::new();
+    for _ in 0..M {
+        let addr = ts.addr.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            barrier.wait();
+            client
+                .request_line(&frame_for_name("fig2", &RequestSpec::default()))
+                .expect("reply")
+        }));
+    }
+    let replies: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for reply in &replies {
+        assert!(frame_is_ok(reply), "{reply}");
+    }
+    let results: Vec<&str> = replies
+        .iter()
+        .map(|r| extract_result(r).expect("result"))
+        .collect();
+    for r in &results[1..] {
+        assert_eq!(*r, results[0], "all waiters share identical bytes");
+    }
+
+    let mut client = ts.client();
+    let stats = stats_doc(&mut client);
+    // The proof of exactly one engine solve: one job crossed the queue,
+    // one worker solve happened.
+    assert_eq!(
+        field(&stats, "queue_wait_ms")["count"].as_u64(),
+        Some(1),
+        "{stats}"
+    );
+    assert_eq!(
+        field(&stats, "solve_ms")["count"].as_u64(),
+        Some(1),
+        "{stats}"
+    );
+    assert_eq!(field(&stats, "coalesced").as_u64(), Some((M - 1) as u64));
+    assert_eq!(field(&stats, "errors").as_u64(), Some(0));
+}
+
+/// With one worker and a queue bounded at one job, a burst of distinct
+/// requests must shed the overflow with `overloaded` errors while the
+/// admitted requests still succeed.
+#[test]
+fn bounded_queue_sheds_overflow_with_overloaded_errors() {
+    const BURST: usize = 6;
+    let config = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(1)
+        .cache_capacity(64)
+        .queue_limit(1)
+        .build()
+        .unwrap();
+    let ts = TestServer::start_with(config);
+    let names = ["fig2", "fig3", "fig3_heavy", "fig4", "fig5", "sp2"];
+    let barrier = Arc::new(Barrier::new(BURST));
+    let mut handles = Vec::new();
+    for name in names.iter().take(BURST) {
+        let addr = ts.addr.clone();
+        let barrier = Arc::clone(&barrier);
+        let name = name.to_string();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            barrier.wait();
+            client
+                .request_line(&frame_for_name(&name, &RequestSpec::default()))
+                .expect("reply")
+        }));
+    }
+    let replies: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let mut oks = 0usize;
+    let mut sheds = 0usize;
+    for reply in &replies {
+        let doc: Value = serde_json::from_str(reply).unwrap();
+        if frame_is_ok(reply) {
+            oks += 1;
+        } else {
+            assert_eq!(
+                field(field(&doc, "error"), "kind").as_str(),
+                Some("overloaded"),
+                "only shed errors expected: {reply}"
+            );
+            sheds += 1;
+        }
+    }
+    assert_eq!(oks + sheds, BURST);
+    assert!(oks >= 1, "at least the running job succeeds");
+    assert!(sheds >= 1, "a burst past the queue limit must shed");
+
+    let mut client = ts.client();
+    let stats = stats_doc(&mut client);
+    assert_eq!(field(&stats, "shed").as_u64(), Some(sheds as u64));
+    assert_eq!(field(&stats, "queue_limit").as_u64(), Some(1));
+}
+
+/// A restarted server with a persistent cache answers previously solved
+/// scenarios from the replayed segment without re-solving — even when a
+/// crash tore the segment's final line.
+#[test]
+fn persistent_cache_survives_restart_and_torn_tail() {
+    let path = temp_path("segment");
+    let _ = std::fs::remove_file(&path);
+    let config = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(1)
+        .cache_capacity(16)
+        .cache_path(&path)
+        .build()
+        .unwrap();
+
+    let first_bytes;
+    {
+        let ts = TestServer::start_with(config.clone());
+        let mut client = ts.client();
+        let reply = client
+            .request_line(&frame_for_name("fig4", &RequestSpec::default()))
+            .unwrap();
+        assert!(frame_is_ok(&reply), "{reply}");
+        let doc: Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(field(&doc, "cached").as_bool(), Some(false));
+        first_bytes = extract_result(&reply).expect("result").to_string();
+        drop(client);
+        ts.stop();
+    }
+
+    // Simulate a crash mid-append: a torn, newline-less final line.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(br#"{"v":1,"key":"00ab"#).unwrap();
+    }
+
+    let ts = TestServer::start_with(config);
+    let mut client = ts.client();
+    let reply = client
+        .request_line(&frame_for_name("fig4", &RequestSpec::default()))
+        .unwrap();
+    let doc: Value = serde_json::from_str(&reply).unwrap();
+    assert_eq!(
+        field(&doc, "cached").as_bool(),
+        Some(true),
+        "restart must answer from the replayed cache: {reply}"
+    );
+    assert_eq!(
+        extract_result(&reply),
+        Some(first_bytes.as_str()),
+        "replayed bytes are identical"
+    );
+    let stats = stats_doc(&mut client);
+    assert_eq!(field(&stats, "cache_replayed").as_u64(), Some(1));
+    assert_eq!(field(&stats, "cache_misses").as_u64(), Some(0));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A store that drops every insert and misses every get: the server must
+/// keep serving (solving fresh each time), never crash, and report the
+/// store's own counters.
+struct FailingStore {
+    gets: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl CacheStore for FailingStore {
+    fn get(&self, _key: u64) -> Option<std::sync::Arc<String>> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn insert(&self, _key: u64, _value: std::sync::Arc<String>) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: 0,
+            misses: self.gets.load(Ordering::Relaxed),
+            entries: 0,
+            capacity: 0,
+        }
+    }
+}
+
+#[test]
+fn server_survives_a_failing_cache_store() {
+    let config = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(1)
+        .build()
+        .unwrap();
+    let store = Box::new(FailingStore {
+        gets: AtomicU64::new(0),
+        inserts: AtomicU64::new(0),
+    });
+    let ts = TestServer::start_bound(Server::bind_with_store(&config, store, 0).expect("bind"));
+    let mut client = ts.client();
+    let line = frame_for_name("fig2", &RequestSpec::default());
+    let first = client.request_line(&line).unwrap();
+    let second = client.request_line(&line).unwrap();
+    for reply in [&first, &second] {
+        assert!(frame_is_ok(reply), "{reply}");
+        let doc: Value = serde_json::from_str(reply).unwrap();
+        assert_eq!(
+            field(&doc, "cached").as_bool(),
+            Some(false),
+            "a store that drops inserts can never serve a hit: {reply}"
+        );
+    }
+    assert_eq!(
+        extract_result(&first),
+        extract_result(&second),
+        "fresh solves still render identical bytes"
+    );
+    let stats = stats_doc(&mut client);
+    assert_eq!(field(&stats, "cache_misses").as_u64(), Some(2));
+    assert_eq!(field(&stats, "cache_hits").as_u64(), Some(0));
 }
 
 #[test]
@@ -190,16 +502,14 @@ fn request_ids_are_echoed_and_sweeps_render_reports() {
 
 #[test]
 fn shutdown_frame_stops_the_server() {
-    let server = Arc::new(
-        Server::bind(&ServeOptions {
-            addr: "127.0.0.1:0".to_string(),
-            workers: 1,
-            cache_capacity: 8,
-            default_deadline_ms: 0,
-            ..ServeOptions::default()
-        })
-        .unwrap(),
-    );
+    let config = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(1)
+        .cache_capacity(8)
+        .default_deadline_ms(0)
+        .build()
+        .unwrap();
+    let server = Arc::new(Server::bind(&config).unwrap());
     let addr = server.local_addr().unwrap().to_string();
     let runner = Arc::clone(&server);
     let thread = std::thread::spawn(move || runner.run().unwrap());

@@ -3,7 +3,7 @@
 //! between access-log `request_id`s and exported span trees.
 
 use gsched_service::client::{control_frame, frame_for_name, RequestSpec};
-use gsched_service::{Client, Op, ServeOptions, Server};
+use gsched_service::{Client, Op, ServeConfig, Server};
 use serde_json::Value;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -18,7 +18,7 @@ struct TestServer {
 }
 
 impl TestServer {
-    fn start(opts: ServeOptions) -> TestServer {
+    fn start(opts: ServeConfig) -> TestServer {
         let server = Arc::new(Server::bind(&opts).expect("bind"));
         let addr = server.local_addr().expect("addr").to_string();
         let runner = Arc::clone(&server);
@@ -62,16 +62,19 @@ fn temp_path(tag: &str) -> PathBuf {
     ))
 }
 
-fn opts_with(access_log: Option<PathBuf>, metrics: bool) -> ServeOptions {
-    ServeOptions {
-        addr: "127.0.0.1:0".to_string(),
-        workers: 2,
-        cache_capacity: 64,
-        default_deadline_ms: 30_000,
-        metrics_addr: metrics.then(|| "127.0.0.1:0".to_string()),
-        access_log,
-        ..ServeOptions::default()
+fn opts_with(access_log: Option<PathBuf>, metrics: bool) -> ServeConfig {
+    let mut builder = ServeConfig::builder()
+        .addr("127.0.0.1:0")
+        .workers(2)
+        .cache_capacity(64)
+        .default_deadline_ms(30_000);
+    if metrics {
+        builder = builder.metrics_addr("127.0.0.1:0");
     }
+    if let Some(path) = access_log {
+        builder = builder.access_log(path);
+    }
+    builder.build().expect("valid test config")
 }
 
 fn read_ndjson(path: &PathBuf) -> Vec<Value> {
@@ -255,6 +258,11 @@ fn metrics_endpoint_serves_valid_prometheus_text() {
         "gsched_workers",
         "gsched_workers_busy",
         "gsched_queue_depth",
+        "gsched_queue_limit",
+        "gsched_shed_total",
+        "gsched_coalesced_total",
+        "gsched_batch_merged_total",
+        "gsched_cache_replayed",
         "gsched_connections_total",
         "gsched_requests_total",
         "gsched_errors_total",
