@@ -9,10 +9,17 @@
 //! drift margins, fixed-point iterations, simulator event rate). The result
 //! is a schema-versioned [`BenchReport`] written as `BENCH_<label>.json`;
 //! `--compare <baseline.json>` turns the same run into a regression gate.
+//!
+//! `--kernels` swaps the scenario set for the kernel microbenchmark: the
+//! canonical op mix (matrix products, LU factorizations, triangular
+//! solves) timed for every [`BackendKind`] at a ladder of QBD-like block
+//! sizes. The rows use the same schema, so the history and `bench trend`
+//! gate cover kernel regressions too — on the deterministic nominal flop
+//! counters, not wall time.
 
 use gsched_core::model::GangModel;
 use gsched_engine::{run_sweep, SweepOptions, SweepRequest};
-use gsched_linalg::WorkCounters;
+use gsched_linalg::{BackendKind, Matrix, WorkCounters};
 use gsched_obs as obs;
 use gsched_scenario::Scenario as ScenarioIr;
 use gsched_sim::{simulate, Policy, SimConfig};
@@ -417,6 +424,149 @@ pub fn run_bench(
     })
 }
 
+/// Matrix products per kernel-microbenchmark repetition.
+const KERNEL_MATMULS: usize = 6;
+/// LU factorizations per repetition.
+const KERNEL_FACTORS: usize = 4;
+/// Forward+backward vector solves per repetition (against one factor).
+const KERNEL_SOLVES: usize = 16;
+
+/// Block sizes exercised by `gsched bench --kernels`. The quick ladder tops
+/// out at the largest block a truncated multi-class QBD generator produces
+/// in practice; the full set adds one cache-pressure point where tiling
+/// pays off most.
+fn kernel_sizes(quick: bool) -> &'static [usize] {
+    if quick {
+        &[16, 48, 96]
+    } else {
+        &[16, 48, 96, 192]
+    }
+}
+
+/// Operand shapes the microbenchmark exercises: a fully dense block (where
+/// tiling pays) and a QBD-like narrow band, `kl = ku = max(2, n/8)` (where
+/// band storage pays). The two shapes bracket the block profiles the
+/// solver actually produces.
+const KERNEL_SHAPES: [(&str, bool); 2] = [("dense", false), ("band", true)];
+
+/// Deterministic diagonally dominant operand with the requested bandwidth.
+fn kernel_operand(n: usize, bw: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        let lo = i.saturating_sub(bw);
+        let hi = (i + bw).min(n - 1);
+        for j in lo..=hi {
+            m[(i, j)] = next();
+        }
+        m[(i, i)] += 2.0 * bw as f64 + 2.0;
+    }
+    m
+}
+
+/// Time the canonical kernel op mix for one backend at one block size and
+/// operand shape. Wall time is the median over `reps`; the flop counters
+/// come from the last repetition and are deterministic (equal nominal
+/// attribution across backends), which is what `bench trend` gates on.
+fn run_kernel_case(kind: BackendKind, n: usize, shape: (&str, bool), reps: u64) -> ScenarioResult {
+    let be = kind.instance();
+    let (shape_name, banded) = shape;
+    let bw = if banded { (n / 8).max(2) } else { n };
+    let a = kernel_operand(n, bw, 0x5eed + n as u64);
+    let b = kernel_operand(n, bw, 0xfeed + n as u64);
+    let rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 1.5).collect();
+    let mut wall_ms = Vec::with_capacity(reps as usize);
+    let mut work = WorkCounters::default();
+    for _ in 0..reps {
+        let _recorder = obs::install_memory();
+        let base = WorkCounters::snapshot();
+        let start = Instant::now();
+        for _ in 0..KERNEL_MATMULS {
+            let c = be.matmul(&a, &b).expect("kernel operands conform");
+            std::hint::black_box(&c);
+        }
+        for i in 0..KERNEL_FACTORS {
+            let f = be.factor(&a).expect("operand is diagonally dominant");
+            if i == 0 {
+                for _ in 0..KERNEL_SOLVES {
+                    let x = f.solve_vec(&rhs).expect("factor solves");
+                    std::hint::black_box(&x);
+                }
+            }
+            std::hint::black_box(&f);
+        }
+        wall_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        work = base.delta_since();
+        obs::uninstall();
+    }
+    ScenarioResult {
+        name: format!("kernel_{}_{}_n{:03}", kind.as_str(), shape_name, n),
+        kind: "kernel".to_string(),
+        wall_ms: median(wall_ms),
+        points: (KERNEL_MATMULS + KERNEL_FACTORS + KERNEL_SOLVES) as u64,
+        fp_iterations: 0,
+        rmatrix_solves: 0,
+        rmatrix_iterations: 0,
+        max_r_residual: None,
+        max_spectral_radius: None,
+        min_drift_margin: None,
+        sim_events: 0,
+        sim_event_rate: None,
+        warm_hits: 0,
+        warm_misses: 0,
+        parallel_speedup: None,
+        matmul_calls: work.matmul_calls,
+        matmul_flops: work.matmul_flops,
+        lu_factorizations: work.lu_factorizations,
+        lu_flops: work.lu_flops,
+        triangular_solves: work.triangular_solves,
+        triangular_flops: work.triangular_flops,
+        phases: Vec::new(),
+        requests: 0,
+        request_errors: 0,
+        shed: 0,
+        cached_hits: 0,
+        p50_ms: None,
+        p99_ms: None,
+        rps: None,
+    }
+}
+
+/// Kernel rows for every backend at every size and shape, grouped by
+/// (size, shape) so neighbouring table rows compare backends directly.
+fn kernel_rows(sizes: &[usize], reps: u64) -> Vec<ScenarioResult> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for shape in KERNEL_SHAPES {
+            for kind in BackendKind::ALL {
+                rows.push(run_kernel_case(kind, n, shape, reps));
+            }
+        }
+    }
+    rows
+}
+
+/// Entry point for `gsched bench --kernels`: the backend microbenchmark
+/// set instead of the canonical scenarios, same report schema and history.
+pub fn run_kernel_bench(label: &str, reps: u64, quick: bool) -> Result<BenchReport, String> {
+    let reps = reps.max(1);
+    eprintln!("bench: running kernel microbenchmarks ({reps} reps)...");
+    Ok(BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        label: label.to_string(),
+        reps,
+        quick,
+        jobs: 1,
+        scenarios: kernel_rows(kernel_sizes(quick), reps),
+    })
+}
+
 /// Outcome of comparing a run against a baseline.
 pub struct CompareOutcome {
     /// Per-scenario delta table rows (aligned, human-readable).
@@ -690,6 +840,53 @@ mod tests {
             .lines
             .iter()
             .any(|l| l.contains("missing from current run")));
+    }
+
+    #[test]
+    fn kernel_rows_cover_all_backends_with_equal_nominal_work() {
+        let n = 12u64;
+        let want = [
+            (KERNEL_MATMULS as u64) * 2 * n.pow(3),
+            (KERNEL_FACTORS as u64) * (2 * n.pow(3) / 3),
+            (KERNEL_SOLVES as u64) * 2 * n.pow(2),
+        ];
+        // The flop counters are process-global and other tests in this
+        // binary run solves concurrently; retry until a quiet window gives
+        // the exact textbook charge on all three backends.
+        let mut clean = None;
+        'attempt: for _ in 0..100 {
+            let rows = kernel_rows(&[n as usize], 1);
+            for r in &rows {
+                if [r.matmul_flops, r.lu_flops, r.triangular_flops] != want {
+                    continue 'attempt;
+                }
+            }
+            clean = Some(rows);
+            break;
+        }
+        let rows = clean.expect("no quiet counter window in 100 attempts");
+        assert_eq!(rows.len(), BackendKind::ALL.len() * KERNEL_SHAPES.len());
+        let mut it = rows.iter();
+        for (shape, _) in KERNEL_SHAPES {
+            for kind in BackendKind::ALL {
+                let r = it.next().unwrap();
+                assert_eq!(r.name, format!("kernel_{kind}_{shape}_n012"));
+                assert_eq!(r.kind, "kernel");
+                assert!(r.wall_ms >= 0.0 && r.wall_ms.is_finite());
+                assert_eq!(r.matmul_calls, KERNEL_MATMULS as u64);
+                assert_eq!(r.lu_factorizations, KERNEL_FACTORS as u64);
+                assert_eq!(r.triangular_solves, KERNEL_SOLVES as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_size_ladder_is_quick_prefix_of_full() {
+        let quick = kernel_sizes(true);
+        let full = kernel_sizes(false);
+        assert!(full.starts_with(quick));
+        assert!(full.len() > quick.len());
+        assert!(quick.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -1,28 +1,29 @@
 //! `gsched` — solve, simulate, and tune gang-scheduled parallel machines.
 //!
 //! ```text
-//! gsched solve     <model.json | --scenario S> [--mode ht|m2|m3|exact] [--json]
+//! gsched solve     <model.json | --scenario S> [--mode ht|m2|m3|exact]
+//!                  [--backend naive|blocked|banded] [--method lr|ss|newton] [--json]
 //! gsched simulate  <model.json | --scenario S> [--policy gang|lend|rr|fcfs]
 //!                               [--horizon T] [--warmup T] [--seed N] [--json]
 //! gsched sweep     [fig2|fig3|fig4|fig5|all | --scenario S] [--jobs N] [--quick]
-//!                  [--no-warm] [--parity-check] [--json]
+//!                  [--no-warm] [--parity-check] [--backend B] [--method M] [--json]
 //! gsched validate  [<scenario>...] [--json]
 //! gsched xval      <scenario | all> [--points N] [--full]
 //!                  [--horizon-scale F] [--json]
 //! gsched tune      <model.json> [--lo Q] [--hi Q] [--objective total|max] [--json]
 //! gsched stability <model.json> [--class P] [--lo Q] [--hi Q]
 //! gsched doctor    <model.json | --scenario S> [--mode ht|m2|m3|exact]
-//!                  [--convergence] [--json]
-//! gsched profile   <scenario | --sweep fig2..fig5|all> [--quick] [--json]
-//!                  [--trace PATH]
-//! gsched bench     [--scenario S] [--label L] [--reps N] [--jobs N] [--quick]
-//!                  [--out DIR] [--compare BENCH.json] [--threshold FRAC]
+//!                  [--backend B] [--method M] [--convergence] [--json]
+//! gsched profile   <scenario | --sweep fig2..fig5|all> [--quick] [--backend B]
+//!                  [--method M] [--json] [--trace PATH]
+//! gsched bench     [--scenario S | --kernels] [--label L] [--reps N] [--jobs N]
+//!                  [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC]
 //!                  [--history PATH] [--no-history]
 //! gsched bench trend [--history PATH] [--metric M1,M2] [--window N]
 //!                  [--threshold FRAC] [--gate] [--json]
 //! gsched paper     [--rho R] [--quantum Q] [--json]
 //! gsched serve     [--addr A] [--workers N] [--cache-cap N] [--cache-path PATH]
-//!                  [--deadline-ms N] [--queue-limit N] [--batch-max N]
+//!                  [--deadline-ms N] [--queue-limit N] [--batch-max N] [--backend B]
 //!                  [--metrics-addr A] [--access-log PATH] [--access-log-max-bytes N]
 //! gsched request   [<scenario>] [--addr A] [--op solve|sweep|stats|shutdown]
 //!                  [--proto 1|2] [--quick] [--deadline-ms N] [--id ID] [--frame]
@@ -39,6 +40,16 @@
 //! `gsched-scenario`) or a path to a scenario JSON file. The same scenario
 //! drives the analytic solver, the engine sweeps, and the simulator — one
 //! description, every backend.
+//!
+//! The solving subcommands (`solve`, `sweep`, `doctor`, `profile`, `serve`)
+//! accept `--backend naive|blocked|banded` to pick the `gsched-linalg`
+//! kernel implementation under the whole solver stack, and (except `serve`)
+//! `--method lr|ss|newton` to pick the QBD `R`-matrix solver. Every
+//! backend/method combination agrees within each scenario's declared
+//! tolerance; the defaults (`naive`, `lr`) reproduce the historical results
+//! bit-for-bit. The active pair is surfaced by `doctor`, `profile --json`,
+//! and the service `stats` verb, and sweeps record the backend in their
+//! provenance parameters.
 //!
 //! `gsched sweep` evaluates the paper's figure sweeps on the
 //! `gsched-engine` work-stealing pool: `--jobs N` sets the worker count
@@ -107,6 +118,10 @@
 //! to the NDJSON history (`results/bench_history.ndjson` by default;
 //! `--no-history` skips), and `gsched bench trend` compares the newest row
 //! against the trailing window — `--gate` turns that into a CI failure.
+//! `gsched bench --kernels` swaps in the kernel microbenchmark instead:
+//! every linalg backend timed on dense and QBD-band operand shapes across
+//! a ladder of block sizes, written to the same schema and history so the
+//! trend gate covers kernel regressions on the deterministic flop counters.
 //!
 //! Model files are JSON (see `gsched_scenario::ModelSpec`); `gsched
 //! example-model` and `gsched example-scenario` print templates.
@@ -119,9 +134,10 @@ mod top;
 mod trend;
 
 use gsched_core::model::GangModel;
-use gsched_core::solver::{solve, GangSolution, SolverOptions, VacationMode};
+use gsched_core::solver::{solve, GangSolution, RSolverMethod, SolverOptions, VacationMode};
 use gsched_core::tuning::{optimize_common_quantum, stability_threshold_quantum, Objective};
 use gsched_engine::{run_sweep, SweepOptions, SweepReport, SweepRequest};
+use gsched_linalg::BackendKind;
 use gsched_scenario::{
     cross_validate, registry, validate_report, LintLevel, ModelSpec, Policy, Scenario, XvalOptions,
     XvalReport,
@@ -202,25 +218,27 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  gsched solve     <model.json | --scenario S> [--mode ht|m2|m3|exact] [--json]\n  \
+        "usage:\n  gsched solve     <model.json | --scenario S> [--mode ht|m2|m3|exact] [--backend naive|blocked|banded] [--method lr|ss|newton] [--json]\n  \
          gsched simulate  <model.json | --scenario S> [--policy gang|lend|rr|fcfs] [--horizon T] [--warmup T] [--seed N] [--json]\n  \
-         gsched sweep     [fig2|fig3|fig4|fig5|all | --scenario S] [--jobs N] [--quick] [--no-warm] [--parity-check] [--json]\n  \
+         gsched sweep     [fig2|fig3|fig4|fig5|all | --scenario S] [--jobs N] [--quick] [--no-warm] [--parity-check] [--backend B] [--method M] [--json]\n  \
          gsched validate  [<scenario>...] [--json]\n  \
          gsched xval      <scenario | all> [--points N] [--full] [--horizon-scale F] [--json]\n  \
          gsched tune      <model.json> [--lo Q] [--hi Q] [--objective total|max] [--json]\n  \
          gsched stability <model.json> [--class P] [--lo Q] [--hi Q]\n  \
-         gsched doctor    <model.json | --scenario S> [--mode ht|m2|m3|exact] [--convergence] [--json]\n  \
-         gsched profile   <scenario | --sweep fig2..fig5|all> [--quick] [--json] [--trace PATH]\n  \
-         gsched bench     [--scenario S] [--label L] [--reps N] [--jobs N] [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC] [--history PATH] [--no-history]\n  \
+         gsched doctor    <model.json | --scenario S> [--mode ht|m2|m3|exact] [--backend B] [--method M] [--convergence] [--json]\n  \
+         gsched profile   <scenario | --sweep fig2..fig5|all> [--quick] [--backend B] [--method M] [--json] [--trace PATH]\n  \
+         gsched bench     [--scenario S | --kernels] [--label L] [--reps N] [--jobs N] [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC] [--history PATH] [--no-history]\n  \
          gsched bench trend [--history PATH] [--metric M1,M2] [--window N] [--threshold FRAC] [--gate] [--json]\n  \
          gsched paper     [--rho R] [--quantum Q] [--json]\n  \
-         gsched serve     [--addr A] [--workers N] [--cache-cap N] [--cache-path PATH] [--deadline-ms N] [--queue-limit N] [--batch-max N] [--metrics-addr A] [--access-log PATH] [--access-log-max-bytes N]\n  \
+         gsched serve     [--addr A] [--workers N] [--cache-cap N] [--cache-path PATH] [--deadline-ms N] [--queue-limit N] [--batch-max N] [--backend B] [--metrics-addr A] [--access-log PATH] [--access-log-max-bytes N]\n  \
          gsched request   [<scenario>] [--addr A] [--op solve|sweep|stats|shutdown] [--proto 1|2] [--quick] [--deadline-ms N] [--id ID] [--frame]\n  \
          gsched loadtest  [--addr A] [--clients N] [--requests N] [--quick] [--label L] [--out DIR] [--history PATH] [--no-history] [--expect-no-shed] [--json]\n  \
          gsched top       [--addr A] [--interval SECS] [--count N] [--once]\n  \
          gsched example-model\n  \
          gsched example-scenario\n\
          a scenario S is a registry name ({}) or a scenario JSON file.\n\
+         --backend B picks the linalg kernels (naive|blocked|banded); \
+         --method M picks the R-matrix solver (lr|ss|newton).\n\
          diagnostics (any subcommand): --diag <path> writes a JSON metrics \
          snapshot; --trace <path> writes a Chrome Trace Event file \
          (Perfetto); -v prints a report to stderr (-vv adds events)",
@@ -252,6 +270,7 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
                 || name == "convergence"
                 || name == "no-history"
                 || name == "expect-no-shed"
+                || name == "kernels"
             {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
@@ -405,11 +424,24 @@ fn solver_options(flags: &HashMap<String, String>) -> Result<SolverOptions, Stri
         Some("exact") => VacationMode::Exact,
         Some(other) => return Err(format!("unknown --mode `{other}`")),
     };
-    SolverOptions::builder()
+    let backend = parse_backend(flags)?;
+    let mut builder = SolverOptions::builder()
         .mode(mode)
-        .response_quantiles(flags.contains_key("percentiles"))
-        .build()
-        .map_err(|e| e.to_string())
+        .backend(backend)
+        .response_quantiles(flags.contains_key("percentiles"));
+    if let Some(m) = flags.get("method") {
+        let method: RSolverMethod = m.parse()?;
+        builder = builder.r_method(method);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Parse the `--backend` flag shared by solve/sweep/doctor/profile/bench/serve.
+fn parse_backend(flags: &HashMap<String, String>) -> Result<BackendKind, String> {
+    match flags.get("backend") {
+        None => Ok(BackendKind::default()),
+        Some(v) => v.parse(),
+    }
 }
 
 fn print_solution_human(model: &GangModel, sol: &GangSolution) {
@@ -647,6 +679,16 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     };
     let jobs = flag_f64(&flags, "jobs", 0.0)? as usize;
     let solver = solver_options(&flags)?;
+    // Record the kernel backend in each request's provenance params so
+    // archived sweep outputs say which backend produced them.
+    let backend = solver.qbd.backend;
+    let requests: Vec<(String, SweepRequest)> = requests
+        .into_iter()
+        .map(|(name, mut req)| {
+            req.base = std::mem::take(&mut req.base).with_param("backend", backend.index() as f64);
+            (name, req)
+        })
+        .collect();
     let opts = SweepOptions::default()
         .with_jobs(jobs)
         .with_warm_start(!flags.contains_key("no-warm"))
@@ -1047,9 +1089,11 @@ fn cmd_doctor(args: &[String]) -> Result<(), String> {
             .map(|c| serde_json::to_string(c).expect("convergence report serializes"))
             .unwrap_or_else(|| "null".to_string());
         println!(
-            r#"{{"all_stable":{},"converged":{},"classes":[{}],"warnings":[{}],"convergence":{}}}"#,
+            r#"{{"all_stable":{},"converged":{},"backend":{},"r_solver":{},"classes":[{}],"warnings":[{}],"convergence":{}}}"#,
             sol.all_stable,
             sol.converged,
+            json_str(opts.qbd.backend.as_str()),
+            json_str(opts.qbd.method.as_str()),
             classes.join(","),
             warnings.join(","),
             convergence_json
@@ -1060,6 +1104,10 @@ fn cmd_doctor(args: &[String]) -> Result<(), String> {
             health.classes.len(),
             sol.converged,
             sol.all_stable
+        );
+        println!(
+            "kernel backend = {}, R solver = {}",
+            opts.qbd.backend, opts.qbd.method
         );
         print!("{}", health.render(&thresholds));
         if let Some(c) = &conv {
@@ -1073,12 +1121,18 @@ fn cmd_doctor(args: &[String]) -> Result<(), String> {
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let (_, flags) = parse_flags(args)?;
     let quick = flags.contains_key("quick");
+    let kernels = flags.contains_key("kernels");
+    if kernels && flags.contains_key("scenario") {
+        return Err("--kernels and --scenario are mutually exclusive".to_string());
+    }
     let label = flags.get("label").cloned().unwrap_or_else(|| {
-        if quick {
-            "quick".to_string()
-        } else {
-            "local".to_string()
+        match (kernels, quick) {
+            (true, true) => "kernels-quick",
+            (true, false) => "kernels",
+            (false, true) => "quick",
+            (false, false) => "local",
         }
+        .to_string()
     });
     if !label
         .chars()
@@ -1094,11 +1148,35 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         .get("scenario")
         .map(|arg| load_scenario(arg))
         .transpose()?;
-    let report = bench::run_bench(&label, reps, quick, jobs, only.as_ref())?;
+    let report = if kernels {
+        bench::run_kernel_bench(&label, reps, quick)?
+    } else {
+        bench::run_bench(&label, reps, quick, jobs, only.as_ref())?
+    };
     let dir = flags.get("out").map(String::as_str).unwrap_or(".");
     let out_path = format!("{dir}/BENCH_{label}.json");
     gsched_obs::write_atomic(&out_path, report.to_json().as_bytes())
         .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    if kernels {
+        println!(
+            "{:<26} {:>12} {:>8} {:>14} {:>10}",
+            "kernel", "wall ms", "ops", "nominal flops", "gflop/s"
+        );
+        for s in &report.scenarios {
+            let flops = (s.matmul_flops + s.lu_flops + s.triangular_flops) as f64;
+            let gflops = if s.wall_ms > 0.0 {
+                format!("{:.2}", flops / (s.wall_ms * 1e6))
+            } else {
+                "-".to_string()
+            };
+            println!(
+                "{:<26} {:>12.3} {:>8} {:>14} {:>10}",
+                s.name, s.wall_ms, s.points, flops as u64, gflops
+            );
+        }
+        write_and_gate_bench(&report, &flags, &out_path)?;
+        return Ok(());
+    }
     println!(
         "{:<28} {:>12} {:>8} {:>10} {:>12} {:>14} {:>9} {:>9}",
         "scenario", "wall ms", "points", "fp iters", "R solves", "max residual", "warm", "speedup"
@@ -1128,21 +1206,31 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 .unwrap_or_else(|| "-".to_string()),
         );
     }
+    write_and_gate_bench(&report, &flags, &out_path)
+}
+
+/// Shared tail of `gsched bench`: report the output path, append the
+/// history row, and run the `--compare` wall-time gate when requested.
+fn write_and_gate_bench(
+    report: &bench::BenchReport,
+    flags: &HashMap<String, String>,
+    out_path: &str,
+) -> Result<(), String> {
     println!("wrote {out_path}");
     if !flags.contains_key("no-history") {
         let history_path = flags
             .get("history")
             .map(String::as_str)
             .unwrap_or(trend::DEFAULT_HISTORY_PATH);
-        trend::append_history(history_path, &report)?;
+        trend::append_history(history_path, report)?;
         println!("appended history row to {history_path}");
     }
     if let Some(baseline_path) = flags.get("compare") {
         let text = std::fs::read_to_string(baseline_path)
             .map_err(|e| format!("cannot read `{baseline_path}`: {e}"))?;
         let baseline = bench::BenchReport::from_json(&text)?;
-        let threshold = flag_f64(&flags, "threshold", 0.25)?;
-        let outcome = bench::compare_reports(&baseline, &report, threshold);
+        let threshold = flag_f64(flags, "threshold", 0.25)?;
+        let outcome = bench::compare_reports(&baseline, report, threshold);
         for line in &outcome.lines {
             println!("{line}");
         }
@@ -1201,6 +1289,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 .unwrap_or_else(|| "127.0.0.1:7070".to_string()),
         )
         .workers(flag_f64(&flags, "workers", 0.0)? as usize)
+        .backend(parse_backend(&flags)?)
         .cache_capacity(flag_f64(&flags, "cache-cap", 256.0)? as usize)
         .default_deadline_ms(flag_f64(&flags, "deadline-ms", 30_000.0)? as u64)
         .queue_limit(flag_f64(&flags, "queue-limit", defaults.queue_limit as f64)? as usize)

@@ -67,6 +67,14 @@ pub struct ProfileReport {
     pub workload: String,
     /// Whether the reduced `--quick` point grids were used.
     pub quick: bool,
+    /// Kernel backend the run used (`naive`, `blocked`, `banded`).
+    /// Defaults when absent so pre-backend documents keep parsing.
+    #[serde(default = "String::default")]
+    pub backend: String,
+    /// R-solver method the run used (`logarithmic_reduction`,
+    /// `successive_substitution`, `newton`). Defaults like `backend`.
+    #[serde(default = "String::default")]
+    pub r_solver: String,
     /// Models solved.
     pub points: u64,
     /// Points that failed to solve (unstable/non-convergent ends of a
@@ -231,6 +239,8 @@ fn measure(
         profile_schema_version: PROFILE_SCHEMA_VERSION,
         workload: names.join("+"),
         quick,
+        backend: solver.qbd.backend.as_str().to_string(),
+        r_solver: solver.qbd.method.as_str().to_string(),
         points: solved + failed,
         failed_points: failed,
         wall_ms,
@@ -259,6 +269,10 @@ fn print_human(rep: &ProfileReport) {
         rep.wall_ms,
         rep.attributed_ms,
         rep.attributed_fraction * 100.0
+    );
+    println!(
+        "kernel backend = {}, R solver = {}",
+        rep.backend, rep.r_solver
     );
     println!(
         "{:<26} {:<24} {:>8} {:>10} {:>10} {:>7}",
@@ -350,6 +364,8 @@ mod tests {
             profile_schema_version: PROFILE_SCHEMA_VERSION,
             workload: "fig2".to_string(),
             quick: true,
+            backend: "naive".to_string(),
+            r_solver: "logarithmic_reduction".to_string(),
             points: 4,
             failed_points: 1,
             wall_ms: 12.5,
@@ -379,5 +395,17 @@ mod tests {
         let text = serde_json::to_string_pretty(&rep).unwrap();
         let back: ProfileReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back, rep);
+
+        // A document written before the backend fields existed still
+        // parses (schema version unchanged); the fields default to empty.
+        let pre_backend: String = text
+            .lines()
+            .filter(|l| !l.contains("\"backend\"") && !l.contains("\"r_solver\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let old: ProfileReport = serde_json::from_str(&pre_backend).unwrap();
+        assert_eq!(old.profile_schema_version, PROFILE_SCHEMA_VERSION);
+        assert!(old.backend.is_empty());
+        assert!(old.r_solver.is_empty());
     }
 }

@@ -1,0 +1,97 @@
+//! Registry-wide differential test for the linalg backends.
+//!
+//! Every selectable kernel backend — and every R-solver method — must
+//! reproduce the default solution for every registered scenario, far
+//! inside the scenario's declared cross-validation tolerance. The
+//! backends share nominal flop attribution and numerical contracts, so
+//! agreement here is tight (1e-6 relative), not merely within the much
+//! looser solver-vs-simulator `Tolerance::rel`.
+
+use gsched_core::solver::{solve, RSolverMethod, SolverOptions};
+use gsched_linalg::BackendKind;
+use gsched_scenario::registry;
+
+/// Relative agreement demanded between backends/methods. Scenario
+/// tolerances (`Tolerance::rel`, typically 0.35) bound solver-vs-simulator
+/// drift; backend-vs-backend drift is pure floating-point noise.
+const REL_TOL: f64 = 1e-6;
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    if a.is_infinite() && b.is_infinite() {
+        return 0.0;
+    }
+    (a - b).abs() / a.abs().max(1e-12)
+}
+
+#[test]
+fn every_backend_and_method_reproduces_every_registry_scenario() {
+    for sc in registry::all() {
+        let model = sc
+            .build_model()
+            .unwrap_or_else(|e| panic!("{}: base model does not build: {e}", sc.name));
+        let baseline = match solve(&model, &SolverOptions::default()) {
+            Ok(s) => s,
+            Err(_) => {
+                // A deliberately unsolvable base point must fail on every
+                // backend, not just the default one.
+                for kind in BackendKind::ALL {
+                    let opts = SolverOptions::builder().backend(kind).build().unwrap();
+                    assert!(
+                        solve(&model, &opts).is_err(),
+                        "{}: backend {kind} solved a model the default backend rejects",
+                        sc.name
+                    );
+                }
+                continue;
+            }
+        };
+        // Successive substitution is exercised at moderate load in the qbd
+        // unit tests; its linear convergence makes it impractically slow on
+        // the near-instability registry entries, so the registry-wide sweep
+        // covers the superlinear methods. Newton's Sylvester step lifts to
+        // an m²×m² Kronecker system, which dominates unoptimized builds —
+        // debug runs rely on the qbd Newton tests and leave the registry-wide
+        // Newton pass to release builds (the CI test job runs `--release`).
+        let methods: &[RSolverMethod] = if cfg!(debug_assertions) {
+            &[RSolverMethod::LogarithmicReduction]
+        } else {
+            &[RSolverMethod::LogarithmicReduction, RSolverMethod::Newton]
+        };
+        for kind in BackendKind::ALL {
+            for &method in methods {
+                let opts = SolverOptions::builder()
+                    .backend(kind)
+                    .r_method(method)
+                    .build()
+                    .unwrap();
+                let got = solve(&model, &opts).unwrap_or_else(|e| {
+                    panic!("{}: backend {kind} method {method:?} failed: {e}", sc.name)
+                });
+                assert_eq!(
+                    got.all_stable, baseline.all_stable,
+                    "{}: {kind}/{method:?} disagrees on stability",
+                    sc.name
+                );
+                assert!(
+                    rel_diff(baseline.mean_cycle, got.mean_cycle) <= REL_TOL,
+                    "{}: {kind}/{method:?} mean_cycle {} vs {}",
+                    sc.name,
+                    got.mean_cycle,
+                    baseline.mean_cycle
+                );
+                for (b, g) in baseline.classes.iter().zip(got.classes.iter()) {
+                    let rel = rel_diff(b.mean_response, g.mean_response);
+                    assert!(
+                        rel <= REL_TOL && rel <= sc.tolerance.rel,
+                        "{}: {kind}/{method:?} mean_response {} vs {} (rel {rel:.3e}, \
+                         declared tolerance {})",
+                        sc.name,
+                        g.mean_response,
+                        b.mean_response,
+                        sc.tolerance.rel
+                    );
+                }
+            }
+        }
+    }
+}

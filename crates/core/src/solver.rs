@@ -25,6 +25,10 @@ use gsched_phase::PhaseType;
 use gsched_qbd::solution::SolveOptions as QbdSolveOptions;
 use gsched_qbd::{QbdError, QbdSolution};
 
+// Re-exported so downstream crates (CLI, service) can name the R-solver
+// method without depending on gsched-qbd directly.
+pub use gsched_qbd::RSolverMethod;
+
 /// How the vacation distributions are built during the fixed point.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VacationMode {
@@ -180,6 +184,20 @@ impl SolverOptionsBuilder {
     /// Set the options passed to the per-class QBD solves.
     pub fn qbd(mut self, qbd: QbdSolveOptions) -> Self {
         self.opts.qbd = qbd;
+        self
+    }
+
+    /// Select the kernel backend for all dense linear algebra performed by
+    /// the per-class QBD solves (shorthand for setting `qbd.backend`).
+    pub fn backend(mut self, backend: gsched_linalg::BackendKind) -> Self {
+        self.opts.qbd.backend = backend;
+        self
+    }
+
+    /// Select the `R`-matrix algorithm for the per-class QBD solves
+    /// (shorthand for setting `qbd.method`).
+    pub fn r_method(mut self, method: gsched_qbd::RSolverMethod) -> Self {
+        self.opts.qbd.method = method;
         self
     }
 
@@ -600,11 +618,12 @@ pub fn solve_warm(
                         stable: true,
                         drift_margin: drift.margin(),
                         spectral_radius: sol.spectral_radius(),
-                        r_residual: gsched_qbd::r_residual(
+                        r_residual: gsched_qbd::r_residual_with(
                             &chain.qbd.a0,
                             &chain.qbd.a1,
                             &chain.qbd.a2,
                             sol.r(),
+                            opts.qbd.backend,
                         ),
                         truncated_mass: eff.truncated_mass,
                     });

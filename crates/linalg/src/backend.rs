@@ -1,0 +1,713 @@
+//! Swappable kernel backends behind one [`LinalgBackend`] trait.
+//!
+//! Every hot kernel in the solver stack — matrix product, LU
+//! factor/solve, triangular substitution, matrix–vector products, spectral
+//! radius — is reachable through this trait, so picking a different
+//! implementation is a configuration change rather than a rewrite:
+//!
+//! * [`NaiveDense`] — the original row-major i-k-j kernels, unchanged.
+//!   Reference implementation and correctness baseline.
+//! * [`Blocked`] — tiled matmul with a 4-row register micro-kernel and a
+//!   right-looking blocked (panel + GEMM trailing update) LU. Same packed
+//!   `L\U` layout and pivot choices as the naive path, modulo floating-point
+//!   summation order. Fastest on the larger QBD blocks.
+//! * [`BlockBanded`] — detects the operands' band structure (the QBD
+//!   truncated generator is block-tridiagonal) and stores/factors only the
+//!   nonzero diagonals via [`crate::banded`]. Wins when the bandwidth is
+//!   small relative to the dimension; falls back gracefully (full band) on
+//!   dense operands.
+//!
+//! All three record identical *nominal* work in [`crate::counters`] — one
+//! record per logical operation at the backend entry point, never inside
+//! tiles — so flop telemetry is comparable across backends.
+//!
+//! Selection flows from the CLI (`--backend`), the service config, or
+//! `SolverOptions::builder().backend(..)` down to the QBD kernels as a
+//! [`BackendKind`], which is `Copy` and resolves to a `&'static dyn
+//! LinalgBackend` via [`BackendKind::instance`].
+
+use crate::banded::{BandedLu, BandedMatrix};
+use crate::lu::Lu;
+use crate::{LinalgError, Matrix, Result};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which kernel backend to use. The `Copy` token that travels through
+/// solver options, sweep requests, and service configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// Reference row-major dense kernels ([`NaiveDense`]).
+    #[default]
+    Naive,
+    /// Tiled/blocked dense kernels ([`Blocked`]).
+    Blocked,
+    /// Band-structure-exploiting kernels ([`BlockBanded`]).
+    Banded,
+}
+
+impl BackendKind {
+    /// Every selectable backend, in display order.
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Naive,
+        BackendKind::Blocked,
+        BackendKind::Banded,
+    ];
+
+    /// Stable lowercase name (CLI value, JSON field, provenance label).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Naive => "naive",
+            BackendKind::Blocked => "blocked",
+            BackendKind::Banded => "banded",
+        }
+    }
+
+    /// Stable numeric code for `(String, f64)` provenance parameter lists.
+    pub fn index(self) -> u8 {
+        match self {
+            BackendKind::Naive => 0,
+            BackendKind::Blocked => 1,
+            BackendKind::Banded => 2,
+        }
+    }
+
+    /// Inverse of [`BackendKind::index`].
+    pub fn from_index(i: u8) -> Option<BackendKind> {
+        match i {
+            0 => Some(BackendKind::Naive),
+            1 => Some(BackendKind::Blocked),
+            2 => Some(BackendKind::Banded),
+            _ => None,
+        }
+    }
+
+    /// Resolve to the singleton backend implementation.
+    pub fn instance(self) -> &'static dyn LinalgBackend {
+        match self {
+            BackendKind::Naive => &NAIVE_DENSE,
+            BackendKind::Blocked => &BLOCKED,
+            BackendKind::Banded => &BLOCK_BANDED,
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "naive" | "dense" => Ok(BackendKind::Naive),
+            "blocked" | "tiled" => Ok(BackendKind::Blocked),
+            "banded" | "band" => Ok(BackendKind::Banded),
+            other => Err(format!(
+                "unknown backend '{other}' (expected naive, blocked, or banded)"
+            )),
+        }
+    }
+}
+
+/// A factored square matrix from [`LinalgBackend::factor`].
+///
+/// Concrete enum (rather than a boxed trait object) so it stays `Clone` and
+/// cheap to store inside warm-start caches and solutions.
+#[derive(Clone, Debug)]
+pub enum Factor {
+    /// Dense packed `L\U` with pivots.
+    Dense(Lu),
+    /// Band-stored `L\U` with pivots.
+    Banded(BandedLu),
+}
+
+impl Factor {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        match self {
+            Factor::Dense(lu) => lu.dim(),
+            Factor::Banded(lu) => lu.dim(),
+        }
+    }
+
+    /// Smallest absolute pivot — conditioning indicator.
+    pub fn min_pivot(&self) -> f64 {
+        match self {
+            Factor::Dense(lu) => lu.min_pivot(),
+            Factor::Banded(lu) => lu.min_pivot(),
+        }
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        match self {
+            Factor::Dense(lu) => lu.det(),
+            Factor::Banded(lu) => lu.det(),
+        }
+    }
+
+    /// Solve `a x = b` for a column vector.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        match self {
+            Factor::Dense(lu) => lu.solve_vec(b),
+            Factor::Banded(lu) => lu.solve_vec(b),
+        }
+    }
+
+    /// Solve `a X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        match self {
+            Factor::Dense(lu) => lu.solve_matrix(b),
+            Factor::Banded(lu) => lu.solve_matrix(b),
+        }
+    }
+
+    /// Solve `x a = b` for a row vector.
+    pub fn solve_left_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        match self {
+            Factor::Dense(lu) => lu.solve_left_vec(b),
+            Factor::Banded(lu) => lu.solve_left_vec(b),
+        }
+    }
+
+    /// Solve `X a = B` row by row.
+    pub fn solve_left_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        match self {
+            Factor::Dense(lu) => lu.solve_left_matrix(b),
+            Factor::Banded(lu) => lu.solve_left_matrix(b),
+        }
+    }
+
+    /// Inverse of the factored matrix.
+    pub fn inverse(&self) -> Result<Matrix> {
+        match self {
+            Factor::Dense(lu) => lu.inverse(),
+            Factor::Banded(lu) => lu.inverse(),
+        }
+    }
+}
+
+/// Interchangeable kernel implementations under the solver stack.
+///
+/// Implementations must agree numerically (within rounding) and must charge
+/// the same nominal work to [`crate::counters`] for the same logical
+/// operation.
+pub trait LinalgBackend: Send + Sync + fmt::Debug {
+    /// Which [`BackendKind`] this implementation is.
+    fn kind(&self) -> BackendKind;
+
+    /// Stable lowercase name.
+    fn name(&self) -> &'static str {
+        self.kind().as_str()
+    }
+
+    /// Matrix product `a · b`.
+    fn matmul(&self, a: &Matrix, b: &Matrix) -> Result<Matrix>;
+
+    /// LU-factor the square matrix `a` (with partial pivoting).
+    fn factor(&self, a: &Matrix) -> Result<Factor>;
+
+    /// Solve `a X = B`.
+    fn solve_matrix(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        self.factor(a)?.solve_matrix(b)
+    }
+
+    /// Invert `a`.
+    fn inverse(&self, a: &Matrix) -> Result<Matrix> {
+        self.factor(a)?.inverse()
+    }
+
+    /// Matrix–column-vector product `a · y`.
+    fn mul_vec(&self, a: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+        a.mul_vec(y)
+    }
+
+    /// Row-vector–matrix product `x · a`.
+    fn left_mul_vec(&self, a: &Matrix, x: &[f64]) -> Result<Vec<f64>> {
+        a.left_mul_vec(x)
+    }
+
+    /// Spectral radius of a nonnegative matrix by power iteration.
+    fn spectral_radius(&self, a: &Matrix, tol: f64, max_iter: usize) -> Result<f64> {
+        crate::spectral::spectral_radius(a, tol, max_iter)
+    }
+}
+
+/// The original dense row-major kernels, unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveDense;
+
+/// Singleton [`NaiveDense`] instance.
+pub static NAIVE_DENSE: NaiveDense = NaiveDense;
+
+impl LinalgBackend for NaiveDense {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Naive
+    }
+
+    fn matmul(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        a.matmul(b)
+    }
+
+    fn factor(&self, a: &Matrix) -> Result<Factor> {
+        Ok(Factor::Dense(Lu::new(a)?))
+    }
+}
+
+/// Tiled dense kernels: register-blocked matmul and right-looking blocked LU.
+#[derive(Debug, Clone, Copy)]
+pub struct Blocked {
+    /// Column tile width for the GEMM micro-kernel and LU panel width.
+    pub tile: usize,
+}
+
+impl Default for Blocked {
+    fn default() -> Self {
+        Blocked { tile: 64 }
+    }
+}
+
+/// Singleton [`Blocked`] instance with the default tile size.
+pub static BLOCKED: Blocked = Blocked { tile: 64 };
+
+impl LinalgBackend for Blocked {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Blocked
+    }
+
+    fn matmul(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        if a.cols() != b.rows() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: a.shape(),
+                rhs: b.shape(),
+            });
+        }
+        crate::counters::record_matmul(a.rows(), b.cols(), a.cols());
+        let (m, kd) = a.shape();
+        let n = b.cols();
+        let mut out = Matrix::zeros(m, n);
+        gemm_acc(
+            m,
+            n,
+            kd,
+            a.as_slice(),
+            kd,
+            b.as_slice(),
+            n,
+            out.as_mut_slice(),
+            n,
+            1.0,
+            self.tile.max(8),
+        );
+        Ok(out)
+    }
+
+    fn factor(&self, a: &Matrix) -> Result<Factor> {
+        let lu = factor_blocked(a, self.tile.max(8))?;
+        // One nominal charge per logical factorization, identical to the
+        // naive path; the tiled internals never record.
+        crate::counters::record_lu_factorization(a.rows());
+        Ok(Factor::Dense(lu))
+    }
+}
+
+/// Band-structure-exploiting kernels for block-banded QBD generators.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockBanded;
+
+/// Singleton [`BlockBanded`] instance.
+pub static BLOCK_BANDED: BlockBanded = BlockBanded;
+
+impl LinalgBackend for BlockBanded {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Banded
+    }
+
+    // Band index arithmetic reads clearest with explicit indices.
+    #[allow(clippy::needless_range_loop)]
+    fn matmul(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        if a.cols() != b.rows() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: a.shape(),
+                rhs: b.shape(),
+            });
+        }
+        // Same nominal charge as the dense paths, whatever the sparsity.
+        crate::counters::record_matmul(a.rows(), b.cols(), a.cols());
+        let (m, kd) = a.shape();
+        let n = b.cols();
+        // Restrict the k-range per row to a's band and the j-range per k to
+        // b's band; on dense operands the ranges degenerate to the full
+        // i-k-j product.
+        let (akl, aku) = band_of(a);
+        let (bkl, bku) = band_of(b);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let klo = i.saturating_sub(akl);
+            let khi = (i + aku).min(kd.saturating_sub(1));
+            if klo > khi {
+                continue;
+            }
+            let arow = a.row(i);
+            for k in klo..=khi {
+                let av = arow[k];
+                if av == 0.0 {
+                    continue;
+                }
+                let jlo = k.saturating_sub(bkl);
+                let jhi = (k + bku).min(n.saturating_sub(1));
+                if jlo > jhi {
+                    continue;
+                }
+                let brow = &b.row(k)[jlo..=jhi];
+                let orow = &mut out.row_mut(i)[jlo..=jhi];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn factor(&self, a: &Matrix) -> Result<Factor> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        // Nominal dense charge, like every backend.
+        crate::counters::record_lu_factorization(a.rows());
+        let band = BandedMatrix::from_dense(a)?;
+        Ok(Factor::Banded(BandedLu::new(&band)?))
+    }
+}
+
+/// Bandwidths of a possibly non-square matrix (for the band matmul: row `i`
+/// of `a` touches columns `i − kl ..= i + ku`).
+fn band_of(a: &Matrix) -> (usize, usize) {
+    let mut kl = 0usize;
+    let mut ku = 0usize;
+    for i in 0..a.rows() {
+        for (j, &v) in a.row(i).iter().enumerate() {
+            if v != 0.0 {
+                if j < i {
+                    kl = kl.max(i - j);
+                } else {
+                    ku = ku.max(j - i);
+                }
+            }
+        }
+    }
+    (kl, ku)
+}
+
+/// `c[0..m, 0..n] += alpha · a[0..m, 0..kd] · b[0..kd, 0..n]` on raw
+/// row-major slices with explicit leading dimensions.
+///
+/// Four C rows are accumulated per pass so each B row is loaded once for
+/// four A elements (register blocking), and columns are tiled so the active
+/// B/C row segments stay in L1. Never records counters — callers charge the
+/// nominal flops once at the backend entry point.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_acc(
+    m: usize,
+    n: usize,
+    kd: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+    alpha: f64,
+    tile: usize,
+) {
+    let mut i0 = 0;
+    while i0 < m {
+        let ib = (m - i0).min(4);
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = (n - j0).min(tile);
+            match ib {
+                4 => {
+                    let (r0, rest) = c[i0 * ldc..].split_at_mut(ldc);
+                    let (r1, rest) = rest.split_at_mut(ldc);
+                    let (r2, r3) = rest.split_at_mut(ldc);
+                    let c0 = &mut r0[j0..j0 + jb];
+                    let c1 = &mut r1[j0..j0 + jb];
+                    let c2 = &mut r2[j0..j0 + jb];
+                    let c3 = &mut r3[j0..j0 + jb];
+                    for k in 0..kd {
+                        let a0 = alpha * a[i0 * lda + k];
+                        let a1 = alpha * a[(i0 + 1) * lda + k];
+                        let a2 = alpha * a[(i0 + 2) * lda + k];
+                        let a3 = alpha * a[(i0 + 3) * lda + k];
+                        if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                            continue;
+                        }
+                        let br = &b[k * ldb + j0..k * ldb + j0 + jb];
+                        for j in 0..jb {
+                            let bv = br[j];
+                            c0[j] += a0 * bv;
+                            c1[j] += a1 * bv;
+                            c2[j] += a2 * bv;
+                            c3[j] += a3 * bv;
+                        }
+                    }
+                }
+                _ => {
+                    for t in 0..ib {
+                        let i = i0 + t;
+                        let crow = &mut c[i * ldc + j0..i * ldc + j0 + jb];
+                        for k in 0..kd {
+                            let av = alpha * a[i * lda + k];
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let br = &b[k * ldb + j0..k * ldb + j0 + jb];
+                            for (o, &bv) in crow.iter_mut().zip(br.iter()) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                }
+            }
+            j0 += jb;
+        }
+        i0 += ib;
+    }
+}
+
+/// Right-looking blocked LU with partial pivoting: panel factorization,
+/// triangular update of the panel's trailing row block, then one GEMM
+/// trailing update through [`gemm_acc`]. Produces the same packed `L\U`
+/// form and pivot sequence as [`Lu::new`], modulo floating-point rounding.
+///
+/// Does not record counters — [`Blocked::factor`] charges the nominal
+/// `2n³/3` at entry.
+fn factor_blocked(a: &Matrix, nb: usize) -> Result<Lu> {
+    if !a.is_square() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "lu",
+            lhs: a.shape(),
+            rhs: a.shape(),
+        });
+    }
+    let n = a.rows();
+    let mut lu = a.clone();
+    let mut piv = vec![0usize; n];
+    let mut sign = 1.0;
+    let d = lu.as_mut_slice();
+    let mut k0 = 0;
+    while k0 < n {
+        let kend = (k0 + nb).min(n);
+        // Panel: eliminate columns k0..kend with full-column pivoting,
+        // updating only the panel's columns (trailing columns were already
+        // brought up to date by previous panels' GEMM updates).
+        for k in k0..kend {
+            let mut p = k;
+            let mut pmax = d[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = d[i * n + k].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            piv[k] = p;
+            if p != k {
+                for j in 0..n {
+                    d.swap(k * n + j, p * n + j);
+                }
+                sign = -sign;
+            }
+            let pivot = d[k * n + k];
+            if pivot == 0.0 || !pivot.is_finite() {
+                return Err(LinalgError::Singular);
+            }
+            for i in (k + 1)..n {
+                let f = d[i * n + k] / pivot;
+                d[i * n + k] = f;
+                if f == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..kend {
+                    d[i * n + j] -= f * d[k * n + j];
+                }
+            }
+        }
+        if kend < n {
+            // U12 = L11⁻¹ · A12: forward-eliminate the panel rows' trailing
+            // columns with the unit-lower panel factors.
+            for k in k0..kend {
+                for i in (k + 1)..kend {
+                    let f = d[i * n + k];
+                    if f == 0.0 {
+                        continue;
+                    }
+                    let (lo, hi) = d.split_at_mut(i * n);
+                    let rk = &lo[k * n + kend..k * n + n];
+                    let ri = &mut hi[kend..n];
+                    for (x, &u) in ri.iter_mut().zip(rk.iter()) {
+                        *x -= f * u;
+                    }
+                }
+            }
+            // Trailing update A22 -= L21 · U12. L21 and A22 share rows, so
+            // pack L21 first (also gives the GEMM a contiguous A panel).
+            let mb = n - kend;
+            let kb = kend - k0;
+            let mut l21 = vec![0.0; mb * kb];
+            for i in 0..mb {
+                let src = &d[(kend + i) * n + k0..(kend + i) * n + kend];
+                l21[i * kb..(i + 1) * kb].copy_from_slice(src);
+            }
+            let (top, bottom) = d.split_at_mut(kend * n);
+            let u12 = &top[k0 * n + kend..];
+            let a22 = &mut bottom[kend..];
+            gemm_acc(mb, mb, kb, &l21, kb, u12, n, a22, n, -1.0, nb.max(8));
+        }
+        k0 = kend;
+    }
+    Ok(Lu::from_parts(lu, piv, sign))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64, dominant: bool) -> Matrix {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = next();
+            }
+            if dominant && i < cols {
+                m[(i, i)] += cols as f64;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn kind_round_trips_through_str_and_index() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.as_str().parse::<BackendKind>().unwrap(), kind);
+            assert_eq!(BackendKind::from_index(kind.index()), Some(kind));
+            assert_eq!(kind.instance().kind(), kind);
+        }
+        assert!("fancy".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::from_index(9), None);
+        assert_eq!(BackendKind::default(), BackendKind::Naive);
+    }
+
+    #[test]
+    fn matmul_agrees_across_backends() {
+        for (m, k, n, seed) in [
+            (3, 4, 5, 11),
+            (8, 8, 8, 23),
+            (17, 9, 13, 37),
+            (33, 33, 33, 41),
+        ] {
+            let a = rand_matrix(m, k, seed, false);
+            let b = rand_matrix(k, n, seed * 7 + 1, false);
+            let want = BackendKind::Naive.instance().matmul(&a, &b).unwrap();
+            for kind in [BackendKind::Blocked, BackendKind::Banded] {
+                let got = kind.instance().matmul(&a, &b).unwrap();
+                assert!(
+                    got.max_abs_diff(&want) < 1e-12,
+                    "{kind} differs at {m}x{k}x{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch_everywhere() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        for kind in BackendKind::ALL {
+            assert!(matches!(
+                kind.instance().matmul(&a, &b),
+                Err(LinalgError::DimensionMismatch { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn blocked_lu_matches_naive_factors() {
+        for n in [1, 2, 5, 16, 33, 50] {
+            let a = rand_matrix(n, n, 17 + n as u64, true);
+            let naive = Lu::new(&a).unwrap();
+            let blocked = factor_blocked(&a, 8).unwrap();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+            let xn = naive.solve_vec(&b).unwrap();
+            let xb = blocked.solve_vec(&b).unwrap();
+            for (u, v) in xn.iter().zip(xb.iter()) {
+                assert!((u - v).abs() < 1e-10, "n={n}: {u} vs {v}");
+            }
+            assert!((naive.det() - blocked.det()).abs() <= 1e-9 * naive.det().abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn factor_solves_agree_across_backends() {
+        for n in [4, 9, 24] {
+            let a = rand_matrix(n, n, 5 + n as u64, true);
+            let rhs = rand_matrix(n, 3, 77, false);
+            let want = BackendKind::Naive
+                .instance()
+                .solve_matrix(&a, &rhs)
+                .unwrap();
+            for kind in [BackendKind::Blocked, BackendKind::Banded] {
+                let got = kind.instance().solve_matrix(&a, &rhs).unwrap();
+                assert!(got.max_abs_diff(&want) < 1e-10, "{kind} differs at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_agrees_across_backends() {
+        let a = rand_matrix(12, 12, 99, true);
+        let want = BackendKind::Naive.instance().inverse(&a).unwrap();
+        for kind in [BackendKind::Blocked, BackendKind::Banded] {
+            let got = kind.instance().inverse(&a).unwrap();
+            assert!(got.max_abs_diff(&want) < 1e-10, "{kind} inverse differs");
+        }
+    }
+
+    #[test]
+    fn singular_rejected_across_backends() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        for kind in BackendKind::ALL {
+            assert!(
+                matches!(kind.instance().factor(&a), Err(LinalgError::Singular)),
+                "{kind} accepted a singular matrix"
+            );
+        }
+    }
+
+    #[test]
+    fn spectral_radius_consistent() {
+        let a = Matrix::from_rows(&[&[0.5, 0.25], &[0.125, 0.5]]);
+        let want = crate::spectral::spectral_radius(&a, 1e-12, 10_000).unwrap();
+        for kind in BackendKind::ALL {
+            let got = kind.instance().spectral_radius(&a, 1e-12, 10_000).unwrap();
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+}

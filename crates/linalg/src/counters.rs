@@ -167,6 +167,59 @@ mod tests {
     }
 
     #[test]
+    fn backends_charge_equal_nominal_flops() {
+        // The same logical operation must cost the same nominal flops on
+        // every backend: one matmul record, one LU record, one triangular
+        // record per right-hand side — no double-counting inside tiles or
+        // band loops, no skipped recorder-enabled check.
+        use crate::backend::BackendKind;
+        let _lock = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _rec = gsched_obs::install_memory();
+        let n = 10;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = ((i * 31 + j * 7) % 13) as f64 - 6.0;
+            }
+            a[(i, i)] += n as f64;
+        }
+        let b = Matrix::identity(n);
+        let want = WorkCounters {
+            matmul_calls: 1,
+            matmul_flops: 2 * (n as u64).pow(3),
+            lu_factorizations: 1,
+            lu_flops: 2 * (n as u64).pow(3) / 3,
+            triangular_solves: 2,
+            triangular_flops: 2 * 2 * (n as u64).pow(2),
+        };
+        // Counters are process-global and the recorder-enabled flag turns
+        // kernel recording on for every thread, so a concurrent test's
+        // kernels can bleed into a delta. Retry until a quiet window gives
+        // the exact textbook charge on all three backends.
+        let mut ok = false;
+        'attempt: for _ in 0..100 {
+            for kind in BackendKind::ALL {
+                let be = kind.instance();
+                let before = WorkCounters::snapshot();
+                let _ = be.matmul(&a, &b).unwrap();
+                let f = be.factor(&a).unwrap();
+                let _ = f.solve_vec(&vec![1.0; n]).unwrap();
+                let _ = f.solve_left_vec(&vec![1.0; n]).unwrap();
+                if before.delta_since() != want {
+                    continue 'attempt;
+                }
+            }
+            ok = true;
+            break;
+        }
+        gsched_obs::uninstall();
+        assert!(
+            ok,
+            "no backend produced the textbook nominal charge {want:?} in 100 attempts"
+        );
+    }
+
+    #[test]
     fn matrix_solves_count_one_pair_per_rhs() {
         let _lock = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let _rec = gsched_obs::install_memory();

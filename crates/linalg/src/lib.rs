@@ -7,6 +7,13 @@
 //! external linear-algebra stack:
 //!
 //! * [`Matrix`]: row-major dense matrix with the usual arithmetic.
+//! * [`backend`]: the [`LinalgBackend`] trait with swappable kernel
+//!   implementations — [`NaiveDense`] (reference), [`Blocked`]
+//!   (tiled/register-blocked), and [`BlockBanded`] (band-structure-aware) —
+//!   selected by a [`BackendKind`] token that travels through solver
+//!   options.
+//! * [`banded`]: band storage ([`BandedMatrix`]) and band LU
+//!   ([`BandedLu`]) for the block-tridiagonal QBD generators.
 //! * [`lu::Lu`]: LU decomposition with partial pivoting, linear solves and
 //!   inverses.
 //! * [`kron`]: Kronecker products and sums (used for min/max of phase-type
@@ -23,6 +30,8 @@
 //! workspace instrumentation layer `gsched-obs`, used solely as the on/off
 //! guard for the work counters.
 
+pub mod backend;
+pub mod banded;
 pub mod counters;
 pub mod kron;
 pub mod lu;
@@ -31,6 +40,8 @@ pub mod spectral;
 pub mod stationary;
 pub mod vecops;
 
+pub use backend::{BackendKind, BlockBanded, Blocked, Factor, LinalgBackend, NaiveDense};
+pub use banded::{BandedLu, BandedMatrix};
 pub use counters::WorkCounters;
 pub use kron::{kron_product, kron_sum};
 pub use lu::Lu;
@@ -65,6 +76,17 @@ pub enum LinalgError {
         /// Residual at the last iteration.
         residual: f64,
     },
+    /// A write targeted an entry outside a band matrix's stored band.
+    OutOfBand {
+        /// Row of the rejected write.
+        row: usize,
+        /// Column of the rejected write.
+        col: usize,
+        /// Lower bandwidth of the storage.
+        kl: usize,
+        /// Upper bandwidth of the storage.
+        ku: usize,
+    },
 }
 
 impl std::fmt::Display for LinalgError {
@@ -83,6 +105,10 @@ impl std::fmt::Display for LinalgError {
             } => write!(
                 f,
                 "{method} failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            LinalgError::OutOfBand { row, col, kl, ku } => write!(
+                f,
+                "write at ({row}, {col}) is outside the stored band (kl={kl}, ku={ku})"
             ),
         }
     }

@@ -1,0 +1,166 @@
+//! Differential property tests: the three kernel backends must agree.
+//!
+//! Random well-conditioned (diagonally dominant) matrices are pushed
+//! through matmul, LU factor/solve, and the triangular substitution passes
+//! on [`NaiveDense`], [`Blocked`], and [`BlockBanded`]; results must agree
+//! within 1e-10. Band storage must reject out-of-band writes with the typed
+//! [`LinalgError::OutOfBand`] error rather than dropping them.
+//!
+//! [`NaiveDense`]: gsched_linalg::NaiveDense
+//! [`Blocked`]: gsched_linalg::Blocked
+//! [`BlockBanded`]: gsched_linalg::BlockBanded
+//! [`LinalgError::OutOfBand`]: gsched_linalg::LinalgError::OutOfBand
+
+use gsched_linalg::backend::BackendKind;
+use gsched_linalg::{BandedMatrix, LinalgError, Matrix};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-10;
+
+/// Build a square matrix from flat entries, made well-conditioned by
+/// diagonal dominance (each diagonal gets +n on top of a [-1, 1] fill).
+fn dominant(n: usize, entries: &[f64]) -> Matrix {
+    let mut m = Matrix::from_vec(n, n, entries[..n * n].to_vec());
+    for i in 0..n {
+        m[(i, i)] += n as f64;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_agrees_within_tolerance(
+        n in 1usize..24,
+        fill in collection::vec(-1.0f64..1.0, 24 * 24),
+        fill2 in collection::vec(-1.0f64..1.0, 24 * 24),
+    ) {
+        let a = Matrix::from_vec(n, n, fill[..n * n].to_vec());
+        let b = Matrix::from_vec(n, n, fill2[..n * n].to_vec());
+        let want = BackendKind::Naive.instance().matmul(&a, &b).unwrap();
+        for kind in [BackendKind::Blocked, BackendKind::Banded] {
+            let got = kind.instance().matmul(&a, &b).unwrap();
+            prop_assert!(
+                got.max_abs_diff(&want) < TOL,
+                "{kind} matmul differs by {} at n={n}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn lu_solve_round_trips_on_all_backends(
+        n in 1usize..20,
+        fill in collection::vec(-1.0f64..1.0, 20 * 20),
+        rhs in collection::vec(-5.0f64..5.0, 20),
+    ) {
+        let a = dominant(n, &fill);
+        let b = &rhs[..n];
+        let mut answers = Vec::new();
+        for kind in BackendKind::ALL {
+            let f = kind.instance().factor(&a).unwrap();
+            let x = f.solve_vec(b).unwrap();
+            // The solve really solves: A x ≈ b.
+            let ax = a.mul_vec(&x).unwrap();
+            for (got, want) in ax.iter().zip(b.iter()) {
+                prop_assert!((got - want).abs() < TOL, "{kind}: Ax={got} vs b={want}");
+            }
+            answers.push(x);
+        }
+        for x in &answers[1..] {
+            for (u, v) in x.iter().zip(answers[0].iter()) {
+                prop_assert!((u - v).abs() < TOL, "backends disagree: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn triangular_left_solves_agree(
+        n in 1usize..20,
+        fill in collection::vec(-1.0f64..1.0, 20 * 20),
+        rhs in collection::vec(-5.0f64..5.0, 20),
+    ) {
+        let a = dominant(n, &fill);
+        let b = &rhs[..n];
+        let want = BackendKind::Naive
+            .instance()
+            .factor(&a)
+            .unwrap()
+            .solve_left_vec(b)
+            .unwrap();
+        for kind in [BackendKind::Blocked, BackendKind::Banded] {
+            let got = kind.instance().factor(&a).unwrap().solve_left_vec(b).unwrap();
+            for (u, v) in got.iter().zip(want.iter()) {
+                prop_assert!((u - v).abs() < TOL, "{kind}: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_solves_and_inverse_agree(
+        n in 2usize..14,
+        fill in collection::vec(-1.0f64..1.0, 14 * 14),
+        fill2 in collection::vec(-1.0f64..1.0, 14 * 14),
+    ) {
+        let a = dominant(n, &fill);
+        let b = Matrix::from_vec(n, n, fill2[..n * n].to_vec());
+        let naive = BackendKind::Naive.instance();
+        let want_solve = naive.solve_matrix(&a, &b).unwrap();
+        let want_inv = naive.inverse(&a).unwrap();
+        for kind in [BackendKind::Blocked, BackendKind::Banded] {
+            let be = kind.instance();
+            prop_assert!(be.solve_matrix(&a, &b).unwrap().max_abs_diff(&want_solve) < TOL);
+            prop_assert!(be.inverse(&a).unwrap().max_abs_diff(&want_inv) < TOL);
+        }
+    }
+
+    #[test]
+    fn banded_preserves_band_structure_and_rejects_outside(
+        n in 3usize..16,
+        kl in 0usize..3,
+        ku in 0usize..3,
+        fill in collection::vec(0.1f64..2.0, 16 * 16),
+    ) {
+        // Build a matrix with exactly the declared band occupied.
+        let mut dense = Matrix::zeros(n, n);
+        for i in 0..n {
+            let lo = i.saturating_sub(kl);
+            let hi = (i + ku).min(n - 1);
+            for j in lo..=hi {
+                dense[(i, j)] = fill[i * n + j];
+            }
+            dense[(i, i)] += n as f64;
+        }
+        let band = BandedMatrix::from_dense(&dense).unwrap();
+        let (dkl, dku) = band.bandwidth();
+        prop_assert!(dkl <= kl && dku <= ku);
+        prop_assert_eq!(band.to_dense(), dense.clone());
+
+        // Any write outside the detected band is the typed error.
+        let mut band = band;
+        if dku + 1 < n {
+            let err = band.set(0, dku + 1, 1.0).unwrap_err();
+            prop_assert!(
+                matches!(err, LinalgError::OutOfBand { row: 0, .. }),
+                "expected OutOfBand, got {err:?}"
+            );
+        }
+        // And the banded backend still solves it exactly like the others.
+        let want = BackendKind::Naive
+            .instance()
+            .factor(&dense)
+            .unwrap()
+            .solve_vec(&vec![1.0; n])
+            .unwrap();
+        let got = BackendKind::Banded
+            .instance()
+            .factor(&dense)
+            .unwrap()
+            .solve_vec(&vec![1.0; n])
+            .unwrap();
+        for (u, v) in got.iter().zip(want.iter()) {
+            prop_assert!((u - v).abs() < TOL);
+        }
+    }
+}

@@ -1,10 +1,10 @@
 //! Boundary solve and the stationary solution object (Theorem 4.2, eq. 37).
 
 use crate::process::QbdProcess;
-use crate::rmatrix::{r_residual, solve_r, solve_r_warm, RSolverMethod};
+use crate::rmatrix::{r_residual_with, solve_r_warm_with, solve_r_with, RSolverMethod};
 use crate::stability::drift_condition;
 use crate::{QbdError, Result};
-use gsched_linalg::{solve_left_nullspace, spectral_radius, Lu, Matrix};
+use gsched_linalg::{solve_left_nullspace, BackendKind, Matrix};
 use gsched_obs as obs;
 
 /// Options controlling the QBD solve.
@@ -22,8 +22,8 @@ pub struct SolveOptions {
     pub check_irreducible: bool,
     /// Warm-start iterate for `R`, typically the converged `R` of a nearby
     /// parameter point (continuation solves along a sweep axis). When set
-    /// and dimension-compatible, a successive-substitution iteration is run
-    /// from it first; if that stalls or fails validation the solve falls
+    /// and dimension-compatible, a bounded iteration honouring `method` is
+    /// run from it first; if that stalls or fails validation the solve falls
     /// back to the cold `method` transparently. Hits and fallbacks are
     /// counted under `qbd.rmatrix.warm_hits` / `qbd.rmatrix.warm_misses`.
     pub initial_r: Option<Matrix>,
@@ -31,6 +31,9 @@ pub struct SolveOptions {
     /// back to the cold solve. Kept small: a useful warm start converges in
     /// a handful of contractive steps.
     pub warm_max_iter: usize,
+    /// Kernel backend for all dense linear algebra performed by the solve
+    /// (products, factorizations, triangular/spectral work).
+    pub backend: BackendKind,
 }
 
 impl Default for SolveOptions {
@@ -42,6 +45,7 @@ impl Default for SolveOptions {
             check_irreducible: true,
             initial_r: None,
             warm_max_iter: 200,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -58,13 +62,16 @@ pub struct QbdSolution {
     i_minus_r_inv: Matrix,
     /// Spectral radius of `R`.
     sp_r: f64,
+    /// Kernel backend the solve ran under; post-solve matrix work
+    /// (moments, tail sums) keeps using it.
+    backend: BackendKind,
 }
 
 impl QbdProcess {
     /// Compute `R`, honouring a warm-start iterate when one is supplied.
     ///
-    /// A dimension-compatible `opts.initial_r` triggers a bounded
-    /// successive-substitution attempt first; any failure (stall, residual
+    /// A dimension-compatible `opts.initial_r` triggers a bounded warm
+    /// attempt honouring `opts.method` first; any failure (stall, residual
     /// above tolerance, negative entries) falls back to the cold
     /// `opts.method` solve so the result is always as trustworthy as a
     /// cold solve.
@@ -73,7 +80,17 @@ impl QbdProcess {
             let d = self.repeating_dim();
             if r0.rows() == d && r0.cols() == d {
                 let budget = opts.warm_max_iter.min(opts.max_iter).max(1);
-                match solve_r_warm(&self.a0, &self.a1, &self.a2, r0, opts.tol, budget, 1e-8) {
+                match solve_r_warm_with(
+                    &self.a0,
+                    &self.a1,
+                    &self.a2,
+                    r0,
+                    opts.method,
+                    opts.tol,
+                    budget,
+                    1e-8,
+                    opts.backend,
+                ) {
                     Ok(r) => {
                         obs::counter_add(obs::names::QBD_RMATRIX_WARM_HITS, 1);
                         return Ok(r);
@@ -84,13 +101,14 @@ impl QbdProcess {
                 obs::counter_add(obs::names::QBD_RMATRIX_WARM_MISSES, 1);
             }
         }
-        solve_r(
+        solve_r_with(
             &self.a0,
             &self.a1,
             &self.a2,
             opts.method,
             opts.tol,
             opts.max_iter,
+            opts.backend,
         )
     }
 
@@ -107,13 +125,14 @@ impl QbdProcess {
         if !drift.is_stable() {
             return Err(QbdError::Unstable(drift));
         }
+        let be = opts.backend.instance();
         let r = self.solve_r_with_options(opts)?;
         debug_assert!(
-            r_residual(&self.a0, &self.a1, &self.a2, &r) < 1e-6,
+            r_residual_with(&self.a0, &self.a1, &self.a2, &r, opts.backend) < 1e-6,
             "R residual too large"
         );
         let d = self.repeating_dim();
-        let sp_r = spectral_radius(&r, 1e-12, 200_000).unwrap_or(1.0);
+        let sp_r = be.spectral_radius(&r, 1e-12, 200_000).unwrap_or(1.0);
         if obs::enabled() {
             obs::observe(obs::names::QBD_SPECTRAL_RADIUS, sp_r);
             obs::observe(obs::names::QBD_DRIFT_MARGIN, drift.margin());
@@ -122,7 +141,7 @@ impl QbdProcess {
             return Err(QbdError::Unstable(drift));
         }
         let i_minus_r = &Matrix::identity(d) - &r;
-        let i_minus_r_inv = Lu::new(&i_minus_r)?.inverse()?;
+        let i_minus_r_inv = be.inverse(&i_minus_r)?;
 
         // ---- Boundary linear system (eqs. 21/25/26 + 24) ----
         let c = self.c();
@@ -153,7 +172,7 @@ impl QbdProcess {
             if j < c {
                 m.set_block(offsets[j], offsets[j], &self.boundary_local[j]);
             } else {
-                let ra2 = r.matmul(&self.a2)?;
+                let ra2 = be.matmul(&r, &self.a2)?;
                 let block = &self.boundary_local[c] + &ra2;
                 m.set_block(offsets[c], offsets[c], &block);
             }
@@ -194,6 +213,7 @@ impl QbdProcess {
             r,
             i_minus_r_inv,
             sp_r,
+            backend: opts.backend,
         })
     }
 }
@@ -212,6 +232,11 @@ impl QbdSolution {
     /// Spectral radius of `R` (strictly below 1 for a solved system).
     pub fn spectral_radius(&self) -> f64 {
         self.sp_r
+    }
+
+    /// Kernel backend the solve ran under.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// Stationary sub-vector of level `n` (computed as `π_c R^{n−c}` above
@@ -268,11 +293,11 @@ impl QbdSolution {
                 .map(|(a, b)| a * b)
                 .sum::<f64>();
         // π_c (I−R)⁻² R e
-        let inv2 = self
-            .i_minus_r_inv
-            .matmul(&self.i_minus_r_inv)
+        let be = self.backend.instance();
+        let inv2 = be
+            .matmul(&self.i_minus_r_inv, &self.i_minus_r_inv)
             .expect("square");
-        let inv2_r = inv2.matmul(&self.r).expect("square");
+        let inv2_r = be.matmul(&inv2, &self.r).expect("square");
         let v = inv2_r.row_sums();
         n += pi_c.iter().zip(v.iter()).map(|(a, b)| a * b).sum::<f64>();
         n
@@ -288,19 +313,19 @@ impl QbdSolution {
         }
         let pi_c = &self.boundary[c];
         let d = self.r.rows();
+        let be = self.backend.instance();
         let inv = &self.i_minus_r_inv;
-        let inv2 = inv.matmul(inv).expect("square");
-        let inv3 = inv2.matmul(inv).expect("square");
+        let inv2 = be.matmul(inv, inv).expect("square");
+        let inv3 = be.matmul(&inv2, inv).expect("square");
         // Σ_{n≥0} (c+n)² π_c Rⁿ e
         //   = c² π_c(I−R)⁻¹e + 2c π_c R(I−R)⁻²e + π_c R(I+R)(I−R)⁻³e
         let t1 = inv.row_sums();
-        let r_inv2 = self.r.matmul(&inv2).expect("square");
+        let r_inv2 = be.matmul(&self.r, &inv2).expect("square");
         let t2 = r_inv2.row_sums();
         let i_plus_r = &Matrix::identity(d) + &self.r;
-        let r_ipr_inv3 = self
-            .r
-            .matmul(&i_plus_r)
-            .and_then(|m| m.matmul(&inv3))
+        let r_ipr_inv3 = be
+            .matmul(&self.r, &i_plus_r)
+            .and_then(|m| be.matmul(&m, &inv3))
             .expect("square");
         let t3 = r_ipr_inv3.row_sums();
         let cf = c as f64;
@@ -552,6 +577,53 @@ mod tests {
         };
         let sol = q.solve(&opts).unwrap();
         assert!((sol.r()[(0, 0)] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn warm_start_honors_newton_method() {
+        // Same warm-start scenario as above but with the Newton method
+        // requested: the warm path must use it (and still land on rho).
+        let rho: f64 = 0.6;
+        let q = mm1(rho, 1.0);
+        let cold = q.solve(&SolveOptions::default()).unwrap();
+        let mut r0 = cold.r().clone();
+        r0[(0, 0)] += 1e-3;
+        let warm_opts = SolveOptions {
+            method: RSolverMethod::Newton,
+            initial_r: Some(r0),
+            ..Default::default()
+        };
+        let warm = q.solve(&warm_opts).unwrap();
+        assert!((warm.r()[(0, 0)] - rho).abs() < 1e-10, "R should be rho");
+        assert!((warm.mean_level() - cold.mean_level()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn backends_and_methods_agree_on_solution() {
+        let q = mmc(1.2, 1.0, 2);
+        let want = q.solve(&SolveOptions::default()).unwrap();
+        for backend in BackendKind::ALL {
+            for method in [
+                RSolverMethod::LogarithmicReduction,
+                RSolverMethod::SuccessiveSubstitution,
+                RSolverMethod::Newton,
+            ] {
+                let opts = SolveOptions {
+                    method,
+                    backend,
+                    ..Default::default()
+                };
+                let sol = q.solve(&opts).unwrap();
+                assert_eq!(sol.backend(), backend);
+                assert!(
+                    (sol.mean_level() - want.mean_level()).abs() < 1e-9,
+                    "{backend}/{method}: {} vs {}",
+                    sol.mean_level(),
+                    want.mean_level()
+                );
+                assert!((sol.total_mass() - 1.0).abs() < 1e-9);
+            }
+        }
     }
 
     #[test]
