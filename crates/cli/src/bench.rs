@@ -18,10 +18,12 @@
 //! counters, not wall time.
 
 use gsched_core::model::GangModel;
-use gsched_engine::{run_sweep, SweepOptions, SweepRequest};
+use gsched_core::qbd::LevelTruncation;
+use gsched_core::SolverOptions;
+use gsched_engine::{run_sweep, ScenarioBase, SweepOptions, SweepRequest};
 use gsched_linalg::{BackendKind, Matrix, WorkCounters};
 use gsched_obs as obs;
-use gsched_scenario::Scenario as ScenarioIr;
+use gsched_scenario::{registry, Scenario as ScenarioIr};
 use gsched_sim::{simulate, Policy, SimConfig};
 use gsched_workload::figures::Figure;
 use gsched_workload::{paper_model, PaperConfig};
@@ -179,8 +181,13 @@ impl BenchReport {
 
 /// What one scenario actually runs.
 enum Workload {
-    /// Evaluate a figure sweep on the engine pool (warm-started).
-    Sweep(SweepRequest),
+    /// Evaluate a sweep on the engine pool (warm-started) with the given
+    /// solver options (default for the figure sweeps; certified truncation
+    /// for the large-P scaling rows).
+    Sweep {
+        req: SweepRequest,
+        solver: SolverOptions,
+    },
     /// One simulator run under `policy` to the given horizon.
     Sim {
         model: GangModel,
@@ -207,7 +214,10 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
                 Figure::Fig5 => "fig5_cycle_fraction_sweep",
             }
             .to_string(),
-            workload: Workload::Sweep(fig.request(quick)),
+            workload: Workload::Sweep {
+                req: fig.request(quick),
+                solver: SolverOptions::default(),
+            },
         })
         .collect();
     out.push(Scenario {
@@ -231,7 +241,10 @@ fn scenarios(quick: bool) -> Vec<Scenario> {
 /// policy.
 fn ir_scenario(sc: &ScenarioIr, quick: bool) -> Result<Scenario, String> {
     let workload = if sc.sweep.is_some() {
-        Workload::Sweep(sc.sweep_request(quick).map_err(|e| e.to_string())?)
+        Workload::Sweep {
+            req: sc.sweep_request(quick).map_err(|e| e.to_string())?,
+            solver: SolverOptions::default(),
+        }
     } else {
         let model = sc.build_model().map_err(|e| e.to_string())?;
         let horizon = sc.sim_config(if quick { 0.1 } else { 1.0 }).horizon;
@@ -284,10 +297,13 @@ fn run_scenario(sc: &Scenario, reps: u64, jobs: usize) -> ScenarioResult {
         let start = Instant::now();
         points = 0;
         match &sc.workload {
-            Workload::Sweep(req) => {
+            Workload::Sweep { req, solver } => {
                 // Sweep endpoints may be unstable or non-convergent; the
                 // engine records those per point, they are not errors.
-                let report = run_sweep(req, &SweepOptions::default().with_jobs(1));
+                let opts = SweepOptions::default()
+                    .with_jobs(1)
+                    .with_solver(solver.clone());
+                let report = run_sweep(req, &opts);
                 points = report.points.len() as u64;
             }
             Workload::Sim {
@@ -312,12 +328,15 @@ fn run_scenario(sc: &Scenario, reps: u64, jobs: usize) -> ScenarioResult {
     }
     let seq_ms = median(wall_ms);
     let mut parallel_speedup = None;
-    if let Workload::Sweep(req) = &sc.workload {
+    if let Workload::Sweep { req, solver } = &sc.workload {
         if jobs > 1 {
+            let par_opts = SweepOptions::default()
+                .with_jobs(jobs)
+                .with_solver(solver.clone());
             let mut par_ms = Vec::with_capacity(reps as usize);
             for _ in 0..reps {
                 let start = Instant::now();
-                let _ = run_sweep(req, &SweepOptions::default().with_jobs(jobs));
+                let _ = run_sweep(req, &par_opts);
                 par_ms.push(start.elapsed().as_secs_f64() * 1e3);
             }
             let par = median(par_ms);
@@ -328,7 +347,7 @@ fn run_scenario(sc: &Scenario, reps: u64, jobs: usize) -> ScenarioResult {
     }
     let snap = last_snap.expect("reps >= 1");
     let kind = match sc.workload {
-        Workload::Sweep(_) => "solver",
+        Workload::Sweep { .. } => "solver",
         Workload::Sim { .. } => "sim",
     };
     ScenarioResult {
@@ -420,6 +439,51 @@ pub fn run_bench(
         reps,
         quick,
         jobs: jobs as u64,
+        scenarios: results,
+    })
+}
+
+/// Entry point for `gsched bench --scaling`: the `p_sweep` registry
+/// scenario solved point by point under automatic certified level
+/// truncation, one scenario row per machine size (`scaling_p0008` …
+/// `scaling_p4096`). The rows share the solver-bench schema, so the
+/// history and `bench trend` gate cover how solve cost — wall time and
+/// the deterministic work counters — scales with `P`.
+pub fn run_scaling_bench(label: &str, reps: u64, quick: bool) -> Result<BenchReport, String> {
+    let reps = reps.max(1);
+    let sc = registry::lookup("p_sweep").ok_or("registry scenario `p_sweep` is missing")?;
+    let req = sc.sweep_request(quick).map_err(|e| e.to_string())?;
+    let mut solver = SolverOptions::default();
+    solver.qbd.truncation = LevelTruncation::Auto {
+        target_tail: sc.tolerance.certified_tail.unwrap_or(1e-8),
+        min_levels: 4,
+    };
+    let mut results = Vec::new();
+    for point in req.points {
+        let name = format!("scaling_p{:04}", point.x as u64);
+        eprintln!("bench: running {name} ({reps} reps)...");
+        let single = SweepRequest::new(
+            req.axis.clone(),
+            ScenarioBase::labeled(name.clone()),
+            vec![point],
+        );
+        let row = Scenario {
+            name,
+            workload: Workload::Sweep {
+                req: single,
+                solver: solver.clone(),
+            },
+        };
+        // Single-point rows have no parallel pass (jobs = 1): the scaling
+        // curve compares machine sizes, not worker counts.
+        results.push(run_scenario(&row, reps, 1));
+    }
+    Ok(BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        label: label.to_string(),
+        reps,
+        quick,
+        jobs: 1,
         scenarios: results,
     })
 }

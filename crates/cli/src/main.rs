@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! gsched solve     <model.json | --scenario S> [--mode ht|m2|m3|exact]
-//!                  [--backend naive|blocked|banded] [--method lr|ss|newton] [--json]
+//!                  [--backend naive|blocked|banded] [--method lr|ss|newton]
+//!                  [--asymptotic] [--json]
 //! gsched simulate  <model.json | --scenario S> [--policy gang|lend|rr|fcfs]
 //!                               [--horizon T] [--warmup T] [--seed N] [--json]
-//! gsched sweep     [fig2|fig3|fig4|fig5|all | --scenario S] [--jobs N] [--quick]
+//! gsched sweep     [fig2|fig3|fig4|fig5|all | <scenario> | --scenario S] [--jobs N] [--quick]
 //!                  [--no-warm] [--parity-check] [--backend B] [--method M] [--json]
 //! gsched validate  [<scenario>...] [--json]
 //! gsched xval      <scenario | all> [--points N] [--full]
@@ -16,7 +17,7 @@
 //!                  [--backend B] [--method M] [--convergence] [--json]
 //! gsched profile   <scenario | --sweep fig2..fig5|all> [--quick] [--backend B]
 //!                  [--method M] [--json] [--trace PATH]
-//! gsched bench     [--scenario S | --kernels] [--label L] [--reps N] [--jobs N]
+//! gsched bench     [--scenario S | --kernels | --scaling] [--label L] [--reps N] [--jobs N]
 //!                  [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC]
 //!                  [--history PATH] [--no-history]
 //! gsched bench trend [--history PATH] [--metric M1,M2] [--window N]
@@ -55,7 +56,12 @@
 //! `gsched-engine` work-stealing pool: `--jobs N` sets the worker count
 //! (0 = all cores), `--no-warm` disables neighbour warm starting, and
 //! `--parity-check` re-runs the sweep single-threaded and fails unless the
-//! parallel results match to 1e-10.
+//! parallel results match to 1e-10. A sweep-capable registry scenario also
+//! works positionally (`gsched sweep p_sweep`); on the Processors axis the
+//! solver automatically enables certified level truncation, checks every
+//! point's certified tail mass against the scenario's declared ceiling, and
+//! cross-checks the largest point against the zero-queueing asymptotic
+//! limit (`gsched solve --asymptotic`) — see `docs/LARGE_P.md`.
 //!
 //! `gsched validate` lints scenarios (schema, grids, solvability) and
 //! reports per-class stability with drift margins; it exits non-zero when
@@ -122,6 +128,10 @@
 //! every linalg backend timed on dense and QBD-band operand shapes across
 //! a ladder of block sizes, written to the same schema and history so the
 //! trend gate covers kernel regressions on the deterministic flop counters.
+//! `gsched bench --scaling` swaps in the large-P scaling curve instead: the
+//! `p_sweep` registry scenario solved point by point (P = 8 … 4096) under
+//! certified truncation, one schema row per machine size, so the history
+//! and trend gate track how solve cost scales with P.
 //!
 //! Model files are JSON (see `gsched_scenario::ModelSpec`); `gsched
 //! example-model` and `gsched example-scenario` print templates.
@@ -134,13 +144,15 @@ mod top;
 mod trend;
 
 use gsched_core::model::GangModel;
+use gsched_core::qbd::LevelTruncation;
 use gsched_core::solver::{solve, GangSolution, RSolverMethod, SolverOptions, VacationMode};
 use gsched_core::tuning::{optimize_common_quantum, stability_threshold_quantum, Objective};
+use gsched_core::{solve_asymptotic, AsymptoticSolution};
 use gsched_engine::{run_sweep, SweepOptions, SweepReport, SweepRequest};
 use gsched_linalg::BackendKind;
 use gsched_scenario::{
-    cross_validate, registry, validate_report, LintLevel, ModelSpec, Policy, Scenario, XvalOptions,
-    XvalReport,
+    cross_validate, registry, validate_report, AxisSpec, LintLevel, ModelSpec, Policy, Scenario,
+    XvalOptions, XvalReport,
 };
 use gsched_service::client::{control_frame_for, frame_for_name, frame_for_scenario, RequestSpec};
 // The render module is the single implementation of the solve/sweep JSON
@@ -203,6 +215,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "example-scenario" => {
             let sc = registry::lookup("fig2").expect("fig2 is registered");
             println!("{}", sc.to_json());
+            // On stderr so stdout stays parseable JSON.
+            eprintln!("field-by-field schema reference: docs/SCENARIO_SCHEMA.md");
             Ok(())
         }
         "--help" | "-h" | "help" => {
@@ -218,16 +232,16 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn print_usage() {
     eprintln!(
-        "usage:\n  gsched solve     <model.json | --scenario S> [--mode ht|m2|m3|exact] [--backend naive|blocked|banded] [--method lr|ss|newton] [--json]\n  \
+        "usage:\n  gsched solve     <model.json | --scenario S> [--mode ht|m2|m3|exact] [--backend naive|blocked|banded] [--method lr|ss|newton] [--asymptotic] [--json]\n  \
          gsched simulate  <model.json | --scenario S> [--policy gang|lend|rr|fcfs] [--horizon T] [--warmup T] [--seed N] [--json]\n  \
-         gsched sweep     [fig2|fig3|fig4|fig5|all | --scenario S] [--jobs N] [--quick] [--no-warm] [--parity-check] [--backend B] [--method M] [--json]\n  \
+         gsched sweep     [fig2|fig3|fig4|fig5|all | <scenario> | --scenario S] [--jobs N] [--quick] [--no-warm] [--parity-check] [--backend B] [--method M] [--json]\n  \
          gsched validate  [<scenario>...] [--json]\n  \
          gsched xval      <scenario | all> [--points N] [--full] [--horizon-scale F] [--json]\n  \
          gsched tune      <model.json> [--lo Q] [--hi Q] [--objective total|max] [--json]\n  \
          gsched stability <model.json> [--class P] [--lo Q] [--hi Q]\n  \
          gsched doctor    <model.json | --scenario S> [--mode ht|m2|m3|exact] [--backend B] [--method M] [--convergence] [--json]\n  \
          gsched profile   <scenario | --sweep fig2..fig5|all> [--quick] [--backend B] [--method M] [--json] [--trace PATH]\n  \
-         gsched bench     [--scenario S | --kernels] [--label L] [--reps N] [--jobs N] [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC] [--history PATH] [--no-history]\n  \
+         gsched bench     [--scenario S | --kernels | --scaling] [--label L] [--reps N] [--jobs N] [--quick] [--out DIR] [--compare BENCH.json] [--threshold FRAC] [--history PATH] [--no-history]\n  \
          gsched bench trend [--history PATH] [--metric M1,M2] [--window N] [--threshold FRAC] [--gate] [--json]\n  \
          gsched paper     [--rho R] [--quantum Q] [--json]\n  \
          gsched serve     [--addr A] [--workers N] [--cache-cap N] [--cache-path PATH] [--deadline-ms N] [--queue-limit N] [--batch-max N] [--backend B] [--metrics-addr A] [--access-log PATH] [--access-log-max-bytes N]\n  \
@@ -271,6 +285,8 @@ fn parse_flags(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>)
                 || name == "no-history"
                 || name == "expect-no-shed"
                 || name == "kernels"
+                || name == "scaling"
+                || name == "asymptotic"
             {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
@@ -484,9 +500,65 @@ fn print_solution_human(model: &GangModel, sol: &GangSolution) {
     }
 }
 
+fn print_asymptotic_human(model: &GangModel, asym: &AsymptoticSolution) {
+    println!(
+        "zero-queueing limit (P → ∞ at fixed rho; finite machine: P = {}): \
+         mean cycle {:.4}, all stable = {}",
+        model.processors(),
+        asym.mean_cycle,
+        asym.all_stable
+    );
+    println!(
+        "{:>5} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "class", "stable", "duty f", "rho", "T_inf", "N_inf"
+    );
+    for c in &asym.classes {
+        println!(
+            "{:>5} {:>8} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            c.class, c.stable, c.duty_fraction, c.utilization, c.mean_response, c.mean_jobs
+        );
+    }
+}
+
+fn asymptotic_json(asym: &AsymptoticSolution) -> String {
+    let classes: Vec<String> = asym
+        .classes
+        .iter()
+        .map(|c| {
+            format!(
+                r#"{{"class":{},"stable":{},"duty_fraction":{},"utilization":{},"arrival_rate":{},"mean_response":{},"mean_jobs":{}}}"#,
+                c.class,
+                c.stable,
+                json_f64(c.duty_fraction),
+                json_f64(c.utilization),
+                json_f64(c.arrival_rate),
+                json_f64(c.mean_response),
+                json_f64(c.mean_jobs)
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"asymptotic":true,"all_stable":{},"mean_cycle":{},"classes":[{}]}}"#,
+        asym.all_stable,
+        json_f64(asym.mean_cycle),
+        classes.join(",")
+    )
+}
+
 fn cmd_solve(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
     let model = resolve_model("solve", &pos, &flags)?;
+    // `--asymptotic` swaps the finite-P QBD solve for the zero-queueing
+    // large-system limit — the anchor large-P solves are checked against.
+    if flags.contains_key("asymptotic") {
+        let asym = solve_asymptotic(&model).map_err(|e| e.to_string())?;
+        if flags.contains_key("json") {
+            println!("{}", asymptotic_json(&asym));
+        } else {
+            print_asymptotic_human(&model, &asym);
+        }
+        return Ok(());
+    }
     let opts = solver_options(&flags)?;
     let diag = Diagnostics::from_flags(&flags);
     let sol = solve(&model, &opts).map_err(|e| e.to_string());
@@ -654,78 +726,222 @@ fn print_sweep_human(name: &str, report: &SweepReport, classes: usize) {
     }
 }
 
+/// One sweep to run: named request plus, for scenario-driven sweeps, the
+/// scenario itself (which carries the tolerance contract to enforce).
+struct SweepJob {
+    name: String,
+    req: SweepRequest,
+    scenario: Option<Scenario>,
+}
+
+/// Solver options for a Processors-axis (large-P) sweep: automatic
+/// certified level truncation targeted at the scenario's declared ceiling,
+/// with health collection so the certificates are reportable.
+fn scaling_solver_options(base: &SolverOptions, target_tail: f64) -> SolverOptions {
+    let mut solver = base.clone();
+    solver.qbd.truncation = LevelTruncation::Auto {
+        target_tail,
+        min_levels: 4,
+    };
+    solver.collect_health = true;
+    solver
+}
+
+/// Enforce a large-P scenario's tolerance contract on a finished sweep:
+/// every truncated point's *certified* tail mass must stay under the
+/// scenario's ceiling, and the largest solved point must agree with the
+/// zero-queueing asymptotic limit within the declared relative tolerance.
+/// Returns human-readable check lines; `Err` lists the violations.
+fn check_large_p_contract(sc: &Scenario, report: &SweepReport) -> Result<Vec<String>, String> {
+    let mut lines = Vec::new();
+    let mut violations = Vec::new();
+    if let Some(ceiling) = sc.tolerance.certified_tail {
+        let mut worst: f64 = 0.0;
+        let mut checked = 0usize;
+        for p in &report.points {
+            let Some(health) = p.solution.as_ref().and_then(|s| s.health.as_ref()) else {
+                continue;
+            };
+            checked += 1;
+            for h in &health.classes {
+                worst = worst.max(h.certified_tail);
+                if h.certified_tail > ceiling {
+                    violations.push(format!(
+                        "{}: P = {}, class {}: certified tail {:.3e} exceeds ceiling {ceiling:.3e}",
+                        sc.name, p.x, h.class, h.certified_tail
+                    ));
+                }
+            }
+        }
+        lines.push(format!(
+            "{}: certified truncation tail <= {ceiling:.1e} held at {checked} point(s) (worst {worst:.3e})",
+            sc.name
+        ));
+    }
+    if let Some(tol) = sc.tolerance.asymptotic_rel {
+        // The contract binds at the *largest* solved point, where the
+        // finite machine is nearest the limit.
+        if let Some(p) = report.points.iter().rev().find(|p| p.solution.is_some()) {
+            let sol = p.solution.as_ref().expect("filtered on solution");
+            let model = sc.model_at(p.x).map_err(|e| e.to_string())?;
+            let asym = solve_asymptotic(&model).map_err(|e| e.to_string())?;
+            let gap = sol
+                .classes
+                .iter()
+                .zip(asym.classes.iter())
+                .map(|(full, lim)| {
+                    (full.mean_response - lim.mean_response).abs() / lim.mean_response
+                })
+                .fold(0.0_f64, f64::max);
+            lines.push(format!(
+                "{}: asymptotic cross-check at P = {}: worst class gap {:.2}% (tolerance {:.0}%)",
+                sc.name,
+                p.x,
+                gap * 100.0,
+                tol * 100.0
+            ));
+            if gap > tol {
+                violations.push(format!(
+                    "{}: P = {}: relative gap {gap:.4} to the zero-queueing limit exceeds {tol}",
+                    sc.name, p.x
+                ));
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(lines)
+    } else {
+        Err(violations.join("; "))
+    }
+}
+
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
     let quick = flags.contains_key("quick");
-    let requests: Vec<(String, SweepRequest)> = if let Some(arg) = flags.get("scenario") {
+    let scenario_job = |sc: Scenario| -> Result<SweepJob, String> {
+        let req = sc.sweep_request(quick).map_err(|e| e.to_string())?;
+        Ok(SweepJob {
+            name: sc.name.clone(),
+            req,
+            scenario: Some(sc),
+        })
+    };
+    let jobs_list: Vec<SweepJob> = if let Some(arg) = flags.get("scenario") {
         if !pos.is_empty() {
             return Err("sweep: give either a figure name or --scenario, not both".to_string());
         }
-        let sc = load_scenario(arg)?;
-        let req = sc.sweep_request(quick).map_err(|e| e.to_string())?;
-        vec![(sc.name.clone(), req)]
+        vec![scenario_job(load_scenario(arg)?)?]
     } else {
         let which = pos.first().map(String::as_str).unwrap_or("all");
-        let figures: Vec<Figure> = if which == "all" {
-            Figure::ALL.to_vec()
+        if which == "all" {
+            Figure::ALL
+                .iter()
+                .map(|fig| SweepJob {
+                    name: fig.name().to_string(),
+                    req: fig.request(quick),
+                    scenario: None,
+                })
+                .collect()
+        } else if let Some(fig) = Figure::from_name(which) {
+            vec![SweepJob {
+                name: fig.name().to_string(),
+                req: fig.request(quick),
+                scenario: None,
+            }]
         } else {
-            vec![Figure::from_name(which)
-                .ok_or_else(|| format!("unknown figure `{which}` (fig2|fig3|fig4|fig5|all)"))?]
-        };
-        figures
-            .into_iter()
-            .map(|fig| (fig.name().to_string(), fig.request(quick)))
-            .collect()
+            // Not a figure: any sweep-capable registry scenario (or a
+            // scenario file) works positionally — `gsched sweep p_sweep`.
+            vec![scenario_job(load_scenario(which)?)?]
+        }
     };
     let jobs = flag_f64(&flags, "jobs", 0.0)? as usize;
     let solver = solver_options(&flags)?;
     // Record the kernel backend in each request's provenance params so
     // archived sweep outputs say which backend produced them.
     let backend = solver.qbd.backend;
-    let requests: Vec<(String, SweepRequest)> = requests
+    let jobs_list: Vec<SweepJob> = jobs_list
         .into_iter()
-        .map(|(name, mut req)| {
-            req.base = std::mem::take(&mut req.base).with_param("backend", backend.index() as f64);
-            (name, req)
+        .map(|mut job| {
+            job.req.base =
+                std::mem::take(&mut job.req.base).with_param("backend", backend.index() as f64);
+            job
         })
         .collect();
-    let opts = SweepOptions::default()
-        .with_jobs(jobs)
-        .with_warm_start(!flags.contains_key("no-warm"))
-        .with_solver(solver);
     let parity = flags.contains_key("parity-check");
     let diag = Diagnostics::from_flags(&flags);
     let mut json_reports = Vec::new();
     let mut failures = 0;
     let mut parity_errors = Vec::new();
-    for (name, req) in &requests {
-        let classes = req
+    let mut contract_lines = Vec::new();
+    let mut contract_errors = Vec::new();
+    for job in &jobs_list {
+        // Processors-axis sweeps get certified level truncation
+        // automatically — large P is intractable without it.
+        let is_large_p = job
+            .scenario
+            .as_ref()
+            .and_then(|sc| sc.sweep.as_ref())
+            .is_some_and(|sweep| sweep.axis == AxisSpec::Processors);
+        let job_solver = if is_large_p {
+            let target = job
+                .scenario
+                .as_ref()
+                .and_then(|sc| sc.tolerance.certified_tail)
+                .unwrap_or(1e-8);
+            scaling_solver_options(&solver, target)
+        } else {
+            solver.clone()
+        };
+        let opts = SweepOptions::default()
+            .with_jobs(jobs)
+            .with_warm_start(!flags.contains_key("no-warm"))
+            .with_solver(job_solver);
+        let classes = job
+            .req
             .points
             .first()
             .map(|p| p.model.num_classes())
             .unwrap_or(0);
-        let report = run_sweep(req, &opts);
+        let report = run_sweep(&job.req, &opts);
         failures += report.failures();
         if parity {
-            let seq = run_sweep(req, &opts.clone().with_jobs(1));
+            let seq = run_sweep(&job.req, &opts.clone().with_jobs(1));
             let div = sweep_divergence(&report, &seq, classes);
             if div > 1e-10 {
                 parity_errors.push(format!(
-                    "{name}: parallel vs sequential diverge by {div:.3e} (> 1e-10)"
+                    "{}: parallel vs sequential diverge by {div:.3e} (> 1e-10)",
+                    job.name
                 ));
             }
         }
+        if let Some(sc) = job.scenario.as_ref().filter(|_| is_large_p) {
+            match check_large_p_contract(sc, &report) {
+                Ok(lines) => contract_lines.extend(lines),
+                Err(e) => contract_errors.push(e),
+            }
+        }
         if flags.contains_key("json") {
-            json_reports.push(sweep_report_json(name, &report, classes));
+            json_reports.push(sweep_report_json(&job.name, &report, classes));
         } else {
-            print_sweep_human(name, &report, classes);
+            print_sweep_human(&job.name, &report, classes);
         }
     }
     diag.finish()?;
     if flags.contains_key("json") {
         println!("[{}]", json_reports.join(","));
-    } else if failures > 0 {
-        eprintln!("sweep: {failures} point(s) failed to solve");
+        for line in &contract_lines {
+            eprintln!("{line}");
+        }
+    } else {
+        for line in &contract_lines {
+            println!("{line}");
+        }
+        if failures > 0 {
+            eprintln!("sweep: {failures} point(s) failed to solve");
+        }
+    }
+    if !contract_errors.is_empty() {
+        return Err(contract_errors.join("; "));
     }
     if !parity_errors.is_empty() {
         return Err(parity_errors.join("; "));
@@ -1045,6 +1261,7 @@ fn cmd_doctor(args: &[String]) -> Result<(), String> {
         spectral_gap: flag_f64(&flags, "warn-gap", defaults.spectral_gap)?,
         r_residual: flag_f64(&flags, "warn-residual", defaults.r_residual)?,
         truncated_mass: flag_f64(&flags, "warn-trunc", defaults.truncated_mass)?,
+        certified_tail: flag_f64(&flags, "warn-certified", defaults.certified_tail)?,
     };
     // Convergence analysis needs the R-solve event stream, so those paths
     // always record; `--json` includes the section unconditionally.
@@ -1069,13 +1286,17 @@ fn cmd_doctor(args: &[String]) -> Result<(), String> {
             .iter()
             .map(|c| {
                 format!(
-                    r#"{{"class":{},"stable":{},"drift_margin":{},"spectral_radius":{},"r_residual":{},"truncated_mass":{}}}"#,
+                    r#"{{"class":{},"stable":{},"drift_margin":{},"spectral_radius":{},"r_residual":{},"truncated_mass":{},"truncation_level":{},"certified_tail":{}}}"#,
                     c.class,
                     c.stable,
                     json_f64(c.drift_margin),
                     json_f64(c.spectral_radius),
                     json_f64(c.r_residual),
                     json_f64(c.truncated_mass),
+                    c.truncation_level
+                        .map(|l| l.to_string())
+                        .unwrap_or_else(|| "null".to_string()),
+                    json_f64(c.certified_tail),
                 )
             })
             .collect();
@@ -1122,15 +1343,21 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let (_, flags) = parse_flags(args)?;
     let quick = flags.contains_key("quick");
     let kernels = flags.contains_key("kernels");
+    let scaling = flags.contains_key("scaling");
     if kernels && flags.contains_key("scenario") {
         return Err("--kernels and --scenario are mutually exclusive".to_string());
     }
+    if scaling && (kernels || flags.contains_key("scenario")) {
+        return Err("--scaling excludes --kernels and --scenario".to_string());
+    }
     let label = flags.get("label").cloned().unwrap_or_else(|| {
-        match (kernels, quick) {
-            (true, true) => "kernels-quick",
-            (true, false) => "kernels",
-            (false, true) => "quick",
-            (false, false) => "local",
+        match (kernels, scaling, quick) {
+            (true, _, true) => "kernels-quick",
+            (true, _, false) => "kernels",
+            (false, true, true) => "scaling-quick",
+            (false, true, false) => "scaling",
+            (false, false, true) => "quick",
+            (false, false, false) => "local",
         }
         .to_string()
     });
@@ -1150,6 +1377,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         .transpose()?;
     let report = if kernels {
         bench::run_kernel_bench(&label, reps, quick)?
+    } else if scaling {
+        bench::run_scaling_bench(&label, reps, quick)?
     } else {
         bench::run_bench(&label, reps, quick, jobs, only.as_ref())?
     };

@@ -445,10 +445,12 @@ fn sweep_human_output_reports_warm_rate() {
 
 #[test]
 fn sweep_rejects_unknown_figure() {
+    // Non-figure names fall through to scenario resolution (registry name
+    // or file), so the failure names the registry rather than the figures.
     let out = gsched().arg("sweep").arg("fig9").output().unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("unknown figure"), "{err}");
+    assert!(err.contains("unknown scenario"), "{err}");
 }
 
 #[test]

@@ -1,0 +1,333 @@
+//! Zero-queueing large-system asymptotics (the `P → ∞` limit).
+//!
+//! "Zero Queueing for Multi-Server Jobs" (Wang, Xie, Harchol-Balter) shows
+//! that in the many-server regime — here, `c_p = P/g(p) → ∞` partitions with
+//! the per-class utilization `ρ_p` held fixed below the class's capacity
+//! share — the probability an arriving job waits vanishes. For the
+//! gang-scheduled machine this limit is exactly computable without ever
+//! building the QBD:
+//!
+//! * the class **always has work** (the empty-queue probability decays like
+//!   `e^{−Θ(c_p)}`), so quanta are never cut short or skipped and the
+//!   timeplexing cycle is the *full-parameter* cycle of Theorem 4.1;
+//! * the machine's schedule is then an autonomous CTMC on the cycle phases
+//!   (quantum phases of `G_p` plus vacation phases of `Z_p`); its stationary
+//!   distribution gives the **duty fraction** `f_p` — the long-run share of
+//!   time class `p` holds the machine;
+//! * an arriving job starts service immediately (zero queueing) but accrues
+//!   work only while the class holds the machine: its response time is the
+//!   absorption time of the product chain (service phase × cycle phase) with
+//!   service transitions gated on the quantum phases, started from
+//!   `β ⊗ φ` by PASTA.
+//!
+//! Stability in the limit is the capacity-share condition `ρ_p < f_p`. The
+//! limit is the differential anchor for large-`P` solves: a full
+//! (truncation-certified) solve at growing `P` must converge to
+//! [`AsymptoticClass::mean_response`] — `gsched solve --asymptotic` and the
+//! `p_sweep` scenarios check exactly that. See `docs/LARGE_P.md`.
+
+use crate::model::GangModel;
+use crate::{GangError, Result};
+use gsched_linalg::Matrix;
+use gsched_markov::{AbsorbingCtmc, Ctmc};
+use gsched_phase::PhaseType;
+
+/// The zero-queueing limit of one class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsymptoticClass {
+    /// Class index.
+    pub class: usize,
+    /// Whether the class is stable in the limit (`ρ_p < f_p`).
+    pub stable: bool,
+    /// Duty fraction `f_p`: long-run fraction of time the class holds the
+    /// machine under the full-parameter cycle.
+    pub duty_fraction: f64,
+    /// Offered utilization `ρ_p = λ_p g(p)/(μ_p P)`.
+    pub utilization: f64,
+    /// Arrival rate `λ_p`.
+    pub arrival_rate: f64,
+    /// Limiting mean response time `T_p^∞` (infinite when unstable): the
+    /// service requirement stretched by the timeplexing schedule, with no
+    /// queueing delay.
+    pub mean_response: f64,
+    /// Limiting mean jobs **per partition** is zero-queueing's `ρ`; the
+    /// per-class mean number in system grows like `λ_p T_p^∞`, reported
+    /// here (infinite when unstable).
+    pub mean_jobs: f64,
+}
+
+/// The zero-queueing limit of the whole machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsymptoticSolution {
+    /// Per-class limits, in class order.
+    pub classes: Vec<AsymptoticClass>,
+    /// True iff every class satisfies `ρ_p < f_p`.
+    pub all_stable: bool,
+    /// Mean full-parameter cycle length `Σ_p (E[G_p] + E[C_p])` — the cycle
+    /// the limit operates on (cf. `GangModel::full_cycle_mean`).
+    pub mean_cycle: f64,
+}
+
+fn markov_err(e: gsched_markov::MarkovError) -> GangError {
+    GangError::from(gsched_qbd::QbdError::Markov(e))
+}
+
+/// The autonomous cycle CTMC of class `p`: quantum phases `0..m_q` followed
+/// by vacation phases `m_q..m_q+m_v`, with the zero-length-vacation atom
+/// routed straight back into a fresh quantum.
+fn cycle_generator(quantum: &PhaseType, vacation: &PhaseType) -> Matrix {
+    let m_q = quantum.order();
+    let m_v = vacation.order();
+    let n = m_q + m_v;
+    let sg = quantum.sub_generator();
+    let s0g = quantum.exit_vector();
+    let gamma = quantum.alpha();
+    let sv = vacation.sub_generator();
+    let s0v = vacation.exit_vector();
+    let alpha_v = vacation.alpha();
+    let atom_v = vacation.atom_at_zero();
+
+    let mut q = Matrix::zeros(n, n);
+    let add = |q: &mut Matrix, src: usize, dst: usize, rate: f64| {
+        if rate > 0.0 && src != dst {
+            q[(src, dst)] += rate;
+        }
+    };
+    for k in 0..m_q {
+        for k2 in 0..m_q {
+            if k2 != k {
+                add(&mut q, k, k2, sg[(k, k2)]);
+            }
+        }
+        // Quantum ends: vacation starts (or, with probability `atom_v`, is
+        // zero-length and a new quantum begins immediately).
+        for (v, &pv) in alpha_v.iter().enumerate() {
+            add(&mut q, k, m_q + v, s0g[k] * pv);
+        }
+        if atom_v > 0.0 {
+            for (k2, &g) in gamma.iter().enumerate() {
+                add(&mut q, k, k2, s0g[k] * atom_v * g);
+            }
+        }
+    }
+    for v in 0..m_v {
+        for v2 in 0..m_v {
+            if v2 != v {
+                add(&mut q, m_q + v, m_q + v2, sv[(v, v2)]);
+            }
+        }
+        // Vacation ends: a new quantum starts (the queue is never empty in
+        // this limit, so the quantum is never skipped).
+        for (k, &g) in gamma.iter().enumerate() {
+            add(&mut q, m_q + v, k, s0v[v] * g);
+        }
+    }
+    for i in 0..n {
+        let out: f64 = (0..n).filter(|&j| j != i).map(|j| q[(i, j)]).sum();
+        q[(i, i)] = -out;
+    }
+    q
+}
+
+/// Compute the zero-queueing large-system limit of every class.
+///
+/// The cost is polynomial in the phase-type orders and entirely independent
+/// of `P` — this is the cheap cross-check for solves at `P` in the
+/// thousands.
+pub fn solve_asymptotic(model: &GangModel) -> Result<AsymptoticSolution> {
+    let l = model.num_classes();
+    let mut classes = Vec::with_capacity(l);
+    let mut all_stable = true;
+    for p in 0..l {
+        let quantum = &model.class(p).quantum;
+        let vacation = crate::vacation::heavy_traffic_vacation(model, p);
+        let m_q = quantum.order();
+        let m_v = vacation.order();
+
+        // Stationary cycle-phase distribution φ and the duty fraction f_p.
+        let q = cycle_generator(quantum, &vacation);
+        let phi = Ctmc::new(q.clone())
+            .map_err(markov_err)?
+            .stationary_gth()
+            .map_err(markov_err)?;
+        let duty_fraction: f64 = phi[..m_q].iter().sum();
+
+        let utilization = model.class_utilization(p);
+        let arrival_rate = model.class(p).arrival_rate();
+        let stable = utilization < duty_fraction;
+        if !stable {
+            all_stable = false;
+            classes.push(AsymptoticClass {
+                class: p,
+                stable,
+                duty_fraction,
+                utilization,
+                arrival_rate,
+                mean_response: f64::INFINITY,
+                mean_jobs: f64::INFINITY,
+            });
+            continue;
+        }
+
+        // Tagged job: product chain (service phase b, cycle phase j). The
+        // cycle evolves autonomously; service transitions and completion are
+        // active only while the class holds the machine (j < m_q).
+        let service = &model.class(p).service;
+        let m_b = service.order();
+        let sb = service.sub_generator();
+        let s0b = service.exit_vector();
+        let beta = service.alpha();
+        let nj = m_q + m_v;
+        let ns = m_b * nj;
+        let mut t = Matrix::zeros(ns, ns);
+        for b in 0..m_b {
+            for j in 0..nj {
+                let src = b * nj + j;
+                let mut out = 0.0;
+                for j2 in 0..nj {
+                    if j2 != j {
+                        let r = q[(j, j2)];
+                        if r > 0.0 {
+                            t[(src, b * nj + j2)] += r;
+                            out += r;
+                        }
+                    }
+                }
+                if j < m_q {
+                    for b2 in 0..m_b {
+                        if b2 != b {
+                            let r = sb[(b, b2)];
+                            if r > 0.0 {
+                                t[(src, b2 * nj + j)] += r;
+                                out += r;
+                            }
+                        }
+                    }
+                    out += s0b[b]; // completion: absorbing
+                }
+                t[(src, src)] = -out;
+            }
+        }
+        // PASTA: the job arrives with the cycle in stationarity.
+        let mut alpha = vec![0.0; ns];
+        for (b, &pb) in beta.iter().enumerate() {
+            for (j, &pj) in phi.iter().enumerate() {
+                alpha[b * nj + j] = pb * pj;
+            }
+        }
+        let mean_response = AbsorbingCtmc::from_sub_generator(t)
+            .map_err(markov_err)?
+            .mean_absorption_time(&alpha)
+            .map_err(markov_err)?;
+
+        classes.push(AsymptoticClass {
+            class: p,
+            stable,
+            duty_fraction,
+            utilization,
+            arrival_rate,
+            mean_response,
+            mean_jobs: arrival_rate * mean_response,
+        });
+    }
+    Ok(AsymptoticSolution {
+        classes,
+        all_stable,
+        mean_cycle: model.full_cycle_mean(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ClassParams;
+    use gsched_phase::{erlang, exponential};
+
+    fn single_class(p: usize, lambda_per_slot: f64, overhead_rate: f64) -> GangModel {
+        GangModel::new(
+            p,
+            vec![ClassParams {
+                partition_size: 1,
+                arrival: exponential(lambda_per_slot * p as f64),
+                service: exponential(1.0),
+                quantum: exponential(1.0),
+                switch_overhead: exponential(overhead_rate),
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_class_duty_is_cycle_share() {
+        // One class: the cycle is quantum (mean 1) + overhead (mean 0.25),
+        // so the duty fraction is 1/1.25 = 0.8 exactly (exponential phases,
+        // renewal-reward).
+        let m = single_class(8, 0.5, 4.0);
+        let a = solve_asymptotic(&m).unwrap();
+        assert!((a.classes[0].duty_fraction - 0.8).abs() < 1e-12);
+        assert!(a.classes[0].stable);
+        assert!(a.all_stable);
+        assert!((a.mean_cycle - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negligible_overhead_recovers_plain_service() {
+        // Duty → 1: the job is served continuously, T∞ → E[B] = 1.
+        let m = single_class(8, 0.5, 1e6);
+        let a = solve_asymptotic(&m).unwrap();
+        let c = &a.classes[0];
+        assert!(c.duty_fraction > 1.0 - 1e-5);
+        assert!((c.mean_response - 1.0).abs() < 1e-4, "{}", c.mean_response);
+        assert!((c.mean_jobs - c.arrival_rate).abs() < 1e-3);
+    }
+
+    #[test]
+    fn response_scales_like_inverse_duty() {
+        // With exponential service (memoryless), gating service on a duty
+        // fraction f stretches the mean response to E[B]/f in the limit of
+        // fast cycles; with cycle and service on comparable timescales the
+        // stretch exceeds 1/f slightly. Check the right neighbourhood.
+        let m = single_class(8, 0.25, 4.0);
+        let a = solve_asymptotic(&m).unwrap();
+        let c = &a.classes[0];
+        assert!(
+            c.mean_response >= 1.0 / c.duty_fraction - 1e-9,
+            "{} vs {}",
+            c.mean_response,
+            1.0 / c.duty_fraction
+        );
+        assert!(c.mean_response < 2.0 / c.duty_fraction);
+    }
+
+    #[test]
+    fn capacity_share_stability() {
+        // Two symmetric classes: each gets duty 0.5·(quantum share). A class
+        // offered more than its share is unstable in the limit.
+        let mk = |lam: f64| ClassParams {
+            partition_size: 1,
+            arrival: exponential(lam),
+            service: exponential(1.0),
+            quantum: erlang(2, 2.0),
+            switch_overhead: exponential(100.0),
+        };
+        let m = GangModel::new(16, vec![mk(16.0 * 0.3), mk(16.0 * 0.7)]).unwrap();
+        let a = solve_asymptotic(&m).unwrap();
+        // Symmetric cycle: each class's duty is just under 1/2.
+        assert!((a.classes[0].duty_fraction - 0.5).abs() < 0.01);
+        assert!(a.classes[0].stable, "ρ=0.3 < f≈0.5");
+        assert!(!a.classes[1].stable, "ρ=0.7 > f≈0.5");
+        assert!(!a.all_stable);
+        assert!(a.classes[1].mean_response.is_infinite());
+    }
+
+    #[test]
+    fn limit_is_independent_of_p() {
+        // The whole point: the limit depends on ρ and the cycle, not on P.
+        let a8 = solve_asymptotic(&single_class(8, 0.5, 4.0)).unwrap();
+        let a4096 = solve_asymptotic(&single_class(4096, 0.5, 4.0)).unwrap();
+        assert!(
+            (a8.classes[0].mean_response - a4096.classes[0].mean_response).abs()
+                < 1e-12 * a8.classes[0].mean_response.abs().max(1.0)
+        );
+    }
+}

@@ -48,9 +48,29 @@ pub fn effective_quantum(
     let d = &chain.dists;
     let c = sp.c;
 
-    // Pick the cap from the stationary tail.
-    let mut cap = c + 1;
-    let hard_cap = c + max_extra.max(1);
+    // Zero-queueing shortcut: when the chain essentially never empties
+    // (large-P regime, every partition busy with overwhelming probability),
+    // quanta are never cut short and never skipped — the effective quantum
+    // *is* the parameter quantum. Skipping the absorbing-chain build here is
+    // what makes solves at P in the thousands tractable.
+    if sol.level_prob(0) + sol.level_prob(1) < 1e-10 {
+        if obs::enabled() {
+            obs::observe(obs::names::CORE_EFFECTIVE_LEVEL_CAP, 0.0);
+            obs::observe(obs::names::CORE_EFFECTIVE_TRUNCATED_MASS, 0.0);
+        }
+        let distribution =
+            PhaseType::new(d.gamma.clone(), d.sg.clone()).map_err(GangError::Phase)?;
+        return Ok(EffectiveQuantum {
+            distribution,
+            level_cap: 0,
+            truncated_mass: 0.0,
+        });
+    }
+
+    // Pick the cap from the stationary tail. A truncated solution already
+    // certifies its own tail; never force the cap past its boundary.
+    let mut cap = c.min(sol.c()) + 1;
+    let hard_cap = cap + max_extra.max(1) - 1;
     while cap < hard_cap && sol.tail_prob(cap + 1) > tail_eps {
         cap += 1;
     }

@@ -30,6 +30,13 @@ pub struct ClassHealth {
     /// Stationary tail mass discarded by the effective-quantum level
     /// truncation (`NaN` when unstable).
     pub truncated_mass: f64,
+    /// Boundary level at which the QBD solve was truncated
+    /// ([`gsched_qbd::LevelTruncation`]), `None` for a full solve.
+    pub truncation_level: Option<usize>,
+    /// Certified tail-mass bound of the QBD level truncation: an upper bound
+    /// (by stochastic domination) on the stationary mass the cut could
+    /// misplace. Zero for a full solve, `NaN` when unstable.
+    pub certified_tail: f64,
 }
 
 /// WARN thresholds for [`HealthReport::warnings`].
@@ -43,6 +50,8 @@ pub struct HealthThresholds {
     pub r_residual: f64,
     /// Warn when the truncated tail mass exceeds this.
     pub truncated_mass: f64,
+    /// Warn when the certified level-truncation tail bound exceeds this.
+    pub certified_tail: f64,
 }
 
 impl Default for HealthThresholds {
@@ -52,6 +61,7 @@ impl Default for HealthThresholds {
             spectral_gap: 0.05,
             r_residual: 1e-8,
             truncated_mass: 1e-6,
+            certified_tail: 1e-6,
         }
     }
 }
@@ -102,6 +112,12 @@ impl HealthReport {
                     c.class, c.truncated_mass, th.truncated_mass
                 ));
             }
+            if c.certified_tail > th.certified_tail {
+                out.push(format!(
+                    "class {}: certified truncation tail {:.3e} above {:.3e} — lower target_tail or solve untruncated",
+                    c.class, c.certified_tail, th.certified_tail
+                ));
+            }
         }
         out
     }
@@ -111,13 +127,21 @@ impl HealthReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>5} {:>8} {:>12} {:>10} {:>10} {:>12} {:>12}",
-            "class", "stable", "drift_slack", "sp(R)", "1-sp(R)", "R_residual", "trunc_mass"
+            "{:>5} {:>8} {:>12} {:>10} {:>10} {:>12} {:>12} {:>9} {:>12}",
+            "class",
+            "stable",
+            "drift_slack",
+            "sp(R)",
+            "1-sp(R)",
+            "R_residual",
+            "trunc_mass",
+            "trunc_lvl",
+            "cert_tail"
         );
         for c in &self.classes {
             let _ = writeln!(
                 out,
-                "{:>5} {:>8} {:>12.6} {:>10.6} {:>10.6} {:>12.3e} {:>12.3e}",
+                "{:>5} {:>8} {:>12.6} {:>10.6} {:>10.6} {:>12.3e} {:>12.3e} {:>9} {:>12.3e}",
                 c.class,
                 if c.stable { "yes" } else { "NO" },
                 c.drift_margin,
@@ -125,6 +149,9 @@ impl HealthReport {
                 1.0 - c.spectral_radius,
                 c.r_residual,
                 c.truncated_mass,
+                c.truncation_level
+                    .map_or_else(|| "full".to_string(), |l| l.to_string()),
+                c.certified_tail,
             );
         }
         let warnings = self.warnings(th);
@@ -151,6 +178,8 @@ mod tests {
             spectral_radius: 0.5,
             r_residual: 1e-13,
             truncated_mass: 1e-10,
+            truncation_level: None,
+            certified_tail: 0.0,
         }
     }
 
@@ -177,17 +206,27 @@ mod tests {
         bad_residual.r_residual = 1e-5;
         let mut fat_tail = healthy(3);
         fat_tail.truncated_mass = 1e-3;
+        let mut loose_cert = healthy(4);
+        loose_cert.truncation_level = Some(16);
+        loose_cert.certified_tail = 1e-3;
         let report = HealthReport {
-            classes: vec![near_saturation, slow_tail, bad_residual, fat_tail],
+            classes: vec![
+                near_saturation,
+                slow_tail,
+                bad_residual,
+                fat_tail,
+                loose_cert,
+            ],
         };
         let warnings = report.warnings(&th);
-        assert_eq!(warnings.len(), 4, "{warnings:?}");
+        assert_eq!(warnings.len(), 5, "{warnings:?}");
         assert!(warnings[0].contains("drift margin"));
         assert!(warnings[1].contains("spectral gap"));
         assert!(warnings[2].contains("R residual"));
         assert!(warnings[3].contains("truncated tail mass"));
+        assert!(warnings[4].contains("certified truncation tail"));
         let text = report.render(&th);
-        assert_eq!(text.matches("WARN").count(), 4);
+        assert_eq!(text.matches("WARN").count(), 5);
     }
 
     #[test]
@@ -200,6 +239,8 @@ mod tests {
                 spectral_radius: f64::NAN,
                 r_residual: f64::NAN,
                 truncated_mass: f64::NAN,
+                truncation_level: None,
+                certified_tail: f64::NAN,
             }],
         };
         let warnings = report.warnings(&HealthThresholds::default());

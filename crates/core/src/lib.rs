@@ -37,9 +37,11 @@
 //!   (eq. 37 and Little's law, §4.5).
 //!
 //! Beyond the paper: [`response`] derives full response-time distributions
-//! by tagged-job analysis, and [`tuning`] optimizes quantum lengths and
+//! by tagged-job analysis, [`tuning`] optimizes quantum lengths and
 //! cycle splits — the use the paper's abstract and §6 envision for the
-//! model.
+//! model — and [`asymptotic`] computes the zero-queueing large-system
+//! limit (`P → ∞`) that certified-truncation solves at large `P` are
+//! checked against (see `docs/LARGE_P.md`).
 //!
 //! # Quick example
 //!
@@ -70,6 +72,7 @@
 //! assert!(solution.classes[0].mean_jobs > 0.0);
 //! ```
 
+pub mod asymptotic;
 pub mod dot;
 pub mod effective;
 pub mod generator;
@@ -82,6 +85,11 @@ pub mod statespace;
 pub mod tuning;
 pub mod vacation;
 
+pub use asymptotic::{solve_asymptotic, AsymptoticClass, AsymptoticSolution};
+/// Re-export of the QBD solver crate so downstream users can name
+/// [`SolverOptions::qbd`] types (truncation, boundary method, backends)
+/// without a direct dependency.
+pub use gsched_qbd as qbd;
 pub use health::{ClassHealth, HealthReport, HealthThresholds};
 pub use model::{ClassParams, GangModel, ModelError};
 pub use solver::{

@@ -35,10 +35,14 @@ pub fn class_measures(
     let c = sp.c;
     let lambda = model.class(p).arrival_rate();
 
-    // Fraction of time in quantum phases: boundary levels 1..c-1 plus the
-    // aggregated tail π_c (I−R)⁻¹ for levels ≥ c.
+    // Fraction of time in quantum phases: boundary levels 1..cb-1 plus the
+    // aggregated tail π_cb (I−R)⁻¹ for levels ≥ cb. A truncated solution's
+    // boundary ends at `sol.c() < c`; its repeating blocks share the layout
+    // of the matching original levels, so decoding at the clamped level is
+    // exact and the loop stays O(sol.c()) rather than O(c).
+    let cb = sol.c().min(c);
     let mut service_fraction = 0.0;
-    for i in 1..c {
+    for i in 1..cb {
         let pi = sol.level_vector(i);
         for (s, &v) in pi.iter().enumerate() {
             let (_, _, k) = sp.decode(i, s);
@@ -49,7 +53,7 @@ pub fn class_measures(
     }
     let tail = sol.tail_phase_vector();
     for (s, &v) in tail.iter().enumerate() {
-        let (_, _, k) = sp.decode(c.max(1), s);
+        let (_, _, k) = sp.decode(cb.max(1), s);
         if sp.is_quantum_phase(k) {
             service_fraction += v;
         }

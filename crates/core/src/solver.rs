@@ -201,6 +201,23 @@ impl SolverOptionsBuilder {
         self
     }
 
+    /// Select the level-truncation policy for the per-class QBD solves
+    /// (shorthand for setting `qbd.truncation`). With
+    /// [`gsched_qbd::LevelTruncation::Auto`], solves at large `c_p` pick a
+    /// truncation level automatically and attach a certified tail-mass bound
+    /// to the health report.
+    pub fn truncation(mut self, truncation: gsched_qbd::LevelTruncation) -> Self {
+        self.opts.qbd.truncation = truncation;
+        self
+    }
+
+    /// Select the boundary solve method for the per-class QBD solves
+    /// (shorthand for setting `qbd.boundary`).
+    pub fn boundary(mut self, boundary: gsched_qbd::BoundaryMethod) -> Self {
+        self.opts.qbd.boundary = boundary;
+        self
+    }
+
     /// Error out (instead of reporting) when a class remains unstable.
     pub fn require_stable(mut self, yes: bool) -> Self {
         self.opts.require_stable = yes;
@@ -279,6 +296,21 @@ impl SolverOptionsBuilder {
             return Err(GangError::InvalidOptions(
                 "qbd.max_iter must be at least 1".into(),
             ));
+        }
+        match o.qbd.truncation {
+            gsched_qbd::LevelTruncation::Fixed { level: 0 } => {
+                return Err(GangError::InvalidOptions(
+                    "qbd.truncation Fixed level must be at least 1".into(),
+                ));
+            }
+            gsched_qbd::LevelTruncation::Auto { target_tail, .. }
+                if !(target_tail > 0.0 && target_tail < 1.0) =>
+            {
+                return Err(GangError::InvalidOptions(format!(
+                    "qbd.truncation Auto target_tail must lie in (0, 1), got {target_tail}"
+                )));
+            }
+            _ => {}
         }
         Ok(o)
     }
@@ -626,6 +658,8 @@ pub fn solve_warm(
                             opts.qbd.backend,
                         ),
                         truncated_mass: eff.truncated_mass,
+                        truncation_level: sol.truncation().map(|t| t.level),
+                        certified_tail: sol.truncation().map_or(0.0, |t| t.tail_mass),
                     });
                 }
                 let response_quantiles = if opts.response_quantiles {
@@ -667,6 +701,8 @@ pub fn solve_warm(
                         spectral_radius: f64::NAN,
                         r_residual: f64::NAN,
                         truncated_mass: f64::NAN,
+                        truncation_level: None,
+                        certified_tail: f64::NAN,
                     });
                 }
                 classes.push(ClassResult {

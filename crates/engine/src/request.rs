@@ -17,6 +17,9 @@ pub enum SweepAxis {
         /// The class whose share of the cycle is swept.
         class: usize,
     },
+    /// Machine size `P` at fixed per-class utilization (large-P scaling
+    /// sweeps; the coordinate is the processor count).
+    Processors,
     /// Any other axis; the string names it in reports and telemetry.
     Custom(String),
 }
@@ -29,6 +32,7 @@ impl SweepAxis {
             SweepAxis::ServiceRate => "service_rate".to_string(),
             SweepAxis::ArrivalRate => "arrival_rate".to_string(),
             SweepAxis::CycleFraction { class } => format!("cycle_fraction_class{class}"),
+            SweepAxis::Processors => "processors".to_string(),
             SweepAxis::Custom(name) => name.clone(),
         }
     }

@@ -25,6 +25,68 @@
 //! * [`solution::QbdSolution`] — the stationary distribution with closed-form
 //!   level moments (the paper's eq. 37).
 //! * [`stability`] — the drift condition of Theorem 4.4.
+//!
+//! # Large boundaries: censored solves and certified truncation
+//!
+//! At production scale (`P` in the thousands) the boundary has `c = P/g`
+//! levels and the dense boundary system is quadratic in memory and cubic in
+//! time. Two mechanisms keep it tractable:
+//!
+//! * [`solution::BoundaryMethod`] — block-tridiagonal *censored* elimination
+//!   solves the exact boundary in `O(c·d³)` time and `O(c·d²)` memory;
+//!   `Auto` (the default) switches to it past a size threshold.
+//! * [`solution::LevelTruncation`] — replaces the chain with its
+//!   frozen-capacity truncation at a level `m ≪ c`
+//!   ([`QbdProcess::truncated`]). The truncated chain stochastically
+//!   dominates the original, so its tail mass above `m` is a certified upper
+//!   bound on the mass the cut could misplace; the bound is attached to the
+//!   solution as a [`solution::TruncationCertificate`].
+//!
+//! ```
+//! use gsched_linalg::Matrix;
+//! use gsched_qbd::solution::{LevelTruncation, SolveOptions};
+//! use gsched_qbd::QbdProcess;
+//!
+//! // A lightly loaded M/M/64 queue, as a QBD with c = 64.
+//! let (lambda, mu, c) = (8.0, 1.0, 64usize);
+//! let mut up = Vec::new();
+//! let mut local = Vec::new();
+//! let mut down = Vec::new();
+//! for i in 0..=c {
+//!     if i < c {
+//!         up.push(Matrix::from_rows(&[&[lambda]]));
+//!     }
+//!     local.push(Matrix::from_rows(&[&[-(lambda + i as f64 * mu)]]));
+//!     if i >= 1 {
+//!         down.push(Matrix::from_rows(&[&[i as f64 * mu]]));
+//!     }
+//! }
+//! let qbd = QbdProcess::new(
+//!     up,
+//!     local,
+//!     down,
+//!     Matrix::from_rows(&[&[lambda]]),
+//!     Matrix::from_rows(&[&[-(lambda + c as f64 * mu)]]),
+//!     Matrix::from_rows(&[&[c as f64 * mu]]),
+//! )?;
+//!
+//! // Ask for an automatic truncation certified to 1e-9 of tail mass.
+//! let opts = SolveOptions {
+//!     truncation: LevelTruncation::Auto {
+//!         target_tail: 1e-9,
+//!         min_levels: 4,
+//!     },
+//!     ..Default::default()
+//! };
+//! let sol = qbd.solve(&opts)?;
+//! let cert = sol.truncation().expect("light load truncates well below c");
+//! assert!(cert.level < c);
+//! assert!(cert.tail_mass <= 1e-9);
+//! // The certified geometric bound dominates the exact tail (up to
+//! // round-off — for a one-phase chain the two coincide).
+//! assert!(sol.geometric_tail_bound(40) >= sol.tail_prob(40) * (1.0 - 1e-9));
+//! # Ok::<(), gsched_qbd::QbdError>(())
+//! ```
 
 pub mod process;
 pub mod rmatrix;
@@ -36,7 +98,9 @@ pub use rmatrix::{
     r_residual, r_residual_with, solve_g_logarithmic_reduction, solve_r, solve_r_newton,
     solve_r_successive, solve_r_with, RSolverMethod,
 };
-pub use solution::QbdSolution;
+pub use solution::{
+    BoundaryMethod, LevelTruncation, QbdSolution, SolveOptions, TruncationCertificate,
+};
 pub use stability::{drift_condition, DriftReport};
 
 /// Errors from QBD construction and solving.

@@ -233,6 +233,49 @@ impl QbdProcess {
         Ok(())
     }
 
+    /// The frozen-capacity truncation of this process at boundary level `m`.
+    ///
+    /// The result is a QBD whose boundary is levels `0..=m` of this process
+    /// and whose repeating blocks are the level-`m` boundary blocks:
+    /// `A₀' = up[m]`, `A₁' = local[m+1]`, `A₂' = down out of m+1`. Above
+    /// level `m` the truncated chain keeps the level-`m+1` dynamics forever —
+    /// in particular its service capacity is frozen at `m+1` busy partitions
+    /// instead of growing to `c`. Fewer departures mean stochastically *more*
+    /// jobs: the truncated chain dominates the original, so every tail
+    /// probability it reports is an upper bound on the true one. That is the
+    /// direction a certified truncation needs (see
+    /// [`solution::LevelTruncation`](crate::solution::LevelTruncation)).
+    ///
+    /// Requires `1 ≤ m < c` and `level_dim(m) == level_dim(m+1)` (the level
+    /// sizes must have saturated — true below `c` only when the service
+    /// distribution has a single phase). Returns [`QbdError::Shape`]
+    /// otherwise; callers using automatic truncation fall back to the full
+    /// solve on that error.
+    pub fn truncated(&self, m: usize) -> Result<QbdProcess> {
+        let c = self.c();
+        if m == 0 || m >= c {
+            return Err(QbdError::Shape(format!(
+                "truncation level {m} must satisfy 1 <= m < c = {c}"
+            )));
+        }
+        if self.level_dim(m) != self.level_dim(m + 1) {
+            return Err(QbdError::Shape(format!(
+                "levels {m} and {} differ in size ({} vs {}): cannot truncate",
+                m + 1,
+                self.level_dim(m),
+                self.level_dim(m + 1)
+            )));
+        }
+        QbdProcess::new(
+            self.boundary_up[..m].to_vec(),
+            self.boundary_local[..=m].to_vec(),
+            self.boundary_down[..m].to_vec(),
+            self.boundary_up[m].clone(),
+            self.boundary_local[m + 1].clone(),
+            self.boundary_down[m].clone(),
+        )
+    }
+
     /// The phase-process generator `A = A₀ + A₁ + A₂` of Theorem 4.4.
     pub fn phase_generator(&self) -> Matrix {
         &(&self.a0 + &self.a1) + &self.a2

@@ -7,6 +7,78 @@ use crate::{QbdError, Result};
 use gsched_linalg::{solve_left_nullspace, BackendKind, Matrix};
 use gsched_obs as obs;
 
+/// How the finite boundary system (eqs. 21/25/26 + 24) is solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoundaryMethod {
+    /// Dense below [`CENSORED_AUTO_THRESHOLD`] total boundary states,
+    /// censored elimination above. Small chains keep the bit-identical
+    /// dense path; large ones never materialize the dense system.
+    #[default]
+    Auto,
+    /// Always assemble and solve the dense `nb × nb` boundary system.
+    Dense,
+    /// Always use block-tridiagonal censored elimination: `O(c·d³)` time and
+    /// `O(c·d²)` memory instead of `O((c·d)³)` / `O((c·d)²)`.
+    Censored,
+}
+
+/// Boundary size (total states over levels `0..=c`) at which
+/// [`BoundaryMethod::Auto`] switches from the dense solve to censored
+/// elimination.
+pub const CENSORED_AUTO_THRESHOLD: usize = 384;
+
+/// Safety levels added on top of the decay-rate projection when
+/// [`LevelTruncation::Auto`] jumps from a stable-but-uncertified truncation
+/// to its projected certification level.
+const TRUNCATION_JUMP_CUSHION: usize = 8;
+
+/// Level-truncation policy for large boundaries (`c = P/g` in the thousands).
+///
+/// A truncated solve replaces the chain with its frozen-capacity truncation
+/// at level `m` ([`QbdProcess::truncated`]), which stochastically dominates
+/// the original — the reported tail mass above `m` is a *certified upper
+/// bound* on the true mass the truncation could misplace. The certificate is
+/// attached to the solution as [`TruncationCertificate`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LevelTruncation {
+    /// Solve the full boundary (the default).
+    #[default]
+    None,
+    /// Truncate at a fixed boundary level `1 ≤ level < c`.
+    Fixed {
+        /// The truncation level `m`.
+        level: usize,
+    },
+    /// Pick the truncation level automatically: starting from `min_levels`,
+    /// double `m` until the certified tail mass above `m` drops to
+    /// `target_tail` (or truncation stops paying off, in which case the full
+    /// solve runs). Chains whose level sizes have not saturated below `c`
+    /// (multi-phase service) fall back to the full solve transparently.
+    Auto {
+        /// Certified tail-mass target the truncation must meet.
+        target_tail: f64,
+        /// Smallest truncation level to try.
+        min_levels: usize,
+    },
+}
+
+/// Certificate attached to a truncated solve: where the chain was cut and
+/// how much probability mass the cut could misplace, by the domination
+/// argument an upper bound on the true error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncationCertificate {
+    /// The truncation level `m` the solve ran at.
+    pub level: usize,
+    /// The original chain's first repeating level `c` (what `m` replaced).
+    pub full_c: usize,
+    /// Certified mass above level `m` in the dominating truncated chain —
+    /// an upper bound on the same mass in the true chain.
+    pub tail_mass: f64,
+    /// The target the automatic policy was asked to certify (`0` for
+    /// [`LevelTruncation::Fixed`], which certifies whatever it finds).
+    pub target: f64,
+}
+
 /// Options controlling the QBD solve.
 #[derive(Debug, Clone)]
 pub struct SolveOptions {
@@ -34,6 +106,10 @@ pub struct SolveOptions {
     /// Kernel backend for all dense linear algebra performed by the solve
     /// (products, factorizations, triangular/spectral work).
     pub backend: BackendKind,
+    /// How the finite boundary system is solved.
+    pub boundary: BoundaryMethod,
+    /// Level-truncation policy for very large boundaries.
+    pub truncation: LevelTruncation,
 }
 
 impl Default for SolveOptions {
@@ -46,6 +122,8 @@ impl Default for SolveOptions {
             initial_r: None,
             warm_max_iter: 200,
             backend: BackendKind::default(),
+            boundary: BoundaryMethod::default(),
+            truncation: LevelTruncation::default(),
         }
     }
 }
@@ -65,6 +143,8 @@ pub struct QbdSolution {
     /// Kernel backend the solve ran under; post-solve matrix work
     /// (moments, tail sums) keeps using it.
     backend: BackendKind,
+    /// Present when the solve ran on a truncated chain.
+    truncation: Option<TruncationCertificate>,
 }
 
 impl QbdProcess {
@@ -116,7 +196,125 @@ impl QbdProcess {
     ///
     /// Steps: §4.4 irreducibility check → drift condition (Theorem 4.4) →
     /// `R` from eq. (23) → boundary system eqs. (21)/(24) → assemble.
+    ///
+    /// With [`SolveOptions::truncation`] other than [`LevelTruncation::None`]
+    /// the solve runs on a frozen-capacity truncation of the chain
+    /// ([`QbdProcess::truncated`]) and attaches a [`TruncationCertificate`]
+    /// to the solution.
     pub fn solve(&self, opts: &SolveOptions) -> Result<QbdSolution> {
+        match opts.truncation {
+            LevelTruncation::None => self.solve_untruncated(opts),
+            LevelTruncation::Fixed { level } => {
+                let sub = self.truncated(level)?;
+                let mut sub_opts = opts.clone();
+                sub_opts.truncation = LevelTruncation::None;
+                let mut sol = sub.solve_untruncated(&sub_opts)?;
+                sol.truncation = Some(TruncationCertificate {
+                    level,
+                    full_c: self.c(),
+                    tail_mass: sol.tail_prob(level + 1),
+                    target: 0.0,
+                });
+                Ok(sol)
+            }
+            LevelTruncation::Auto {
+                target_tail,
+                min_levels,
+            } => self.solve_truncated_auto(target_tail, min_levels, opts),
+        }
+    }
+
+    /// Automatic truncation: double the truncation level until the certified
+    /// tail mass meets `target_tail`, falling back to the full solve when
+    /// truncation cannot apply or stops paying off.
+    fn solve_truncated_auto(
+        &self,
+        target_tail: f64,
+        min_levels: usize,
+        opts: &SolveOptions,
+    ) -> Result<QbdSolution> {
+        // Gate on the ORIGINAL repeating blocks first: a truly unstable
+        // chain must surface as Unstable, not as a truncation that never
+        // certifies (every frozen-capacity truncation of an unstable chain
+        // is itself unstable, but the converse error would be misleading).
+        let drift = drift_condition(&self.a0, &self.a1, &self.a2)?;
+        if !drift.is_stable() {
+            return Err(QbdError::Unstable(drift));
+        }
+        let c = self.c();
+        let full = || {
+            let mut o = opts.clone();
+            o.truncation = LevelTruncation::None;
+            self.solve_untruncated(&o)
+        };
+        let mut m = min_levels.max(1);
+        let mut warm: Option<Matrix> = None;
+        while m < c {
+            let sub = match self.truncated(m) {
+                Ok(sub) => sub,
+                // Level sizes not saturated (multi-phase service): the
+                // truncation construction does not apply — solve in full.
+                Err(QbdError::Shape(_)) => return full(),
+                Err(e) => return Err(e),
+            };
+            let mut attempt = opts.clone();
+            attempt.truncation = LevelTruncation::None;
+            if let Some(r0) = warm.take() {
+                attempt.initial_r = Some(r0);
+            }
+            match sub.solve_untruncated(&attempt) {
+                Ok(mut sol) => {
+                    let tail = sol.tail_prob(m + 1);
+                    if tail <= target_tail {
+                        sol.truncation = Some(TruncationCertificate {
+                            level: m,
+                            full_c: c,
+                            tail_mass: tail,
+                            target: target_tail,
+                        });
+                        return Ok(sol);
+                    }
+                    // Stable but not yet certified. The tail beyond `m`
+                    // decays geometrically, so project the level where the
+                    // target is met from the measured decay rate. The
+                    // projection is taken at the *current* frozen capacity
+                    // and is therefore pessimistic while the capacity is
+                    // still growing — keep doubling when that is nearer.
+                    // But once `2m` would overshoot `c` (forcing a needless
+                    // full solve), the projection is the only way to land in
+                    // between: the certification level is often just a few
+                    // dozen levels up. The certificate is always the
+                    // re-solved chain's own tail, so the projection only has
+                    // to be a good guess, not a bound; a few cushion levels
+                    // absorb the capacity shift between the two truncations.
+                    let rate = sol.tail_decay_rate();
+                    let projected = if rate > 0.0 && rate < 1.0 {
+                        let extra = ((target_tail / tail).ln() / rate.ln()).ceil().max(1.0);
+                        if extra >= (c - m) as f64 {
+                            c
+                        } else {
+                            m + extra as usize + TRUNCATION_JUMP_CUSHION
+                        }
+                    } else {
+                        c
+                    };
+                    m = if 2 * m < c {
+                        projected.min(2 * m)
+                    } else {
+                        projected
+                    };
+                    warm = Some(sol.r().clone());
+                }
+                // The frozen capacity at m+1 partitions can be too small to
+                // drain the load even when the full chain is stable: grow.
+                Err(QbdError::Unstable(_)) => m *= 2,
+                Err(e) => return Err(e),
+            }
+        }
+        full()
+    }
+
+    fn solve_untruncated(&self, opts: &SolveOptions) -> Result<QbdSolution> {
         let _span = obs::span("qbd.solve");
         if opts.check_irreducible && !self.is_irreducible() {
             return Err(QbdError::NotIrreducible);
@@ -145,6 +343,48 @@ impl QbdProcess {
 
         // ---- Boundary linear system (eqs. 21/25/26 + 24) ----
         let c = self.c();
+        let nb: usize = (0..=c).map(|i| self.level_dim(i)).sum();
+        let use_censored = c >= 1
+            && match opts.boundary {
+                BoundaryMethod::Censored => true,
+                BoundaryMethod::Dense => false,
+                BoundaryMethod::Auto => nb >= CENSORED_AUTO_THRESHOLD,
+            };
+        let boundary_span = obs::span("qbd.boundary_solve");
+        obs::event(
+            "qbd.boundary",
+            &[
+                ("size", obs::FieldValue::U64(nb as u64)),
+                ("levels", obs::FieldValue::U64((c + 1) as u64)),
+            ],
+        );
+        let boundary = if use_censored {
+            self.boundary_censored(&r, &i_minus_r_inv, opts.backend)?
+        } else {
+            self.boundary_dense(&r, &i_minus_r_inv, opts.backend)?
+        };
+        drop(boundary_span);
+
+        Ok(QbdSolution {
+            boundary,
+            r,
+            i_minus_r_inv,
+            sp_r,
+            backend: opts.backend,
+            truncation: None,
+        })
+    }
+
+    /// Dense boundary solve: assemble the full `nb × nb` flow-balance system
+    /// and take its left nullspace.
+    fn boundary_dense(
+        &self,
+        r: &Matrix,
+        i_minus_r_inv: &Matrix,
+        backend: BackendKind,
+    ) -> Result<Vec<Vec<f64>>> {
+        let be = backend.instance();
+        let c = self.c();
         let dims: Vec<usize> = (0..=c).map(|i| self.level_dim(i)).collect();
         let offsets: Vec<usize> = dims
             .iter()
@@ -155,14 +395,6 @@ impl QbdProcess {
             })
             .collect();
         let nb: usize = dims.iter().sum();
-        let boundary_span = obs::span("qbd.boundary_solve");
-        obs::event(
-            "qbd.boundary",
-            &[
-                ("size", obs::FieldValue::U64(nb as u64)),
-                ("levels", obs::FieldValue::U64((c + 1) as u64)),
-            ],
-        );
         let mut m = Matrix::zeros(nb, nb);
 
         // Column block j collects flow-balance contributions into level j.
@@ -172,7 +404,7 @@ impl QbdProcess {
             if j < c {
                 m.set_block(offsets[j], offsets[j], &self.boundary_local[j]);
             } else {
-                let ra2 = be.matmul(&r, &self.a2)?;
+                let ra2 = be.matmul(r, &self.a2)?;
                 let block = &self.boundary_local[c] + &ra2;
                 m.set_block(offsets[c], offsets[c], &block);
             }
@@ -195,27 +427,114 @@ impl QbdProcess {
         // Clamp tiny negative round-off and split into levels.
         let mut boundary = Vec::with_capacity(c + 1);
         for j in 0..=c {
-            let seg: Vec<f64> = x[offsets[j]..offsets[j] + dims[j]]
-                .iter()
-                .map(|&v| if v < 0.0 && v > -1e-9 { 0.0 } else { v })
-                .collect();
-            if seg.iter().any(|&v| v < 0.0) {
-                return Err(QbdError::NotGenerator(format!(
-                    "boundary solve produced negative probability at level {j}"
-                )));
-            }
-            boundary.push(seg);
+            boundary.push(clamp_nonneg(&x[offsets[j]..offsets[j] + dims[j]], j)?);
         }
-        drop(boundary_span);
-
-        Ok(QbdSolution {
-            boundary,
-            r,
-            i_minus_r_inv,
-            sp_r,
-            backend: opts.backend,
-        })
+        Ok(boundary)
     }
+
+    /// Censored (block-tridiagonal) boundary solve.
+    ///
+    /// Forward elimination censors the chain onto level `c`:
+    /// `S_0 = L_0`, `T_i = D_{i+1}(−S_i)⁻¹`,
+    /// `S_{i+1} = L_{i+1} + T_i U_i` (plus `R·A₂` at `i+1 = c`); then
+    /// `π_c S_c = 0` is a `d × d` nullspace problem, and back-substitution
+    /// `π_i = π_{i+1} T_i` recovers the lower levels. Never materializes the
+    /// dense `nb × nb` system: `O(c·d³)` time, `O(c·d²)` memory.
+    fn boundary_censored(
+        &self,
+        r: &Matrix,
+        i_minus_r_inv: &Matrix,
+        backend: BackendKind,
+    ) -> Result<Vec<Vec<f64>>> {
+        let be = backend.instance();
+        let c = self.c();
+        debug_assert!(c >= 1);
+        let mut s = self.boundary_local[0].clone();
+        // T_i = D_{i+1}(−S_i)⁻¹, kept for back-substitution.
+        let mut ts: Vec<Matrix> = Vec::with_capacity(c);
+        for i in 0..c {
+            let mut neg_s_inv = be.inverse(&s.scaled(-1.0))?;
+            // `−S_i` is an M-matrix, so its inverse is entrywise nonnegative
+            // in exact arithmetic; clamp inversion roundoff so the `T_i`
+            // products (and the back-substituted `π_i`) stay nonnegative by
+            // construction instead of tripping the probability check.
+            for v in neg_s_inv.as_mut_slice() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+            let t = be.matmul(&self.boundary_down[i], &neg_s_inv)?;
+            let tu = be.matmul(&t, &self.boundary_up[i])?;
+            s = &self.boundary_local[i + 1] + &tu;
+            if i + 1 == c {
+                let ra2 = be.matmul(r, &self.a2)?;
+                s = &s + &ra2;
+            }
+            ts.push(t);
+        }
+        // In exact arithmetic the censored matrix on level `c` is a
+        // generator; `c` elimination steps of roundoff can leave it slightly
+        // off, and a direct LU nullspace of a nearly-singular system may
+        // return a sign-mixed vector. Project the roundoff away (clamp
+        // negative off-diagonal rates, rebuild the diagonal) and use
+        // subtraction-free GTH, which guarantees a nonnegative stationary
+        // vector; fall back to the LU nullspace only if the projected chain
+        // is reducible.
+        let pi_c = {
+            let d = s.rows();
+            let mut rates = s.clone();
+            for i in 0..d {
+                for j in 0..d {
+                    if i != j && rates[(i, j)] < 0.0 {
+                        rates[(i, j)] = 0.0;
+                    }
+                }
+            }
+            match gsched_markov::Ctmc::from_rates(&rates).and_then(|ch| ch.stationary_gth()) {
+                Ok(pi) => pi,
+                Err(_) => {
+                    let ones = vec![1.0; d];
+                    solve_left_nullspace(&s, &ones)?
+                }
+            }
+        };
+        let mut boundary = vec![Vec::new(); c + 1];
+        boundary[c] = clamp_nonneg(&pi_c, c)?;
+        for i in (0..c).rev() {
+            let v = ts[i].left_mul_vec(&boundary[i + 1])?;
+            boundary[i] = clamp_nonneg(&v, i)?;
+        }
+        // Global normalization (eq. 24): Σ_{i<c} π_i·e + π_c(I−R)⁻¹e = 1.
+        let tail = i_minus_r_inv.row_sums();
+        let mut total: f64 = boundary[..c].iter().map(|v| v.iter().sum::<f64>()).sum();
+        total += boundary[c]
+            .iter()
+            .zip(tail.iter())
+            .map(|(a, b)| a * b)
+            .sum::<f64>();
+        for v in &mut boundary {
+            for x in v.iter_mut() {
+                *x /= total;
+            }
+        }
+        Ok(boundary)
+    }
+}
+
+/// Clamp tiny negative round-off to zero; larger negatives are an error.
+fn clamp_nonneg(seg: &[f64], level: usize) -> Result<Vec<f64>> {
+    let scale = seg.iter().fold(0.0_f64, |a, &v| a.max(v.abs())).max(1e-300);
+    let thresh = 1e-9_f64.max(1e-12 * scale);
+    let out: Vec<f64> = seg
+        .iter()
+        .map(|&v| if v < 0.0 && v > -thresh { 0.0 } else { v })
+        .collect();
+    if out.iter().any(|&v| v < 0.0) {
+        return Err(QbdError::NotGenerator(format!(
+            "boundary solve produced negative probability at level {level}"
+        )));
+    }
+    Ok(out)
 }
 
 impl QbdSolution {
@@ -237,6 +556,45 @@ impl QbdSolution {
     /// Kernel backend the solve ran under.
     pub fn backend(&self) -> BackendKind {
         self.backend
+    }
+
+    /// The truncation certificate, when this solution came from a truncated
+    /// solve ([`LevelTruncation::Fixed`] / [`LevelTruncation::Auto`]).
+    pub fn truncation(&self) -> Option<&TruncationCertificate> {
+        self.truncation.as_ref()
+    }
+
+    /// Certified geometric decay rate `q < 1` of the level tail.
+    ///
+    /// With `u = (I−R)⁻¹e` one has `Ru = u − e`; since `e ≥ u/‖u‖_∞`
+    /// entrywise, `Ru ≤ q·u` with `q = 1 − 1/‖u‖_∞`, hence `Rᵏu ≤ qᵏu` and
+    /// `P(level ≥ n) = π_c R^{n−c} u ≤ q^{n−c} · P(level ≥ c)` for `n ≥ c`.
+    pub fn tail_decay_rate(&self) -> f64 {
+        let u = self.i_minus_r_inv.row_sums();
+        let umax = u.iter().fold(1.0_f64, |a, &v| a.max(v));
+        (1.0 - 1.0 / umax).max(0.0)
+    }
+
+    /// Certified upper bound on `P(level ≥ n)`.
+    ///
+    /// Exact for `n ≤ c`; the geometric bound
+    /// `P(level ≥ c) · q^{n−c}` with `q = `[`tail_decay_rate`](Self::tail_decay_rate)
+    /// above. Always `≥ tail_prob(n)`.
+    pub fn geometric_tail_bound(&self, n: usize) -> f64 {
+        let c = self.c();
+        if n <= c {
+            return self.tail_prob(n);
+        }
+        // Anchor on π_c·(I−R)⁻¹e directly (the matrix-geometric form of
+        // `P(level ≥ c)`) so the bound shares the exact tail's arithmetic
+        // instead of the cancellation-prone `1 − Σ` boundary form.
+        let u = self.i_minus_r_inv.row_sums();
+        let anchor: f64 = self.boundary[c]
+            .iter()
+            .zip(u.iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        anchor * self.tail_decay_rate().powi((n - c) as i32)
     }
 
     /// Stationary sub-vector of level `n` (computed as `π_c R^{n−c}` above
@@ -623,6 +981,183 @@ mod tests {
                 );
                 assert!((sol.total_mass() - 1.0).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn censored_matches_dense_boundary() {
+        let q = mmc(3.0, 1.0, 5);
+        let dense = q
+            .solve(&SolveOptions {
+                boundary: BoundaryMethod::Dense,
+                ..Default::default()
+            })
+            .unwrap();
+        let cens = q
+            .solve(&SolveOptions {
+                boundary: BoundaryMethod::Censored,
+                ..Default::default()
+            })
+            .unwrap();
+        assert!((dense.mean_level() - cens.mean_level()).abs() < 1e-10);
+        assert!((cens.total_mass() - 1.0).abs() < 1e-10);
+        for n in 0..12 {
+            assert!(
+                (dense.level_prob(n) - cens.level_prob(n)).abs() < 1e-12,
+                "n={n}: {} vs {}",
+                dense.level_prob(n),
+                cens.level_prob(n)
+            );
+        }
+    }
+
+    #[test]
+    fn censored_matches_dense_on_all_backends() {
+        let q = mmc(1.2, 1.0, 3);
+        let want = q.solve(&SolveOptions::default()).unwrap();
+        for backend in BackendKind::ALL {
+            let sol = q
+                .solve(&SolveOptions {
+                    boundary: BoundaryMethod::Censored,
+                    backend,
+                    ..Default::default()
+                })
+                .unwrap();
+            assert!(
+                (sol.mean_level() - want.mean_level()).abs() < 1e-9,
+                "{backend}: {} vs {}",
+                sol.mean_level(),
+                want.mean_level()
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_tail_bound_dominates_exact_tail() {
+        for q in [mm1(0.7, 1.0), mmc(3.0, 1.0, 5)] {
+            let sol = q.solve(&SolveOptions::default()).unwrap();
+            let rate = sol.tail_decay_rate();
+            assert!((0.0..1.0).contains(&rate), "decay rate {rate}");
+            for n in 0..40 {
+                assert!(
+                    sol.geometric_tail_bound(n) >= sol.tail_prob(n) - 1e-12,
+                    "n={n}: bound {} < exact {}",
+                    sol.geometric_tail_bound(n),
+                    sol.tail_prob(n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_truncation_at_saturated_level_is_exact() {
+        // For M/M/2 the level-1 blocks already equal the repeating blocks,
+        // so the frozen-capacity truncation at m = 1 IS the original chain.
+        let q = mmc(1.2, 1.0, 2);
+        let full = q.solve(&SolveOptions::default()).unwrap();
+        let trunc = q
+            .solve(&SolveOptions {
+                truncation: LevelTruncation::Fixed { level: 1 },
+                ..Default::default()
+            })
+            .unwrap();
+        assert!((full.mean_level() - trunc.mean_level()).abs() < 1e-12);
+        let cert = trunc.truncation().expect("certificate");
+        assert_eq!(cert.level, 1);
+        assert_eq!(cert.full_c, 2);
+        assert!(cert.tail_mass > 0.0 && cert.tail_mass < 1.0);
+    }
+
+    #[test]
+    fn auto_truncation_certifies_and_matches_full() {
+        // Light load on 64 servers: tail is negligible well below c = 64.
+        let q = mmc(4.0, 1.0, 64);
+        let full = q.solve(&SolveOptions::default()).unwrap();
+        let target = 1e-8;
+        let sol = q
+            .solve(&SolveOptions {
+                truncation: LevelTruncation::Auto {
+                    target_tail: target,
+                    min_levels: 2,
+                },
+                ..Default::default()
+            })
+            .unwrap();
+        let cert = sol.truncation().expect("should truncate at light load");
+        assert!(cert.level < 64, "level {}", cert.level);
+        assert!(cert.tail_mass <= target, "tail {}", cert.tail_mass);
+        assert_eq!(cert.full_c, 64);
+        assert!(
+            (sol.mean_level() - full.mean_level()).abs() < 1e-6,
+            "{} vs {}",
+            sol.mean_level(),
+            full.mean_level()
+        );
+        assert!((sol.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncated_solve_dominates_full_tail() {
+        // Frozen capacity means stochastically more jobs: every tail
+        // probability of the truncated solve upper-bounds the true one.
+        let q = mmc(2.0, 1.0, 8);
+        let full = q.solve(&SolveOptions::default()).unwrap();
+        let trunc = q
+            .solve(&SolveOptions {
+                truncation: LevelTruncation::Fixed { level: 4 },
+                ..Default::default()
+            })
+            .unwrap();
+        for n in 0..20 {
+            assert!(
+                trunc.tail_prob(n) >= full.tail_prob(n) - 1e-12,
+                "n={n}: {} < {}",
+                trunc.tail_prob(n),
+                full.tail_prob(n)
+            );
+        }
+    }
+
+    #[test]
+    fn auto_truncation_falls_back_to_full_when_small() {
+        // c = 0 (M/M/1): truncation can't apply; must solve in full with no
+        // certificate attached.
+        let q = mm1(0.5, 1.0);
+        let sol = q
+            .solve(&SolveOptions {
+                truncation: LevelTruncation::Auto {
+                    target_tail: 1e-9,
+                    min_levels: 1,
+                },
+                ..Default::default()
+            })
+            .unwrap();
+        assert!(sol.truncation().is_none());
+        assert!((sol.mean_level() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn auto_truncation_surfaces_instability() {
+        let q = mmc(3.0, 1.0, 2); // rho = 1.5
+        let got = q.solve(&SolveOptions {
+            truncation: LevelTruncation::Auto {
+                target_tail: 1e-9,
+                min_levels: 1,
+            },
+            ..Default::default()
+        });
+        assert!(matches!(got, Err(QbdError::Unstable(_))));
+    }
+
+    #[test]
+    fn fixed_truncation_rejects_bad_levels() {
+        let q = mmc(1.0, 1.0, 4);
+        for level in [0usize, 4, 9] {
+            let got = q.solve(&SolveOptions {
+                truncation: LevelTruncation::Fixed { level },
+                ..Default::default()
+            });
+            assert!(matches!(got, Err(QbdError::Shape(_))), "level {level}");
         }
     }
 

@@ -1,0 +1,185 @@
+//! Property tests for certified level truncation: on random stable chains
+//! the certificate's tail mass must upper-bound the mass the cut could
+//! misplace, level by level, and the geometric tail bound must dominate the
+//! exact tail.
+
+use gsched_linalg::Matrix;
+use gsched_qbd::solution::{LevelTruncation, SolveOptions};
+use gsched_qbd::QbdProcess;
+use proptest::prelude::*;
+
+/// An environment-modulated M/M/c queue: `k` environment phases switching
+/// at the given rates, per-phase arrival rates, service rate `i·mu` at
+/// level `i` (capped at `c`). Every level has dimension `k`, so the
+/// frozen-capacity truncation applies at any `1 ≤ m < c`.
+fn env_mmc(lambdas: &[f64], switch: f64, mu: f64, c: usize) -> QbdProcess {
+    let k = lambdas.len();
+    let env = |sw: f64| {
+        let mut e = Matrix::zeros(k, k);
+        if k > 1 {
+            for i in 0..k {
+                for j in 0..k {
+                    if i != j {
+                        e[(i, j)] = sw / (k - 1) as f64;
+                    }
+                }
+                e[(i, i)] = -sw;
+            }
+        }
+        e
+    };
+    let arr = {
+        let mut a = Matrix::zeros(k, k);
+        for (i, &l) in lambdas.iter().enumerate() {
+            a[(i, i)] = l;
+        }
+        a
+    };
+    let level_local = |i: usize| {
+        let svc = (i.min(c)) as f64 * mu;
+        let mut l = env(switch);
+        for j in 0..k {
+            l[(j, j)] -= lambdas[j] + svc;
+        }
+        l
+    };
+    let mut up = Vec::new();
+    let mut local = Vec::new();
+    let mut down = Vec::new();
+    for i in 0..=c {
+        if i < c {
+            up.push(arr.clone());
+        }
+        local.push(level_local(i));
+        if i >= 1 {
+            let mut d = Matrix::zeros(k, k);
+            for j in 0..k {
+                d[(j, j)] = i as f64 * mu;
+            }
+            down.push(d);
+        }
+    }
+    let mut a2 = Matrix::zeros(k, k);
+    for j in 0..k {
+        a2[(j, j)] = c as f64 * mu;
+    }
+    QbdProcess::new(up, local, down, arr.clone(), level_local(c), a2).unwrap()
+}
+
+/// Strategy: a stable random chain. Arrival rates stay below `0.7·c·mu` in
+/// every environment phase, so the full chain and any truncation at
+/// `m ≥ 3c/4` are stable regardless of the switching rates.
+fn stable_chain() -> impl Strategy<Value = (QbdProcess, usize)> {
+    (
+        (
+            2usize..4,    // environment phases
+            8usize..32,   // servers c
+            0.4f64..2.0,  // mu
+            0.05f64..2.0, // switching rate
+        ),
+        (
+            proptest::collection::vec(0.1f64..1.0, 3), // per-phase load factors
+            0usize..1000,                              // picks m within [3c/4, c)
+        ),
+    )
+        .prop_map(|((k, c, mu, sw), (loads, mpick))| {
+            let lambdas: Vec<f64> = loads[..k].iter().map(|u| u * 0.7 * c as f64 * mu).collect();
+            let q = env_mmc(&lambdas, sw, mu, c);
+            let lo = (3 * c).div_ceil(4).max(1);
+            let m = lo + mpick % (c - lo);
+            (q, m)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fixed-level certificate upper-bounds the true mass above the cut,
+    /// and the truncated solve dominates the full solve level by level
+    /// (frozen capacity can only hold *more* jobs).
+    #[test]
+    fn certificate_dominates_actual_truncated_mass(chain in stable_chain()) {
+        let (q, m) = chain;
+        let full = q.solve(&SolveOptions::default()).unwrap();
+        let trunc = q
+            .solve(&SolveOptions {
+                truncation: LevelTruncation::Fixed { level: m },
+                ..Default::default()
+            })
+            .unwrap();
+        let cert = trunc.truncation().expect("fixed truncation always certifies");
+        prop_assert_eq!(cert.level, m);
+        prop_assert_eq!(cert.full_c, q.c());
+        prop_assert!(
+            cert.tail_mass >= full.tail_prob(m + 1) - 1e-12,
+            "certified {} < actual {}",
+            cert.tail_mass,
+            full.tail_prob(m + 1)
+        );
+        for n in (0..q.c() + 8).step_by(3) {
+            prop_assert!(
+                trunc.tail_prob(n) >= full.tail_prob(n) - 1e-10,
+                "n={}: truncated tail {} below true tail {}",
+                n,
+                trunc.tail_prob(n),
+                full.tail_prob(n)
+            );
+        }
+        // Domination in means too.
+        prop_assert!(trunc.mean_level() >= full.mean_level() - 1e-9);
+    }
+
+    /// The certified geometric tail bound dominates the exact tail at and
+    /// above the boundary.
+    #[test]
+    fn geometric_bound_dominates_exact_tail(chain in stable_chain()) {
+        let (q, _m) = chain;
+        let sol = q.solve(&SolveOptions::default()).unwrap();
+        let rate = sol.tail_decay_rate();
+        prop_assert!((0.0..1.0).contains(&rate), "decay rate {rate}");
+        for n in q.c()..q.c() + 24 {
+            prop_assert!(
+                sol.geometric_tail_bound(n) >= sol.tail_prob(n) - 1e-12,
+                "n={}: bound {} < exact {}",
+                n,
+                sol.geometric_tail_bound(n),
+                sol.tail_prob(n)
+            );
+        }
+    }
+
+    /// When the automatic policy certifies, the certificate meets its target
+    /// and the truncated solve agrees with the full solve to within the
+    /// certified mass (scaled by the boundary size, the worst place the
+    /// misplaced mass could sit).
+    #[test]
+    fn auto_certificates_meet_their_target(chain in stable_chain()) {
+        let (q, _m) = chain;
+        let target = 1e-7;
+        let sol = q
+            .solve(&SolveOptions {
+                truncation: LevelTruncation::Auto {
+                    target_tail: target,
+                    min_levels: 2,
+                },
+                ..Default::default()
+            })
+            .unwrap();
+        let full = q.solve(&SolveOptions::default()).unwrap();
+        if let Some(cert) = sol.truncation() {
+            prop_assert!(cert.tail_mass <= target);
+            prop_assert!(cert.level >= 1 && cert.level < q.c());
+            let slack = target * q.c() as f64;
+            prop_assert!(
+                (sol.mean_level() - full.mean_level()).abs() <= slack + 1e-9,
+                "means {} vs {} beyond slack {}",
+                sol.mean_level(),
+                full.mean_level(),
+                slack
+            );
+        } else {
+            // Fallback path: the solve must simply be the full solve.
+            prop_assert!((sol.mean_level() - full.mean_level()).abs() < 1e-9);
+        }
+    }
+}

@@ -426,8 +426,77 @@ fn near_instability() -> Scenario {
         .expect("near_instability parameters are valid")
 }
 
+/// The default processor grid for `p_sweep` (powers of two, 8 … 4096).
+pub fn default_processor_grid() -> Vec<f64> {
+    (3..=12).map(|k| (1usize << k) as f64).collect()
+}
+
+/// The reduced processor grid used by `--quick` scaling sweeps. It still
+/// spans the full 8 → 4096 range — quick trims density, not reach.
+pub fn quick_processor_grid() -> Vec<f64> {
+    vec![8.0, 64.0, 512.0, 4096.0]
+}
+
+fn p_sweep() -> Scenario {
+    // Two classes — one 4-wide, one single-processor — each offered a fixed
+    // utilization ρ_p = 0.10 while P scales 8 → 4096 (arrival rates scale
+    // ∝ P along the axis; the base machine below is the P = 8 anchor).
+    // Exponential arrival/service keep m_b = 1 so the frozen-capacity level
+    // truncation applies below c_p. The certification level for a tail
+    // target ε sits near ρ_p·(T∞ + ln(1/ε)/r_min)·c_p levels, where r_min
+    // is the slowest phase exit rate of the class's off-cycle: a heavy
+    // (exponential) overhead tail drags r_min down and pushes that level
+    // past c_p, so both quantum and overhead are Erlang-4 — light-tailed
+    // cycles keep the certified cut near 0.7·c_p and the zero-queueing
+    // limit governs the large-P end. See docs/LARGE_P.md.
+    let rho = 0.10;
+    let class = |g: usize| ClassSpec {
+        partition_size: g,
+        // λ_p = ρ·μ·P/g at the P = 8 base point.
+        arrival: DistSpec::Exponential {
+            rate: rho * 8.0 / g as f64,
+        },
+        service: DistSpec::Exponential { rate: 1.0 },
+        quantum: DistSpec::Erlang {
+            stages: 4,
+            rate: 4.0,
+        },
+        switch_overhead: DistSpec::Erlang {
+            stages: 4,
+            rate: 4.0 / OVERHEAD_MEAN,
+        },
+    };
+    let machine = ModelSpec {
+        processors: 8,
+        classes: vec![class(4), class(1)],
+    };
+    Scenario::builder("p_sweep", machine)
+        .description(
+            "Scaling: machine size P = 8 → 4096 at fixed per-class \
+             utilization 0.10 — certified level truncation engages at large \
+             c_p and the largest point is cross-checked against the \
+             zero-queueing asymptotic limit",
+        )
+        .sweep(AxisSpec::Processors, default_processor_grid())
+        .quick_grid(quick_processor_grid())
+        // Short horizon: the event rate scales with P, so simulated time is
+        // traded for arrival volume at the large end of the grid.
+        .sim(SimSpec {
+            horizon: 400.0,
+            warmup: 40.0,
+            seed: 0x5CA1E,
+            batches: 8,
+        })
+        .certified_tail(1e-8)
+        .asymptotic_rel(0.05)
+        .param("rho_per_class", rho)
+        .param("quantum_mean", 1.0)
+        .build()
+        .expect("p_sweep parameters are valid")
+}
+
 /// All registry scenario names, in catalog order.
-pub const NAMES: [&str; 11] = [
+pub const NAMES: [&str; 12] = [
     "fig2",
     "fig3",
     "fig3_heavy",
@@ -439,6 +508,7 @@ pub const NAMES: [&str; 11] = [
     "high_class_count",
     "skewed_partitions",
     "near_instability",
+    "p_sweep",
 ];
 
 /// Look up a registry scenario by name.
@@ -455,6 +525,7 @@ pub fn lookup(name: &str) -> Option<Scenario> {
         "high_class_count" => Some(high_class_count()),
         "skewed_partitions" => Some(skewed_partitions()),
         "near_instability" => Some(near_instability()),
+        "p_sweep" => Some(p_sweep()),
         _ => None,
     }
 }
@@ -532,6 +603,29 @@ mod tests {
                 assert!((m.class(p).quantum.mean() - q).abs() < 1e-9, "q={q}");
             }
             assert!((m.total_utilization() - 0.4).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn p_sweep_holds_utilization_fixed_while_p_grows() {
+        let sc = lookup("p_sweep").unwrap();
+        assert_eq!(sc.grid(false).first(), Some(&8.0));
+        assert_eq!(sc.grid(false).last(), Some(&4096.0));
+        // Quick trims density, not reach: it still spans 8 → 4096.
+        assert_eq!(sc.grid(true).first(), Some(&8.0));
+        assert_eq!(sc.grid(true).last(), Some(&4096.0));
+        assert_eq!(sc.tolerance.certified_tail, Some(1e-8));
+        assert!(sc.tolerance.asymptotic_rel.is_some());
+        for &x in sc.grid(false) {
+            let m = sc.model_at(x).unwrap();
+            assert_eq!(m.processors(), x as usize);
+            for p in 0..m.num_classes() {
+                assert!(
+                    (m.class_utilization(p) - 0.10).abs() < 1e-9,
+                    "P = {x}, class {p}: utilization {}",
+                    m.class_utilization(p)
+                );
+            }
         }
     }
 

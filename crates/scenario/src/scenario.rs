@@ -65,6 +65,12 @@ pub enum AxisSpec {
         /// Total quantum budget per timeplexing cycle.
         budget: f64,
     },
+    /// Machine size `P` (large-P scaling sweeps): the grid coordinate is the
+    /// processor count. Per-class arrival rates scale `∝ x / P_base` so each
+    /// class's offered utilization `ρ_p = λ_p g(p)/(μ_p P)` is held fixed
+    /// while the per-class capacity `c_p = x/g(p)` grows — the zero-queueing
+    /// scaling regime of `docs/LARGE_P.md`.
+    Processors,
 }
 
 impl AxisSpec {
@@ -75,6 +81,7 @@ impl AxisSpec {
             AxisSpec::ServiceRate => SweepAxis::ServiceRate,
             AxisSpec::ArrivalRate => SweepAxis::ArrivalRate,
             AxisSpec::CycleFraction { class, .. } => SweepAxis::CycleFraction { class: *class },
+            AxisSpec::Processors => SweepAxis::Processors,
         }
     }
 
@@ -85,6 +92,13 @@ impl AxisSpec {
                 if !(x.is_finite() && x > 0.0 && x < 1.0) {
                     return Err(invalid(format!(
                         "cycle_fraction grid values must lie in (0, 1), got {x}"
+                    )));
+                }
+            }
+            AxisSpec::Processors => {
+                if !(x.is_finite() && x >= 1.0 && x.fract() == 0.0) {
+                    return Err(invalid(format!(
+                        "processors grid values must be positive integers, got {x}"
                     )));
                 }
             }
@@ -144,6 +158,19 @@ impl AxisSpec {
                 for (p, c) in out.classes.iter_mut().enumerate() {
                     let mean = if p == *class { x * budget } else { rest };
                     c.quantum = scale(&c.quantum, mean, "quantum", p)?;
+                }
+            }
+            AxisSpec::Processors => {
+                let p_base = machine.processors as f64;
+                out.processors = x as usize;
+                // Hold utilization fixed: λ ∝ P, so the interarrival mean
+                // shrinks by P_base / x.
+                for (p, c) in out.classes.iter_mut().enumerate() {
+                    let base_mean = c
+                        .arrival
+                        .analytic_mean()
+                        .map_err(|e| invalid(format!("class {p}, arrival: {e}")))?;
+                    c.arrival = scale(&c.arrival, base_mean * p_base / x, "arrival", p)?;
                 }
             }
         }
@@ -231,6 +258,22 @@ pub struct Tolerance {
     /// Multiples of the simulation 95% CI half-width added on top.
     #[serde(default = "default_tol_sigmas")]
     pub ci_sigmas: f64,
+    /// Large-P regimes only: ceiling on the *certified* tail mass a
+    /// level-truncated solve may report at any sweep point (the
+    /// `TruncationCertificate` bound, not an estimate). `None` means the
+    /// scenario makes no truncation claim.
+    #[serde(default = "default_tol_none")]
+    pub certified_tail: Option<f64>,
+    /// Large-P regimes only: relative tolerance within which the full solve
+    /// at the *largest* grid point must agree with the zero-queueing
+    /// asymptotic limit (`gsched_core::solve_asymptotic`). `None` disables
+    /// the differential check.
+    #[serde(default = "default_tol_none")]
+    pub asymptotic_rel: Option<f64>,
+}
+
+fn default_tol_none() -> Option<f64> {
+    None
 }
 
 fn default_tol_rel() -> f64 {
@@ -245,6 +288,8 @@ impl Default for Tolerance {
         Tolerance {
             rel: default_tol_rel(),
             ci_sigmas: default_tol_sigmas(),
+            certified_tail: None,
+            asymptotic_rel: None,
         }
     }
 }
@@ -410,6 +455,20 @@ impl Scenario {
                 self.tolerance.ci_sigmas
             )));
         }
+        if let Some(ct) = self.tolerance.certified_tail {
+            if !(ct.is_finite() && ct > 0.0 && ct < 1.0) {
+                return Err(invalid(format!(
+                    "tolerance certified_tail must lie in (0, 1), got {ct}"
+                )));
+            }
+        }
+        if let Some(ar) = self.tolerance.asymptotic_rel {
+            if !(ar.is_finite() && ar > 0.0) {
+                return Err(invalid(format!(
+                    "tolerance asymptotic_rel must be positive, got {ar}"
+                )));
+            }
+        }
         for (k, v) in &self.params {
             if !v.is_finite() {
                 return Err(invalid(format!("param {k:?} must be finite, got {v}")));
@@ -535,7 +594,22 @@ impl ScenarioBuilder {
 
     /// Override the analysis-vs-simulation tolerance.
     pub fn tolerance(mut self, rel: f64, ci_sigmas: f64) -> Self {
-        self.scenario.tolerance = Tolerance { rel, ci_sigmas };
+        self.scenario.tolerance.rel = rel;
+        self.scenario.tolerance.ci_sigmas = ci_sigmas;
+        self
+    }
+
+    /// Declare a ceiling on the certified truncation tail mass at every
+    /// sweep point (large-P scenarios).
+    pub fn certified_tail(mut self, bound: f64) -> Self {
+        self.scenario.tolerance.certified_tail = Some(bound);
+        self
+    }
+
+    /// Declare the relative tolerance for the zero-queueing asymptotic
+    /// cross-check at the largest sweep point (large-P scenarios).
+    pub fn asymptotic_rel(mut self, rel: f64) -> Self {
+        self.scenario.tolerance.asymptotic_rel = Some(rel);
         self
     }
 
